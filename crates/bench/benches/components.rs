@@ -1,0 +1,104 @@
+//! Microbenchmarks of the PolyPath core mechanisms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pp_core::{SimConfig, Simulator};
+use pp_ctx::{CtxTag, PositionAllocator};
+use pp_predictor::{Gshare, Jrs, JrsConfig};
+use pp_workloads::Workload;
+
+/// The CTX hierarchy comparator (paper Fig. 5) — the operation every
+/// window entry performs on each branch resolution.
+fn ctx_tag_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctx_tag");
+    let deep = (0..32).fold(CtxTag::root(), |t, i| t.with_position(i, i % 3 == 0));
+    let wrong = CtxTag::root().with_position(0, true).with_position(5, false);
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("is_descendant_or_equal", |b| {
+        b.iter(|| black_box(deep.is_descendant_or_equal(black_box(&wrong))))
+    });
+    g.bench_function("with_position", |b| {
+        let base = CtxTag::root().with_position(1, true);
+        b.iter(|| black_box(black_box(base).with_position(40, false)))
+    });
+    g.bench_function("invalidate", |b| {
+        b.iter(|| {
+            let mut t = black_box(deep);
+            t.invalidate(black_box(16));
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+/// History position allocation with wrap-around reuse (§3.2.2).
+fn position_allocator(c: &mut Criterion) {
+    c.bench_function("position_allocator/cycle", |b| {
+        let mut alloc = PositionAllocator::new(64);
+        let mut live = std::collections::VecDeque::new();
+        b.iter(|| {
+            if live.len() >= 48 {
+                alloc.free(live.pop_front().expect("live"));
+            }
+            live.push_back(alloc.allocate().expect("has room"));
+        })
+    });
+}
+
+/// Branch predictor and confidence estimator table access.
+fn predictor_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(1));
+
+    let mut gshare = Gshare::new(14);
+    let mut i = 0u64;
+    g.bench_function("gshare_predict_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b9);
+            let pc = (i as usize >> 3) & 0xffff;
+            let pred = gshare.predict(pc, i);
+            gshare.update(pc, i, pred ^ (i & 64 == 0));
+            black_box(pred)
+        })
+    });
+
+    let mut jrs = Jrs::new(JrsConfig::paper_baseline());
+    g.bench_function("jrs_estimate_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x61c88647);
+            let pc = (i as usize >> 5) & 0xffff;
+            let conf = jrs.estimate(pc, i, i & 2 == 0);
+            jrs.update(pc, i, i & 2 == 0, i & 32 != 0);
+            black_box(conf)
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end simulator throughput: simulated instructions per second on
+/// the baseline machine (monopath and SEE).
+fn simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("monopath", SimConfig::monopath_baseline()),
+        ("see", SimConfig::baseline()),
+    ] {
+        let program = Workload::Compress.build(60);
+        let committed = Simulator::new(&program, cfg.clone()).run().committed_instructions;
+        g.throughput(Throughput::Elements(committed));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Simulator::new(&program, cfg.clone()).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default();
+    targets = ctx_tag_ops, position_allocator, predictor_tables, simulator_throughput
+}
+criterion_main!(components);

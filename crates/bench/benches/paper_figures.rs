@@ -1,0 +1,143 @@
+//! One Criterion group per table/figure of the paper's evaluation.
+//!
+//! Each benchmark runs the exact simulator configuration the
+//! corresponding `pp-experiments` binary uses to regenerate the artifact,
+//! on a representative workload at reduced scale. `cargo bench` therefore
+//! exercises every experiment code path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pp_bench::{bench_scale, simulate};
+use pp_core::{ExecMode, FuConfig, PredictorKind};
+use pp_experiments::{harmonic_mean, named_config, Config};
+use pp_workloads::Workload;
+
+fn settings(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// Table 1: functional characterization of a workload.
+fn table1(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("table1");
+    for w in [Workload::Compress, Workload::Go, Workload::Vortex] {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| black_box(w.characterize(bench_scale(w))))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 8: the six baseline configurations on the most interesting
+/// workload (go: largest SEE effect).
+fn fig8(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("fig8_baseline");
+    for cfg in [
+        Config::Monopath,
+        Config::SeeJrs,
+        Config::SeeOracle,
+        Config::DualJrs,
+        Config::DualOracle,
+        Config::Oracle,
+    ] {
+        g.bench_function(cfg.label(), |b| {
+            let machine = named_config(cfg, 14);
+            b.iter(|| black_box(simulate(Workload::Go, &machine)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 9: predictor size extremes, plus the harmonic-mean reduction.
+fn fig9(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("fig9_predictor_size");
+    for bits in [10u32, 14, 16] {
+        g.bench_function(format!("monopath/{bits}bits"), |b| {
+            let machine = named_config(Config::Monopath, bits);
+            b.iter(|| black_box(simulate(Workload::Compress, &machine)))
+        });
+        g.bench_function(format!("see_jrs/{bits}bits"), |b| {
+            let machine = named_config(Config::SeeJrs, bits);
+            b.iter(|| black_box(simulate(Workload::Compress, &machine)))
+        });
+    }
+    g.bench_function("hmean_reduction", |b| {
+        let ipcs = [2.1, 1.4, 2.7, 0.9, 2.6, 2.0, 4.2, 1.6];
+        b.iter(|| black_box(harmonic_mean(&ipcs)))
+    });
+    g.finish();
+}
+
+/// Fig. 10: window size extremes.
+fn fig10(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("fig10_window_size");
+    for window in [64usize, 256, 1024] {
+        for cfg in [Config::Monopath, Config::SeeJrs] {
+            g.bench_function(format!("{}/{window}", cfg.label()), |b| {
+                let mut machine = named_config(cfg, 14).with_window_size(window);
+                machine.ctx_positions = pp_ctx::MAX_POSITIONS.min((window / 3).max(16));
+                b.iter(|| black_box(simulate(Workload::Perl, &machine)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 11: functional unit extremes.
+fn fig11(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("fig11_fu_config");
+    for n in [1usize, 4] {
+        for cfg in [Config::Monopath, Config::SeeJrs] {
+            g.bench_function(format!("{}/{n}fus", cfg.label()), |b| {
+                let machine = named_config(cfg, 14).with_fus(FuConfig::uniform(n));
+                b.iter(|| black_box(simulate(Workload::Jpeg, &machine)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 12: pipeline depth extremes.
+fn fig12(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("fig12_pipeline_depth");
+    for depth in [6usize, 8, 10] {
+        for cfg in [Config::Monopath, Config::SeeJrs] {
+            g.bench_function(format!("{}/{depth}stages", cfg.label()), |b| {
+                let machine = named_config(cfg, 14).with_pipeline_depth(depth);
+                b.iter(|| black_box(simulate(Workload::Xlisp, &machine)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// §5.2: dual-path vs. SEE on a divergence-heavy workload.
+fn sec52(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("sec52_dualpath");
+    g.bench_function("see", |b| {
+        let machine = named_config(Config::SeeJrs, 14);
+        b.iter(|| black_box(simulate(Workload::Gcc, &machine)))
+    });
+    g.bench_function("dual_path", |b| {
+        let machine = named_config(Config::SeeJrs, 14).with_mode(ExecMode::DualPath);
+        b.iter(|| black_box(simulate(Workload::Gcc, &machine)))
+    });
+    g.finish();
+}
+
+/// §5.1: oracle pre-run (trace generation) cost.
+fn sec51(c: &mut Criterion) {
+    let mut g = settings(c).benchmark_group("sec51_analysis");
+    g.bench_function("oracle_prerun", |b| {
+        let machine = named_config(Config::Monopath, 14).with_predictor(PredictorKind::Oracle);
+        b.iter(|| black_box(simulate(Workload::M88ksim, &machine)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = table1, fig8, fig9, fig10, fig11, fig12, sec51, sec52
+}
+criterion_main!(figures);

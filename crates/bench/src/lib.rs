@@ -1,0 +1,52 @@
+//! # pp-bench — Criterion benchmarks for the PolyPath reproduction
+//!
+//! Two suites (see `benches/`):
+//!
+//! * `paper_figures` — one benchmark group per table/figure of the
+//!   paper's evaluation, exercising the exact simulation configurations
+//!   each experiment runs (at reduced workload scale, so `cargo bench`
+//!   stays tractable). The *full-scale* tables are produced by the
+//!   `pp-experiments` binaries; these benches track the simulator cost of
+//!   regenerating them and catch performance regressions.
+//! * `components` — microbenchmarks of the core mechanisms: CTX tag
+//!   hierarchy comparison, history position allocation, gshare and JRS
+//!   table access, window kill broadcasts, and end-to-end simulated
+//!   cycles per second.
+//!
+//! Helpers shared by the suites live here.
+
+use pp_core::{SimConfig, SimStats, Simulator};
+use pp_workloads::Workload;
+
+/// Reduced workload scale used by the figure benches.
+pub fn bench_scale(w: Workload) -> u64 {
+    (w.default_scale() / 50).max(4)
+}
+
+/// Build-and-run one workload under one configuration at bench scale.
+pub fn simulate(w: Workload, cfg: &SimConfig) -> SimStats {
+    let program = w.build(bench_scale(w));
+    Simulator::new(&program, cfg.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_experiments::{named_config, Config};
+
+    #[test]
+    fn bench_scale_is_small_but_nonzero() {
+        for w in Workload::ALL {
+            let s = bench_scale(w);
+            assert!(s >= 4);
+            assert!(s < w.default_scale());
+        }
+    }
+
+    #[test]
+    fn simulate_runs_at_bench_scale() {
+        let stats = simulate(Workload::Vortex, &named_config(Config::Monopath, 12));
+        assert!(stats.committed_instructions > 0);
+        assert!(!stats.hit_cycle_limit);
+    }
+}

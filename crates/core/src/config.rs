@@ -1,0 +1,478 @@
+//! Machine configuration (paper §4.2).
+//!
+//! [`SimConfig::baseline`] reproduces the paper's baseline: an 8-way
+//! superscalar, out-of-order, in-order-commit machine with a 256-entry
+//! central instruction window/reorder buffer, an 8-stage pipeline, Alpha
+//! 21164-derived latencies, a 14-bit gshare predictor, and the modified
+//! JRS confidence estimator.
+
+use pp_predictor::{AdaptiveConfig, JrsConfig};
+
+/// Execution model selector (paper §3, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Conventional speculative execution: one path, full misprediction
+    /// penalty (the paper's baseline comparator).
+    Monopath,
+    /// Selective Eager Execution: diverge on low-confidence branches,
+    /// arbitrarily many simultaneous divergence points (bounded by machine
+    /// resources).
+    #[default]
+    See,
+    /// Dual-path execution (paper §5.2): at most one unresolved divergence
+    /// point — i.e. at most 3 simultaneous paths — mimicking Heil & Smith /
+    /// Tyson–Lick–Farrens style proposals.
+    DualPath,
+}
+
+/// Branch direction predictor selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// gshare with `history_bits` of global history (baseline: 14).
+    Gshare { history_bits: u32 },
+    /// PC-indexed bimodal table (ablation).
+    Bimodal { index_bits: u32 },
+    /// Two-level local-history predictor (Yeh–Patt PAg; ablation).
+    TwoLevelLocal { bht_bits: u32, history_bits: u32 },
+    /// Agree predictor (Sprangle et al.; ablation).
+    Agree { bias_bits: u32, history_bits: u32 },
+    /// Perfect branch prediction from a pre-computed functional trace
+    /// (the paper's "oracle" series).
+    Oracle,
+    /// Always predict taken (ablation).
+    StaticTaken,
+    /// Always predict not-taken (ablation).
+    StaticNotTaken,
+}
+
+/// Confidence estimator selection (paper §3.2.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceKind {
+    /// Every prediction is high-confidence — never diverge. Combined with
+    /// any predictor this degenerates to monopath behaviour.
+    AlwaysHigh,
+    /// The JRS resetting-counter estimator.
+    Jrs(JrsConfig),
+    /// JRS gated by its own recent PVN — the paper's §5.1 "lesson
+    /// learned" (revert to monopath when the estimator errs too often),
+    /// implemented as an extension.
+    AdaptiveJrs(AdaptiveConfig),
+    /// Zero-state confidence from the gshare counter itself (Grunwald et
+    /// al., the paper's reference \[4\]): a prediction is diffident when its
+    /// 2-bit counter is in a weak state. Requires a gshare predictor.
+    Saturating,
+    /// Perfect confidence: low exactly when the prediction is wrong
+    /// (the paper's "gshare/oracle" series). Requires a functional trace.
+    Oracle,
+}
+
+/// Fetch bandwidth arbitration across live paths (paper §3.2.6 / §4.2;
+/// the paper calls fetch policy "a topic of future work" — these variants
+/// are the ablation space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchPolicy {
+    /// The paper's stated policy: bandwidth decreases exponentially with
+    /// a path's distance from the oldest branch, work-conserving.
+    #[default]
+    ExponentialByAge,
+    /// Strict priority: the oldest path takes everything it can use;
+    /// younger paths only get what it leaves.
+    OldestFirst,
+    /// One instruction per live path per round, oldest first.
+    RoundRobin,
+}
+
+/// Functional unit counts (paper baseline: 4 of each type + 4 D-cache ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// IntType0 ALUs (arithmetic/logic + the integer multiplier/divider,
+    /// as on the 21164 E0 pipe).
+    pub int0: usize,
+    /// IntType1 ALUs (arithmetic/logic + branches/jumps, like 21164 E1).
+    pub int1: usize,
+    /// FP adder pipes.
+    pub fp_add: usize,
+    /// FP multiplier pipes (also execute FP division).
+    pub fp_mul: usize,
+    /// D-cache ports (loads and store address generation).
+    pub mem_ports: usize,
+}
+
+impl FuConfig {
+    /// The paper's baseline: 4 IntType0, 4 IntType1, 4 FPAdd, 4 FPMult,
+    /// 4 memory ports.
+    pub const fn baseline() -> Self {
+        FuConfig {
+            int0: 4,
+            int1: 4,
+            fp_add: 4,
+            fp_mul: 4,
+            mem_ports: 4,
+        }
+    }
+
+    /// Fig. 11's uniform scaling: `n` units of each type and `n` ports.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "at least one functional unit of each type required");
+        FuConfig {
+            int0: n,
+            int1: n,
+            fp_add: n,
+            fp_mul: n,
+            mem_ports: n,
+        }
+    }
+}
+
+/// Operation latencies in cycles (derived from the Alpha 21164 hardware
+/// reference manual, as the paper specifies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Simple integer ops, branches, jumps, store address generation.
+    pub int_alu: u32,
+    /// Integer multiply.
+    pub int_mul: u32,
+    /// Integer divide (not pipelined).
+    pub int_div: u32,
+    /// Load-use latency (address computation + 1-cycle cache access).
+    pub load: u32,
+    /// FP add/subtract/convert.
+    pub fp_add: u32,
+    /// FP multiply.
+    pub fp_mul: u32,
+    /// FP divide (not pipelined).
+    pub fp_div: u32,
+}
+
+impl LatencyConfig {
+    /// 21164-flavoured latencies: int 1, mul 8, div 16, load 2, FP 4,
+    /// FP div 16.
+    pub const fn alpha21164() -> Self {
+        LatencyConfig {
+            int_alu: 1,
+            int_mul: 8,
+            int_div: 16,
+            load: 2,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 16,
+        }
+    }
+}
+
+/// Complete machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Execution model: monopath / SEE / dual-path.
+    pub mode: ExecMode,
+    /// Instructions fetched per cycle across all paths (baseline 8).
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle (baseline 8).
+    pub dispatch_width: usize,
+    /// Instructions committed per cycle (baseline 8).
+    pub commit_width: usize,
+    /// Central instruction window / reorder buffer entries (baseline 256).
+    pub window_size: usize,
+    /// Total pipeline depth in stages, 6..=12 (baseline 8). Depth is varied
+    /// by changing the in-order front-end length, exactly as in Fig. 12.
+    pub pipeline_depth: usize,
+    /// Branch direction predictor.
+    pub predictor: PredictorKind,
+    /// Confidence estimator guiding SEE divergence.
+    pub confidence: ConfidenceKind,
+    /// Functional unit counts.
+    pub fus: FuConfig,
+    /// Operation latencies.
+    pub latency: LatencyConfig,
+    /// Fetch bandwidth arbitration policy.
+    pub fetch_policy: FetchPolicy,
+    /// Resolve branches at commit instead of at execute — the in-order
+    /// resolution variant the paper attributes to the Pentium Pro (§3.1):
+    /// simpler kill logic, longer misprediction penalty.
+    pub resolve_at_commit: bool,
+    /// Maximum simultaneous execution paths (CTX table entries).
+    pub max_paths: usize,
+    /// CTX tag history positions — bounds in-flight (uncommitted) branches.
+    pub ctx_positions: usize,
+    /// Physical registers. `0` means "window_size + 96" (always enough for
+    /// every window entry to hold a result plus the committed map).
+    pub phys_regs: usize,
+    /// Hard cycle limit; the run aborts with `hit_cycle_limit` set.
+    pub max_cycles: u64,
+    /// Optional D-cache timing model (extension; `None` reproduces the
+    /// paper's always-hit assumption).
+    pub dcache: Option<crate::cache::CacheConfig>,
+    /// Run the functional emulator in lock-step and assert that every
+    /// committed instruction matches it (co-simulation).
+    pub check_commits: bool,
+}
+
+impl SimConfig {
+    /// The paper's baseline machine with SEE enabled (gshare-14 + modified
+    /// JRS estimator).
+    pub fn baseline() -> Self {
+        SimConfig {
+            mode: ExecMode::See,
+            fetch_width: 8,
+            dispatch_width: 8,
+            commit_width: 8,
+            window_size: 256,
+            pipeline_depth: 8,
+            predictor: PredictorKind::Gshare { history_bits: 14 },
+            confidence: ConfidenceKind::Jrs(JrsConfig::paper_baseline()),
+            fus: FuConfig::baseline(),
+            latency: LatencyConfig::alpha21164(),
+            fetch_policy: FetchPolicy::ExponentialByAge,
+            resolve_at_commit: false,
+            max_paths: 16,
+            ctx_positions: 64,
+            phys_regs: 0,
+            max_cycles: 500_000_000,
+            dcache: None,
+            check_commits: false,
+        }
+    }
+
+    /// The paper's monopath comparator (gshare-14, no divergence).
+    pub fn monopath_baseline() -> Self {
+        SimConfig {
+            mode: ExecMode::Monopath,
+            confidence: ConfidenceKind::AlwaysHigh,
+            ..Self::baseline()
+        }
+    }
+
+    /// Builder-style: set the execution mode (adjusting the confidence
+    /// estimator to `AlwaysHigh` for monopath).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        if mode == ExecMode::Monopath {
+            self.confidence = ConfidenceKind::AlwaysHigh;
+        }
+        self
+    }
+
+    /// Builder-style: set the window size.
+    #[must_use]
+    pub fn with_window_size(mut self, size: usize) -> Self {
+        self.window_size = size;
+        self
+    }
+
+    /// Builder-style: set the predictor.
+    #[must_use]
+    pub fn with_predictor(mut self, p: PredictorKind) -> Self {
+        self.predictor = p;
+        self
+    }
+
+    /// Builder-style: set the confidence estimator.
+    #[must_use]
+    pub fn with_confidence(mut self, c: ConfidenceKind) -> Self {
+        self.confidence = c;
+        self
+    }
+
+    /// Builder-style: set the functional unit configuration.
+    #[must_use]
+    pub fn with_fus(mut self, fus: FuConfig) -> Self {
+        self.fus = fus;
+        self
+    }
+
+    /// Builder-style: set the pipeline depth (6..=12 stages).
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Builder-style: enable lock-step co-simulation checking.
+    #[must_use]
+    pub fn with_commit_checking(mut self) -> Self {
+        self.check_commits = true;
+        self
+    }
+
+    /// Builder-style: set the fetch arbitration policy.
+    #[must_use]
+    pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Builder-style: resolve branches at commit (in-order resolution).
+    #[must_use]
+    pub fn with_commit_time_resolution(mut self) -> Self {
+        self.resolve_at_commit = true;
+        self
+    }
+
+    /// Builder-style: enable the D-cache timing model.
+    #[must_use]
+    pub fn with_dcache(mut self, dcache: crate::cache::CacheConfig) -> Self {
+        self.dcache = Some(dcache);
+        self
+    }
+
+    /// Cycles spent in the in-order front-end between fetch and dispatch.
+    ///
+    /// The model charges 3 stages outside the front-end (window insert /
+    /// issue, execute, commit), so an 8-stage pipeline has a 5-cycle
+    /// front-end, and Fig. 12's 6–10 stage sweep maps to 3–7 cycles.
+    pub fn frontend_latency(&self) -> u64 {
+        (self.pipeline_depth.saturating_sub(3)).max(1) as u64
+    }
+
+    /// Effective physical register count (resolving the `0` default).
+    pub fn effective_phys_regs(&self) -> usize {
+        if self.phys_regs == 0 {
+            self.window_size + 96
+        } else {
+            self.phys_regs
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an inconsistent configuration
+    /// (zero widths, window smaller than dispatch width, out-of-range
+    /// pipeline depth, too few physical registers, etc.).
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be nonzero");
+        assert!(self.dispatch_width > 0, "dispatch width must be nonzero");
+        assert!(self.commit_width > 0, "commit width must be nonzero");
+        assert!(
+            self.window_size >= self.dispatch_width,
+            "window must hold at least one dispatch group"
+        );
+        assert!(
+            (4..=16).contains(&self.pipeline_depth),
+            "pipeline depth must be in 4..=16"
+        );
+        assert!(self.max_paths >= 1, "at least one path required");
+        assert!(
+            (1..=pp_ctx::MAX_POSITIONS).contains(&self.ctx_positions),
+            "ctx positions out of range"
+        );
+        assert!(
+            self.effective_phys_regs() >= self.window_size + pp_isa::NUM_LOGICAL_REGS,
+            "need at least window_size + 64 physical registers"
+        );
+        assert!(
+            self.fus.int0 > 0 && self.fus.int1 > 0 && self.fus.mem_ports > 0,
+            "need at least one of each integer unit and one memory port"
+        );
+        if self.confidence == ConfidenceKind::Saturating {
+            assert!(
+                matches!(self.predictor, PredictorKind::Gshare { .. }),
+                "saturating confidence reads the gshare counters"
+            );
+        }
+        if self.mode != ExecMode::Monopath && self.confidence != ConfidenceKind::AlwaysHigh {
+            assert!(
+                self.max_paths >= 3,
+                "eager execution needs at least 3 path slots"
+            );
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.window_size, 256);
+        assert_eq!(c.pipeline_depth, 8);
+        assert_eq!(c.fus, FuConfig::baseline());
+        assert_eq!(c.predictor, PredictorKind::Gshare { history_bits: 14 });
+        c.validate();
+    }
+
+    #[test]
+    fn monopath_baseline_never_diverges() {
+        let c = SimConfig::monopath_baseline();
+        assert_eq!(c.mode, ExecMode::Monopath);
+        assert_eq!(c.confidence, ConfidenceKind::AlwaysHigh);
+        c.validate();
+    }
+
+    #[test]
+    fn with_mode_monopath_forces_always_high() {
+        let c = SimConfig::baseline().with_mode(ExecMode::Monopath);
+        assert_eq!(c.confidence, ConfidenceKind::AlwaysHigh);
+    }
+
+    #[test]
+    fn frontend_latency_tracks_depth() {
+        assert_eq!(SimConfig::baseline().frontend_latency(), 5);
+        assert_eq!(
+            SimConfig::baseline().with_pipeline_depth(6).frontend_latency(),
+            3
+        );
+        assert_eq!(
+            SimConfig::baseline()
+                .with_pipeline_depth(10)
+                .frontend_latency(),
+            7
+        );
+    }
+
+    #[test]
+    fn effective_phys_regs_default() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.effective_phys_regs(), 256 + 96);
+        let c = SimConfig {
+            phys_regs: 512,
+            ..SimConfig::baseline()
+        };
+        assert_eq!(c.effective_phys_regs(), 512);
+    }
+
+    #[test]
+    fn uniform_fu_scaling() {
+        let f = FuConfig::uniform(2);
+        assert_eq!(f.int0, 2);
+        assert_eq!(f.mem_ports, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth")]
+    fn validate_rejects_silly_depth() {
+        SimConfig::baseline().with_pipeline_depth(2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "path slots")]
+    fn validate_rejects_see_with_too_few_paths() {
+        let c = SimConfig {
+            max_paths: 2,
+            ..SimConfig::baseline()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn latencies_match_21164_table() {
+        let l = LatencyConfig::alpha21164();
+        assert_eq!(l.int_alu, 1);
+        assert_eq!(l.int_mul, 8);
+        assert_eq!(l.load, 2);
+        assert_eq!(l.fp_add, 4);
+    }
+}

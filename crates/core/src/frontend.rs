@@ -1,0 +1,263 @@
+//! Front-end state: live path contexts and the fetch→rename queue.
+//!
+//! The context manager (paper §3.2.6, Fig. 7) keeps one entry per live
+//! path with its fetch PC and status; here each entry additionally owns
+//! the path's speculative front-end state (global history register,
+//! return-address stack, oracle-trace cursor) and — once valid — the
+//! path's active register map (§3.2.5).
+
+use pp_ctx::CtxTag;
+use pp_isa::Op;
+
+use crate::ras::Ras;
+use crate::regfile::RegMap;
+
+/// Per-path context: the CTX table entry of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct PathCtx {
+    /// Current CTX tag of instructions fetched on this path (extends at
+    /// every conditional branch / return the path fetches).
+    pub tag: CtxTag,
+    /// Next fetch PC.
+    pub pc: usize,
+    /// `false` once the path ran past the text section or fetched `halt`.
+    pub fetching: bool,
+    /// Speculative global history register.
+    pub ghr: u64,
+    /// Speculative return-address stack.
+    pub ras: Ras,
+    /// The path's active register map. `None` between a divergence
+    /// creating this path at fetch and the divergent branch reaching
+    /// rename (which copies the parent map, §3.2.5); FIFO rename order
+    /// guarantees it is `Some` before any of this path's instructions
+    /// rename.
+    pub regmap: Option<RegMap>,
+    /// `true` while this path coincides with the architecturally correct
+    /// execution (drives the oracle predictor / oracle confidence).
+    pub on_correct: bool,
+    /// Index of the next correct-path conditional branch in the oracle
+    /// trace (meaningful while `on_correct`).
+    pub oracle_idx: usize,
+    /// Creation order; fetch bandwidth arbitration prioritizes smaller
+    /// values (older paths), per §4.2.
+    pub birth: u64,
+}
+
+/// Branch bookkeeping attached to a fetched conditional branch or return.
+#[derive(Debug, Clone)]
+pub struct FetchBranchInfo {
+    /// `true` for `ret`.
+    pub is_return: bool,
+    /// Predicted direction (`true` for returns).
+    pub predicted_taken: bool,
+    /// PC fetch continued at on the predicted path.
+    pub predicted_target: usize,
+    /// CTX history position allocated to this branch.
+    pub position: usize,
+    /// SEE created a divergence here.
+    pub diverged: bool,
+    /// The confidence estimate was low.
+    pub conf_low: bool,
+    /// Global history at prediction time.
+    pub ghr_at_predict: u64,
+    /// RAS state after this instruction's fetch effect (recovery state).
+    pub ras_checkpoint: Ras,
+    /// Oracle: the fetching path was on the correct execution path.
+    pub was_on_correct: bool,
+    /// Oracle trace index *after* this branch.
+    pub oracle_idx_after: usize,
+    /// Divergence only: the path slot created for the taken successor
+    /// (the fetching slot itself continues as the not-taken successor).
+    pub taken_path: Option<pp_ctx::PathId>,
+}
+
+/// An instruction travelling through the in-order front-end.
+#[derive(Debug, Clone)]
+pub struct FetchedInst {
+    /// Unique fetch identity (observer correlation across stages).
+    pub fid: crate::observer::FetchId,
+    /// Static PC.
+    pub pc: usize,
+    /// The instruction.
+    pub op: Op,
+    /// CTX tag at fetch (receives broadcasts while queued).
+    pub ctx: CtxTag,
+    /// Fetching path (rename reads this path's register map).
+    pub path: pp_ctx::PathId,
+    /// Cycle the instruction was fetched (dispatch happens
+    /// `frontend_latency` cycles later).
+    pub fetch_cycle: u64,
+    /// Branch bookkeeping.
+    pub binfo: Option<FetchBranchInfo>,
+    /// Squashed while queued.
+    pub killed: bool,
+}
+
+/// The in-order front-end pipe between fetch and rename: a bounded FIFO
+/// whose entries become eligible for rename `frontend_latency` cycles
+/// after fetch. Its capacity models the fetch/decode stage latches.
+#[derive(Debug, Default)]
+pub struct FrontEnd {
+    queue: std::collections::VecDeque<FetchedInst>,
+    capacity: usize,
+}
+
+impl FrontEnd {
+    /// A front-end holding at most `capacity` in-flight instructions.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "front-end capacity must be nonzero");
+        FrontEnd {
+            queue: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of queued instructions (killed ones still occupy latches
+    /// until rename drops them, as in hardware).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no instructions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// `true` when the stage latches are full (fetch must stall).
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Enqueue a fetched instruction.
+    ///
+    /// # Panics
+    /// Panics if the front-end is full.
+    pub fn push(&mut self, inst: FetchedInst) {
+        assert!(!self.is_full(), "front-end overflow");
+        self.queue.push_back(inst);
+    }
+
+    /// Put an instruction back at the head (a structural dispatch stall —
+    /// the instruction stays in the last front-end latch). Exempt from the
+    /// capacity check, since the instruction just came out of the queue.
+    pub fn push_front(&mut self, inst: FetchedInst) {
+        self.queue.push_front(inst);
+    }
+
+    /// The oldest instruction, if it has spent `latency` cycles in the
+    /// front-end by cycle `now` (killed instructions are dropped on the
+    /// way and returned via the `dropped` callback).
+    pub fn pop_ready(
+        &mut self,
+        now: u64,
+        latency: u64,
+        mut dropped: impl FnMut(&FetchedInst),
+    ) -> Option<FetchedInst> {
+        loop {
+            let front = self.queue.front()?;
+            if front.killed {
+                let dead = self.queue.pop_front().expect("front exists");
+                dropped(&dead);
+                continue;
+            }
+            if front.fetch_cycle + latency <= now {
+                return self.queue.pop_front();
+            }
+            return None;
+        }
+    }
+
+    /// Resolution bus over the front-end latches: mark wrong-path
+    /// instructions killed. The callback sees each newly killed
+    /// instruction (to release CTX positions held by killed branches).
+    pub fn kill_descendants(&mut self, wrong_tag: &CtxTag, mut on_kill: impl FnMut(&FetchedInst)) {
+        for inst in self.queue.iter_mut() {
+            if !inst.killed && inst.ctx.is_descendant_or_equal(wrong_tag) {
+                inst.killed = true;
+                on_kill(inst);
+            }
+        }
+    }
+
+    /// Commit bus over the front-end latches.
+    pub fn invalidate_position(&mut self, pos: usize) {
+        for inst in self.queue.iter_mut() {
+            if !inst.killed {
+                inst.ctx.invalidate(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ctx::PathTable;
+
+    fn inst(pc: usize, ctx: CtxTag, cycle: u64) -> FetchedInst {
+        let mut t: PathTable<()> = PathTable::new(1);
+        FetchedInst {
+            fid: crate::observer::FetchId(pc as u64),
+            pc,
+            op: Op::Nop,
+            ctx,
+            path: t.allocate(()).unwrap(),
+            fetch_cycle: cycle,
+            binfo: None,
+            killed: false,
+        }
+    }
+
+    #[test]
+    fn latency_gates_pop() {
+        let mut fe = FrontEnd::new(8);
+        fe.push(inst(0, CtxTag::root(), 10));
+        assert!(fe.pop_ready(12, 5, |_| ()).is_none());
+        assert!(fe.pop_ready(15, 5, |_| ()).is_some());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut fe = FrontEnd::new(8);
+        fe.push(inst(1, CtxTag::root(), 0));
+        fe.push(inst(2, CtxTag::root(), 0));
+        assert_eq!(fe.pop_ready(100, 1, |_| ()).unwrap().pc, 1);
+        assert_eq!(fe.pop_ready(100, 1, |_| ()).unwrap().pc, 2);
+        assert!(fe.is_empty());
+    }
+
+    #[test]
+    fn killed_instructions_are_dropped_and_reported() {
+        let mut fe = FrontEnd::new(8);
+        let wrong = CtxTag::root().with_position(0, true);
+        fe.push(inst(1, wrong, 0));
+        fe.push(inst(2, CtxTag::root(), 0));
+        let mut killed = 0;
+        fe.kill_descendants(&wrong, |_| killed += 1);
+        assert_eq!(killed, 1);
+        let mut dropped = 0;
+        let popped = fe.pop_ready(100, 1, |_| dropped += 1).unwrap();
+        assert_eq!(popped.pc, 2);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut fe = FrontEnd::new(2);
+        fe.push(inst(0, CtxTag::root(), 0));
+        fe.push(inst(1, CtxTag::root(), 0));
+        assert!(fe.is_full());
+    }
+
+    #[test]
+    fn invalidate_position_in_latches() {
+        let mut fe = FrontEnd::new(2);
+        fe.push(inst(0, CtxTag::root().with_position(1, true), 0));
+        fe.invalidate_position(1);
+        let i = fe.pop_ready(10, 1, |_| ()).unwrap();
+        assert!(i.ctx.is_root());
+    }
+}

@@ -1,0 +1,226 @@
+//! Functional unit pool (paper §4.2).
+//!
+//! Four unit classes plus D-cache ports, mirroring the Alpha 21164 split
+//! the paper adopts: IntType0 (arithmetic/logic + multiplier/divider),
+//! IntType1 (arithmetic/logic + branch/jump resolution), FPAdd, FPMult
+//! (also FP division), and memory ports. Each unit accepts at most one
+//! instruction per cycle; all units are pipelined except the dividers,
+//! which occupy their unit for the full latency.
+
+use pp_isa::InstClass;
+
+use crate::config::{FuConfig, LatencyConfig};
+
+/// A functional unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// IntType0 pipe.
+    Int0,
+    /// IntType1 pipe.
+    Int1,
+    /// FP add pipe.
+    FpAdd,
+    /// FP multiply pipe.
+    FpMul,
+    /// D-cache port.
+    Mem,
+}
+
+/// Where an instruction class may execute, in preference order.
+///
+/// Simple integer ALU operations may use either integer pipe; everything
+/// else is bound to one class.
+pub fn eligible_units(class: InstClass) -> &'static [FuClass] {
+    match class {
+        InstClass::IntAlu | InstClass::Nop => &[FuClass::Int0, FuClass::Int1],
+        InstClass::IntMul | InstClass::IntDiv => &[FuClass::Int0],
+        InstClass::Branch | InstClass::Jump => &[FuClass::Int1],
+        InstClass::Load | InstClass::Store => &[FuClass::Mem],
+        InstClass::FpAdd => &[FuClass::FpAdd],
+        InstClass::FpMul | InstClass::FpDiv => &[FuClass::FpMul],
+        InstClass::Halt => &[FuClass::Int0, FuClass::Int1],
+    }
+}
+
+/// Execution latency of an instruction class.
+pub fn latency(class: InstClass, lat: &LatencyConfig) -> u32 {
+    match class {
+        InstClass::IntAlu | InstClass::Nop | InstClass::Halt => lat.int_alu,
+        InstClass::IntMul => lat.int_mul,
+        InstClass::IntDiv => lat.int_div,
+        InstClass::Branch | InstClass::Jump => lat.int_alu,
+        InstClass::Load => lat.load,
+        // Stores compute their address in one AGU cycle; the D-cache write
+        // happens at commit.
+        InstClass::Store => lat.int_alu,
+        InstClass::FpAdd => lat.fp_add,
+        InstClass::FpMul => lat.fp_mul,
+        InstClass::FpDiv => lat.fp_div,
+    }
+}
+
+/// `true` for operations that monopolize their unit for the full latency.
+pub fn is_unpipelined(class: InstClass) -> bool {
+    matches!(class, InstClass::IntDiv | InstClass::FpDiv)
+}
+
+/// The pool of functional units with per-unit occupancy tracking.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// `busy_until[class][unit]`: first cycle the unit can accept an issue.
+    busy_until: [Vec<u64>; 5],
+    /// Issues this cycle per class (for utilization stats).
+    issued: [u64; 5],
+}
+
+fn class_index(c: FuClass) -> usize {
+    match c {
+        FuClass::Int0 => 0,
+        FuClass::Int1 => 1,
+        FuClass::FpAdd => 2,
+        FuClass::FpMul => 3,
+        FuClass::Mem => 4,
+    }
+}
+
+impl FuPool {
+    /// Build the pool from a configuration.
+    pub fn new(cfg: &FuConfig) -> Self {
+        FuPool {
+            busy_until: [
+                vec![0; cfg.int0],
+                vec![0; cfg.int1],
+                vec![0; cfg.fp_add],
+                vec![0; cfg.fp_mul],
+                vec![0; cfg.mem_ports],
+            ],
+            issued: [0; 5],
+        }
+    }
+
+    /// Number of units in a class.
+    pub fn units(&self, class: FuClass) -> usize {
+        self.busy_until[class_index(class)].len()
+    }
+
+    /// Start a new cycle (resets per-cycle issue counters).
+    pub fn begin_cycle(&mut self) {
+        self.issued = [0; 5];
+    }
+
+    /// Issues performed this cycle in `class`.
+    pub fn issued_this_cycle(&self, class: FuClass) -> u64 {
+        self.issued[class_index(class)]
+    }
+
+    /// Try to issue an instruction of `inst_class` at cycle `now`.
+    ///
+    /// Returns the chosen unit's class on success (reserving the unit for
+    /// this cycle, or for the whole latency for unpipelined operations).
+    pub fn try_issue(
+        &mut self,
+        inst_class: InstClass,
+        now: u64,
+        lat: &LatencyConfig,
+    ) -> Option<FuClass> {
+        for &fu in eligible_units(inst_class) {
+            let ci = class_index(fu);
+            if let Some(unit) = self.busy_until[ci].iter().position(|&b| b <= now) {
+                let occupancy = if is_unpipelined(inst_class) {
+                    latency(inst_class, lat) as u64
+                } else {
+                    1
+                };
+                self.busy_until[ci][unit] = now + occupancy;
+                self.issued[ci] += 1;
+                return Some(fu);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> LatencyConfig {
+        LatencyConfig::alpha21164()
+    }
+
+    #[test]
+    fn per_cycle_issue_limit() {
+        let mut pool = FuPool::new(&FuConfig::uniform(1));
+        pool.begin_cycle();
+        // One IntType1 unit: one branch per cycle.
+        assert!(pool.try_issue(InstClass::Branch, 0, &lat()).is_some());
+        assert!(pool.try_issue(InstClass::Branch, 0, &lat()).is_none());
+        // Next cycle it frees up.
+        pool.begin_cycle();
+        assert!(pool.try_issue(InstClass::Branch, 1, &lat()).is_some());
+    }
+
+    #[test]
+    fn int_alu_falls_over_to_second_pipe() {
+        let mut pool = FuPool::new(&FuConfig::uniform(1));
+        pool.begin_cycle();
+        assert_eq!(pool.try_issue(InstClass::IntAlu, 0, &lat()), Some(FuClass::Int0));
+        assert_eq!(pool.try_issue(InstClass::IntAlu, 0, &lat()), Some(FuClass::Int1));
+        assert_eq!(pool.try_issue(InstClass::IntAlu, 0, &lat()), None);
+    }
+
+    #[test]
+    fn multiply_is_pipelined() {
+        let mut pool = FuPool::new(&FuConfig::uniform(1));
+        pool.begin_cycle();
+        assert!(pool.try_issue(InstClass::IntMul, 0, &lat()).is_some());
+        pool.begin_cycle();
+        // Pipelined: a second multiply can start the next cycle.
+        assert!(pool.try_issue(InstClass::IntMul, 1, &lat()).is_some());
+    }
+
+    #[test]
+    fn divide_blocks_its_unit() {
+        let mut pool = FuPool::new(&FuConfig::uniform(1));
+        pool.begin_cycle();
+        assert!(pool.try_issue(InstClass::IntDiv, 0, &lat()).is_some());
+        pool.begin_cycle();
+        // Unit busy for the full 16-cycle latency.
+        assert!(pool.try_issue(InstClass::IntDiv, 1, &lat()).is_none());
+        assert!(pool.try_issue(InstClass::IntMul, 1, &lat()).is_none());
+        // But the other integer pipe still takes ALU work.
+        assert!(pool.try_issue(InstClass::IntAlu, 1, &lat()).is_some());
+        pool.begin_cycle();
+        assert!(pool.try_issue(InstClass::IntDiv, 16, &lat()).is_some());
+    }
+
+    #[test]
+    fn loads_use_mem_ports() {
+        let mut pool = FuPool::new(&FuConfig::baseline());
+        pool.begin_cycle();
+        for _ in 0..4 {
+            assert_eq!(pool.try_issue(InstClass::Load, 0, &lat()), Some(FuClass::Mem));
+        }
+        assert_eq!(pool.try_issue(InstClass::Load, 0, &lat()), None);
+        assert_eq!(pool.issued_this_cycle(FuClass::Mem), 4);
+    }
+
+    #[test]
+    fn latency_table() {
+        let l = lat();
+        assert_eq!(latency(InstClass::IntAlu, &l), 1);
+        assert_eq!(latency(InstClass::IntMul, &l), 8);
+        assert_eq!(latency(InstClass::Load, &l), 2);
+        assert_eq!(latency(InstClass::Store, &l), 1);
+        assert_eq!(latency(InstClass::FpDiv, &l), 16);
+        assert!(is_unpipelined(InstClass::FpDiv));
+        assert!(!is_unpipelined(InstClass::FpMul));
+    }
+
+    #[test]
+    fn units_counts() {
+        let pool = FuPool::new(&FuConfig::baseline());
+        assert_eq!(pool.units(FuClass::Int0), 4);
+        assert_eq!(pool.units(FuClass::Mem), 4);
+    }
+}

@@ -1,0 +1,384 @@
+//! Pipeline event observation: cycle-stamped event hooks and renderers.
+//!
+//! A [`PipelineObserver`] registered with
+//! [`crate::Simulator::set_observer`] receives every micro-architectural
+//! event — fetch, squash, dispatch, issue, writeback, branch resolution,
+//! divergence, recovery redirect, commit — as it happens. Two observers
+//! ship with the crate:
+//!
+//! * [`TraceLog`] — records events verbatim (tests assert ordering
+//!   invariants on it),
+//! * [`PipeView`] — renders a per-instruction stage timeline in the style
+//!   of gem5's pipeview, which makes eager execution *visible*: killed
+//!   wrong-path instructions show as rows that fetch and execute but
+//!   never commit.
+
+use pp_ctx::PathId;
+use pp_isa::Op;
+
+use crate::window::Seq;
+
+/// Unique identity of one fetched instruction (monotone across the run;
+/// wrong-path instructions get ids too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FetchId(pub u64);
+
+/// Where in the machine an instruction was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillStage {
+    /// Still in the front-end latches.
+    FrontEnd,
+    /// In the instruction window.
+    Window,
+}
+
+/// A cycle-stamped pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipeEvent {
+    /// An instruction entered the front-end.
+    Fetched {
+        cycle: u64,
+        fid: FetchId,
+        pc: usize,
+        path: PathId,
+        op: Op,
+    },
+    /// SEE created a divergence at a fetched branch.
+    Diverged {
+        cycle: u64,
+        branch: FetchId,
+        taken_path: PathId,
+        not_taken_path: PathId,
+    },
+    /// An instruction renamed and entered the window.
+    Dispatched { cycle: u64, fid: FetchId, seq: Seq },
+    /// An instruction began execution.
+    Issued { cycle: u64, fid: FetchId },
+    /// An instruction's result wrote back.
+    Completed { cycle: u64, fid: FetchId },
+    /// A branch or return resolved.
+    Resolved {
+        cycle: u64,
+        fid: FetchId,
+        mispredicted: bool,
+        diverged: bool,
+    },
+    /// A misprediction recovery redirected fetch to `pc`.
+    Redirected { cycle: u64, branch: FetchId, pc: usize },
+    /// An instruction was squashed (wrong path).
+    Killed {
+        cycle: u64,
+        fid: FetchId,
+        stage: KillStage,
+    },
+    /// An instruction retired architecturally.
+    Committed { cycle: u64, fid: FetchId },
+}
+
+impl PipeEvent {
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            PipeEvent::Fetched { cycle, .. }
+            | PipeEvent::Diverged { cycle, .. }
+            | PipeEvent::Dispatched { cycle, .. }
+            | PipeEvent::Issued { cycle, .. }
+            | PipeEvent::Completed { cycle, .. }
+            | PipeEvent::Resolved { cycle, .. }
+            | PipeEvent::Redirected { cycle, .. }
+            | PipeEvent::Killed { cycle, .. }
+            | PipeEvent::Committed { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The instruction the event concerns.
+    pub fn fid(&self) -> FetchId {
+        match self {
+            PipeEvent::Fetched { fid, .. }
+            | PipeEvent::Dispatched { fid, .. }
+            | PipeEvent::Issued { fid, .. }
+            | PipeEvent::Completed { fid, .. }
+            | PipeEvent::Resolved { fid, .. }
+            | PipeEvent::Killed { fid, .. }
+            | PipeEvent::Committed { fid, .. } => *fid,
+            PipeEvent::Diverged { branch, .. } | PipeEvent::Redirected { branch, .. } => *branch,
+        }
+    }
+}
+
+/// Receiver of pipeline events.
+pub trait PipelineObserver {
+    /// Called once per event, in simulation order.
+    fn event(&mut self, ev: &PipeEvent);
+
+    /// Downcast support, so [`crate::Simulator::take_observer`] callers can
+    /// recover the concrete observer. Implement as `self`.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+/// Records every event (for tests and offline analysis).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<PipeEvent>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[PipeEvent] {
+        &self.events
+    }
+
+    /// Events concerning one instruction, in order.
+    pub fn for_fid(&self, fid: FetchId) -> Vec<&PipeEvent> {
+        self.events.iter().filter(|e| e.fid() == fid).collect()
+    }
+}
+
+impl PipelineObserver for TraceLog {
+    fn event(&mut self, ev: &PipeEvent) {
+        self.events.push(ev.clone());
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    pc: usize,
+    op: Option<Op>,
+    fetched: u64,
+    dispatched: Option<u64>,
+    issued: Option<u64>,
+    completed: Option<u64>,
+    committed: Option<u64>,
+    killed: Option<u64>,
+    diverged: bool,
+    mispredicted: bool,
+}
+
+/// Renders a per-instruction stage timeline (one row per fetched
+/// instruction): `f` fetch→dispatch, `d` dispatch→issue, `x` execute,
+/// `.` waiting for commit, `C` commit, `K` kill.
+#[derive(Debug, Default)]
+pub struct PipeView {
+    lanes: std::collections::BTreeMap<FetchId, Lane>,
+    last_cycle: u64,
+}
+
+impl PipeView {
+    /// Empty pipeview.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions observed.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` before any instruction was observed.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Render rows for instructions fetched in `[from, to)` cycles.
+    pub fn render_range(&self, from: u64, to: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = (self.last_cycle + 1).min(to) as usize;
+        for (fid, lane) in &self.lanes {
+            if lane.fetched < from || lane.fetched >= to {
+                continue;
+            }
+            let end = lane
+                .committed
+                .or(lane.killed)
+                .unwrap_or(self.last_cycle)
+                .min(to - 1);
+            let mut row = vec![b' '; width.saturating_sub(from as usize)];
+            let col = |c: u64| (c.saturating_sub(from)) as usize;
+            for c in lane.fetched..=end {
+                let idx = col(c);
+                if idx >= row.len() {
+                    break;
+                }
+                row[idx] = match () {
+                    _ if Some(c) == lane.committed => b'C',
+                    _ if Some(c) == lane.killed => b'K',
+                    _ if lane.issued.is_some_and(|i| c >= i)
+                        && lane.completed.is_some_and(|w| c < w) =>
+                    {
+                        b'x'
+                    }
+                    _ if lane.completed.is_some_and(|w| c >= w) => b'.',
+                    _ if lane.dispatched.is_some_and(|d| c >= d) => b'd',
+                    _ => b'f',
+                };
+            }
+            let mark = if lane.diverged {
+                "=<"
+            } else if lane.mispredicted {
+                "!!"
+            } else {
+                "  "
+            };
+            let opstr = lane
+                .op
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "?".into());
+            let _ = writeln!(
+                out,
+                "{:>6} {:>5} {mark} |{}| {opstr}",
+                fid.0,
+                lane.pc,
+                String::from_utf8_lossy(&row),
+            );
+        }
+        out
+    }
+
+    /// Render the whole run.
+    pub fn render(&self) -> String {
+        self.render_range(0, self.last_cycle + 2)
+    }
+}
+
+impl PipelineObserver for PipeView {
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+
+    fn event(&mut self, ev: &PipeEvent) {
+        self.last_cycle = self.last_cycle.max(ev.cycle());
+        let lane = self.lanes.entry(ev.fid()).or_default();
+        match *ev {
+            PipeEvent::Fetched { cycle, pc, op, .. } => {
+                lane.fetched = cycle;
+                lane.pc = pc;
+                lane.op = Some(op);
+            }
+            PipeEvent::Diverged { .. } => lane.diverged = true,
+            PipeEvent::Dispatched { cycle, .. } => lane.dispatched = Some(cycle),
+            PipeEvent::Issued { cycle, .. } => lane.issued = Some(cycle),
+            PipeEvent::Completed { cycle, .. } => lane.completed = Some(cycle),
+            PipeEvent::Resolved { mispredicted, .. } => lane.mispredicted = mispredicted,
+            PipeEvent::Redirected { .. } => {}
+            PipeEvent::Killed { cycle, .. } => lane.killed = Some(cycle),
+            PipeEvent::Committed { cycle, .. } => lane.committed = Some(cycle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ctx::PathTable;
+
+    fn pid() -> PathId {
+        let mut t: PathTable<()> = PathTable::new(1);
+        t.allocate(()).unwrap()
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = PipeEvent::Fetched {
+            cycle: 7,
+            fid: FetchId(3),
+            pc: 12,
+            path: pid(),
+            op: Op::Nop,
+        };
+        assert_eq!(ev.cycle(), 7);
+        assert_eq!(ev.fid(), FetchId(3));
+        let ev = PipeEvent::Redirected {
+            cycle: 9,
+            branch: FetchId(5),
+            pc: 0,
+        };
+        assert_eq!(ev.fid(), FetchId(5));
+    }
+
+    #[test]
+    fn trace_log_records_in_order() {
+        let mut log = TraceLog::new();
+        for c in 0..5 {
+            log.event(&PipeEvent::Issued {
+                cycle: c,
+                fid: FetchId(c),
+            });
+        }
+        assert_eq!(log.events().len(), 5);
+        assert_eq!(log.for_fid(FetchId(2)).len(), 1);
+    }
+
+    #[test]
+    fn pipeview_renders_a_lifecycle() {
+        let mut pv = PipeView::new();
+        let fid = FetchId(0);
+        pv.event(&PipeEvent::Fetched {
+            cycle: 0,
+            fid,
+            pc: 4,
+            path: pid(),
+            op: Op::Nop,
+        });
+        pv.event(&PipeEvent::Dispatched { cycle: 3, fid, seq: 0 });
+        pv.event(&PipeEvent::Issued { cycle: 4, fid });
+        pv.event(&PipeEvent::Completed { cycle: 5, fid });
+        pv.event(&PipeEvent::Committed { cycle: 6, fid });
+        let out = pv.render();
+        assert!(out.contains("fffdx.C"), "got: {out}");
+        assert!(out.contains("nop"));
+        assert_eq!(pv.len(), 1);
+    }
+
+    #[test]
+    fn pipeview_marks_kills_and_divergences() {
+        let mut pv = PipeView::new();
+        let fid = FetchId(1);
+        pv.event(&PipeEvent::Fetched {
+            cycle: 0,
+            fid,
+            pc: 9,
+            path: pid(),
+            op: Op::Halt,
+        });
+        pv.event(&PipeEvent::Diverged {
+            cycle: 0,
+            branch: fid,
+            taken_path: pid(),
+            not_taken_path: pid(),
+        });
+        pv.event(&PipeEvent::Killed {
+            cycle: 2,
+            fid,
+            stage: KillStage::FrontEnd,
+        });
+        let out = pv.render();
+        assert!(out.contains("=<"), "divergence marker: {out}");
+        assert!(out.contains('K'), "kill marker: {out}");
+    }
+
+    #[test]
+    fn pipeview_range_filter() {
+        let mut pv = PipeView::new();
+        for i in 0..4u64 {
+            pv.event(&PipeEvent::Fetched {
+                cycle: i * 10,
+                fid: FetchId(i),
+                pc: i as usize,
+                path: pid(),
+                op: Op::Nop,
+            });
+        }
+        let out = pv.render_range(10, 25);
+        assert_eq!(out.lines().count(), 2, "{out}");
+    }
+}

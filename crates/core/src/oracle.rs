@@ -1,0 +1,68 @@
+//! Oracle information for perfect prediction / perfect confidence runs.
+//!
+//! The paper's "oracle" branch predictor and "oracle" confidence estimator
+//! are calibration points, not realizable hardware. We realize them by
+//! pre-running the functional emulator and replaying its correct-path
+//! conditional-branch outcome sequence ([`pp_func::BranchTrace`]). Each
+//! live path carries a cursor into the trace plus an `on_correct` flag;
+//! queries on wrong paths get no oracle information (see DESIGN.md).
+
+use pp_func::BranchTrace;
+
+/// Oracle lookup handle wrapping the correct-path branch trace.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    trace: BranchTrace,
+}
+
+impl Oracle {
+    /// Wrap a branch trace produced by [`pp_func::Emulator::run_with_trace`].
+    pub fn new(trace: BranchTrace) -> Self {
+        Oracle { trace }
+    }
+
+    /// The architecturally correct outcome of the `idx`-th correct-path
+    /// conditional branch, validated against the querying branch's `pc`.
+    ///
+    /// Returns `None` past the end of the trace or on a PC mismatch (which
+    /// indicates the caller's path silently left the correct path — e.g.
+    /// a return-address-stack overflow — so oracle information must not be
+    /// used).
+    pub fn outcome(&self, idx: usize, pc: usize) -> Option<bool> {
+        let rec = self.trace.get(idx)?;
+        if rec.pc == pc {
+            Some(rec.taken)
+        } else {
+            None
+        }
+    }
+
+    /// Total correct-path conditional branches.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// `true` for a trace with no conditional branches.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_checks_pc() {
+        let mut t = BranchTrace::new();
+        t.push(10, true);
+        t.push(12, false);
+        let o = Oracle::new(t);
+        assert_eq!(o.outcome(0, 10), Some(true));
+        assert_eq!(o.outcome(1, 12), Some(false));
+        assert_eq!(o.outcome(0, 99), None, "pc mismatch yields no oracle info");
+        assert_eq!(o.outcome(2, 10), None, "past the end");
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+    }
+}

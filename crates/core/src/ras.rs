@@ -1,0 +1,150 @@
+//! Speculative per-path return address stack.
+//!
+//! Each live path owns a return-address stack used to predict `ret`
+//! targets at fetch. A divergence needs both children to inherit the
+//! parent's stack and a branch checkpoint must capture it for misprediction
+//! recovery, so the stack is a persistent (immutable, structurally shared)
+//! cons list: push and clone are O(1), exactly the property checkpointing
+//! needs. Depth is bounded; pushes beyond the bound drop the oldest frame,
+//! like a real hardware RAS overwriting its circular buffer.
+
+use std::rc::Rc;
+
+/// Maximum predicted call depth. Deeper call chains wrap (mispredict on
+/// return), matching a hardware RAS of this many entries.
+pub const RAS_DEPTH: usize = 64;
+
+#[derive(Debug)]
+struct Node {
+    addr: usize,
+    depth: usize,
+    next: Option<Rc<Node>>,
+}
+
+/// A persistent return-address stack.
+#[derive(Debug, Clone, Default)]
+pub struct Ras {
+    top: Option<Rc<Node>>,
+}
+
+impl Ras {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of predictable frames.
+    pub fn depth(&self) -> usize {
+        self.top.as_ref().map_or(0, |n| n.depth)
+    }
+
+    /// Push a return address (at `call` fetch). Returns the new stack;
+    /// the original is untouched (checkpoints stay valid).
+    #[must_use]
+    pub fn push(&self, addr: usize) -> Ras {
+        let depth = self.depth() + 1;
+        if depth > RAS_DEPTH {
+            // Hardware would overwrite the oldest entry; dropping it from a
+            // cons list is O(depth), so emulate by rebuilding without the
+            // bottom frame. Rare (depth > 64), so the cost is irrelevant.
+            let mut frames: Vec<usize> = self.iter().collect();
+            frames.truncate(RAS_DEPTH - 1); // keep newest 63
+            let mut ras = Ras::new();
+            for a in frames.into_iter().rev() {
+                ras = ras.push(a);
+            }
+            return ras.push(addr);
+        }
+        Ras {
+            top: Some(Rc::new(Node {
+                addr,
+                depth,
+                next: self.top.clone(),
+            })),
+        }
+    }
+
+    /// Pop the predicted return address (at `ret` fetch). An empty stack
+    /// yields no prediction (the front-end then predicts address 0 and the
+    /// return will resolve as mispredicted).
+    #[must_use]
+    pub fn pop(&self) -> (Option<usize>, Ras) {
+        match &self.top {
+            None => (None, Ras::new()),
+            Some(n) => (
+                Some(n.addr),
+                Ras {
+                    top: n.next.clone(),
+                },
+            ),
+        }
+    }
+
+    /// Iterate newest-to-oldest over predicted return addresses.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cur = self.top.clone();
+        std::iter::from_fn(move || {
+            let n = cur.take()?;
+            cur = n.next.clone();
+            Some(n.addr)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let r = Ras::new().push(10).push(20);
+        let (a, r) = r.pop();
+        assert_eq!(a, Some(20));
+        let (a, r) = r.pop();
+        assert_eq!(a, Some(10));
+        let (a, _) = r.pop();
+        assert_eq!(a, None);
+    }
+
+    #[test]
+    fn clone_shares_structure_checkpoint_semantics() {
+        let base = Ras::new().push(1).push(2);
+        let checkpoint = base.clone();
+        let (_, popped) = base.pop();
+        let extended = popped.push(99);
+        // The checkpoint still sees the original state.
+        assert_eq!(checkpoint.iter().collect::<Vec<_>>(), vec![2, 1]);
+        assert_eq!(extended.iter().collect::<Vec<_>>(), vec![99, 1]);
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut r = Ras::new();
+        assert_eq!(r.depth(), 0);
+        for i in 0..5 {
+            r = r.push(i);
+        }
+        assert_eq!(r.depth(), 5);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = Ras::new();
+        for i in 0..RAS_DEPTH + 2 {
+            r = r.push(i);
+        }
+        assert_eq!(r.depth(), RAS_DEPTH);
+        // Newest is still on top.
+        let (a, _) = r.pop();
+        assert_eq!(a, Some(RAS_DEPTH + 1));
+        // Oldest two (0 and 1) have been dropped.
+        assert_eq!(r.iter().last(), Some(2));
+    }
+
+    #[test]
+    fn empty_pop_is_stable() {
+        let (a, r) = Ras::new().pop();
+        assert_eq!(a, None);
+        assert_eq!(r.depth(), 0);
+    }
+}

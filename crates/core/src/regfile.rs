@@ -1,0 +1,202 @@
+//! Physical register file, free list, and register map (paper §3.1).
+//!
+//! The micro-architecture stores all results in physical registers; logical
+//! registers are translated through a register mapping table (RegMap) in
+//! the rename stage. A branch checkpoints the RegMap of its path; PolyPath
+//! gives each successor path of a divergent branch one of the two copies a
+//! monopath machine would have used for checkpoint + active map (§3.2.5).
+
+use pp_isa::{reg, NUM_LOGICAL_REGS, STACK_TOP};
+
+/// Index of a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+/// A logical→physical register mapping table. One per live path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegMap {
+    map: [u16; NUM_LOGICAL_REGS],
+}
+
+impl RegMap {
+    /// The initial identity mapping (logical `i` → physical `i`).
+    pub fn identity() -> Self {
+        let mut map = [0u16; NUM_LOGICAL_REGS];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as u16;
+        }
+        RegMap { map }
+    }
+
+    /// Translate a logical register.
+    pub fn lookup(&self, logical: pp_isa::Reg) -> PhysReg {
+        PhysReg(self.map[logical.index()])
+    }
+
+    /// Redirect a logical register to a new physical register, returning
+    /// the previous mapping (the "old destination" recycled at commit).
+    pub fn rename(&mut self, logical: pp_isa::Reg, to: PhysReg) -> PhysReg {
+        let old = self.map[logical.index()];
+        self.map[logical.index()] = to.0;
+        PhysReg(old)
+    }
+}
+
+/// The physical register file: values, ready bits, and the free list.
+#[derive(Debug, Clone)]
+pub struct PhysRegFile {
+    values: Vec<i64>,
+    ready: Vec<bool>,
+    free: Vec<u16>,
+}
+
+impl PhysRegFile {
+    /// A file of `size` registers. Registers `0..64` start mapped to the
+    /// logical registers (value 0, except `sp = STACK_TOP`) and ready; the
+    /// rest are free.
+    ///
+    /// # Panics
+    /// Panics if `size` is smaller than the logical register count or
+    /// exceeds `u16::MAX`.
+    pub fn new(size: usize) -> Self {
+        assert!(
+            size >= NUM_LOGICAL_REGS && size <= u16::MAX as usize,
+            "physical register file must hold 64..=65535 registers"
+        );
+        let mut values = vec![0i64; size];
+        values[reg::SP.index()] = STACK_TOP as i64;
+        PhysRegFile {
+            values,
+            ready: vec![true; size],
+            // Pop from the back; lower indices are the initial mapping.
+            free: (NUM_LOGICAL_REGS as u16..size as u16).rev().collect(),
+        }
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total register count.
+    pub fn size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Allocate a physical register for a new result. It starts not-ready.
+    pub fn allocate(&mut self) -> Option<PhysReg> {
+        let r = self.free.pop()?;
+        self.ready[r as usize] = false;
+        PhysReg(r).into()
+    }
+
+    /// Return a register to the free list (old destination recycled at
+    /// commit, or a squashed instruction's new destination).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the register is already free.
+    pub fn release(&mut self, r: PhysReg) {
+        debug_assert!(
+            !self.free.contains(&r.0),
+            "double release of physical register {}",
+            r.0
+        );
+        self.ready[r.0 as usize] = true;
+        self.free.push(r.0);
+    }
+
+    /// `true` once the producing instruction has written the value.
+    pub fn is_ready(&self, r: PhysReg) -> bool {
+        self.ready[r.0 as usize]
+    }
+
+    /// Read a (ready) register value.
+    pub fn read(&self, r: PhysReg) -> i64 {
+        debug_assert!(self.ready[r.0 as usize], "reading a not-ready register");
+        self.values[r.0 as usize]
+    }
+
+    /// Write a result and mark the register ready (writeback).
+    pub fn write(&mut self, r: PhysReg, value: i64) {
+        self.values[r.0 as usize] = value;
+        self.ready[r.0 as usize] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_isa::Reg;
+
+    #[test]
+    fn identity_map_translates_to_self() {
+        let m = RegMap::identity();
+        for i in 0..NUM_LOGICAL_REGS {
+            assert_eq!(m.lookup(Reg::from_index(i)), PhysReg(i as u16));
+        }
+    }
+
+    #[test]
+    fn rename_returns_old_mapping() {
+        let mut m = RegMap::identity();
+        let old = m.rename(reg::T0, PhysReg(100));
+        assert_eq!(old, PhysReg(reg::T0.index() as u16));
+        assert_eq!(m.lookup(reg::T0), PhysReg(100));
+        // Other registers unaffected.
+        assert_eq!(m.lookup(reg::T1), PhysReg(reg::T1.index() as u16));
+    }
+
+    #[test]
+    fn regmap_clone_is_a_checkpoint() {
+        let mut m = RegMap::identity();
+        m.rename(reg::T0, PhysReg(80));
+        let checkpoint = m.clone();
+        m.rename(reg::T0, PhysReg(81));
+        assert_eq!(checkpoint.lookup(reg::T0), PhysReg(80));
+        assert_eq!(m.lookup(reg::T0), PhysReg(81));
+    }
+
+    #[test]
+    fn file_initial_state() {
+        let f = PhysRegFile::new(128);
+        assert_eq!(f.free_count(), 64);
+        assert_eq!(f.size(), 128);
+        assert!(f.is_ready(PhysReg(0)));
+        assert_eq!(f.read(PhysReg(reg::SP.index() as u16)), STACK_TOP as i64);
+    }
+
+    #[test]
+    fn allocate_write_read_release_cycle() {
+        let mut f = PhysRegFile::new(70);
+        let r = f.allocate().unwrap();
+        assert!(!f.is_ready(r));
+        f.write(r, 42);
+        assert!(f.is_ready(r));
+        assert_eq!(f.read(r), 42);
+        f.release(r);
+        assert_eq!(f.free_count(), 6);
+    }
+
+    #[test]
+    fn allocation_exhausts() {
+        let mut f = PhysRegFile::new(66);
+        assert!(f.allocate().is_some());
+        assert!(f.allocate().is_some());
+        assert!(f.allocate().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_release_panics_in_debug() {
+        let mut f = PhysRegFile::new(66);
+        let r = f.allocate().unwrap();
+        f.release(r);
+        f.release(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "64..=65535")]
+    fn too_small_file_rejected() {
+        let _ = PhysRegFile::new(32);
+    }
+}

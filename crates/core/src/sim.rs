@@ -1,0 +1,1302 @@
+//! The PolyPath cycle-level simulator (paper Fig. 2).
+//!
+//! Execution-driven at the pipeline level: register values flow through
+//! rename and the physical register file, so instructions on *both* paths
+//! after a divergent branch genuinely execute — with whatever (possibly
+//! stale or garbage) values their path's dataflow produces — and contend
+//! for fetch bandwidth, window slots, and functional units, exactly as the
+//! paper's AINT-based simulator models.
+//!
+//! Per-cycle stage order (reverse pipeline order, so results flow forward
+//! one stage per cycle): commit → writeback/branch-resolution → issue →
+//! rename/dispatch → fetch.
+
+use pp_ctx::{CtxTag, PathId, PathTable, PositionAllocator};
+use pp_func::{Emulator, Memory};
+use pp_isa::{alu_eval, cond_eval, fp_eval, Op, Operand, Program};
+use pp_predictor::{
+    push_history, AdaptiveJrs, Agree, Bimodal, Btb, Confidence, Gshare, Jrs, StaticPredictor,
+    TwoLevelLocal,
+};
+
+use crate::cache::DCache;
+use crate::config::{ConfidenceKind, ExecMode, FetchPolicy, PredictorKind, SimConfig};
+use crate::frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
+use crate::fus::{self, FuClass, FuPool};
+use crate::observer::{FetchId, KillStage, PipeEvent, PipelineObserver};
+use crate::oracle::Oracle;
+use crate::regfile::{PhysReg, PhysRegFile, RegMap};
+use crate::stats::SimStats;
+use crate::storebuf::{LoadCheck, StoreBuffer};
+use crate::window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};
+
+/// Step budget for the functional pre-run that generates oracle traces and
+/// the co-simulation reference.
+const ORACLE_STEP_LIMIT: u64 = 10_000_000_000;
+
+/// Cycles without a commit after which the simulator declares itself wedged
+/// (this is a model bug or a non-halting program, never a legal stall).
+const DEADLOCK_CYCLES: u64 = 500_000;
+
+enum Predictor {
+    Gshare(Gshare),
+    Bimodal(Bimodal),
+    TwoLevelLocal(TwoLevelLocal),
+    Agree(Agree),
+    Static(StaticPredictor),
+    Oracle,
+}
+
+/// The PolyPath simulator.
+///
+/// ```
+/// use pp_core::{SimConfig, Simulator};
+/// use pp_isa::{Asm, reg};
+///
+/// # fn main() -> Result<(), pp_isa::AsmError> {
+/// let mut a = Asm::new();
+/// a.li(reg::T0, 1);
+/// a.halt();
+/// let program = a.assemble()?;
+/// let mut sim = Simulator::new(&program, SimConfig::baseline());
+/// let stats = sim.run();
+/// assert_eq!(stats.committed_instructions, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    program: Program,
+    now: u64,
+    seq_next: Seq,
+    birth_next: u64,
+
+    memory: Memory,
+    regfile: PhysRegFile,
+    paths: PathTable<PathCtx>,
+    positions: PositionAllocator,
+    frontend: FrontEnd,
+    window: Window,
+    sb: StoreBuffer,
+    fu_pool: FuPool,
+    dcache: Option<DCache>,
+
+    predictor: Predictor,
+    btb: Btb,
+    jrs: Option<Jrs>,
+    adaptive: Option<AdaptiveJrs>,
+    oracle: Option<Oracle>,
+    checker: Option<Emulator>,
+
+    live_divergences: usize,
+    halted: bool,
+    last_commit_cycle: u64,
+    stats: SimStats,
+    fid_next: u64,
+    observer: Option<Box<dyn PipelineObserver>>,
+}
+
+/// Emit an event through an optional observer without constructing it
+/// when nobody is listening.
+fn emit(obs: &mut Option<Box<dyn PipelineObserver>>, f: impl FnOnce() -> PipeEvent) {
+    if let Some(o) = obs {
+        let ev = f();
+        o.event(&ev);
+    }
+}
+
+impl Simulator {
+    /// Build a simulator for `program` under `cfg`.
+    ///
+    /// If the configuration uses an oracle predictor or oracle confidence
+    /// estimator, the functional emulator pre-runs the program to produce
+    /// the correct-path branch trace.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration ([`SimConfig::validate`]) or if
+    /// an oracle pre-run is required and the program does not halt within
+    /// the (very large) functional step budget.
+    pub fn new(program: &Program, cfg: SimConfig) -> Self {
+        cfg.validate();
+
+        let needs_oracle = matches!(cfg.predictor, PredictorKind::Oracle)
+            || matches!(cfg.confidence, ConfidenceKind::Oracle);
+        let oracle = needs_oracle.then(|| {
+            let mut emu = Emulator::new(program);
+            let (_, trace) = emu
+                .run_with_trace(ORACLE_STEP_LIMIT)
+                .expect("oracle pre-run: program must halt");
+            Oracle::new(trace)
+        });
+
+        let predictor = match cfg.predictor {
+            PredictorKind::Gshare { history_bits } => Predictor::Gshare(Gshare::new(history_bits)),
+            PredictorKind::Bimodal { index_bits } => Predictor::Bimodal(Bimodal::new(index_bits)),
+            PredictorKind::TwoLevelLocal {
+                bht_bits,
+                history_bits,
+            } => Predictor::TwoLevelLocal(TwoLevelLocal::new(bht_bits, history_bits)),
+            PredictorKind::Agree {
+                bias_bits,
+                history_bits,
+            } => Predictor::Agree(Agree::new(bias_bits, history_bits)),
+            PredictorKind::Oracle => Predictor::Oracle,
+            PredictorKind::StaticTaken => Predictor::Static(StaticPredictor::taken()),
+            PredictorKind::StaticNotTaken => Predictor::Static(StaticPredictor::not_taken()),
+        };
+        let jrs = match cfg.confidence {
+            ConfidenceKind::Jrs(jc) => Some(Jrs::new(jc)),
+            _ => None,
+        };
+        let adaptive = match cfg.confidence {
+            ConfidenceKind::AdaptiveJrs(ac) => Some(AdaptiveJrs::new(ac)),
+            _ => None,
+        };
+
+        let mut paths = PathTable::new(cfg.max_paths);
+        let root = PathCtx {
+            tag: CtxTag::root(),
+            pc: program.entry,
+            fetching: true,
+            ghr: 0,
+            ras: crate::ras::Ras::new(),
+            regmap: Some(RegMap::identity()),
+            on_correct: oracle.is_some(),
+            oracle_idx: 0,
+            birth: 0,
+        };
+        paths.allocate(root).expect("fresh path table has room");
+
+        let frontend_capacity = cfg.fetch_width * (cfg.frontend_latency() as usize + 2);
+
+        Simulator {
+            memory: Memory::with_segments(&program.data),
+            regfile: PhysRegFile::new(cfg.effective_phys_regs()),
+            paths,
+            positions: PositionAllocator::new(cfg.ctx_positions),
+            frontend: FrontEnd::new(frontend_capacity),
+            window: Window::new(cfg.window_size),
+            sb: StoreBuffer::new(),
+            fu_pool: FuPool::new(&cfg.fus),
+            dcache: cfg.dcache.map(DCache::new),
+            predictor,
+            btb: Btb::new(12),
+            jrs,
+            adaptive,
+            oracle,
+            checker: cfg.check_commits.then(|| Emulator::new(program)),
+            live_divergences: 0,
+            halted: false,
+            last_commit_cycle: 0,
+            now: 0,
+            seq_next: 0,
+            birth_next: 1,
+            stats: SimStats::default(),
+            fid_next: 0,
+            observer: None,
+            program: program.clone(),
+            cfg,
+        }
+    }
+
+    /// Attach a pipeline observer; it receives every micro-architectural
+    /// event from now on (see [`crate::PipeView`] and [`crate::TraceLog`]).
+    pub fn set_observer(&mut self, observer: Box<dyn PipelineObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach and return the observer (to inspect what it recorded).
+    pub fn take_observer(&mut self) -> Option<Box<dyn PipelineObserver>> {
+        self.observer.take()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Committed (architectural) memory state.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// `true` once the program's `halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Run to completion (the `halt` instruction committing) or to the
+    /// configured cycle limit, returning the collected statistics.
+    ///
+    /// # Panics
+    /// Panics if the machine stops making forward progress — that is a
+    /// model bug or a program that runs off its text section, never a
+    /// legal steady state — or if co-simulation checking is enabled and a
+    /// committed instruction deviates from the functional emulator.
+    pub fn run(&mut self) -> SimStats {
+        while !self.halted {
+            if self.now >= self.cfg.max_cycles {
+                self.stats.hit_cycle_limit = true;
+                break;
+            }
+            self.cycle();
+            assert!(
+                self.now - self.last_commit_cycle < DEADLOCK_CYCLES,
+                "no commit for {DEADLOCK_CYCLES} cycles at cycle {}: \
+                 window={} frontend={} paths={} positions={} — wedged",
+                self.now,
+                self.window.occupancy(),
+                self.frontend.len(),
+                self.paths.live(),
+                self.positions.live(),
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats.clone()
+    }
+
+    /// Simulate a single cycle.
+    pub fn cycle(&mut self) {
+        self.fu_pool.begin_cycle();
+        self.account_fu_capacity();
+
+        self.do_commit();
+        if !self.halted {
+            self.do_writeback_and_resolve();
+            self.do_issue();
+            self.do_dispatch();
+            self.do_fetch();
+        }
+
+        self.stats.record_path_count(self.paths.live());
+        self.stats.window_occupancy_sum += self.window.occupancy() as u64;
+        self.account_fu_busy();
+        self.now += 1;
+    }
+
+    fn account_fu_capacity(&mut self) {
+        let s = &mut self.stats;
+        s.fu_int0.capacity_cycles += self.cfg.fus.int0 as u64;
+        s.fu_int1.capacity_cycles += self.cfg.fus.int1 as u64;
+        s.fu_fp_add.capacity_cycles += self.cfg.fus.fp_add as u64;
+        s.fu_fp_mul.capacity_cycles += self.cfg.fus.fp_mul as u64;
+        s.fu_mem.capacity_cycles += self.cfg.fus.mem_ports as u64;
+    }
+
+    fn account_fu_busy(&mut self) {
+        let p = &self.fu_pool;
+        let s = &mut self.stats;
+        s.fu_int0.busy_cycles += p.issued_this_cycle(FuClass::Int0);
+        s.fu_int1.busy_cycles += p.issued_this_cycle(FuClass::Int1);
+        s.fu_fp_add.busy_cycles += p.issued_this_cycle(FuClass::FpAdd);
+        s.fu_fp_mul.busy_cycles += p.issued_this_cycle(FuClass::FpMul);
+        s.fu_mem.busy_cycles += p.issued_this_cycle(FuClass::Mem);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit stage
+    // ------------------------------------------------------------------
+
+    fn do_commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.window.head_mut() else { break };
+            if head.state != EntryState::Done {
+                break;
+            }
+            // In-order (commit-time) resolution: the kill/recovery bus
+            // fires only when the branch reaches the head (§3.1's
+            // Pentium-Pro variant).
+            if self.cfg.resolve_at_commit {
+                if let Some(b) = &head.binfo {
+                    if !b.resolved {
+                        let seq = head.seq;
+                        self.resolve_branch(seq);
+                    }
+                }
+            }
+            let e = self.window.pop_head();
+            debug_assert!(
+                e.ctx.is_root(),
+                "committing entry pc={} seq={} with live tag {:?}",
+                e.pc,
+                e.seq,
+                e.ctx
+            );
+            self.commit_entry(e);
+            self.last_commit_cycle = self.now;
+            if self.halted {
+                break;
+            }
+        }
+    }
+
+    fn commit_entry(&mut self, e: WinEntry) {
+        // Recycle the old physical destination register (§3.1).
+        if let Some(d) = e.dest {
+            self.regfile.release(d.old);
+        }
+
+        match e.op {
+            Op::Store { .. } => {
+                let (addr, data, width) = self.sb.commit(e.seq);
+                self.memory.write(addr, data, width);
+                // Write-allocate fill (timing only; commit is not delayed).
+                if let Some(dc) = &mut self.dcache {
+                    dc.access(addr);
+                }
+            }
+            Op::Branch { .. } => self.commit_branch(&e),
+            Op::Ret => self.commit_return(&e),
+            Op::Jr { .. } => {
+                // Train the BTB with the architecturally resolved target.
+                let b = e.binfo.as_ref().expect("committed jr without info");
+                if let Some(t) = b.actual_target {
+                    self.btb.update(e.pc, t);
+                }
+                self.commit_return(&e);
+            }
+            Op::Halt => self.halted = true,
+            _ => {}
+        }
+
+        self.stats.committed_instructions += 1;
+        emit(&mut self.observer, || PipeEvent::Committed {
+            cycle: self.now,
+            fid: e.fid,
+        });
+        self.check_against_reference(&e);
+    }
+
+    fn commit_branch(&mut self, e: &WinEntry) {
+        let b = e.binfo.as_ref().expect("committed branch without info");
+        let outcome = b.outcome.expect("committed branch unresolved");
+        let correct = outcome == b.predicted_taken;
+
+        self.stats.committed_branches += 1;
+        if !correct {
+            self.stats.mispredicted_branches += 1;
+        }
+        match (b.conf_low, correct) {
+            (true, true) => self.stats.low_conf_correct += 1,
+            (true, false) => self.stats.low_conf_incorrect += 1,
+            (false, true) => self.stats.high_conf_correct += 1,
+            (false, false) => self.stats.high_conf_incorrect += 1,
+        }
+
+        // Train the tables with the architecturally resolved outcome.
+        match &mut self.predictor {
+            Predictor::Gshare(g) => g.update(e.pc, b.ghr_at_predict, outcome),
+            Predictor::Bimodal(bi) => bi.update(e.pc, outcome),
+            Predictor::TwoLevelLocal(t) => t.update(e.pc, outcome),
+            Predictor::Agree(a) => a.update(e.pc, b.ghr_at_predict, outcome),
+            Predictor::Static(_) | Predictor::Oracle => {}
+        }
+        if let Some(jrs) = &mut self.jrs {
+            jrs.update(e.pc, b.ghr_at_predict, b.predicted_taken, correct);
+        }
+        if let Some(adaptive) = &mut self.adaptive {
+            adaptive.update(e.pc, b.ghr_at_predict, b.predicted_taken, correct);
+        }
+
+        self.release_branch_position(b.position);
+    }
+
+    fn commit_return(&mut self, e: &WinEntry) {
+        let b = e.binfo.as_ref().expect("committed return without info");
+        if b.mispredicted {
+            self.stats.mispredicted_returns += 1;
+        }
+        self.release_branch_position(b.position);
+    }
+
+    /// The branch commit bus (§3.2.2): invalidate the history position in
+    /// every tag store in the machine, then reclaim it.
+    fn release_branch_position(&mut self, pos: usize) {
+        self.window.invalidate_position(pos);
+        self.frontend.invalidate_position(pos);
+        self.sb.invalidate_position(pos);
+        for (_, p) in self.paths.iter_mut() {
+            p.tag.invalidate(pos);
+        }
+        self.positions.free(pos);
+    }
+
+    fn check_against_reference(&mut self, e: &WinEntry) {
+        let Some(checker) = &mut self.checker else { return };
+        let ev = checker.step().expect("reference emulator failed");
+        assert_eq!(
+            ev.pc, e.pc,
+            "co-simulation: committed pc {} but reference executed {}",
+            e.pc, ev.pc
+        );
+        if e.dest.is_some() {
+            let got = e.result.expect("committed dest without result");
+            let want = ev
+                .dest
+                .unwrap_or_else(|| panic!("reference wrote no register at pc {}", e.pc))
+                .1;
+            assert_eq!(
+                got, want,
+                "co-simulation: pc {} wrote {got} but reference wrote {want}",
+                e.pc
+            );
+        }
+        if let Op::Store { .. } = e.op {
+            let m = e.mem.expect("committed store without meminfo");
+            let (want_addr, _, want_w) = ev.store.expect("reference executed no store");
+            assert_eq!(m.addr, Some(want_addr), "co-simulation: store address");
+            assert_eq!(m.width, want_w, "co-simulation: store width");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback + branch resolution
+    // ------------------------------------------------------------------
+
+    fn do_writeback_and_resolve(&mut self) {
+        let mut resolving: Vec<Seq> = Vec::new();
+        let now = self.now;
+        let observer = &mut self.observer;
+        for e in self.window.iter_live_mut() {
+            if e.state == EntryState::Issued && e.complete_at <= self.now {
+                e.state = EntryState::Done;
+                if let (Some(d), Some(v)) = (e.dest, e.result) {
+                    self.regfile.write(d.new, v);
+                }
+                emit(observer, || PipeEvent::Completed { cycle: now, fid: e.fid });
+                if e.binfo.is_some() {
+                    resolving.push(e.seq);
+                }
+            }
+        }
+        if !self.cfg.resolve_at_commit {
+            for seq in resolving {
+                self.resolve_branch(seq);
+            }
+        }
+    }
+
+    /// Branch resolution (§3.2.2–§3.2.3): compare outcome with prediction,
+    /// kill the wrong path's subtree, and for non-divergent mispredictions
+    /// restore checkpointed state into a fresh recovery path.
+    fn resolve_branch(&mut self, seq: Seq) {
+        // A resolution processed earlier this cycle may have killed it.
+        let Some(e) = self.window.iter_live_mut().find(|e| e.seq == seq) else {
+            return;
+        };
+        let b = e.binfo.as_mut().expect("resolving non-branch");
+        if b.resolved {
+            return;
+        }
+        b.resolved = true;
+
+        let parent_tag = e.ctx;
+        let pos = b.position;
+        let diverged = b.diverged;
+        let is_return = b.is_return;
+        let outcome = b.outcome;
+        let actual_target = b.actual_target;
+        let predicted_taken = b.predicted_taken;
+        let predicted_target = b.predicted_target;
+        let taken_target = b.taken_target;
+        let fallthrough = b.fallthrough;
+        let ghr_at_predict = b.ghr_at_predict;
+
+        let mispredicted = if is_return {
+            actual_target != Some(predicted_target)
+        } else {
+            outcome != Some(predicted_taken)
+        };
+        b.mispredicted = mispredicted;
+        let checkpoint = b.checkpoint.take();
+        let fid = e.fid;
+        emit(&mut self.observer, || PipeEvent::Resolved {
+            cycle: self.now,
+            fid,
+            mispredicted,
+            diverged,
+        });
+
+        if diverged {
+            // Both successors executed; kill the wrong one, keep the other.
+            self.live_divergences -= 1;
+            let wrong = parent_tag.with_position(pos, !outcome.expect("diverged branch outcome"));
+            self.kill_subtree(&wrong);
+        } else if mispredicted {
+            self.stats.recoveries += 1;
+            let wrong_dir = if is_return { true } else { predicted_taken };
+            let wrong = parent_tag.with_position(pos, wrong_dir);
+            self.kill_subtree(&wrong);
+
+            // Create the recovery path from the checkpoint (§3.1).
+            let cp: Box<Checkpoint> =
+                checkpoint.expect("non-divergent branch must carry a checkpoint");
+            let (tag_dir, pc, ghr) = if is_return {
+                (
+                    false,
+                    actual_target.expect("resolved return without target"),
+                    ghr_at_predict,
+                )
+            } else {
+                let out = outcome.expect("resolved branch without outcome");
+                let pc = if out { taken_target } else { fallthrough };
+                (out, pc, push_history(ghr_at_predict, out))
+            };
+            let recovery = PathCtx {
+                tag: parent_tag.with_position(pos, tag_dir),
+                pc,
+                fetching: true,
+                ghr,
+                ras: cp.ras,
+                regmap: Some(cp.regmap),
+                on_correct: cp.oracle_on_correct && self.oracle.is_some(),
+                oracle_idx: cp.oracle_idx,
+                birth: self.birth_next,
+            };
+            self.birth_next += 1;
+            emit(&mut self.observer, || PipeEvent::Redirected {
+                cycle: self.now,
+                branch: fid,
+                pc: recovery.pc,
+            });
+            self.paths
+                .allocate(recovery)
+                .expect("a path slot is free after killing the wrong subtree");
+        }
+        // Correctly predicted, non-divergent: nothing to do until commit.
+    }
+
+    /// Apply the resolution bus: squash every instruction, store-buffer
+    /// entry, and path whose tag descends from `wrong_tag`, releasing the
+    /// resources they hold.
+    fn kill_subtree(&mut self, wrong_tag: &CtxTag) {
+        // Instruction window.
+        let killed = self.window.kill_descendants(wrong_tag);
+        for k in &killed {
+            self.stats.killed_instructions += 1;
+            emit(&mut self.observer, || PipeEvent::Killed {
+                cycle: self.now,
+                fid: k.fid,
+                stage: KillStage::Window,
+            });
+            if let Some(d) = k.dest {
+                self.regfile.release(d.new);
+            }
+            if let Some(b) = &k.binfo {
+                if !b.resolved && b.diverged {
+                    self.live_divergences -= 1;
+                }
+                self.positions.free(b.position);
+            }
+        }
+
+        // Front-end latches.
+        let positions = &mut self.positions;
+        let stats = &mut self.stats;
+        let live_div = &mut self.live_divergences;
+        let observer = &mut self.observer;
+        let now = self.now;
+        self.frontend.kill_descendants(wrong_tag, |inst| {
+            stats.killed_instructions += 1;
+            emit(observer, || PipeEvent::Killed {
+                cycle: now,
+                fid: inst.fid,
+                stage: KillStage::FrontEnd,
+            });
+            if let Some(b) = &inst.binfo {
+                positions.free(b.position);
+                if b.diverged {
+                    *live_div -= 1;
+                }
+            }
+        });
+
+        // Store buffer.
+        self.sb.kill_descendants(wrong_tag);
+
+        // Paths (the CTX table liveness sweep).
+        let dead: Vec<PathId> = self
+            .paths
+            .iter()
+            .filter(|(_, p)| p.tag.is_descendant_or_equal(wrong_tag))
+            .map(|(id, _)| id)
+            .collect();
+        for id in dead {
+            self.paths.free(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue + execute
+    // ------------------------------------------------------------------
+
+    fn do_issue(&mut self) {
+        let Simulator {
+            window,
+            regfile,
+            sb,
+            fu_pool,
+            memory,
+            cfg,
+            now,
+            observer,
+            dcache,
+            stats,
+            ..
+        } = self;
+        let now = *now;
+
+        for e in window.iter_live_mut() {
+            if e.state != EntryState::Waiting {
+                continue;
+            }
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&p| regfile.is_ready(p));
+            if !ready {
+                continue;
+            }
+
+            let read = |slot: Option<PhysReg>| slot.map(|p| regfile.read(p)).unwrap_or(0);
+            let class = e.op.class();
+            let mut extra_latency = 0u64;
+
+            match e.op {
+                Op::Load {
+                    offset, width, ..
+                } => {
+                    let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
+                    let check = sb.check_load(e.seq, &e.ctx, addr, width);
+                    if check == LoadCheck::Block {
+                        continue;
+                    }
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    let (value, forwarded) = match check {
+                        LoadCheck::Forward(v) => (v, true),
+                        LoadCheck::Memory => (memory.read(addr, width), false),
+                        LoadCheck::Block => unreachable!(),
+                    };
+                    e.mem = Some(MemInfo {
+                        addr: Some(addr),
+                        width,
+                        forwarded,
+                    });
+                    e.result = Some(value);
+                    // D-cache model: cache-reading loads may miss
+                    // (store-buffer forwards never touch the cache).
+                    if let (Some(dc), false) = (dcache.as_mut(), forwarded) {
+                        if dc.access(addr) {
+                            stats.dcache_hits += 1;
+                        } else {
+                            stats.dcache_misses += 1;
+                            extra_latency = dc.miss_latency() as u64;
+                        }
+                    }
+                }
+                Op::Store { offset, width, .. } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
+                    let data = read(e.srcs[1]);
+                    sb.set_addr_data(e.seq, addr, data);
+                    e.mem = Some(MemInfo {
+                        addr: Some(addr),
+                        width,
+                        forwarded: false,
+                    });
+                }
+                Op::Alu { op, src2, .. } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    let a = read(e.srcs[0]);
+                    let bval = match src2 {
+                        Operand::Imm(v) => v,
+                        Operand::Reg(_) => read(e.srcs[1]),
+                    };
+                    e.result = Some(alu_eval(op, a, bval));
+                }
+                Op::Li { imm, .. } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    e.result = Some(imm);
+                }
+                Op::Fp { op, .. } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    e.result = Some(fp_eval(op, read(e.srcs[0]), read(e.srcs[1])));
+                }
+                Op::Branch { cond, src2, .. } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    let a = read(e.srcs[0]);
+                    let bval = match src2 {
+                        Operand::Imm(v) => v,
+                        Operand::Reg(_) => read(e.srcs[1]),
+                    };
+                    let b = e.binfo.as_mut().expect("branch without info");
+                    b.outcome = Some(cond_eval(cond, a, bval));
+                }
+                Op::Ret | Op::Jr { .. } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    let target = read(e.srcs[0]);
+                    let b = e.binfo.as_mut().expect("indirect jump without info");
+                    b.actual_target = Some(target.max(0) as usize);
+                }
+                Op::Call { target } => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                    let _ = target;
+                    e.result = Some((e.pc + 1) as i64);
+                }
+                Op::Jump { .. } | Op::Halt | Op::Nop => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        continue;
+                    }
+                }
+            }
+
+            e.state = EntryState::Issued;
+            e.complete_at = now + fus::latency(class, &cfg.latency) as u64 + extra_latency;
+            emit(observer, || PipeEvent::Issued { cycle: now, fid: e.fid });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rename + dispatch
+    // ------------------------------------------------------------------
+
+    fn do_dispatch(&mut self) {
+        let latency = self.cfg.frontend_latency();
+        for _ in 0..self.cfg.dispatch_width {
+            // Drop corpses (already counted as killed when the resolution
+            // bus marked them), then peek at the oldest live instruction.
+            let Some(front) = self.frontend.pop_ready(self.now, latency, |_| {}) else {
+                break;
+            };
+            // `pop_ready` returned an instruction we must dispatch or put
+            // back; check structural resources first.
+            if self.window.is_full() {
+                self.stats.dispatch_stall_window_full += 1;
+                self.frontend_unpop(front);
+                break;
+            }
+            if front.op.dest().is_some() && self.regfile.free_count() == 0 {
+                self.frontend_unpop(front);
+                break;
+            }
+            self.dispatch_one(front);
+        }
+    }
+
+    /// Put an instruction back at the front of the queue (structural stall).
+    fn frontend_unpop(&mut self, inst: FetchedInst) {
+        self.frontend.push_front(inst);
+    }
+
+    fn dispatch_one(&mut self, inst: FetchedInst) {
+        let seq = self.seq_next;
+        self.seq_next += 1;
+
+        let path = self
+            .paths
+            .get_mut(inst.path)
+            .expect("live instruction's path exists");
+        let regmap = path
+            .regmap
+            .as_mut()
+            .expect("path register map valid before its instructions rename");
+
+        // Rename sources through the path's RegMap (§3.2.5).
+        let sources = inst.op.sources();
+        let srcs = [
+            sources[0].map(|r| regmap.lookup(r)),
+            sources[1].map(|r| regmap.lookup(r)),
+        ];
+
+        // Rename the destination: allocate a new physical register and
+        // remember the old mapping for recycling at commit.
+        let dest = inst.op.dest().map(|logical| {
+            let new = self
+                .regfile
+                .allocate()
+                .expect("free register checked before dispatch");
+            let old = regmap.rename(logical, new);
+            DestInfo { logical, new, old }
+        });
+
+        // Branches: build the recovery checkpoint / divergence RegMaps.
+        let binfo = inst.binfo.as_ref().map(|fb| {
+            let checkpoint = if fb.diverged {
+                None
+            } else {
+                Some(Box::new(Checkpoint {
+                    regmap: self
+                        .paths
+                        .get(inst.path)
+                        .expect("path exists")
+                        .regmap
+                        .clone()
+                        .expect("regmap exists"),
+                    ras: fb.ras_checkpoint.clone(),
+                    oracle_on_correct: fb.was_on_correct,
+                    oracle_idx: fb.oracle_idx_after,
+                }))
+            };
+            self.make_branch_info(&inst, fb, checkpoint)
+        });
+
+        // Divergent branch renaming: copy the (parent) map into the taken
+        // successor path — the second RegMap copy of §3.2.5.
+        if let Some(fb) = &inst.binfo {
+            if fb.diverged {
+                let map = self
+                    .paths
+                    .get(inst.path)
+                    .expect("path exists")
+                    .regmap
+                    .clone()
+                    .expect("regmap exists");
+                let taken = fb.taken_path.expect("diverged branch has a taken path");
+                self.paths
+                    .get_mut(taken)
+                    .expect("taken successor path alive while branch is alive")
+                    .regmap = Some(map);
+            }
+        }
+
+        if let Op::Store { width, .. } = inst.op {
+            self.sb.insert(seq, inst.ctx, width);
+        }
+
+        emit(&mut self.observer, || PipeEvent::Dispatched {
+            cycle: self.now,
+            fid: inst.fid,
+            seq,
+        });
+        self.window.push(WinEntry {
+            fid: inst.fid,
+            seq,
+            pc: inst.pc,
+            op: inst.op,
+            ctx: inst.ctx,
+            path: inst.path,
+            srcs,
+            dest,
+            state: EntryState::Waiting,
+            complete_at: 0,
+            result: None,
+            binfo,
+            mem: None,
+            killed: false,
+        });
+        self.stats.dispatched_instructions += 1;
+    }
+
+    fn make_branch_info(
+        &self,
+        inst: &FetchedInst,
+        fb: &FetchBranchInfo,
+        checkpoint: Option<Box<Checkpoint>>,
+    ) -> BranchInfo {
+        let (fallthrough, taken_target) = match inst.op {
+            Op::Branch { target, .. } => (inst.pc + 1, target),
+            Op::Ret | Op::Jr { .. } => (inst.pc + 1, 0),
+            _ => unreachable!("branch info only for branches and indirect jumps"),
+        };
+        BranchInfo {
+            is_return: fb.is_return,
+            predicted_taken: fb.predicted_taken,
+            predicted_target: fb.predicted_target,
+            fallthrough,
+            taken_target,
+            position: fb.position,
+            diverged: fb.diverged,
+            conf_low: fb.conf_low,
+            ghr_at_predict: fb.ghr_at_predict,
+            checkpoint,
+            outcome: None,
+            actual_target: None,
+            resolved: false,
+            mispredicted: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn do_fetch(&mut self) {
+        // Priority order: older paths first (§4.2 — bandwidth decreases
+        // exponentially with distance from the oldest branch).
+        let mut order: Vec<(u64, PathId)> = self
+            .paths
+            .iter()
+            .filter(|(_, p)| p.fetching)
+            .map(|(id, p)| (p.birth, id))
+            .collect();
+        order.sort_unstable();
+
+        if order.is_empty() {
+            if !self.halted {
+                self.stats.fetch_stall_no_path += 1;
+            }
+            return;
+        }
+
+        let mut budget = self.cfg.fetch_width;
+
+        // A single live path gets the whole machine (paper goal 1).
+        if order.len() == 1 {
+            self.fetch_path(order[0].1, budget);
+            return;
+        }
+
+        match self.cfg.fetch_policy {
+            FetchPolicy::ExponentialByAge => {
+                // The paper's stated policy: exponentially decaying share
+                // by age rank (rank 0 → half the width, rank 1 → a
+                // quarter, …, minimum 1), then a work-conserving second
+                // pass hands leftover slots to paths in priority order.
+                for (i, &(_, pid)) in order.iter().enumerate() {
+                    if budget == 0 || self.frontend.is_full() {
+                        break;
+                    }
+                    let share = (self.cfg.fetch_width >> (i + 1)).max(1).min(budget);
+                    budget -= self.fetch_path(pid, share);
+                }
+                for &(_, pid) in &order {
+                    if budget == 0 || self.frontend.is_full() {
+                        break;
+                    }
+                    budget -= self.fetch_path(pid, budget);
+                }
+            }
+            FetchPolicy::OldestFirst => {
+                // Strict priority: each path takes what the older ones left.
+                for &(_, pid) in &order {
+                    if budget == 0 || self.frontend.is_full() {
+                        break;
+                    }
+                    budget -= self.fetch_path(pid, budget);
+                }
+            }
+            FetchPolicy::RoundRobin => {
+                // One instruction per live path per round, oldest first.
+                let mut progress = true;
+                while budget > 0 && progress && !self.frontend.is_full() {
+                    progress = false;
+                    for &(_, pid) in &order {
+                        if budget == 0 || self.frontend.is_full() {
+                            break;
+                        }
+                        let used = self.fetch_path(pid, 1);
+                        if used > 0 {
+                            progress = true;
+                            budget -= used;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetch up to `share` instructions from path `pid`. Returns the count
+    /// actually fetched.
+    fn fetch_path(&mut self, pid: PathId, share: usize) -> usize {
+        let mut used = 0;
+        while used < share && !self.frontend.is_full() {
+            // The path may have been consumed by a divergence this cycle.
+            let Some(path) = self.paths.get(pid) else { break };
+            if !path.fetching {
+                break;
+            }
+            let pc = path.pc;
+            let Some(op) = self.program.fetch(pc) else {
+                // Running off the text section only happens on
+                // mis-speculated paths; the path idles until killed.
+                self.paths.get_mut(pid).expect("path exists").fetching = false;
+                break;
+            };
+
+            match op {
+                Op::Branch { target, .. } => {
+                    let Some(stop) = self.fetch_cond_branch(pid, pc, op, target) else {
+                        // No CTX position free: retry next cycle.
+                        self.stats.fetch_stall_no_ctx += 1;
+                        break;
+                    };
+                    used += 1;
+                    if stop {
+                        break; // divergence: successors fetch next cycle
+                    }
+                }
+                Op::Ret | Op::Jr { .. } => {
+                    if !self.fetch_indirect(pid, pc, op) {
+                        self.stats.fetch_stall_no_ctx += 1;
+                        break;
+                    }
+                    used += 1;
+                }
+                _ => {
+                    self.push_fetched(pid, pc, op, None);
+                    used += 1;
+                    let path = self.paths.get_mut(pid).expect("path exists");
+                    match op {
+                        Op::Jump { target } => path.pc = target,
+                        Op::Call { target } => {
+                            path.ras = path.ras.push(pc + 1);
+                            path.pc = target;
+                        }
+                        Op::Halt => {
+                            path.fetching = false;
+                            path.pc = pc; // parked
+                        }
+                        _ => path.pc = pc + 1,
+                    }
+                    if matches!(op, Op::Halt) {
+                        break;
+                    }
+                }
+            }
+        }
+        used
+    }
+
+    /// Fetch a conditional branch: predict, estimate confidence, possibly
+    /// diverge. Returns `None` if no CTX position was available, otherwise
+    /// `Some(stop_fetching_this_path_this_cycle)`.
+    fn fetch_cond_branch(
+        &mut self,
+        pid: PathId,
+        pc: usize,
+        op: Op,
+        target: usize,
+    ) -> Option<bool> {
+        if self.positions.is_full() {
+            return None;
+        }
+
+        let path = self.paths.get(pid).expect("path exists");
+        let ghr = path.ghr;
+        let was_on_correct = path.on_correct;
+        let oracle_idx = path.oracle_idx;
+        let parent_tag = path.tag;
+        let parent_ras = path.ras.clone();
+
+        // Oracle lookup (if this run carries a trace and the path is on
+        // the architecturally correct execution).
+        let correct_outcome = if was_on_correct {
+            self.oracle
+                .as_ref()
+                .and_then(|o| o.outcome(oracle_idx, pc))
+        } else {
+            None
+        };
+
+        let predicted = match &self.predictor {
+            Predictor::Gshare(g) => g.predict(pc, ghr),
+            Predictor::Bimodal(b) => b.predict(pc),
+            Predictor::TwoLevelLocal(t) => t.predict(pc),
+            Predictor::Agree(a) => a.predict(pc, ghr),
+            Predictor::Static(s) => s.predict(),
+            Predictor::Oracle => correct_outcome.unwrap_or(false),
+        };
+
+        let confidence = match self.cfg.confidence {
+            ConfidenceKind::AlwaysHigh => Confidence::High,
+            ConfidenceKind::Jrs(_) => self
+                .jrs
+                .as_ref()
+                .expect("jrs configured")
+                .estimate(pc, ghr, predicted),
+            ConfidenceKind::AdaptiveJrs(_) => self
+                .adaptive
+                .as_ref()
+                .expect("adaptive estimator configured")
+                .estimate(pc, ghr, predicted),
+            ConfidenceKind::Saturating => match &self.predictor {
+                Predictor::Gshare(g) if g.is_strong(pc, ghr) => Confidence::High,
+                Predictor::Gshare(_) => Confidence::Low,
+                _ => unreachable!("validated: saturating confidence needs gshare"),
+            },
+            ConfidenceKind::Oracle => match correct_outcome {
+                Some(out) if out != predicted => Confidence::Low,
+                _ => Confidence::High,
+            },
+        };
+        let conf_low = confidence == Confidence::Low;
+
+        let mode_allows = match self.cfg.mode {
+            ExecMode::Monopath => false,
+            ExecMode::See => true,
+            ExecMode::DualPath => self.live_divergences == 0,
+        };
+        let diverge = conf_low && mode_allows && !self.paths.is_full();
+
+        let pos = self.positions.allocate().expect("checked not full");
+
+        let mut fb = FetchBranchInfo {
+            is_return: false,
+            predicted_taken: predicted,
+            predicted_target: if predicted { target } else { pc + 1 },
+            position: pos,
+            diverged: diverge,
+            conf_low,
+            ghr_at_predict: ghr,
+            ras_checkpoint: parent_ras.clone(),
+            was_on_correct,
+            oracle_idx_after: oracle_idx + 1,
+            taken_path: None,
+        };
+
+        if diverge {
+            self.stats.divergences += 1;
+            self.live_divergences += 1;
+
+            // New slot for the taken successor…
+            let taken = PathCtx {
+                tag: parent_tag.with_position(pos, true),
+                pc: target,
+                fetching: true,
+                ghr: push_history(ghr, true),
+                ras: parent_ras.clone(),
+                regmap: None, // set when the branch renames (§3.2.5)
+                on_correct: was_on_correct && correct_outcome == Some(true),
+                oracle_idx: oracle_idx + 1,
+                birth: self.birth_next,
+            };
+            self.birth_next += 1;
+            let taken_pid = self.paths.allocate(taken).expect("checked not full");
+            fb.taken_path = Some(taken_pid);
+
+            // …while this slot continues as the not-taken successor.
+            let path = self.paths.get_mut(pid).expect("path exists");
+            path.tag = parent_tag.with_position(pos, false);
+            path.pc = pc + 1;
+            path.ghr = push_history(ghr, false);
+            path.on_correct = was_on_correct && correct_outcome == Some(false);
+            path.oracle_idx = oracle_idx + 1;
+        } else {
+            let path = self.paths.get_mut(pid).expect("path exists");
+            path.tag = parent_tag.with_position(pos, predicted);
+            path.pc = if predicted { target } else { pc + 1 };
+            path.ghr = push_history(ghr, predicted);
+            path.on_correct = was_on_correct && correct_outcome == Some(predicted);
+            path.oracle_idx = oracle_idx + 1;
+        }
+
+        let taken_path = fb.taken_path;
+        let branch_fid = self.push_fetched_with_tag(pid, pc, op, Some(fb), parent_tag);
+        if diverge {
+            emit(&mut self.observer, || PipeEvent::Diverged {
+                cycle: self.now,
+                branch: branch_fid,
+                taken_path: taken_path.expect("divergence created a taken path"),
+                not_taken_path: pid,
+            });
+        }
+        Some(diverge)
+    }
+
+    /// Fetch an indirect control transfer: `ret` predicts through the
+    /// path's RAS, `jr` through the BTB. Returns `false` if no CTX
+    /// position was available.
+    fn fetch_indirect(&mut self, pid: PathId, pc: usize, op: Op) -> bool {
+        if self.positions.is_full() {
+            return false;
+        }
+        let pos = self.positions.allocate().expect("checked not full");
+
+        let path = self.paths.get(pid).expect("path exists");
+        let parent_tag = path.tag;
+        let ghr = path.ghr;
+        let was_on_correct = path.on_correct;
+        let oracle_idx = path.oracle_idx;
+
+        // A missing prediction parks the path until resolution redirects.
+        let (pred, new_ras) = match op {
+            Op::Ret => {
+                let (pred, popped) = path.ras.pop();
+                (pred, popped)
+            }
+            Op::Jr { .. } => (self.btb.predict(pc), path.ras.clone()),
+            _ => unreachable!("fetch_indirect on a non-indirect op"),
+        };
+        let predicted_target = pred.unwrap_or(usize::MAX);
+
+        let fb = FetchBranchInfo {
+            is_return: true,
+            predicted_taken: true,
+            predicted_target,
+            position: pos,
+            diverged: false,
+            conf_low: false,
+            ghr_at_predict: ghr,
+            ras_checkpoint: new_ras.clone(),
+            was_on_correct,
+            oracle_idx_after: oracle_idx,
+            taken_path: None,
+        };
+
+        let path = self.paths.get_mut(pid).expect("path exists");
+        path.tag = parent_tag.with_position(pos, true);
+        path.ras = new_ras;
+        path.pc = predicted_target;
+
+        self.push_fetched_with_tag(pid, pc, op, Some(fb), parent_tag);
+        true
+    }
+
+    fn push_fetched(&mut self, pid: PathId, pc: usize, op: Op, binfo: Option<FetchBranchInfo>) {
+        let tag = self.paths.get(pid).expect("path exists").tag;
+        self.push_fetched_with_tag(pid, pc, op, binfo, tag);
+    }
+
+    fn push_fetched_with_tag(
+        &mut self,
+        pid: PathId,
+        pc: usize,
+        op: Op,
+        binfo: Option<FetchBranchInfo>,
+        tag: CtxTag,
+    ) -> FetchId {
+        let fid = FetchId(self.fid_next);
+        self.fid_next += 1;
+        self.frontend.push(FetchedInst {
+            fid,
+            pc,
+            op,
+            ctx: tag,
+            path: pid,
+            fetch_cycle: self.now,
+            binfo,
+            killed: false,
+        });
+        self.stats.fetched_instructions += 1;
+        emit(&mut self.observer, || PipeEvent::Fetched {
+            cycle: self.now,
+            fid,
+            pc,
+            path: pid,
+            op,
+        });
+        fid
+    }
+}

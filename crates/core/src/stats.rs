@@ -1,0 +1,348 @@
+//! Simulation statistics and derived metrics.
+//!
+//! Everything the paper's evaluation section reports is computed from these
+//! counters: IPC (all figures), misprediction rate (Table 1), fetched vs.
+//! committed instructions and "useless" instructions (§3.1, §5.1), the
+//! confidence-estimator truth table and PVN (§5.1), path utilization
+//! (§5.2), functional unit utilization (§5.3.3), and window occupancy
+//! (§5.3.2).
+
+/// Per-functional-unit-class busy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuBusy {
+    /// Issue slots used, summed over cycles.
+    pub busy_cycles: u64,
+    /// Issue slots available, summed over cycles (units × cycles).
+    pub capacity_cycles: u64,
+}
+
+impl FuBusy {
+    /// Utilization in 0..=1.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.capacity_cycles as f64
+        }
+    }
+}
+
+/// Counters collected by one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles simulated until the `halt` committed (or the limit hit).
+    pub cycles: u64,
+    /// `true` if the run aborted at the configured cycle limit.
+    pub hit_cycle_limit: bool,
+
+    /// Instructions fetched into the front-end (all paths).
+    pub fetched_instructions: u64,
+    /// Instructions renamed and inserted into the window.
+    pub dispatched_instructions: u64,
+    /// Instructions retired architecturally.
+    pub committed_instructions: u64,
+    /// Instructions killed (wrong path), front-end + window.
+    pub killed_instructions: u64,
+
+    /// Committed conditional branches.
+    pub committed_branches: u64,
+    /// Committed conditional branches whose predicted direction was wrong.
+    pub mispredicted_branches: u64,
+    /// Committed indirect control transfers (`ret`/`jr`) whose predicted
+    /// target (RAS / BTB) was wrong.
+    pub mispredicted_returns: u64,
+    /// Full misprediction-recovery events (resolution redirects of
+    /// non-diverged branches and returns, correct path only … i.e. the
+    /// recoveries that actually cost the machine cycles).
+    pub recoveries: u64,
+
+    /// Divergences created at fetch.
+    pub divergences: u64,
+    /// Confidence truth table over committed conditional branches:
+    /// estimator said low and the prediction was incorrect (good divergence).
+    pub low_conf_incorrect: u64,
+    /// Estimator said low but the prediction was correct (wasted divergence).
+    pub low_conf_correct: u64,
+    /// Estimator said high and the prediction was incorrect (full penalty).
+    pub high_conf_incorrect: u64,
+    /// Estimator said high and the prediction was correct (ideal case).
+    pub high_conf_correct: u64,
+
+    /// `path_cycles[k]` = cycles during which exactly `k` paths were live
+    /// (index 0 unused in practice; the vector grows as needed).
+    pub path_cycles: Vec<u64>,
+    /// Largest number of simultaneously live paths observed.
+    pub max_live_paths: usize,
+
+    /// Sum over cycles of live window entries (occupancy / cycles = mean).
+    pub window_occupancy_sum: u64,
+
+    /// IntType0 issue-slot busy accounting.
+    pub fu_int0: FuBusy,
+    /// IntType1 issue-slot busy accounting.
+    pub fu_int1: FuBusy,
+    /// FPAdd issue-slot busy accounting.
+    pub fu_fp_add: FuBusy,
+    /// FPMult issue-slot busy accounting.
+    pub fu_fp_mul: FuBusy,
+    /// D-cache port busy accounting.
+    pub fu_mem: FuBusy,
+
+    /// Cycles × missing fetch opportunities, by cause.
+    pub fetch_stall_no_path: u64,
+    /// Branch fetches delayed because no CTX position was free.
+    pub fetch_stall_no_ctx: u64,
+    /// Dispatch stalls because the window was full (cycle granularity).
+    pub dispatch_stall_window_full: u64,
+
+    /// D-cache model (when enabled): load hits.
+    pub dcache_hits: u64,
+    /// D-cache model (when enabled): load misses.
+    pub dcache_misses: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle — the paper's headline metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate over committed branches
+    /// (Table 1's "Branch misprediction" column).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.committed_branches == 0 {
+            0.0
+        } else {
+            self.mispredicted_branches as f64 / self.committed_branches as f64
+        }
+    }
+
+    /// Ratio of fetched to committed instructions (§3.1 reports 1.86 for
+    /// the monopath baseline).
+    pub fn fetched_per_committed(&self) -> f64 {
+        if self.committed_instructions == 0 {
+            0.0
+        } else {
+            self.fetched_instructions as f64 / self.committed_instructions as f64
+        }
+    }
+
+    /// "Useless" instructions (§5.1): fetched but never committed.
+    pub fn useless_instructions(&self) -> u64 {
+        self.fetched_instructions
+            .saturating_sub(self.committed_instructions)
+    }
+
+    /// Predictive Value of a Negative test (paper footnote 1): the fraction
+    /// of low-confidence estimates that were actually mispredictions.
+    pub fn pvn(&self) -> f64 {
+        let low = self.low_conf_incorrect + self.low_conf_correct;
+        if low == 0 {
+            0.0
+        } else {
+            self.low_conf_incorrect as f64 / low as f64
+        }
+    }
+
+    /// Sensitivity (SPEC in the confidence literature): fraction of
+    /// mispredictions that were flagged low-confidence.
+    pub fn sensitivity(&self) -> f64 {
+        let wrong = self.low_conf_incorrect + self.high_conf_incorrect;
+        if wrong == 0 {
+            0.0
+        } else {
+            self.low_conf_incorrect as f64 / wrong as f64
+        }
+    }
+
+    /// Mean number of live paths per cycle (§5.2 reports 2.9 for SEE).
+    pub fn mean_active_paths(&self) -> f64 {
+        let cycles: u64 = self.path_cycles.iter().sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .path_cycles
+            .iter()
+            .enumerate()
+            .map(|(k, c)| k as u64 * c)
+            .sum();
+        weighted as f64 / cycles as f64
+    }
+
+    /// Fraction of cycles with at most `k` live paths (§5.2: ≤3 paths
+    /// ~75% of the time).
+    pub fn paths_at_most(&self, k: usize) -> f64 {
+        let cycles: u64 = self.path_cycles.iter().sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let within: u64 = self.path_cycles.iter().take(k + 1).sum();
+        within as f64 / cycles as f64
+    }
+
+    /// D-cache miss rate over loads (0 when the model is disabled).
+    pub fn dcache_miss_rate(&self) -> f64 {
+        let total = self.dcache_hits + self.dcache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dcache_misses as f64 / total as f64
+        }
+    }
+
+    /// Mean instruction window occupancy (§5.3.2: saturates ≈145 with
+    /// gshare at baseline).
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.window_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// A multi-line human-readable report of the run — the numbers the
+    /// paper's evaluation discusses, in one place.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::new();
+        let _ = writeln!(o, "cycles                 {:>12}", self.cycles);
+        let _ = writeln!(o, "committed              {:>12}", self.committed_instructions);
+        let _ = writeln!(o, "IPC                    {:>12.3}", self.ipc());
+        let _ = writeln!(o, "fetched                {:>12}  ({:.2}x committed)",
+            self.fetched_instructions, self.fetched_per_committed());
+        let _ = writeln!(o, "killed (wrong path)    {:>12}", self.killed_instructions);
+        let _ = writeln!(o, "branches               {:>12}  ({:.2}% mispredicted)",
+            self.committed_branches, 100.0 * self.mispredict_rate());
+        let _ = writeln!(o, "recoveries             {:>12}", self.recoveries);
+        let _ = writeln!(o, "divergences            {:>12}", self.divergences);
+        if self.low_conf_correct + self.low_conf_incorrect > 0 {
+            let _ = writeln!(o, "confidence PVN         {:>11.1}%  (sensitivity {:.1}%)",
+                100.0 * self.pvn(), 100.0 * self.sensitivity());
+        }
+        let _ = writeln!(o, "mean active paths      {:>12.2}  (max {})",
+            self.mean_active_paths(), self.max_live_paths);
+        let _ = writeln!(o, "mean window occupancy  {:>12.1}", self.mean_window_occupancy());
+        let _ = writeln!(o, "IntType0 utilization   {:>11.1}%", 100.0 * self.fu_int0.utilization());
+        let _ = writeln!(o, "IntType1 utilization   {:>11.1}%", 100.0 * self.fu_int1.utilization());
+        let _ = writeln!(o, "mem port utilization   {:>11.1}%", 100.0 * self.fu_mem.utilization());
+        if self.dcache_hits + self.dcache_misses > 0 {
+            let _ = writeln!(o, "D-cache miss rate      {:>11.1}%", 100.0 * self.dcache_miss_rate());
+        }
+        o
+    }
+
+    /// Record a cycle with `live` paths.
+    pub fn record_path_count(&mut self, live: usize) {
+        if self.path_cycles.len() <= live {
+            self.path_cycles.resize(live + 1, 0);
+        }
+        self.path_cycles[live] += 1;
+        self.max_live_paths = self.max_live_paths.max(live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let s = SimStats {
+            cycles: 100,
+            committed_instructions: 250,
+            fetched_instructions: 400,
+            committed_branches: 50,
+            mispredicted_branches: 5,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((s.fetched_per_committed() - 1.6).abs() < 1e-12);
+        assert_eq!(s.useless_instructions(), 150);
+    }
+
+    #[test]
+    fn zero_cycle_run_is_all_zeros() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.pvn(), 0.0);
+        assert_eq!(s.mean_active_paths(), 0.0);
+    }
+
+    #[test]
+    fn pvn_and_sensitivity() {
+        let s = SimStats {
+            low_conf_incorrect: 40,
+            low_conf_correct: 60,
+            high_conf_incorrect: 10,
+            high_conf_correct: 890,
+            ..Default::default()
+        };
+        assert!((s.pvn() - 0.4).abs() < 1e-12);
+        assert!((s.sensitivity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_histogram() {
+        let mut s = SimStats::default();
+        s.record_path_count(1);
+        s.record_path_count(1);
+        s.record_path_count(3);
+        s.record_path_count(5);
+        assert_eq!(s.max_live_paths, 5);
+        assert!((s.mean_active_paths() - 2.5).abs() < 1e-12);
+        assert!((s.paths_at_most(3) - 0.75).abs() < 1e-12);
+        assert!((s.paths_at_most(0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fu_utilization() {
+        let b = FuBusy {
+            busy_cycles: 75,
+            capacity_cycles: 100,
+        };
+        assert!((b.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(FuBusy::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_contains_key_metrics() {
+        let mut s = SimStats {
+            cycles: 100,
+            committed_instructions: 250,
+            fetched_instructions: 400,
+            committed_branches: 50,
+            mispredicted_branches: 5,
+            divergences: 7,
+            low_conf_correct: 3,
+            low_conf_incorrect: 2,
+            ..Default::default()
+        };
+        s.record_path_count(2);
+        let text = s.summary();
+        assert!(text.contains("IPC"));
+        assert!(text.contains("2.500"));
+        assert!(text.contains("divergences"));
+        assert!(text.contains("PVN"));
+        // No D-cache line when the model is off.
+        assert!(!text.contains("D-cache"));
+        s.dcache_misses = 1;
+        assert!(s.summary().contains("D-cache"));
+    }
+
+    #[test]
+    fn window_occupancy() {
+        let s = SimStats {
+            cycles: 10,
+            window_occupancy_sum: 1450,
+            ..Default::default()
+        };
+        assert!((s.mean_window_occupancy() - 145.0).abs() < 1e-12);
+    }
+}

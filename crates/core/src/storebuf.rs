@@ -1,0 +1,297 @@
+//! The store buffer with CTX-filtered forwarding (paper §3.2.4).
+//!
+//! Speculative store data is held here until the producing store commits
+//! and the result is passed to the D-cache. Forwarding to dependent loads
+//! is restricted to loads on the same path or a descendant path of the
+//! store, decided with the CTX hierarchy comparator.
+
+use pp_ctx::CtxTag;
+use pp_isa::Width;
+
+use crate::window::Seq;
+
+/// One buffered store.
+#[derive(Debug, Clone)]
+pub struct SbEntry {
+    /// Program-order sequence of the store instruction.
+    pub seq: Seq,
+    /// CTX tag (receives resolution kills and commit invalidations).
+    pub ctx: CtxTag,
+    /// Address, once computed.
+    pub addr: Option<u64>,
+    /// Store data, once computed.
+    pub data: Option<i64>,
+    /// Access width.
+    pub width: Width,
+    killed: bool,
+}
+
+/// Outcome of a load's store-buffer lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// An older same-path store's address (or overlapping data) is not
+    /// available yet — the load must wait.
+    Block,
+    /// Forward this value from the youngest older same-path store with an
+    /// exactly matching address and width.
+    Forward(i64),
+    /// No older same-path store overlaps: read the D-cache.
+    Memory,
+}
+
+/// The store buffer: entries in program order.
+#[derive(Debug, Default)]
+pub struct StoreBuffer {
+    entries: std::collections::VecDeque<SbEntry>,
+}
+
+fn ranges_overlap(a: u64, aw: Width, b: u64, bw: Width) -> bool {
+    let (a_end, b_end) = (a + aw.bytes(), b + bw.bytes());
+    a < b_end && b < a_end
+}
+
+impl StoreBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| !e.killed).count()
+    }
+
+    /// `true` when no live entry remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocate an entry at dispatch (address and data still unknown).
+    ///
+    /// # Panics
+    /// Panics if `seq` is not the youngest in the buffer (stores must be
+    /// inserted in program order).
+    pub fn insert(&mut self, seq: Seq, ctx: CtxTag, width: Width) {
+        if let Some(last) = self.entries.back() {
+            assert!(last.seq < seq, "store buffer insertions must be ordered");
+        }
+        self.entries.push_back(SbEntry {
+            seq,
+            ctx,
+            addr: None,
+            data: None,
+            width,
+            killed: false,
+        });
+    }
+
+    /// Record the computed address and data when the store executes.
+    ///
+    /// # Panics
+    /// Panics if no live entry with `seq` exists.
+    pub fn set_addr_data(&mut self, seq: Seq, addr: u64, data: i64) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seq == seq && !e.killed)
+            .expect("store executed without a buffer entry");
+        e.addr = Some(addr);
+        e.data = Some(data);
+    }
+
+    /// Check whether a load at `load_seq` on path `load_ctx` reading
+    /// `[addr, addr+width)` may execute, and where its value comes from.
+    ///
+    /// Only *older* stores on the *same or an ancestor* path participate
+    /// (the CTX filter of §3.2.4). Perfect memory disambiguation:
+    /// different-address stores never block the load; an exactly matching
+    /// store forwards; a partially overlapping store blocks until it
+    /// drains to the D-cache at commit.
+    pub fn check_load(&self, load_seq: Seq, load_ctx: &CtxTag, addr: u64, width: Width) -> LoadCheck {
+        let mut forward: Option<i64> = None;
+        for e in self.entries.iter() {
+            if e.killed || e.seq >= load_seq || !load_ctx.is_descendant_or_equal(&e.ctx) {
+                continue;
+            }
+            match e.addr {
+                None => return LoadCheck::Block,
+                Some(saddr) => {
+                    if saddr == addr && e.width == width {
+                        match e.data {
+                            Some(d) => forward = Some(d), // youngest wins
+                            None => return LoadCheck::Block,
+                        }
+                    } else if ranges_overlap(saddr, e.width, addr, width) {
+                        // Partial overlap: wait for the store to commit.
+                        return LoadCheck::Block;
+                    }
+                }
+            }
+        }
+        match forward {
+            Some(v) => LoadCheck::Forward(v),
+            None => LoadCheck::Memory,
+        }
+    }
+
+    /// Remove and return the entry for the committing store `seq`.
+    ///
+    /// # Panics
+    /// Panics if the head live entry is not `seq` (stores commit in
+    /// program order) or its address/data are unknown.
+    pub fn commit(&mut self, seq: Seq) -> (u64, i64, Width) {
+        while matches!(self.entries.front(), Some(e) if e.killed) {
+            self.entries.pop_front();
+        }
+        let e = self.entries.pop_front().expect("committing store not in buffer");
+        assert_eq!(e.seq, seq, "stores must commit in order");
+        (
+            e.addr.expect("committed store without address"),
+            e.data.expect("committed store without data"),
+            e.width,
+        )
+    }
+
+    /// Resolution bus: kill stores on the wrong path.
+    pub fn kill_descendants(&mut self, wrong_tag: &CtxTag) {
+        for e in self.entries.iter_mut() {
+            if !e.killed && e.ctx.is_descendant_or_equal(wrong_tag) {
+                e.killed = true;
+            }
+        }
+    }
+
+    /// Commit bus: invalidate a history position in every live tag.
+    pub fn invalidate_position(&mut self, pos: usize) {
+        for e in self.entries.iter_mut() {
+            if !e.killed {
+                e.ctx.invalidate(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: Width = Width::Word;
+
+    #[test]
+    fn load_with_no_stores_reads_memory() {
+        let sb = StoreBuffer::new();
+        assert_eq!(sb.check_load(5, &CtxTag::root(), 0x100, W), LoadCheck::Memory);
+    }
+
+    #[test]
+    fn exact_match_forwards_youngest() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(1, CtxTag::root(), W);
+        sb.set_addr_data(1, 0x100, 11);
+        sb.insert(2, CtxTag::root(), W);
+        sb.set_addr_data(2, 0x100, 22);
+        assert_eq!(sb.check_load(3, &CtxTag::root(), 0x100, W), LoadCheck::Forward(22));
+    }
+
+    #[test]
+    fn unknown_address_blocks() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(1, CtxTag::root(), W);
+        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x100, W), LoadCheck::Block);
+    }
+
+    #[test]
+    fn different_address_does_not_block() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(1, CtxTag::root(), W);
+        sb.set_addr_data(1, 0x200, 9);
+        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x100, W), LoadCheck::Memory);
+    }
+
+    #[test]
+    fn younger_stores_are_ignored() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(10, CtxTag::root(), W);
+        sb.set_addr_data(10, 0x100, 1);
+        assert_eq!(sb.check_load(5, &CtxTag::root(), 0x100, W), LoadCheck::Memory);
+    }
+
+    #[test]
+    fn ctx_filter_blocks_sibling_forwarding() {
+        // Paper §3.2.4: forwarding restricted to the same path or a
+        // descendant path of the store.
+        let mut sb = StoreBuffer::new();
+        let store_tag = CtxTag::root().with_position(0, true);
+        let sibling = CtxTag::root().with_position(0, false);
+        let descendant = store_tag.with_position(1, false);
+        sb.insert(1, store_tag, W);
+        sb.set_addr_data(1, 0x100, 7);
+        assert_eq!(sb.check_load(2, &sibling, 0x100, W), LoadCheck::Memory);
+        assert_eq!(sb.check_load(2, &descendant, 0x100, W), LoadCheck::Forward(7));
+        assert_eq!(sb.check_load(2, &store_tag, 0x100, W), LoadCheck::Forward(7));
+    }
+
+    #[test]
+    fn ancestor_store_forwards_to_descendant_load() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(1, CtxTag::root(), W);
+        sb.set_addr_data(1, 0x80, 3);
+        let deep = CtxTag::root().with_position(0, true).with_position(1, true);
+        assert_eq!(sb.check_load(9, &deep, 0x80, W), LoadCheck::Forward(3));
+    }
+
+    #[test]
+    fn partial_overlap_blocks() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(1, CtxTag::root(), Width::Byte);
+        sb.set_addr_data(1, 0x103, 0xff);
+        // Word load covering 0x100..0x108 overlaps the byte store.
+        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x100, W), LoadCheck::Block);
+        // Byte load at a different byte does not.
+        assert_eq!(
+            sb.check_load(2, &CtxTag::root(), 0x104, Width::Byte),
+            LoadCheck::Memory
+        );
+    }
+
+    #[test]
+    fn kill_removes_wrong_path_stores() {
+        let mut sb = StoreBuffer::new();
+        let wrong = CtxTag::root().with_position(0, true);
+        sb.insert(1, wrong, W);
+        sb.set_addr_data(1, 0x100, 5);
+        sb.kill_descendants(&wrong);
+        assert_eq!(sb.check_load(2, &wrong, 0x100, W), LoadCheck::Memory);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn commit_pops_in_order_over_corpses() {
+        let mut sb = StoreBuffer::new();
+        let wrong = CtxTag::root().with_position(0, true);
+        sb.insert(1, wrong, W);
+        sb.insert(2, CtxTag::root(), W);
+        sb.set_addr_data(2, 0x10, 42);
+        sb.kill_descendants(&wrong);
+        assert_eq!(sb.commit(2), (0x10, 42, W));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn invalidate_position_updates_tags() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(1, CtxTag::root().with_position(2, true), W);
+        sb.invalidate_position(2);
+        // Tag became root: a root-path load can now forward.
+        sb.set_addr_data(1, 0x10, 1);
+        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x10, W), LoadCheck::Forward(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn out_of_order_insert_panics() {
+        let mut sb = StoreBuffer::new();
+        sb.insert(5, CtxTag::root(), W);
+        sb.insert(3, CtxTag::root(), W);
+    }
+}

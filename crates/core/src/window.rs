@@ -1,0 +1,360 @@
+//! The central instruction window / reorder buffer (paper §3.1, §3.2.3).
+//!
+//! A unified window in allocation order: instructions enter at rename
+//! (in fetch order, which is program order per path), issue out of order,
+//! and leave at the head in order. Each entry stores its CTX tag; the
+//! per-entry control-flow state machine of Fig. 6 is realized by
+//! [`Window::kill_descendants`] (branch resolution bus),
+//! [`Window::invalidate_position`] (branch commit bus), and the head
+//! entry's tag being cleared as it commits.
+
+use pp_ctx::{CtxTag, PathId};
+use pp_isa::{Op, Reg, Width};
+
+use crate::ras::Ras;
+use crate::regfile::{PhysReg, RegMap};
+
+/// Monotone dispatch sequence number: program order across all paths
+/// (older = smaller; survivors of kills are totally ordered in program
+/// order).
+pub type Seq = u64;
+
+/// Execution status of a window entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting for operands / functional unit / memory ordering.
+    Waiting,
+    /// Executing; result arrives at `complete_at`.
+    Issued,
+    /// Result written back; eligible to commit when it reaches the head.
+    Done,
+}
+
+/// Checkpoint taken when a branch renames, used for misprediction recovery
+/// (paper §3.1: "a checkpoint of the current contents of the RegMap is
+/// made"). PolyPath extends it with the front-end speculative state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Register map after renaming everything older than the branch.
+    pub regmap: RegMap,
+    /// Return-address stack after the branch's own fetch effect.
+    pub ras: Ras,
+    /// Oracle-trace state for the recovery path: was the branch itself on
+    /// the architecturally correct path, and the trace cursor after it.
+    pub oracle_on_correct: bool,
+    /// Trace index of the next conditional branch after this one.
+    pub oracle_idx: usize,
+}
+
+/// Branch bookkeeping carried by conditional branches and returns.
+#[derive(Debug, Clone)]
+pub struct BranchInfo {
+    /// `true` for `ret` (target prediction), `false` for conditional
+    /// branches (direction prediction).
+    pub is_return: bool,
+    /// Predicted direction (conditional) — `true` for returns.
+    pub predicted_taken: bool,
+    /// PC the front-end continued at.
+    pub predicted_target: usize,
+    /// Fall-through PC (`pc + 1`).
+    pub fallthrough: usize,
+    /// Taken-target PC (conditional branches).
+    pub taken_target: usize,
+    /// CTX history position occupied by this branch.
+    pub position: usize,
+    /// Did SEE diverge on this branch?
+    pub diverged: bool,
+    /// Confidence estimate was low (even if divergence was not possible).
+    pub conf_low: bool,
+    /// Speculative global history at prediction time (for PHT/JRS update).
+    pub ghr_at_predict: u64,
+    /// Recovery checkpoint (None for diverged branches — they cannot
+    /// mispredict, both successors execute; paper §3.2.5).
+    pub checkpoint: Option<Box<Checkpoint>>,
+    /// Resolution result: actual direction (conditional branches).
+    pub outcome: Option<bool>,
+    /// Resolution result: actual target (returns).
+    pub actual_target: Option<usize>,
+    /// Set once the resolution bus has processed this branch.
+    pub resolved: bool,
+    /// Resolution found the prediction wrong.
+    pub mispredicted: bool,
+}
+
+/// Destination register rename record.
+#[derive(Debug, Clone, Copy)]
+pub struct DestInfo {
+    /// Logical destination.
+    pub logical: Reg,
+    /// Newly allocated physical register.
+    pub new: PhysReg,
+    /// Previous mapping, recycled at commit (paper §3.1).
+    pub old: PhysReg,
+}
+
+/// Memory access bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct MemInfo {
+    /// Byte address (known once the base register was read at issue).
+    pub addr: Option<u64>,
+    /// Access width.
+    pub width: Width,
+    /// Loads: `true` if the value was forwarded from the store buffer.
+    pub forwarded: bool,
+}
+
+/// One instruction window entry.
+#[derive(Debug, Clone)]
+pub struct WinEntry {
+    /// Fetch identity (observer correlation across stages).
+    pub fid: crate::observer::FetchId,
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// Static PC.
+    pub pc: usize,
+    /// Decoded instruction.
+    pub op: Op,
+    /// CTX tag (updated by resolution/commit broadcasts).
+    pub ctx: CtxTag,
+    /// Path the instruction was fetched on (statistics only).
+    pub path: PathId,
+    /// Renamed source physical registers.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Renamed destination, if the instruction writes a register.
+    pub dest: Option<DestInfo>,
+    /// Execution status.
+    pub state: EntryState,
+    /// Writeback cycle (valid while `Issued`).
+    pub complete_at: u64,
+    /// Computed result (valid once issued, for register-writing ops).
+    pub result: Option<i64>,
+    /// Branch bookkeeping (conditional branches and returns).
+    pub binfo: Option<BranchInfo>,
+    /// Memory bookkeeping (loads and stores).
+    pub mem: Option<MemInfo>,
+    /// Squashed by a resolution kill; skipped by commit and reclaimed.
+    pub killed: bool,
+}
+
+/// The instruction window: a bounded queue in allocation (program) order.
+#[derive(Debug)]
+pub struct Window {
+    entries: std::collections::VecDeque<WinEntry>,
+    live: usize,
+    capacity: usize,
+}
+
+impl Window {
+    /// A window with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be nonzero");
+        Window {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            live: 0,
+            capacity,
+        }
+    }
+
+    /// Live (not killed) entries currently occupying window slots.
+    pub fn occupancy(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no free entry remains.
+    pub fn is_full(&self) -> bool {
+        self.live >= self.capacity
+    }
+
+    /// `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a renamed instruction at the tail.
+    ///
+    /// # Panics
+    /// Panics if the window is full (callers must check `is_full`).
+    pub fn push(&mut self, entry: WinEntry) {
+        assert!(!self.is_full(), "window overflow");
+        debug_assert!(!entry.killed);
+        self.entries.push_back(entry);
+        self.live += 1;
+    }
+
+    /// The oldest live entry, if any (commit candidate). Killed entries at
+    /// the head are reclaimed on the way.
+    pub fn head_mut(&mut self) -> Option<&mut WinEntry> {
+        self.drain_dead_head();
+        self.entries.front_mut()
+    }
+
+    /// Remove the head entry (it committed). Returns it.
+    ///
+    /// # Panics
+    /// Panics if there is no live head entry.
+    pub fn pop_head(&mut self) -> WinEntry {
+        self.drain_dead_head();
+        let e = self.entries.pop_front().expect("pop from empty window");
+        debug_assert!(!e.killed);
+        self.live -= 1;
+        e
+    }
+
+    fn drain_dead_head(&mut self) {
+        while matches!(self.entries.front(), Some(e) if e.killed) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Iterate over live entries, oldest first.
+    pub fn iter_live(&self) -> impl Iterator<Item = &WinEntry> {
+        self.entries.iter().filter(|e| !e.killed)
+    }
+
+    /// Iterate mutably over live entries, oldest first.
+    pub fn iter_live_mut(&mut self) -> impl Iterator<Item = &mut WinEntry> {
+        self.entries.iter_mut().filter(|e| !e.killed)
+    }
+
+    /// The branch resolution bus (paper §3.2.3 "resolution"): kill every
+    /// live entry whose tag descends from (or equals) `wrong_tag`. Returns
+    /// the killed entries so the caller can release registers, CTX
+    /// positions, and store-buffer state.
+    pub fn kill_descendants(&mut self, wrong_tag: &CtxTag) -> Vec<WinEntry> {
+        let mut killed = Vec::new();
+        for e in self.entries.iter_mut() {
+            if !e.killed && e.ctx.is_descendant_or_equal(wrong_tag) {
+                e.killed = true;
+                self.live -= 1;
+                killed.push(e.clone());
+            }
+        }
+        killed
+    }
+
+    /// The branch commit bus (paper §3.2.3 "commit"): invalidate one
+    /// history position in every live entry's tag.
+    pub fn invalidate_position(&mut self, pos: usize) {
+        for e in self.entries.iter_mut() {
+            if !e.killed {
+                e.ctx.invalidate(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_ctx::PathTable;
+
+    fn entry(seq: Seq, ctx: CtxTag) -> WinEntry {
+        let mut paths: PathTable<()> = PathTable::new(1);
+        let path = paths.allocate(()).unwrap();
+        WinEntry {
+            fid: crate::observer::FetchId(seq),
+            seq,
+            pc: seq as usize,
+            op: Op::Nop,
+            ctx,
+            path,
+            srcs: [None, None],
+            dest: None,
+            state: EntryState::Waiting,
+            complete_at: 0,
+            result: None,
+            binfo: None,
+            mem: None,
+            killed: false,
+        }
+    }
+
+    #[test]
+    fn push_pop_order() {
+        let mut w = Window::new(4);
+        w.push(entry(0, CtxTag::root()));
+        w.push(entry(1, CtxTag::root()));
+        assert_eq!(w.occupancy(), 2);
+        assert_eq!(w.pop_head().seq, 0);
+        assert_eq!(w.pop_head().seq, 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut w = Window::new(1);
+        w.push(entry(0, CtxTag::root()));
+        w.push(entry(1, CtxTag::root()));
+    }
+
+    #[test]
+    fn kill_descendants_selective() {
+        let mut w = Window::new(8);
+        let parent = CtxTag::root();
+        let taken = parent.with_position(0, true);
+        let not_taken = parent.with_position(0, false);
+        w.push(entry(0, parent)); // the branch itself: survives
+        w.push(entry(1, taken));
+        w.push(entry(2, not_taken));
+        w.push(entry(3, taken.with_position(1, false))); // descendant of taken
+
+        let killed = w.kill_descendants(&taken);
+        let killed_seqs: Vec<Seq> = killed.iter().map(|e| e.seq).collect();
+        assert_eq!(killed_seqs, vec![1, 3]);
+        assert_eq!(w.occupancy(), 2);
+
+        // Commit proceeds over the corpses.
+        assert_eq!(w.pop_head().seq, 0);
+        assert_eq!(w.pop_head().seq, 2);
+    }
+
+    #[test]
+    fn head_skips_killed() {
+        let mut w = Window::new(4);
+        let t = CtxTag::root().with_position(0, true);
+        w.push(entry(0, t));
+        w.push(entry(1, CtxTag::root()));
+        w.kill_descendants(&t);
+        assert_eq!(w.head_mut().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn invalidate_position_broadcast() {
+        let mut w = Window::new(4);
+        let t = CtxTag::root().with_position(3, true).with_position(5, false);
+        w.push(entry(0, t));
+        w.invalidate_position(3);
+        let e = w.iter_live().next().unwrap();
+        assert_eq!(e.ctx.position(3), None);
+        assert_eq!(e.ctx.position(5), Some(false));
+    }
+
+    #[test]
+    fn occupancy_counts_only_live() {
+        let mut w = Window::new(4);
+        let t = CtxTag::root().with_position(0, true);
+        w.push(entry(0, t));
+        w.push(entry(1, CtxTag::root()));
+        assert!(!w.is_full());
+        w.kill_descendants(&t);
+        assert_eq!(w.occupancy(), 1);
+        // The freed slot can be reused.
+        w.push(entry(2, CtxTag::root()));
+        w.push(entry(3, CtxTag::root()));
+        w.push(entry(4, CtxTag::root()));
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn iter_live_oldest_first() {
+        let mut w = Window::new(4);
+        w.push(entry(5, CtxTag::root()));
+        w.push(entry(6, CtxTag::root()));
+        let seqs: Vec<Seq> = w.iter_live().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6]);
+    }
+}

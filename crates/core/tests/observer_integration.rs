@@ -1,0 +1,152 @@
+//! Observer integration: event streams from real simulations obey the
+//! pipeline's lifecycle invariants.
+
+use std::collections::HashMap;
+
+use pp_core::{FetchId, PipeEvent, SimConfig, Simulator, TraceLog};
+use pp_isa::{reg, Asm, Operand, Program};
+
+fn branchy_program() -> Program {
+    let mut a = Asm::new();
+    let data: Vec<i64> = (0..64)
+        .map(|i| ((i * 2654435761u64) >> 7 & 1) as i64)
+        .collect();
+    let base = a.alloc_words(&data);
+    a.li(reg::GP, base as i64);
+    a.li(reg::S0, 0);
+    let top = a.here();
+    a.and(reg::T0, reg::S0, 63i64);
+    a.sll(reg::T0, reg::T0, 3i64);
+    a.add(reg::T0, reg::T0, reg::GP);
+    a.ld(reg::T1, reg::T0, 0);
+    let skip = a.new_label();
+    a.beq(reg::T1, 0i64, skip);
+    a.addi(reg::S1, reg::S1, 1);
+    a.bind(skip).unwrap();
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(300), top);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn run_traced(cfg: SimConfig) -> (Vec<PipeEvent>, pp_core::SimStats) {
+    let program = branchy_program();
+    let mut sim = Simulator::new(&program, cfg);
+    sim.set_observer(Box::new(TraceLog::new()));
+    let stats = sim.run();
+    let log = sim
+        .take_observer()
+        .expect("observer attached")
+        .into_any()
+        .downcast::<TraceLog>()
+        .expect("a TraceLog was attached");
+    (log.events().to_vec(), stats)
+}
+
+#[derive(Default, Debug)]
+struct Lifecycle {
+    fetched: Option<u64>,
+    dispatched: Option<u64>,
+    issued: Option<u64>,
+    completed: Option<u64>,
+    committed: Option<u64>,
+    killed: Option<u64>,
+}
+
+fn lifecycles(events: &[PipeEvent]) -> HashMap<FetchId, Lifecycle> {
+    let mut map: HashMap<FetchId, Lifecycle> = HashMap::new();
+    for ev in events {
+        let lc = map.entry(ev.fid()).or_default();
+        match ev {
+            PipeEvent::Fetched { cycle, .. } => lc.fetched = Some(*cycle),
+            PipeEvent::Dispatched { cycle, .. } => lc.dispatched = Some(*cycle),
+            PipeEvent::Issued { cycle, .. } => lc.issued = Some(*cycle),
+            PipeEvent::Completed { cycle, .. } => lc.completed = Some(*cycle),
+            PipeEvent::Committed { cycle, .. } => lc.committed = Some(*cycle),
+            PipeEvent::Killed { cycle, .. } => lc.killed = Some(*cycle),
+            _ => {}
+        }
+    }
+    map
+}
+
+#[test]
+fn lifecycle_invariants_hold_under_see() {
+    let (events, stats) = run_traced(SimConfig::baseline());
+    let map = lifecycles(&events);
+    assert_eq!(map.len() as u64, stats.fetched_instructions);
+
+    let mut committed = 0u64;
+    let mut killed = 0u64;
+    for (fid, lc) in &map {
+        let f = lc.fetched.unwrap_or_else(|| panic!("{fid:?}: never fetched"));
+        // Stage order is monotone.
+        if let Some(d) = lc.dispatched {
+            assert!(d > f, "{fid:?}: dispatch before fetch latency");
+            if let Some(i) = lc.issued {
+                assert!(i > d, "{fid:?}: issued in dispatch cycle");
+                // In-flight instructions at halt may never complete.
+                if let Some(w) = lc.completed {
+                    assert!(w > i, "{fid:?}: completed at issue");
+                    if let Some(c) = lc.committed {
+                        assert!(c > w, "{fid:?}: committed before writeback");
+                    }
+                } else {
+                    assert!(
+                        lc.committed.is_none(),
+                        "{fid:?}: committed without completing"
+                    );
+                }
+            }
+        }
+        // Exactly one fate: committed XOR killed XOR (in flight at halt).
+        assert!(
+            !(lc.committed.is_some() && lc.killed.is_some()),
+            "{fid:?}: both committed and killed"
+        );
+        committed += lc.committed.is_some() as u64;
+        killed += lc.killed.is_some() as u64;
+    }
+    assert_eq!(committed, stats.committed_instructions);
+    assert_eq!(killed, stats.killed_instructions);
+}
+
+#[test]
+fn divergences_match_stats() {
+    let (events, stats) = run_traced(SimConfig::baseline());
+    let diverged = events
+        .iter()
+        .filter(|e| matches!(e, PipeEvent::Diverged { .. }))
+        .count() as u64;
+    assert_eq!(diverged, stats.divergences);
+    assert!(diverged > 0, "random branches should diverge");
+}
+
+#[test]
+fn monopath_emits_redirects_not_divergences() {
+    let (events, stats) = run_traced(SimConfig::monopath_baseline());
+    assert!(!events.iter().any(|e| matches!(e, PipeEvent::Diverged { .. })));
+    let redirects = events
+        .iter()
+        .filter(|e| matches!(e, PipeEvent::Redirected { .. }))
+        .count() as u64;
+    assert_eq!(redirects, stats.recoveries);
+    assert!(redirects > 0);
+}
+
+#[test]
+fn pipeview_renders_real_run() {
+    let program = branchy_program();
+    let mut sim = Simulator::new(&program, SimConfig::baseline());
+    sim.set_observer(Box::new(pp_core::PipeView::new()));
+    sim.run();
+    let view = sim
+        .take_observer()
+        .expect("observer")
+        .into_any()
+        .downcast::<pp_core::PipeView>()
+        .expect("a PipeView was attached");
+    let out = view.render_range(0, 40);
+    assert!(out.contains('C'), "some commits visible: {out}");
+    assert!(out.lines().count() > 10);
+}

@@ -1,0 +1,819 @@
+//! End-to-end pipeline tests with lock-step co-simulation against the
+//! functional emulator: the committed instruction stream must be
+//! architecturally identical in every execution mode — wrong paths must be
+//! invisible.
+
+use pp_core::{ConfidenceKind, ExecMode, PredictorKind, SimConfig, SimStats, Simulator};
+use pp_func::Emulator;
+use pp_isa::{reg, Asm, FpOp, Operand, Program};
+use pp_predictor::JrsConfig;
+
+fn assemble(f: impl FnOnce(&mut Asm)) -> Program {
+    let mut a = Asm::new();
+    f(&mut a);
+    a.assemble().expect("test program assembles")
+}
+
+/// A program whose inner branch depends on pseudo-random data: roughly
+/// half taken, badly predictable — the workload SEE is designed for.
+fn random_branch_program(iters: i64) -> Program {
+    assemble(|a| {
+        // xorshift-ish data array.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let data: Vec<i64> = (0..256)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 1) as i64
+            })
+            .collect();
+        let base = a.alloc_words(&data);
+
+        a.li(reg::GP, base as i64);
+        a.li(reg::S0, 0); // i
+        a.li(reg::S1, 0); // acc
+        let top = a.here();
+        a.and(reg::T0, reg::S0, 255i64);
+        a.sll(reg::T1, reg::T0, 3i64);
+        a.add(reg::T1, reg::T1, reg::GP);
+        a.ld(reg::T2, reg::T1, 0);
+        let odd = a.new_label();
+        let join = a.new_label();
+        a.bne(reg::T2, 0i64, odd);
+        a.addi(reg::S1, reg::S1, 1);
+        a.jmp(join);
+        a.bind(odd).unwrap();
+        a.addi(reg::S1, reg::S1, 3);
+        a.bind(join).unwrap();
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(iters), top);
+        a.st(reg::S1, reg::GP, -8);
+        a.halt();
+    })
+}
+
+fn run_checked(program: &Program, cfg: SimConfig) -> SimStats {
+    let mut sim = Simulator::new(program, cfg.with_commit_checking());
+    let stats = sim.run();
+    assert!(!stats.hit_cycle_limit, "run hit the cycle limit");
+    // Final memory must equal the functional emulator's.
+    let mut emu = Emulator::new(program);
+    emu.run(100_000_000).expect("reference run halts");
+    assert!(
+        sim.memory().same_contents(emu.memory()),
+        "final memory differs from the functional reference"
+    );
+    stats
+}
+
+fn all_modes() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("monopath", SimConfig::monopath_baseline()),
+        ("see-jrs", SimConfig::baseline()),
+        (
+            "see-oracle-conf",
+            SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+        ),
+        (
+            "dual-path",
+            SimConfig::baseline().with_mode(ExecMode::DualPath),
+        ),
+        (
+            "oracle-bp",
+            SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
+        ),
+    ]
+}
+
+#[test]
+fn straight_line_arithmetic_all_modes() {
+    let p = assemble(|a| {
+        a.li(reg::T0, 6);
+        a.li(reg::T1, 7);
+        a.mul(reg::T2, reg::T0, reg::T1);
+        a.addi(reg::T3, reg::T2, -2);
+        a.xor(reg::T4, reg::T3, reg::T2);
+        a.st(reg::T4, reg::ZERO, 0x2000);
+        a.halt();
+    });
+    for (name, cfg) in all_modes() {
+        let s = run_checked(&p, cfg);
+        assert_eq!(s.committed_instructions, 7, "{name}");
+    }
+}
+
+#[test]
+fn predictable_loop_all_modes() {
+    let p = assemble(|a| {
+        a.li(reg::T0, 0);
+        let top = a.here();
+        a.addi(reg::T0, reg::T0, 1);
+        a.blt(reg::T0, Operand::imm(500), top);
+        a.halt();
+    });
+    for (name, cfg) in all_modes() {
+        let s = run_checked(&p, cfg);
+        assert_eq!(s.committed_instructions, 1002, "{name}");
+        assert_eq!(s.committed_branches, 500, "{name}");
+        // A trained loop branch mispredicts only during table warm-up
+        // (the first few dozen instances are in flight before the first
+        // commit trains the counters).
+        assert!(s.mispredicted_branches < 60, "{name}: {}", s.mispredicted_branches);
+    }
+}
+
+#[test]
+fn random_branches_all_modes_commit_identically() {
+    let p = random_branch_program(400);
+    let reference = run_checked(&p, SimConfig::monopath_baseline());
+    for (name, cfg) in all_modes() {
+        let s = run_checked(&p, cfg);
+        assert_eq!(
+            s.committed_instructions, reference.committed_instructions,
+            "{name}: committed count must be architectural"
+        );
+        assert_eq!(s.committed_branches, reference.committed_branches, "{name}");
+    }
+}
+
+#[test]
+fn see_diverges_on_random_branches() {
+    let p = random_branch_program(400);
+    let s = run_checked(&p, SimConfig::baseline());
+    assert!(s.divergences > 0, "SEE should diverge on random branches");
+    assert!(s.max_live_paths >= 2);
+}
+
+#[test]
+fn monopath_never_diverges() {
+    let p = random_branch_program(200);
+    let s = run_checked(&p, SimConfig::monopath_baseline());
+    assert_eq!(s.divergences, 0);
+    assert_eq!(s.max_live_paths, 1);
+}
+
+#[test]
+fn dual_path_uses_at_most_three_paths() {
+    let p = random_branch_program(400);
+    let s = run_checked(&p, SimConfig::baseline().with_mode(ExecMode::DualPath));
+    assert!(s.divergences > 0, "dual-path should still diverge");
+    assert!(
+        s.max_live_paths <= 3,
+        "dual-path must be limited to 3 paths, saw {}",
+        s.max_live_paths
+    );
+}
+
+#[test]
+fn oracle_prediction_beats_gshare_on_random_branches() {
+    let p = random_branch_program(600);
+    let gshare = run_checked(&p, SimConfig::monopath_baseline());
+    let oracle = run_checked(
+        &p,
+        SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
+    );
+    assert_eq!(oracle.mispredicted_branches, 0, "oracle never mispredicts");
+    assert!(
+        oracle.cycles < gshare.cycles,
+        "oracle ({}) should finish before gshare ({})",
+        oracle.cycles,
+        gshare.cycles
+    );
+}
+
+#[test]
+fn see_with_oracle_confidence_beats_monopath_on_random_branches() {
+    let p = random_branch_program(600);
+    let mono = run_checked(&p, SimConfig::monopath_baseline());
+    let see = run_checked(
+        &p,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+    );
+    assert!(
+        see.cycles < mono.cycles,
+        "SEE/oracle ({}) should beat monopath ({}) on unpredictable branches",
+        see.cycles,
+        mono.cycles
+    );
+}
+
+#[test]
+fn calls_and_returns_predict_via_ras() {
+    let p = assemble(|a| {
+        let f = a.new_label();
+        a.li(reg::S0, 0);
+        let top = a.here();
+        a.call(f);
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(100), top);
+        a.halt();
+        a.bind(f).unwrap();
+        a.addi(reg::A0, reg::A0, 1);
+        a.ret();
+    });
+    for (name, cfg) in all_modes() {
+        let s = run_checked(&p, cfg);
+        assert_eq!(s.mispredicted_returns, 0, "{name}: RAS should be perfect here");
+    }
+}
+
+#[test]
+fn recursion_with_stack_all_modes() {
+    // Recursive triangular-number computation: f(n) = n + f(n-1), f(0) = 0.
+    let p = assemble(|a| {
+        let f = a.new_label();
+        let base_case = a.new_label();
+        a.li(reg::A0, 30);
+        a.call(f);
+        a.st(reg::A1, reg::ZERO, 0x3000);
+        a.halt();
+
+        a.bind(f).unwrap();
+        a.ble(reg::A0, 0i64, base_case);
+        a.addi(reg::SP, reg::SP, -16);
+        a.st(reg::RA, reg::SP, 0);
+        a.st(reg::A0, reg::SP, 8);
+        a.addi(reg::A0, reg::A0, -1);
+        a.call(f);
+        a.ld(reg::RA, reg::SP, 0);
+        a.ld(reg::T0, reg::SP, 8);
+        a.addi(reg::SP, reg::SP, 16);
+        a.add(reg::A1, reg::A1, reg::T0);
+        a.ret();
+        a.bind(base_case).unwrap();
+        a.li(reg::A1, 0);
+        a.ret();
+    });
+    for (name, cfg) in all_modes() {
+        let mut sim = Simulator::new(&p, cfg.with_commit_checking());
+        let s = sim.run();
+        assert!(!s.hit_cycle_limit, "{name}");
+        assert_eq!(sim.memory().read_u64(0x3000), 465, "{name}: 1+..+30");
+    }
+}
+
+#[test]
+fn store_load_forwarding_chain() {
+    // A tight store→load dependence through the same address.
+    let p = assemble(|a| {
+        let buf = a.alloc_zeroed(1);
+        a.li(reg::GP, buf as i64);
+        a.li(reg::T0, 0);
+        a.li(reg::S0, 0);
+        let top = a.here();
+        a.st(reg::T0, reg::GP, 0);
+        a.ld(reg::T1, reg::GP, 0);
+        a.add(reg::T0, reg::T1, Operand::imm(1));
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(50), top);
+        a.halt();
+    });
+    for (name, cfg) in all_modes() {
+        let mut sim = Simulator::new(&p, cfg.with_commit_checking());
+        let s = sim.run();
+        assert!(!s.hit_cycle_limit, "{name}");
+        assert_eq!(sim.memory().read_u64(pp_isa::DATA_BASE), 49, "{name}");
+    }
+}
+
+#[test]
+fn fp_pipeline_executes() {
+    let p = assemble(|a| {
+        a.li(reg::T0, 10);
+        a.fp(FpOp::Itof, reg::F0, reg::T0, reg::ZERO);
+        a.fp(FpOp::Mul, reg::F1, reg::F0, reg::F0);
+        a.fp(FpOp::Add, reg::F2, reg::F1, reg::F0);
+        a.fp(FpOp::Ftoi, reg::T1, reg::F2, reg::ZERO);
+        a.st(reg::T1, reg::ZERO, 0x4000);
+        a.halt();
+    });
+    let mut sim = Simulator::new(&p, SimConfig::baseline().with_commit_checking());
+    sim.run();
+    assert_eq!(sim.memory().read_u64(0x4000), 110);
+}
+
+#[test]
+fn stats_invariants_hold() {
+    let p = random_branch_program(300);
+    for (name, cfg) in all_modes() {
+        let s = run_checked(&p, cfg);
+        assert!(
+            s.fetched_instructions >= s.dispatched_instructions,
+            "{name}: fetched >= dispatched"
+        );
+        assert!(
+            s.dispatched_instructions >= s.committed_instructions,
+            "{name}: dispatched >= committed"
+        );
+        assert!(s.fetched_per_committed() >= 1.0, "{name}");
+        let hist_cycles: u64 = s.path_cycles.iter().sum();
+        assert_eq!(hist_cycles, s.cycles, "{name}: path histogram covers every cycle");
+        let conf_total =
+            s.low_conf_correct + s.low_conf_incorrect + s.high_conf_correct + s.high_conf_incorrect;
+        assert_eq!(conf_total, s.committed_branches, "{name}: confidence truth table");
+        assert_eq!(
+            s.mispredicted_branches,
+            s.low_conf_incorrect + s.high_conf_incorrect,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn deeper_pipeline_costs_cycles_on_mispredictions() {
+    let p = random_branch_program(500);
+    let shallow = run_checked(&p, SimConfig::monopath_baseline().with_pipeline_depth(6));
+    let deep = run_checked(&p, SimConfig::monopath_baseline().with_pipeline_depth(10));
+    assert!(
+        deep.cycles > shallow.cycles,
+        "10-stage ({}) must be slower than 6-stage ({})",
+        deep.cycles,
+        shallow.cycles
+    );
+}
+
+#[test]
+fn smaller_window_costs_cycles() {
+    let p = random_branch_program(500);
+    let small = run_checked(&p, SimConfig::monopath_baseline().with_window_size(16));
+    let large = run_checked(&p, SimConfig::monopath_baseline().with_window_size(256));
+    assert!(
+        small.cycles >= large.cycles,
+        "16-entry window ({}) must not beat 256 ({})",
+        small.cycles,
+        large.cycles
+    );
+}
+
+#[test]
+fn jrs_confidence_truth_table_populates() {
+    let p = random_branch_program(500);
+    let s = run_checked(
+        &p,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Jrs(JrsConfig::paper_baseline())),
+    );
+    assert!(s.low_conf_incorrect > 0, "some low-confidence mispredictions");
+    assert!(s.high_conf_correct > 0, "some high-confidence correct predictions");
+    assert!(s.pvn() > 0.0 && s.pvn() <= 1.0);
+}
+
+#[test]
+fn window_occupancy_and_fu_accounting_sane() {
+    let p = random_branch_program(300);
+    let s = run_checked(&p, SimConfig::baseline());
+    assert!(s.mean_window_occupancy() > 0.0);
+    assert!(s.mean_window_occupancy() <= 256.0);
+    for fu in [&s.fu_int0, &s.fu_int1, &s.fu_mem, &s.fu_fp_add, &s.fu_fp_mul] {
+        let u = fu.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+    }
+}
+
+#[test]
+fn byte_memory_ops_all_modes() {
+    let p = assemble(|a| {
+        let src = a.alloc_bytes(b"polypath");
+        let dst = a.alloc_zeroed(2);
+        a.li(reg::GP, src as i64);
+        a.li(reg::S2, dst as i64);
+        a.li(reg::S0, 0);
+        let top = a.here();
+        a.add(reg::T0, reg::GP, reg::S0);
+        a.ldb(reg::T1, reg::T0, 0);
+        a.add(reg::T2, reg::S2, reg::S0);
+        a.stb(reg::T1, reg::T2, 0);
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(8), top);
+        a.halt();
+    });
+    for (name, cfg) in all_modes() {
+        let mut sim = Simulator::new(&p, cfg.with_commit_checking());
+        sim.run();
+        let dst = pp_isa::DATA_BASE + 8;
+        let copied: Vec<u8> = (0..8).map(|i| sim.memory().read_u8(dst + i)).collect();
+        assert_eq!(&copied, b"polypath", "{name}");
+    }
+}
+
+#[test]
+fn tiny_machine_configuration_works() {
+    // 1 FU of each class, small window, shallow pipeline.
+    let p = random_branch_program(200);
+    let cfg = SimConfig {
+        fus: pp_core::FuConfig::uniform(1),
+        window_size: 32,
+        ..SimConfig::baseline()
+    };
+    let s = run_checked(&p, cfg);
+    assert!(s.committed_instructions > 0);
+}
+
+#[test]
+fn fetched_exceeds_committed_under_mispredictions() {
+    let p = random_branch_program(500);
+    let s = run_checked(&p, SimConfig::monopath_baseline());
+    // The paper reports 1.86× on SPECint95; any misprediction-heavy loop
+    // must fetch strictly more than it commits.
+    assert!(s.fetched_per_committed() > 1.05, "{}", s.fetched_per_committed());
+}
+
+// -----------------------------------------------------------------------
+// Extension features: adaptive confidence, fetch policies, commit-time
+// resolution (the paper's future-work items).
+// -----------------------------------------------------------------------
+
+#[test]
+fn adaptive_confidence_cosimulates_and_limits_waste() {
+    use pp_predictor::AdaptiveConfig;
+    let p = random_branch_program(600);
+    let adaptive = run_checked(
+        &p,
+        SimConfig::baseline().with_confidence(ConfidenceKind::AdaptiveJrs(
+            AdaptiveConfig::paper_baseline(),
+        )),
+    );
+    // Same architectural outcome as any other mode.
+    let mono = run_checked(&p, SimConfig::monopath_baseline());
+    assert_eq!(adaptive.committed_instructions, mono.committed_instructions);
+    // The gate may close, but divergence on a random branch has high PVN,
+    // so some divergences must happen.
+    assert!(adaptive.divergences > 0);
+}
+
+#[test]
+fn adaptive_gate_closes_on_predictable_code() {
+    use pp_predictor::AdaptiveConfig;
+    // A perfectly predictable loop: every low-confidence flag is wasted,
+    // so the adaptive estimator must converge to (almost) no divergence.
+    let p = assemble(|a| {
+        a.li(reg::T0, 0);
+        let top = a.here();
+        a.addi(reg::T1, reg::T1, 2);
+        a.addi(reg::T0, reg::T0, 1);
+        a.blt(reg::T0, Operand::imm(30_000), top);
+        a.halt();
+    });
+    let plain = run_checked(&p, SimConfig::baseline());
+    let gated = run_checked(
+        &p,
+        SimConfig::baseline().with_confidence(ConfidenceKind::AdaptiveJrs(
+            AdaptiveConfig::paper_baseline(),
+        )),
+    );
+    assert!(
+        gated.divergences <= plain.divergences,
+        "gated ({}) must not diverge more than plain JRS ({})",
+        gated.divergences,
+        plain.divergences
+    );
+}
+
+#[test]
+fn fetch_policies_all_cosimulate() {
+    use pp_core::FetchPolicy;
+    let p = random_branch_program(400);
+    let reference = run_checked(&p, SimConfig::baseline());
+    for policy in [
+        FetchPolicy::ExponentialByAge,
+        FetchPolicy::OldestFirst,
+        FetchPolicy::RoundRobin,
+    ] {
+        let s = run_checked(&p, SimConfig::baseline().with_fetch_policy(policy));
+        assert_eq!(
+            s.committed_instructions, reference.committed_instructions,
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn commit_time_resolution_cosimulates_and_costs_cycles() {
+    let p = random_branch_program(500);
+    let at_execute = run_checked(&p, SimConfig::monopath_baseline());
+    let at_commit = run_checked(
+        &p,
+        SimConfig::monopath_baseline().with_commit_time_resolution(),
+    );
+    assert_eq!(
+        at_commit.committed_instructions,
+        at_execute.committed_instructions
+    );
+    // In-order resolution discovers mispredictions later: strictly slower
+    // on misprediction-heavy code.
+    assert!(
+        at_commit.cycles > at_execute.cycles,
+        "commit-time resolution ({}) must cost more cycles than execute-time ({})",
+        at_commit.cycles,
+        at_execute.cycles
+    );
+}
+
+#[test]
+fn commit_time_resolution_works_with_see() {
+    let p = random_branch_program(300);
+    let s = run_checked(&p, SimConfig::baseline().with_commit_time_resolution());
+    assert!(s.divergences > 0);
+}
+
+#[test]
+fn dcache_model_cosimulates_and_costs_cycles() {
+    use pp_core::CacheConfig;
+    // A loop striding far beyond 8 KiB so the modeled L1 keeps missing.
+    let p = assemble(|a| {
+        let base = a.alloc_zeroed(1);
+        a.li(reg::GP, base as i64);
+        a.li(reg::S0, 0);
+        let top = a.here();
+        a.sll(reg::T0, reg::S0, 8i64); // 256-byte stride
+        a.and(reg::T0, reg::T0, 0xf_ffffi64);
+        a.add(reg::T0, reg::T0, reg::GP);
+        a.ld(reg::T1, reg::T0, 0);
+        a.add(reg::S1, reg::S1, reg::T1);
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(2_000), top);
+        a.halt();
+    });
+    let ideal = run_checked(&p, SimConfig::monopath_baseline());
+    let cached = run_checked(
+        &p,
+        SimConfig::monopath_baseline().with_dcache(CacheConfig::l1_8k()),
+    );
+    assert_eq!(ideal.committed_instructions, cached.committed_instructions);
+    assert_eq!(ideal.dcache_misses, 0, "always-hit model records nothing");
+    assert!(
+        cached.dcache_misses > 1_000,
+        "strided loads must miss, got {}",
+        cached.dcache_misses
+    );
+    assert!(
+        cached.cycles > ideal.cycles,
+        "misses must cost cycles: {} vs {}",
+        cached.cycles,
+        ideal.cycles
+    );
+    assert!(cached.dcache_miss_rate() > 0.5);
+}
+
+#[test]
+fn dcache_hits_on_resident_working_set() {
+    use pp_core::CacheConfig;
+    // A 64-word (512 B) working set fits the 8 KiB model: after warm-up
+    // everything hits and timing converges to the always-hit model.
+    let p = assemble(|a| {
+        let base = a.alloc_zeroed(64);
+        a.li(reg::GP, base as i64);
+        a.li(reg::S0, 0);
+        let top = a.here();
+        a.and(reg::T0, reg::S0, 63i64);
+        a.sll(reg::T0, reg::T0, 3i64);
+        a.add(reg::T0, reg::T0, reg::GP);
+        a.ld(reg::T1, reg::T0, 0);
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(4_000), top);
+        a.halt();
+    });
+    let cached = run_checked(
+        &p,
+        SimConfig::monopath_baseline().with_dcache(CacheConfig::l1_8k()),
+    );
+    assert!(
+        cached.dcache_miss_rate() < 0.02,
+        "resident set should hit, miss rate {}",
+        cached.dcache_miss_rate()
+    );
+}
+
+#[test]
+fn saturating_confidence_cosimulates_and_diverges() {
+    let p = random_branch_program(400);
+    let s = run_checked(
+        &p,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Saturating),
+    );
+    assert!(s.divergences > 0, "weak counters should trigger divergence");
+    let mono = run_checked(&p, SimConfig::monopath_baseline());
+    assert_eq!(s.committed_instructions, mono.committed_instructions);
+}
+
+#[test]
+#[should_panic(expected = "gshare")]
+fn saturating_confidence_requires_gshare() {
+    let cfg = SimConfig::baseline()
+        .with_predictor(PredictorKind::StaticTaken)
+        .with_confidence(ConfidenceKind::Saturating);
+    cfg.validate();
+}
+
+#[test]
+fn ras_overflow_recovers_correctly() {
+    // Recursion deeper than the 64-entry RAS: deep returns mispredict
+    // (hardware-faithful) but execution stays architecturally correct.
+    let p = assemble(|a| {
+        let f = a.new_label();
+        let base_case = a.new_label();
+        a.li(reg::A0, 100); // depth 100 > RAS_DEPTH 64
+        a.call(f);
+        a.st(reg::A1, reg::ZERO, 0x3000);
+        a.halt();
+        a.bind(f).unwrap();
+        a.ble(reg::A0, 0i64, base_case);
+        a.addi(reg::SP, reg::SP, -8);
+        a.st(reg::RA, reg::SP, 0);
+        a.addi(reg::A0, reg::A0, -1);
+        a.call(f);
+        a.ld(reg::RA, reg::SP, 0);
+        a.addi(reg::SP, reg::SP, 8);
+        a.addi(reg::A1, reg::A1, 1);
+        a.ret();
+        a.bind(base_case).unwrap();
+        a.ret();
+    });
+    for (name, cfg) in all_modes() {
+        let mut sim = Simulator::new(&p, cfg.with_commit_checking());
+        let s = sim.run();
+        assert!(!s.hit_cycle_limit, "{name}");
+        assert_eq!(sim.memory().read_u64(0x3000), 100, "{name}");
+        if name == "monopath" {
+            assert!(
+                s.mispredicted_returns > 0,
+                "{name}: RAS overflow must cause return mispredictions"
+            );
+        }
+    }
+}
+
+#[test]
+fn ctx_position_exhaustion_stalls_but_stays_correct() {
+    // Only 4 history positions: fetch stalls constantly on branches, but
+    // the run completes and matches the reference.
+    let p = random_branch_program(200);
+    let cfg = SimConfig {
+        ctx_positions: 4,
+        max_paths: 3,
+        ..SimConfig::baseline()
+    };
+    let s = run_checked(&p, cfg);
+    assert!(s.fetch_stall_no_ctx > 0, "positions must run out");
+}
+
+#[test]
+fn tight_physical_register_file_stalls_dispatch() {
+    let p = random_branch_program(150);
+    let cfg = SimConfig {
+        phys_regs: 256 + 64, // exact minimum for a 256-entry window
+        window_size: 256,
+        ..SimConfig::monopath_baseline()
+    };
+    let s = run_checked(&p, cfg);
+    assert!(s.committed_instructions > 0);
+}
+
+#[test]
+fn commit_width_one_machine_works() {
+    let p = random_branch_program(100);
+    let cfg = SimConfig {
+        commit_width: 1,
+        ..SimConfig::baseline()
+    };
+    let narrow = run_checked(&p, cfg);
+    let wide = run_checked(&p, SimConfig::baseline());
+    assert!(
+        narrow.cycles >= wide.cycles,
+        "1-wide commit cannot beat 8-wide"
+    );
+    assert!(narrow.ipc() <= 1.0 + 1e-9, "IPC cannot exceed commit width");
+}
+
+#[test]
+fn indirect_jumps_predict_through_btb() {
+    // A jump-table dispatch loop: jr hits the same few targets repeatedly,
+    // so after BTB warm-up most predictions land.
+    let p = assemble(|a| {
+        // Jump table with 4 handler addresses, filled after layout below.
+        let table = a.alloc_zeroed(4);
+        let handlers_done = a.new_label();
+        a.li(reg::GP, table as i64);
+        a.li(reg::S0, 0);
+        let top = a.here();
+        // idx = i & 3 (periodic pattern: handler sequence repeats)
+        a.and(reg::T0, reg::S0, 3i64);
+        a.sll(reg::T0, reg::T0, 3i64);
+        a.add(reg::T0, reg::T0, reg::GP);
+        a.ld(reg::T1, reg::T0, 0);
+        a.jr(reg::T1);
+        // handlers: each adds a constant then jumps to the join.
+        let join = a.new_label();
+        let mut handler_pcs = Vec::new();
+        for k in 0..4 {
+            handler_pcs.push(a.pc());
+            a.addi(reg::S1, reg::S1, k + 1);
+            a.jmp(join);
+        }
+        a.bind(join).unwrap();
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(500), top);
+        a.jmp(handlers_done);
+        a.bind(handlers_done).unwrap();
+        a.st(reg::S1, reg::ZERO, 0x5000);
+        a.halt();
+        // Fill the jump table now that handler PCs are known.
+        for (k, pc) in handler_pcs.iter().enumerate() {
+            a.emit(pp_isa::Op::Nop); // keep code addresses stable (unused tail)
+            let _ = k;
+            let _ = pc;
+        }
+    });
+    // The table contents must be set via data: rebuild with values.
+    // (alloc_zeroed gave addresses; we patch by rebuilding the program with
+    // the now-known handler PCs.)
+    let mut a2 = Asm::new();
+    let table = a2.alloc_words(&[7, 9, 11, 13]); // placeholder, patched below
+    let _ = table;
+    let _ = p;
+    // Simpler, self-contained variant: handlers at fixed, pre-computed
+    // positions using forward labels resolved by the assembler.
+    let p = {
+        let mut a = Asm::new();
+        // Code layout: 0..6 header, handlers start at pc 7, stride 2.
+        let table = a.alloc_words(&[7, 9, 11, 13]);
+        a.li(reg::GP, table as i64); // 0
+        a.li(reg::S0, 0); // 1
+        let top = a.here(); // 2
+        a.and(reg::T0, reg::S0, 3i64); // 2
+        a.sll(reg::T0, reg::T0, 3i64); // 3
+        a.add(reg::T0, reg::T0, reg::GP); // 4
+        a.ld(reg::T1, reg::T0, 0); // 5
+        a.jr(reg::T1); // 6
+        let join = a.new_label();
+        for k in 0..4 {
+            assert_eq!(a.pc(), 7 + 2 * k, "jump table must match layout");
+            a.addi(reg::S1, reg::S1, k as i64 + 1); // 7,9,11,13
+            a.jmp(join); // 8,10,12,14
+        }
+        a.bind(join).unwrap(); // 15
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(500), top);
+        a.st(reg::S1, reg::ZERO, 0x5000);
+        a.halt();
+        a.assemble().unwrap()
+    };
+    for (name, cfg) in all_modes() {
+        let mut sim = Simulator::new(&p, cfg.with_commit_checking());
+        let s = sim.run();
+        assert!(!s.hit_cycle_limit, "{name}");
+        // sum over 500 iterations of (1,2,3,4 repeating) = 125 * 10
+        assert_eq!(sim.memory().read_u64(0x5000), 1250, "{name}");
+        // The periodic jr pattern alternates targets at one pc: a
+        // direct-mapped BTB mispredicts most dispatches (realistic), but
+        // some early ones must at least resolve without deadlock.
+        assert!(s.mispredicted_returns > 0, "{name}: cold BTB must mispredict");
+    }
+}
+
+#[test]
+fn jr_with_stable_target_stops_mispredicting() {
+    // One jr always jumping to the same place: after one miss, the BTB
+    // should predict it perfectly.
+    let p = assemble(|a| {
+        let target = a.new_label();
+        a.li(reg::S0, 0); // pc 0
+        let top = a.here();
+        a.li(reg::T0, 3); // pc 1: loads the pc of `target`
+        a.jr(reg::T0); // pc 2
+        a.bind(target).unwrap();
+        assert_eq!(a.pc(), 3, "layout assumption for the jr target");
+        a.addi(reg::S0, reg::S0, 1);
+        a.blt(reg::S0, Operand::imm(300), top);
+        a.halt();
+    });
+    let s = run_checked(&p, SimConfig::monopath_baseline());
+    assert!(
+        s.mispredicted_returns <= 3,
+        "stable jr target should train the BTB, got {} mispredictions",
+        s.mispredicted_returns
+    );
+}
+
+#[test]
+fn all_extensions_together_cosimulate() {
+    // Everything at once: SEE with the adaptive estimator, commit-time
+    // resolution, round-robin fetch, a real D-cache, two-level local
+    // prediction — the union of every extension must still commit the
+    // architectural execution.
+    use pp_core::{CacheConfig, FetchPolicy};
+    use pp_predictor::AdaptiveConfig;
+    let p = random_branch_program(300);
+    let cfg = SimConfig::baseline()
+        .with_predictor(PredictorKind::TwoLevelLocal {
+            bht_bits: 10,
+            history_bits: 10,
+        })
+        .with_confidence(ConfidenceKind::AdaptiveJrs(AdaptiveConfig::paper_baseline()))
+        .with_fetch_policy(FetchPolicy::RoundRobin)
+        .with_commit_time_resolution()
+        .with_dcache(CacheConfig::l1_8k());
+    let s = run_checked(&p, cfg);
+    let reference = run_checked(&p, SimConfig::monopath_baseline());
+    assert_eq!(s.committed_instructions, reference.committed_instructions);
+}

@@ -1,0 +1,257 @@
+//! Property-based tests for the pipeline core.
+//!
+//! The heavyweight one generates random always-halting programs (forward
+//! branches over random data inside a bounded counted loop) and checks
+//! that every execution mode commits an architecturally identical run —
+//! lock-step against the functional emulator and final-memory equality.
+
+use pp_core::{
+    ConfidenceKind, ExecMode, FuConfig, PhysRegFile, PredictorKind, Ras, RegMap, SimConfig,
+    Simulator,
+};
+use pp_func::Emulator;
+use pp_isa::{reg, AluOp, Asm, Cond, Operand, Program, Reg};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random-program generation
+// ---------------------------------------------------------------------
+
+/// Register pool for fuzzed instructions (reserves GP/SP/S10/S11 for the
+/// harness loop).
+fn fuzz_reg(i: u8) -> Reg {
+    const POOL: [u8; 16] = [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 20, 21, 22, 23];
+    Reg::from_index(POOL[(i as usize) % POOL.len()] as usize)
+}
+
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Alu(u8, u8, u8, u8, i8), // op selector, rd, rs1, rs2, imm (reg vs imm by sign)
+    Li(u8, i16),
+    Load(u8, u16),
+    Store(u8, u16),
+    Branch(u8, u8, u8, u8), // cond, rs1, rs2, forward distance
+    Jump(u8),               // forward distance
+    Fp(u8, u8, u8, u8),
+    Nop,
+}
+
+fn fuzz_op() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
+            .prop_map(|(o, d, a, b, i)| FuzzOp::Alu(o, d, a, b, i)),
+        2 => (any::<u8>(), any::<i16>()).prop_map(|(d, v)| FuzzOp::Li(d, v)),
+        2 => (any::<u8>(), any::<u16>()).prop_map(|(d, o)| FuzzOp::Load(d, o)),
+        2 => (any::<u8>(), any::<u16>()).prop_map(|(s, o)| FuzzOp::Store(s, o)),
+        3 => (any::<u8>(), any::<u8>(), any::<u8>(), 1u8..12)
+            .prop_map(|(c, a, b, t)| FuzzOp::Branch(c, a, b, t)),
+        1 => (1u8..8).prop_map(FuzzOp::Jump),
+        1 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(o, d, a, b)| FuzzOp::Fp(o, d, a, b)),
+        1 => Just(FuzzOp::Nop),
+    ]
+}
+
+/// Assemble a fuzzed body inside a counted loop. All control flow inside
+/// the body is strictly forward, so the program always halts.
+fn build_program(body: &[FuzzOp], loop_count: i64) -> Program {
+    let mut a = Asm::new();
+    let scratch = a.alloc_zeroed(512); // load/store arena
+
+    a.li(reg::GP, scratch as i64);
+    a.li(reg::S11, 0);
+    let top = a.here();
+
+    // Pre-create one label per body position for forward jumps.
+    let labels: Vec<_> = (0..=body.len()).map(|_| a.new_label()).collect();
+    for (i, op) in body.iter().enumerate() {
+        a.bind(labels[i]).unwrap();
+        match *op {
+            FuzzOp::Alu(o, d, s1, s2, imm) => {
+                let ops = [
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Mul,
+                    AluOp::Div,
+                    AluOp::Rem,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Xor,
+                    AluOp::Sll,
+                    AluOp::Srl,
+                    AluOp::Sra,
+                    AluOp::Slt,
+                    AluOp::Sltu,
+                ];
+                let src2 = if imm >= 0 {
+                    Operand::imm(imm as i64)
+                } else {
+                    Operand::Reg(fuzz_reg(s2))
+                };
+                a.alu(ops[(o as usize) % ops.len()], fuzz_reg(d), fuzz_reg(s1), src2);
+            }
+            FuzzOp::Li(d, v) => a.li(fuzz_reg(d), v as i64),
+            FuzzOp::Load(d, o) => a.ld(fuzz_reg(d), reg::GP, (o % 4000) as i64),
+            FuzzOp::Store(s, o) => a.st(fuzz_reg(s), reg::GP, (o % 4000) as i64),
+            FuzzOp::Branch(c, s1, s2, dist) => {
+                let conds = Cond::ALL;
+                let target = labels[(i + dist as usize).min(body.len())];
+                a.br(
+                    conds[(c as usize) % conds.len()],
+                    fuzz_reg(s1),
+                    Operand::Reg(fuzz_reg(s2)),
+                    target,
+                );
+            }
+            FuzzOp::Jump(dist) => {
+                let target = labels[(i + dist as usize).min(body.len())];
+                a.jmp(target);
+            }
+            FuzzOp::Fp(o, d, s1, s2) => {
+                let ops = pp_isa::FpOp::ALL;
+                // Use FP registers f0..f7 for destinations and sources.
+                a.fp(
+                    ops[(o as usize) % ops.len()],
+                    Reg::fp(d % 8),
+                    Reg::fp(s1 % 8),
+                    Reg::fp(s2 % 8),
+                );
+            }
+            FuzzOp::Nop => a.nop(),
+        }
+    }
+    a.bind(labels[body.len()]).unwrap();
+    a.addi(reg::S11, reg::S11, 1);
+    a.blt(reg::S11, Operand::imm(loop_count), top);
+    a.halt();
+    a.assemble().expect("fuzz program assembles")
+}
+
+fn fuzz_configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::monopath_baseline(),
+        SimConfig::baseline(),
+        SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+        SimConfig::baseline().with_mode(ExecMode::DualPath),
+        SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
+        // A cramped machine: stresses structural stalls and kills.
+        SimConfig {
+            window_size: 16,
+            fus: FuConfig::uniform(1),
+            max_paths: 4,
+            ctx_positions: 6,
+            fetch_width: 2,
+            dispatch_width: 2,
+            commit_width: 2,
+            ..SimConfig::baseline()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 40,
+        .. ProptestConfig::default()
+    })]
+
+    /// Every mode commits the architectural execution of a random program.
+    #[test]
+    fn random_programs_commit_architecturally(
+        body in proptest::collection::vec(fuzz_op(), 4..40),
+        loop_count in 2i64..30,
+    ) {
+        let program = build_program(&body, loop_count);
+
+        // Functional reference.
+        let mut emu = Emulator::new(&program);
+        let summary = emu.run(10_000_000).expect("fuzz program halts");
+
+        for cfg in fuzz_configs() {
+            let mut sim = Simulator::new(&program, cfg.clone().with_commit_checking());
+            let stats = sim.run();
+            prop_assert!(!stats.hit_cycle_limit);
+            prop_assert_eq!(
+                stats.committed_instructions, summary.instructions,
+                "commit count mismatch under {:?}", cfg.mode
+            );
+            prop_assert!(
+                sim.memory().same_contents(emu.memory()),
+                "final memory mismatch under {:?}", cfg.mode
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model-based structure tests
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The RAS behaves like a (bounded) Vec stack under arbitrary
+    /// push/pop sequences, and clones are immutable checkpoints.
+    #[test]
+    fn ras_matches_vec_model(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
+        let mut ras = Ras::new();
+        let mut model: Vec<usize> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    ras = ras.push(addr as usize);
+                    model.push(addr as usize);
+                    if model.len() > pp_core::RAS_DEPTH {
+                        model.remove(0);
+                    }
+                }
+                None => {
+                    let (got, rest) = ras.pop();
+                    prop_assert_eq!(got, model.pop());
+                    ras = rest;
+                }
+            }
+            prop_assert_eq!(ras.depth(), model.len());
+        }
+    }
+
+    /// Physical register allocation conserves registers: every allocate
+    /// is balanced by a release, and the free count never goes negative
+    /// or exceeds the initial pool.
+    #[test]
+    fn regfile_conserves_registers(ops in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let mut f = PhysRegFile::new(128);
+        let initial_free = f.free_count();
+        let mut live = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(r) = f.allocate() {
+                    f.write(r, 42);
+                    live.push(r);
+                }
+            } else if let Some(r) = live.pop() {
+                f.release(r);
+            }
+            prop_assert_eq!(f.free_count() + live.len(), initial_free);
+        }
+    }
+
+    /// RegMap rename/lookup matches a HashMap model.
+    #[test]
+    fn regmap_matches_map_model(
+        renames in proptest::collection::vec((0u8..64, any::<u16>()), 0..100)
+    ) {
+        let mut m = RegMap::identity();
+        let mut model: std::collections::HashMap<usize, u16> = HashMap::new();
+        for (logical, phys) in renames {
+            let l = Reg::from_index(logical as usize);
+            let old = m.rename(l, pp_core::PhysReg(phys % 128));
+            let model_old = model.insert(logical as usize, phys % 128)
+                .unwrap_or(logical as u16);
+            prop_assert_eq!(old.0, model_old);
+        }
+        for i in 0..64 {
+            let want = model.get(&i).copied().unwrap_or(i as u16);
+            prop_assert_eq!(m.lookup(Reg::from_index(i)).0, want);
+        }
+    }
+}
+
+use std::collections::HashMap;

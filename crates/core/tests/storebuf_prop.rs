@@ -1,0 +1,141 @@
+//! Model-based property test for the CTX-filtered store buffer: the
+//! forwarding decision must match a naive reference model for arbitrary
+//! interleavings of stores, kills, and position invalidations.
+
+use pp_core::{LoadCheck, StoreBuffer};
+use pp_ctx::CtxTag;
+use pp_isa::Width;
+use proptest::prelude::*;
+
+/// One store in the reference model.
+#[derive(Debug, Clone)]
+struct ModelStore {
+    seq: u64,
+    tag: CtxTag,
+    addr: Option<u64>,
+    data: Option<i64>,
+    width: Width,
+    killed: bool,
+}
+
+/// What the paper says should happen, written as directly as possible.
+fn model_check(
+    stores: &[ModelStore],
+    load_seq: u64,
+    load_tag: &CtxTag,
+    addr: u64,
+    width: Width,
+) -> LoadCheck {
+    let overlap = |a: u64, aw: Width, b: u64, bw: Width| a < b + bw.bytes() && b < a + aw.bytes();
+    let mut forward = None;
+    for s in stores {
+        if s.killed || s.seq >= load_seq || !load_tag.is_descendant_or_equal(&s.tag) {
+            continue;
+        }
+        match s.addr {
+            None => return LoadCheck::Block,
+            Some(sa) => {
+                if sa == addr && s.width == width {
+                    match s.data {
+                        Some(d) => forward = Some(d),
+                        None => return LoadCheck::Block,
+                    }
+                } else if overlap(sa, s.width, addr, width) {
+                    return LoadCheck::Block;
+                }
+            }
+        }
+    }
+    forward.map_or(LoadCheck::Memory, LoadCheck::Forward)
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Insert a store: tag path bits, has address yet, narrow width.
+    Insert { path: u8, resolved: bool, byte: bool, addr: u8, data: i8 },
+    /// Kill descendants of a one-position tag.
+    Kill { pos: u8, dir: bool },
+    /// Invalidate a position everywhere.
+    Invalidate { pos: u8 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<bool>(), any::<bool>(), any::<u8>(), any::<i8>())
+            .prop_map(|(path, resolved, byte, addr, data)| Step::Insert {
+                path, resolved, byte, addr, data
+            }),
+        1 => (0u8..6, any::<bool>()).prop_map(|(pos, dir)| Step::Kill { pos, dir }),
+        1 => (0u8..6).prop_map(|pos| Step::Invalidate { pos }),
+    ]
+}
+
+/// Tag from the low 6 bits of `path`: bit i set → position i valid with
+/// direction from bit i of a fixed direction pattern.
+fn tag_of(path: u8) -> CtxTag {
+    let mut t = CtxTag::root();
+    for pos in 0..6 {
+        if path & (1 << pos) != 0 {
+            t = t.with_position(pos, (path >> 6) & 1 == 0);
+        }
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn store_buffer_matches_model(
+        steps in proptest::collection::vec(step(), 0..60),
+        load_path in any::<u8>(),
+        load_addr in any::<u8>(),
+        load_byte in any::<bool>(),
+    ) {
+        let mut sb = StoreBuffer::new();
+        let mut model: Vec<ModelStore> = Vec::new();
+        let mut seq = 0u64;
+
+        for s in steps {
+            match s {
+                Step::Insert { path, resolved, byte, addr, data } => {
+                    let tag = tag_of(path);
+                    let width = if byte { Width::Byte } else { Width::Word };
+                    sb.insert(seq, tag, width);
+                    let mut m = ModelStore {
+                        seq, tag, addr: None, data: None, width, killed: false,
+                    };
+                    if resolved {
+                        sb.set_addr_data(seq, addr as u64, data as i64);
+                        m.addr = Some(addr as u64);
+                        m.data = Some(data as i64);
+                    }
+                    model.push(m);
+                    seq += 1;
+                }
+                Step::Kill { pos, dir } => {
+                    let wrong = CtxTag::root().with_position(pos as usize, dir);
+                    sb.kill_descendants(&wrong);
+                    for m in &mut model {
+                        if m.tag.is_descendant_or_equal(&wrong) {
+                            m.killed = true;
+                        }
+                    }
+                }
+                Step::Invalidate { pos } => {
+                    sb.invalidate_position(pos as usize);
+                    for m in &mut model {
+                        if !m.killed {
+                            m.tag.invalidate(pos as usize);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Probe several loads younger than everything.
+        let load_tag = tag_of(load_path);
+        let width = if load_byte { Width::Byte } else { Width::Word };
+        let got = sb.check_load(seq + 1, &load_tag, load_addr as u64, width);
+        let want = model_check(&model, seq + 1, &load_tag, load_addr as u64, width);
+        prop_assert_eq!(got, want);
+    }
+}

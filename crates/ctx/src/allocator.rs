@@ -1,0 +1,181 @@
+//! History position allocation with left-to-right, wrap-around reuse.
+
+use crate::tag::MAX_POSITIONS;
+
+/// Allocates CTX history positions to branches.
+///
+/// Per paper §3.2.1: "New history positions are assigned left to right in
+/// the CTX tag. After all history positions have been used, the assignment
+/// of new history positions wraps around to the left side of the tag and
+/// reuses history positions as they are vacated by committing branches."
+///
+/// A position is allocated when a branch is fetched and freed when that
+/// branch commits (or is killed on a mis-speculated path). When all
+/// positions are live the front-end must stall — the paper notes the same
+/// limit for RegMap checkpoints.
+///
+/// ```
+/// use pp_ctx::PositionAllocator;
+///
+/// let mut alloc = PositionAllocator::new(4);
+/// let p0 = alloc.allocate().unwrap();
+/// assert_eq!(p0, 0);
+/// alloc.free(p0);               // the branch committed
+/// assert_eq!(alloc.allocate(), Some(1), "assignment continues left-to-right");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionAllocator {
+    capacity: usize,
+    in_use: u128,
+    /// Next position to try, advancing monotonically (mod capacity).
+    cursor: usize,
+}
+
+impl PositionAllocator {
+    /// Allocator managing `capacity` history positions.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 or exceeds [`MAX_POSITIONS`].
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0 && capacity <= MAX_POSITIONS,
+            "capacity must be in 1..={MAX_POSITIONS}"
+        );
+        PositionAllocator {
+            capacity,
+            in_use: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Number of positions managed.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently allocated positions.
+    pub fn live(&self) -> usize {
+        self.in_use.count_ones() as usize
+    }
+
+    /// `true` when no position is free.
+    pub fn is_full(&self) -> bool {
+        self.live() == self.capacity
+    }
+
+    /// Allocate the next free position in left-to-right wrap-around order,
+    /// or `None` if all positions are occupied by uncommitted branches.
+    pub fn allocate(&mut self) -> Option<usize> {
+        if self.is_full() {
+            return None;
+        }
+        // Scan from the cursor; guaranteed to find a free slot.
+        for i in 0..self.capacity {
+            let pos = (self.cursor + i) % self.capacity;
+            if self.in_use & (1u128 << pos) == 0 {
+                self.in_use |= 1u128 << pos;
+                self.cursor = (pos + 1) % self.capacity;
+                return Some(pos);
+            }
+        }
+        unreachable!("a free position exists when not full");
+    }
+
+    /// Free `pos` (branch committed or was killed).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `pos` was not allocated — freeing twice
+    /// indicates a control-flow bookkeeping bug in the caller.
+    pub fn free(&mut self, pos: usize) {
+        debug_assert!(pos < self.capacity, "position out of range");
+        debug_assert!(
+            self.in_use & (1u128 << pos) != 0,
+            "double free of position {pos}"
+        );
+        self.in_use &= !(1u128 << pos);
+    }
+
+    /// `true` if `pos` is currently allocated.
+    pub fn is_live(&self, pos: usize) -> bool {
+        pos < self.capacity && self.in_use & (1u128 << pos) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_left_to_right() {
+        let mut a = PositionAllocator::new(4);
+        assert_eq!(a.allocate(), Some(0));
+        assert_eq!(a.allocate(), Some(1));
+        assert_eq!(a.allocate(), Some(2));
+        assert_eq!(a.allocate(), Some(3));
+        assert_eq!(a.allocate(), None);
+        assert!(a.is_full());
+    }
+
+    #[test]
+    fn wraps_around_and_reuses_vacated_positions() {
+        let mut a = PositionAllocator::new(4);
+        for _ in 0..4 {
+            a.allocate();
+        }
+        // Oldest branches commit, vacating 0 and 1.
+        a.free(0);
+        a.free(1);
+        // Wrap-around: next allocations reuse 0 then 1 (cursor wrapped past 3).
+        assert_eq!(a.allocate(), Some(0));
+        assert_eq!(a.allocate(), Some(1));
+        assert_eq!(a.allocate(), None);
+    }
+
+    #[test]
+    fn cursor_skips_live_positions() {
+        let mut a = PositionAllocator::new(4);
+        for _ in 0..4 {
+            a.allocate();
+        }
+        a.free(2); // only the middle is free
+        assert_eq!(a.allocate(), Some(2));
+    }
+
+    #[test]
+    fn live_count_tracks() {
+        let mut a = PositionAllocator::new(8);
+        assert_eq!(a.live(), 0);
+        let p = a.allocate().unwrap();
+        assert_eq!(a.live(), 1);
+        assert!(a.is_live(p));
+        a.free(p);
+        assert_eq!(a.live(), 0);
+        assert!(!a.is_live(p));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics_in_debug() {
+        let mut a = PositionAllocator::new(2);
+        let p = a.allocate().unwrap();
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PositionAllocator::new(0);
+    }
+
+    #[test]
+    fn full_capacity_64_works() {
+        let mut a = PositionAllocator::new(64);
+        for i in 0..64 {
+            assert_eq!(a.allocate(), Some(i));
+        }
+        assert!(a.is_full());
+        a.free(63);
+        assert_eq!(a.allocate(), Some(63));
+    }
+}

@@ -1,0 +1,263 @@
+//! The 2-bit-per-position context tag and its hierarchy comparator.
+
+use std::fmt;
+
+/// Maximum number of history positions a [`CtxTag`] can hold.
+///
+/// The paper uses 4-position examples but notes the width is an
+/// implementation parameter; 128 positions comfortably cover the deepest
+/// windows evaluated (a 1024-entry window holds ~200 in-flight branches;
+/// the allocator stalls fetch when positions run out, and the limit is
+/// checked).
+pub const MAX_POSITIONS: usize = 128;
+
+/// A context tag: for each history position, a valid bit and a direction bit.
+///
+/// Invalid positions are the paper's `X` ("don't care"); valid positions are
+/// `T` (taken) or `N` (not taken). The all-`X` tag is the root path (the
+/// oldest path in the pipeline).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CtxTag {
+    valid: u128,
+    dir: u128,
+}
+
+impl CtxTag {
+    /// The root tag `XX…X` (every position invalid).
+    pub const fn root() -> Self {
+        CtxTag { valid: 0, dir: 0 }
+    }
+
+    /// This tag extended with direction `taken` at history position `pos` —
+    /// the tag of the successor path created when a branch occupying `pos`
+    /// is fetched.
+    ///
+    /// # Panics
+    /// Panics if `pos >= MAX_POSITIONS` or if the position is already valid
+    /// in this tag (a position must be freed by branch commit before reuse).
+    #[must_use]
+    pub fn with_position(self, pos: usize, taken: bool) -> Self {
+        assert!(pos < MAX_POSITIONS, "history position out of range");
+        let bit = 1u128 << pos;
+        assert!(
+            self.valid & bit == 0,
+            "history position {pos} already occupied in this tag"
+        );
+        CtxTag {
+            valid: self.valid | bit,
+            dir: if taken { self.dir | bit } else { self.dir & !bit },
+        }
+    }
+
+    /// Invalidate history position `pos` (the branch-commit broadcast,
+    /// §3.2.3 "commit"). Invalidating an already-invalid position is a no-op,
+    /// which is exactly how the broadcast behaves for unrelated entries.
+    pub fn invalidate(&mut self, pos: usize) {
+        debug_assert!(pos < MAX_POSITIONS);
+        let bit = 1u128 << pos;
+        self.valid &= !bit;
+        self.dir &= !bit;
+    }
+
+    /// Clear all positions (§3.2.3 "clear": the entry itself commits).
+    pub fn clear(&mut self) {
+        self.valid = 0;
+        self.dir = 0;
+    }
+
+    /// State of history position `pos`: `None` for `X`, `Some(taken)` for
+    /// `T`/`N`.
+    pub fn position(&self, pos: usize) -> Option<bool> {
+        debug_assert!(pos < MAX_POSITIONS);
+        let bit = 1u128 << pos;
+        if self.valid & bit == 0 {
+            None
+        } else {
+            Some(self.dir & bit != 0)
+        }
+    }
+
+    /// Number of valid history positions.
+    pub fn valid_count(&self) -> u32 {
+        self.valid.count_ones()
+    }
+
+    /// `true` for the all-`X` tag.
+    pub fn is_root(&self) -> bool {
+        self.valid == 0
+    }
+
+    /// The hierarchy comparator (paper Fig. 5): `true` iff `self` lies on
+    /// `ancestor`'s path — i.e. `self` equals `ancestor` or is one of its
+    /// descendants. Every valid position of `ancestor` must be valid in
+    /// `self` with the same direction.
+    ///
+    /// The comparison uses absolute positions, so it is invariant under the
+    /// paper's tag "rotation": positions may be assigned in any order and
+    /// reused after wrap-around without realignment.
+    pub fn is_descendant_or_equal(&self, ancestor: &CtxTag) -> bool {
+        (self.valid & ancestor.valid) == ancestor.valid
+            && ((self.dir ^ ancestor.dir) & ancestor.valid) == 0
+    }
+
+    /// `true` iff the two tags lie on one path (either is a descendant of,
+    /// or equal to, the other). Used by the store buffer forwarding check.
+    pub fn related(&self, other: &CtxTag) -> bool {
+        self.is_descendant_or_equal(other) || other.is_descendant_or_equal(self)
+    }
+}
+
+impl fmt::Debug for CtxTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CtxTag(")?;
+        // Show up to the highest valid position, min 4 like the paper's figures.
+        let top = (128 - self.valid.leading_zeros() as usize).max(4);
+        for pos in 0..top {
+            match self.position(pos) {
+                None => write!(f, "X")?,
+                Some(true) => write!(f, "T")?,
+                Some(false) => write!(f, "N")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for CtxTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_all_invalid() {
+        let r = CtxTag::root();
+        assert!(r.is_root());
+        assert_eq!(r.valid_count(), 0);
+        for pos in 0..MAX_POSITIONS {
+            assert_eq!(r.position(pos), None);
+        }
+    }
+
+    #[test]
+    fn paper_example_prefix_relations() {
+        // T(XXX) vs TNT(X): descendant. TT(XX) vs TNT(X): unrelated.
+        let t = CtxTag::root().with_position(0, true);
+        let tn = t.with_position(1, false);
+        let tnt = tn.with_position(2, true);
+        let tt = t.with_position(1, true);
+
+        assert!(tnt.is_descendant_or_equal(&t));
+        assert!(tnt.is_descendant_or_equal(&tn));
+        assert!(tnt.is_descendant_or_equal(&tnt));
+        assert!(!t.is_descendant_or_equal(&tnt));
+        assert!(!tnt.is_descendant_or_equal(&tt));
+        assert!(!tt.is_descendant_or_equal(&tnt));
+        assert!(tnt.related(&t));
+        assert!(!tnt.related(&tt));
+    }
+
+    #[test]
+    fn rotation_independence() {
+        // Paper: (XX)T(X) and T(X)TN are still related after rotating the
+        // fields two positions right. Absolute positions model this: the
+        // ancestor relation only depends on *which* positions hold what.
+        let a = CtxTag::root().with_position(2, true);
+        let b = CtxTag::root()
+            .with_position(2, true)
+            .with_position(0, true)
+            .with_position(3, false);
+        assert!(b.is_descendant_or_equal(&a));
+        assert!(a.related(&b));
+    }
+
+    #[test]
+    fn everyone_descends_from_root() {
+        let root = CtxTag::root();
+        let some = CtxTag::root().with_position(5, false).with_position(9, true);
+        assert!(some.is_descendant_or_equal(&root));
+        assert!(root.is_descendant_or_equal(&root));
+        assert!(!root.is_descendant_or_equal(&some));
+    }
+
+    #[test]
+    fn invalidate_frees_position_for_reuse() {
+        let mut tag = CtxTag::root().with_position(0, true).with_position(1, false);
+        tag.invalidate(0);
+        assert_eq!(tag.position(0), None);
+        assert_eq!(tag.position(1), Some(false));
+        // Position 0 can now be reassigned with a different direction.
+        let tag2 = tag.with_position(0, false);
+        assert_eq!(tag2.position(0), Some(false));
+    }
+
+    #[test]
+    fn invalidate_is_idempotent_and_safe_on_unrelated_tags() {
+        let mut tag = CtxTag::root().with_position(3, true);
+        tag.invalidate(7); // never set: no-op
+        tag.invalidate(7);
+        assert_eq!(tag.position(3), Some(true));
+        assert_eq!(tag.valid_count(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut tag = CtxTag::root().with_position(0, true).with_position(63, false);
+        tag.clear();
+        assert!(tag.is_root());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn with_position_rejects_double_assignment() {
+        let _ = CtxTag::root()
+            .with_position(1, true)
+            .with_position(1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_position_rejects_out_of_range() {
+        let _ = CtxTag::root().with_position(MAX_POSITIONS, true);
+    }
+
+    #[test]
+    fn siblings_are_unrelated() {
+        let parent = CtxTag::root().with_position(4, true);
+        let left = parent.with_position(5, true);
+        let right = parent.with_position(5, false);
+        assert!(!left.related(&right));
+        assert!(left.related(&parent));
+        assert!(right.related(&parent));
+    }
+
+    #[test]
+    fn kill_set_semantics_after_position_reuse() {
+        // Old instruction whose tag had position 2, since committed (X at 2).
+        let mut old = CtxTag::root().with_position(2, true);
+        old.invalidate(2);
+        // A new branch reuses position 2; its wrong path is N at 2.
+        let new_wrong = CtxTag::root().with_position(2, false);
+        // The old (older-than-the-branch) instruction must not be killed.
+        assert!(!old.is_descendant_or_equal(&new_wrong));
+    }
+
+    #[test]
+    fn debug_format_shows_tnx() {
+        let tag = CtxTag::root().with_position(0, true).with_position(2, false);
+        assert_eq!(format!("{tag:?}"), "CtxTag(TXN)".replace("TXN", "TXNX"));
+        assert_eq!(format!("{}", CtxTag::root()), "CtxTag(XXXX)");
+    }
+
+    #[test]
+    fn highest_position_works() {
+        let tag = CtxTag::root().with_position(MAX_POSITIONS - 1, true);
+        assert_eq!(tag.position(MAX_POSITIONS - 1), Some(true));
+        assert_eq!(tag.valid_count(), 1);
+        assert!(tag.is_descendant_or_equal(&CtxTag::root()));
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for CTX tag algebra and position allocation.
+
+use pp_ctx::{CtxTag, PositionAllocator, MAX_POSITIONS};
+use proptest::prelude::*;
+
+/// Strategy: a sequence of (position, direction) pairs with distinct positions.
+fn distinct_positions(max_len: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    proptest::collection::vec((0..MAX_POSITIONS, any::<bool>()), 0..max_len).prop_map(|v| {
+        let mut seen = [false; MAX_POSITIONS];
+        v.into_iter()
+            .filter(|(p, _)| {
+                if seen[*p] {
+                    false
+                } else {
+                    seen[*p] = true;
+                    true
+                }
+            })
+            .collect()
+    })
+}
+
+fn build_tag(path: &[(usize, bool)]) -> CtxTag {
+    path.iter()
+        .fold(CtxTag::root(), |t, (p, d)| t.with_position(*p, *d))
+}
+
+proptest! {
+    /// Extending a tag always yields a descendant of every prefix.
+    #[test]
+    fn extension_preserves_descent(path in distinct_positions(16)) {
+        let mut tag = CtxTag::root();
+        let mut prefixes = vec![tag];
+        for (p, d) in &path {
+            tag = tag.with_position(*p, *d);
+            prefixes.push(tag);
+        }
+        for prefix in &prefixes {
+            prop_assert!(tag.is_descendant_or_equal(prefix));
+            prop_assert!(tag.related(prefix));
+        }
+    }
+
+    /// Descent is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn descent_is_partial_order(
+        a in distinct_positions(10),
+        b in distinct_positions(10),
+        c in distinct_positions(10),
+    ) {
+        let (ta, tb, tc) = (build_tag(&a), build_tag(&b), build_tag(&c));
+        // reflexive
+        prop_assert!(ta.is_descendant_or_equal(&ta));
+        // antisymmetric
+        if ta.is_descendant_or_equal(&tb) && tb.is_descendant_or_equal(&ta) {
+            prop_assert_eq!(ta, tb);
+        }
+        // transitive
+        if ta.is_descendant_or_equal(&tb) && tb.is_descendant_or_equal(&tc) {
+            prop_assert!(ta.is_descendant_or_equal(&tc));
+        }
+    }
+
+    /// Divergence creates two mutually unrelated children, both descendants
+    /// of the parent.
+    #[test]
+    fn divergence_children_unrelated(
+        path in distinct_positions(10),
+        pos in 0..MAX_POSITIONS,
+    ) {
+        let parent = build_tag(&path);
+        prop_assume!(parent.position(pos).is_none());
+        let taken = parent.with_position(pos, true);
+        let not_taken = parent.with_position(pos, false);
+        prop_assert!(taken.is_descendant_or_equal(&parent));
+        prop_assert!(not_taken.is_descendant_or_equal(&parent));
+        prop_assert!(!taken.related(&not_taken));
+    }
+
+    /// Invalidating a position in both tags never turns unrelated tags into
+    /// a wrong kill decision for descendants of other positions.
+    #[test]
+    fn invalidate_removes_position_only(
+        path in distinct_positions(12),
+    ) {
+        prop_assume!(!path.is_empty());
+        let tag = build_tag(&path);
+        for (p, _) in &path {
+            let mut t = tag;
+            t.invalidate(*p);
+            prop_assert_eq!(t.position(*p), None);
+            prop_assert_eq!(t.valid_count(), tag.valid_count() - 1);
+            // All other positions unchanged.
+            for (q, d) in &path {
+                if q != p {
+                    prop_assert_eq!(t.position(*q), Some(*d));
+                }
+            }
+        }
+    }
+
+    /// The allocator never double-allocates, never exceeds capacity, and
+    /// reuses freed positions.
+    #[test]
+    fn allocator_conservation(
+        capacity in 1usize..=MAX_POSITIONS,
+        ops in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut alloc = PositionAllocator::new(capacity);
+        let mut live: Vec<usize> = Vec::new();
+        for do_alloc in ops {
+            if do_alloc || live.is_empty() {
+                match alloc.allocate() {
+                    Some(p) => {
+                        prop_assert!(!live.contains(&p), "double allocation of {}", p);
+                        prop_assert!(p < capacity);
+                        live.push(p);
+                    }
+                    None => prop_assert_eq!(live.len(), capacity),
+                }
+            } else {
+                let p = live.remove(0);
+                alloc.free(p);
+            }
+            prop_assert_eq!(alloc.live(), live.len());
+        }
+    }
+
+    /// Kill-set check: after a divergence at `pos`, everything built on the
+    /// wrong child is a descendant of the wrong child; everything built on
+    /// the right child is not.
+    #[test]
+    fn kill_set_separates_subtrees(
+        prefix in distinct_positions(6),
+        pos in 0..MAX_POSITIONS,
+        wrong_ext in distinct_positions(5),
+        right_ext in distinct_positions(5),
+    ) {
+        let parent = build_tag(&prefix);
+        prop_assume!(parent.position(pos).is_none());
+        let wrong = parent.with_position(pos, true);
+        let right = parent.with_position(pos, false);
+
+        let extend = |mut tag: CtxTag, ext: &[(usize, bool)]| {
+            for (p, d) in ext {
+                if tag.position(*p).is_none() {
+                    tag = tag.with_position(*p, *d);
+                }
+            }
+            tag
+        };
+        let wrong_desc = extend(wrong, &wrong_ext);
+        let right_desc = extend(right, &right_ext);
+
+        prop_assert!(wrong_desc.is_descendant_or_equal(&wrong));
+        prop_assert!(!right_desc.is_descendant_or_equal(&wrong));
+        // The parent (and the branch itself) survives the kill.
+        prop_assert!(!parent.is_descendant_or_equal(&wrong));
+    }
+}
+
+/// The paper's Fig. 5 shows the hierarchy comparator as per-position
+/// gates: for every position, "A is on B's path" requires
+/// `!B.valid  OR  (A.valid AND (A.dir == B.dir))`, ANDed across
+/// positions. The production comparator is two bitwise operations; this
+/// proves them equivalent.
+fn gate_level_descendant(a: &CtxTag, b: &CtxTag) -> bool {
+    (0..MAX_POSITIONS).all(|pos| match (a.position(pos), b.position(pos)) {
+        (_, None) => true,                 // B doesn't constrain this position
+        (None, Some(_)) => false,          // B does, A has no history here
+        (Some(da), Some(db)) => da == db,  // both valid: directions must agree
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitwise_comparator_matches_fig5_gates(
+        a in distinct_positions(16),
+        b in distinct_positions(16),
+    ) {
+        let (ta, tb) = (build_tag(&a), build_tag(&b));
+        prop_assert_eq!(
+            ta.is_descendant_or_equal(&tb),
+            gate_level_descendant(&ta, &tb),
+            "bitwise and gate-level comparators disagree for {:?} vs {:?}",
+            ta, tb
+        );
+        // And symmetrically.
+        prop_assert_eq!(
+            tb.is_descendant_or_equal(&ta),
+            gate_level_descendant(&tb, &ta)
+        );
+    }
+}

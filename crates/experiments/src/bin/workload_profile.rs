@@ -1,0 +1,64 @@
+//! Profile a workload: hot loops and per-branch bias, from the
+//! functional emulator.
+//!
+//! ```sh
+//! cargo run --release -p pp-experiments --bin workload_profile [name]
+//! ```
+//!
+//! With no argument, prints a summary of all eight workloads; with a
+//! workload name (e.g. `go`), prints its annotated listing.
+
+use pp_func::Emulator;
+use pp_experiments::Table;
+use pp_workloads::Workload;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some(name) => {
+            let Some(w) = Workload::ALL.iter().find(|w| w.name() == name) else {
+                eprintln!(
+                    "unknown workload `{name}`; expected one of: {}",
+                    Workload::ALL.map(|w| w.name()).join(", ")
+                );
+                std::process::exit(1);
+            };
+            let scale = (w.default_scale() / 10).max(4);
+            let program = w.build(scale);
+            let mut emu = Emulator::new(&program);
+            let (summary, profile) = emu
+                .run_profiled(1_000_000_000)
+                .expect("workload halts");
+            println!(
+                "{w} at scale {scale}: {} instructions, {} branches\n",
+                summary.instructions, summary.cond_branches
+            );
+            println!("{}", profile.annotate(&program));
+        }
+        None => {
+            let mut t = Table::new([
+                "workload",
+                "static instrs",
+                "dynamic instrs",
+                "hottest pc",
+                "share %",
+            ]);
+            for w in Workload::ALL {
+                let scale = (w.default_scale() / 10).max(4);
+                let program = w.build(scale);
+                let mut emu = Emulator::new(&program);
+                let (_, profile) = emu.run_profiled(1_000_000_000).expect("halts");
+                let (hot_pc, hot_n) = profile.hottest(1)[0];
+                t.row([
+                    w.name().to_string(),
+                    program.len().to_string(),
+                    profile.total().to_string(),
+                    format!("{hot_pc} ({})", program.code[hot_pc]),
+                    format!("{:.1}", 100.0 * hot_n as f64 / profile.total() as f64),
+                ]);
+            }
+            println!("workload profiles (run with a name for the annotated listing)");
+            println!("{t}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The named machine configurations of the paper's evaluation (Fig. 8).
+
+use pp_core::{ConfidenceKind, ExecMode, PredictorKind, SimConfig};
+use pp_predictor::JrsConfig;
+
+/// The six configurations compared throughout the evaluation, plus the
+/// building blocks for the scalability sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// Perfect branch prediction, monopath ("oracle").
+    Oracle,
+    /// gshare monopath — the paper's baseline comparator ("gshare").
+    Monopath,
+    /// SEE with a perfect confidence estimator ("gshare/oracle").
+    SeeOracle,
+    /// SEE with the modified JRS estimator ("gshare/JRS").
+    SeeJrs,
+    /// Dual-path with perfect confidence ("gshare/oracle/dual-path").
+    DualOracle,
+    /// Dual-path with JRS ("gshare/JRS/dual-path").
+    DualJrs,
+}
+
+/// The order Fig. 8 presents its categories.
+pub const CONFIG_ORDER: [Config; 6] = [
+    Config::Monopath,
+    Config::SeeJrs,
+    Config::SeeOracle,
+    Config::DualJrs,
+    Config::DualOracle,
+    Config::Oracle,
+];
+
+impl Config {
+    /// The paper's legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Config::Oracle => "oracle",
+            Config::Monopath => "gshare/monopath",
+            Config::SeeOracle => "gshare/oracle",
+            Config::SeeJrs => "gshare/JRS",
+            Config::DualOracle => "gshare/oracle/dual-path",
+            Config::DualJrs => "gshare/JRS/dual-path",
+        }
+    }
+}
+
+/// Build a [`SimConfig`] for one named configuration with a given gshare
+/// history size (the baseline uses 14 bits). The JRS estimator is always
+/// sized equal to the predictor, as in the paper.
+pub fn named_config(config: Config, history_bits: u32) -> SimConfig {
+    let jrs = ConfidenceKind::Jrs(JrsConfig::paper_baseline().with_index_bits(history_bits));
+    let gshare = PredictorKind::Gshare { history_bits };
+    match config {
+        Config::Oracle => SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
+        Config::Monopath => SimConfig::monopath_baseline().with_predictor(gshare),
+        Config::SeeOracle => SimConfig::baseline()
+            .with_predictor(gshare)
+            .with_confidence(ConfidenceKind::Oracle),
+        Config::SeeJrs => SimConfig::baseline()
+            .with_predictor(gshare)
+            .with_confidence(jrs),
+        Config::DualOracle => SimConfig::baseline()
+            .with_mode(ExecMode::DualPath)
+            .with_predictor(gshare)
+            .with_confidence(ConfidenceKind::Oracle),
+        Config::DualJrs => SimConfig::baseline()
+            .with_mode(ExecMode::DualPath)
+            .with_predictor(gshare)
+            .with_confidence(jrs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            CONFIG_ORDER.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), CONFIG_ORDER.len());
+    }
+
+    #[test]
+    fn configs_validate() {
+        for c in CONFIG_ORDER {
+            named_config(c, 14).validate();
+            named_config(c, 10).validate();
+        }
+    }
+
+    #[test]
+    fn monopath_has_no_divergence() {
+        let c = named_config(Config::Monopath, 14);
+        assert_eq!(c.mode, ExecMode::Monopath);
+        assert_eq!(c.confidence, ConfidenceKind::AlwaysHigh);
+    }
+
+    #[test]
+    fn dual_path_mode_set() {
+        assert_eq!(named_config(Config::DualJrs, 14).mode, ExecMode::DualPath);
+        assert_eq!(
+            named_config(Config::DualOracle, 14).confidence,
+            ConfidenceKind::Oracle
+        );
+    }
+
+    #[test]
+    fn jrs_sized_with_predictor() {
+        let c = named_config(Config::SeeJrs, 12);
+        match c.confidence {
+            ConfidenceKind::Jrs(j) => assert_eq!(j.index_bits, 12),
+            _ => panic!("expected JRS"),
+        }
+        assert_eq!(c.predictor, PredictorKind::Gshare { history_bits: 12 });
+    }
+}

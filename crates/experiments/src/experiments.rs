@@ -1,0 +1,318 @@
+//! The paper's tables and figures as programmatic experiments.
+//!
+//! Each function runs the required simulations (honouring `PP_SCALE`) and
+//! returns structured results; the binaries format them, the integration
+//! tests assert the paper's qualitative claims on them.
+
+use pp_core::{FuConfig, SimConfig, SimStats};
+use pp_workloads::Workload;
+
+use crate::configs::{named_config, Config, CONFIG_ORDER};
+use crate::harness::{harmonic_mean, run_matrix, run_workload, scaled};
+
+/// Baseline gshare history bits (16 k counters).
+pub const BASELINE_HISTORY_BITS: u32 = 14;
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// One row of Table 1: workload characteristics.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Which workload.
+    pub workload: Workload,
+    /// Dynamic instruction count (functional).
+    pub instructions: u64,
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Fraction of taken branches.
+    pub taken_rate: f64,
+    /// gshare-14 misprediction rate on the monopath machine.
+    pub mispredict_rate: f64,
+}
+
+/// Regenerate Table 1: per-workload dynamic size and gshare-14
+/// misprediction rate.
+pub fn table1() -> Vec<Table1Row> {
+    let cfg = named_config(Config::Monopath, BASELINE_HISTORY_BITS);
+    let results = run_matrix(&Workload::ALL, std::slice::from_ref(&cfg));
+    Workload::ALL
+        .iter()
+        .zip(results)
+        .map(|(&w, r)| {
+            let func = w.characterize(scaled(w));
+            Table1Row {
+                workload: w,
+                instructions: func.instructions,
+                cond_branches: func.cond_branches,
+                taken_rate: func.taken_branches as f64 / func.cond_branches.max(1) as f64,
+                mispredict_rate: r.stats.mispredict_rate(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 + §5.1 + §5.2
+// ---------------------------------------------------------------------
+
+/// The full baseline comparison: per-workload stats for all six named
+/// configurations plus harmonic-mean IPCs.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// `cells[workload][config]` in `Workload::ALL` × [`CONFIG_ORDER`]
+    /// order.
+    pub cells: Vec<Vec<SimStats>>,
+    /// Harmonic-mean IPC per configuration, in [`CONFIG_ORDER`] order.
+    pub hmean_ipc: Vec<f64>,
+}
+
+impl Fig8 {
+    /// IPC of one cell.
+    pub fn ipc(&self, workload: usize, config: Config) -> f64 {
+        self.cells[workload][config_index(config)].ipc()
+    }
+
+    /// Harmonic-mean IPC of one configuration.
+    pub fn hmean(&self, config: Config) -> f64 {
+        self.hmean_ipc[config_index(config)]
+    }
+
+    /// Mean relative improvement of `a` over `b`.
+    pub fn speedup(&self, a: Config, b: Config) -> f64 {
+        self.hmean(a) / self.hmean(b)
+    }
+}
+
+/// Index of a configuration within [`CONFIG_ORDER`].
+pub fn config_index(config: Config) -> usize {
+    CONFIG_ORDER
+        .iter()
+        .position(|c| *c == config)
+        .expect("config in order")
+}
+
+/// Run the Fig. 8 baseline comparison (also the data source for §5.1 and
+/// §5.2 analyses).
+pub fn fig8() -> Fig8 {
+    let configs: Vec<SimConfig> = CONFIG_ORDER
+        .iter()
+        .map(|&c| named_config(c, BASELINE_HISTORY_BITS))
+        .collect();
+    let results = run_matrix(&Workload::ALL, &configs);
+    let mut cells: Vec<Vec<SimStats>> = Vec::with_capacity(Workload::ALL.len());
+    for wi in 0..Workload::ALL.len() {
+        let row: Vec<SimStats> = (0..configs.len())
+            .map(|ci| results[wi * configs.len() + ci].stats.clone())
+            .collect();
+        cells.push(row);
+    }
+    let hmean_ipc = (0..configs.len())
+        .map(|ci| {
+            let ipcs: Vec<f64> = cells.iter().map(|row| row[ci].ipc()).collect();
+            harmonic_mean(&ipcs)
+        })
+        .collect();
+    Fig8 { cells, hmean_ipc }
+}
+
+// ---------------------------------------------------------------------
+// Scalability sweeps (Figs. 9–12)
+// ---------------------------------------------------------------------
+
+/// The four series plotted in every scalability figure.
+pub const SWEEP_SERIES: [Config; 4] = [
+    Config::Oracle,
+    Config::Monopath,
+    Config::SeeOracle,
+    Config::SeeJrs,
+];
+
+/// One point of a scalability sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter's value (history bits, window entries, FU
+    /// count, or pipeline stages).
+    pub x: u64,
+    /// Total predictor state in bytes (Fig. 9's equal-area x-axis);
+    /// zero for the other sweeps.
+    pub state_bytes: usize,
+    /// Harmonic-mean IPC per series, in [`SWEEP_SERIES`] order.
+    pub hmean_ipc: Vec<f64>,
+    /// Geometric-mean misprediction rate of the monopath run.
+    pub mispredict_rate: f64,
+}
+
+fn sweep(points: &[u64], make: impl Fn(Config, u64) -> SimConfig) -> Vec<SweepPoint> {
+    points
+        .iter()
+        .map(|&x| {
+            let configs: Vec<SimConfig> =
+                SWEEP_SERIES.iter().map(|&c| make(c, x)).collect();
+            let results = run_matrix(&Workload::ALL, &configs);
+            let hmean_ipc: Vec<f64> = (0..configs.len())
+                .map(|ci| {
+                    let ipcs: Vec<f64> = (0..Workload::ALL.len())
+                        .map(|wi| results[wi * configs.len() + ci].stats.ipc())
+                        .collect();
+                    harmonic_mean(&ipcs)
+                })
+                .collect();
+            // Geometric mean of the monopath misprediction rate.
+            let mono = 1; // index of Config::Monopath in SWEEP_SERIES
+            let rates: Vec<f64> = (0..Workload::ALL.len())
+                .map(|wi| {
+                    results[wi * configs.len() + mono]
+                        .stats
+                        .mispredict_rate()
+                        .max(1e-6)
+                })
+                .collect();
+            let gmean =
+                (rates.iter().map(|r| r.ln()).sum::<f64>() / rates.len() as f64).exp();
+            SweepPoint {
+                x,
+                state_bytes: 0,
+                hmean_ipc,
+                mispredict_rate: gmean,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 9: branch predictor size sweep (`history_bits` per point). The
+/// returned `state_bytes` counts all predictor state in the system
+/// (gshare PHT + JRS table where present) for the equal-area comparison.
+pub fn fig9(history_bits: &[u32]) -> Vec<SweepPoint> {
+    let points: Vec<u64> = history_bits.iter().map(|&b| b as u64).collect();
+    let mut out = sweep(&points, |c, bits| named_config(c, bits as u32));
+    for p in &mut out {
+        // gshare: 2 bits per counter; JRS (the SEE configs): +1 bit per
+        // counter. Report the SEE-system total, as the paper plots.
+        let counters = 1usize << p.x;
+        p.state_bytes = counters * 2 / 8 + counters / 8;
+    }
+    out
+}
+
+/// Fig. 10: instruction window size sweep.
+pub fn fig10(window_sizes: &[usize]) -> Vec<SweepPoint> {
+    let points: Vec<u64> = window_sizes.iter().map(|&w| w as u64).collect();
+    sweep(&points, |c, w| {
+        let mut cfg = named_config(c, BASELINE_HISTORY_BITS).with_window_size(w as usize);
+        // Deep windows hold more in-flight branches.
+        cfg.ctx_positions = pp_ctx::MAX_POSITIONS.min((w as usize / 3).max(16));
+        cfg
+    })
+}
+
+/// Fig. 11: functional unit configuration sweep (`n` units of each type).
+pub fn fig11(fu_counts: &[usize]) -> Vec<SweepPoint> {
+    let points: Vec<u64> = fu_counts.iter().map(|&n| n as u64).collect();
+    sweep(&points, |c, n| {
+        named_config(c, BASELINE_HISTORY_BITS).with_fus(FuConfig::uniform(n as usize))
+    })
+}
+
+/// Fig. 12: pipeline depth sweep (total stages).
+pub fn fig12(depths: &[usize]) -> Vec<SweepPoint> {
+    let points: Vec<u64> = depths.iter().map(|&d| d as u64).collect();
+    sweep(&points, |c, d| {
+        named_config(c, BASELINE_HISTORY_BITS).with_pipeline_depth(d as usize)
+    })
+}
+
+// ---------------------------------------------------------------------
+// §5.1 analysis
+// ---------------------------------------------------------------------
+
+/// Per-workload §5.1 analysis derived from the Fig. 8 data.
+#[derive(Debug, Clone)]
+pub struct Sec51Row {
+    /// Which workload.
+    pub workload: Workload,
+    /// Monopath fetched/committed ratio (paper mean: 1.86).
+    pub mono_fetch_ratio: f64,
+    /// JRS PVN on the SEE run (paper: m88ksim ≈ 16%, others > 40%).
+    pub pvn: f64,
+    /// Relative change in useless instructions, SEE vs. monopath
+    /// (paper: −15% mean, +29% for m88ksim).
+    pub useless_delta: f64,
+    /// IPC improvement of SEE/JRS over monopath.
+    pub see_speedup: f64,
+}
+
+/// Compute the §5.1 analysis rows from Fig. 8 data.
+pub fn sec51(fig8: &Fig8) -> Vec<Sec51Row> {
+    let mono = config_index(Config::Monopath);
+    let see = config_index(Config::SeeJrs);
+    Workload::ALL
+        .iter()
+        .enumerate()
+        .map(|(wi, &w)| {
+            let m = &fig8.cells[wi][mono];
+            let s = &fig8.cells[wi][see];
+            Sec51Row {
+                workload: w,
+                mono_fetch_ratio: m.fetched_per_committed(),
+                pvn: s.pvn(),
+                useless_delta: s.useless_instructions() as f64
+                    / m.useless_instructions().max(1) as f64
+                    - 1.0,
+                see_speedup: s.ipc() / m.ipc() - 1.0,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §5.2 analysis
+// ---------------------------------------------------------------------
+
+/// The §5.2 dual-path comparison derived from Fig. 8 data.
+#[derive(Debug, Clone)]
+pub struct Sec52 {
+    /// Fraction of oracle-SEE's improvement that oracle-dual-path
+    /// achieves (paper: ≈58%).
+    pub oracle_dual_fraction: f64,
+    /// Fraction of JRS-SEE's improvement that JRS-dual-path achieves
+    /// (paper: ≈66%).
+    pub jrs_dual_fraction: f64,
+    /// Mean live paths under SEE/JRS (paper: ≈2.9).
+    pub mean_paths_see: f64,
+    /// Fraction of cycles with ≤ 3 live paths under SEE/JRS (paper: ≈75%).
+    pub paths_le3_see: f64,
+}
+
+/// Compute the §5.2 dual-path analysis from Fig. 8 data.
+pub fn sec52(fig8: &Fig8) -> Sec52 {
+    let gain = |c: Config| fig8.hmean(c) - fig8.hmean(Config::Monopath);
+    let frac = |dual: Config, see: Config| {
+        let g = gain(see);
+        if g.abs() < 1e-9 {
+            0.0
+        } else {
+            gain(dual) / g
+        }
+    };
+    let see = config_index(Config::SeeJrs);
+    let mean_paths: Vec<f64> = fig8
+        .cells
+        .iter()
+        .map(|row| row[see].mean_active_paths())
+        .collect();
+    let le3: Vec<f64> = fig8.cells.iter().map(|row| row[see].paths_at_most(3)).collect();
+    Sec52 {
+        oracle_dual_fraction: frac(Config::DualOracle, Config::SeeOracle),
+        jrs_dual_fraction: frac(Config::DualJrs, Config::SeeJrs),
+        mean_paths_see: mean_paths.iter().sum::<f64>() / mean_paths.len() as f64,
+        paths_le3_see: le3.iter().sum::<f64>() / le3.len() as f64,
+    }
+}
+
+/// Run one workload under one named configuration at baseline history
+/// bits (convenience for examples and tests).
+pub fn run_named(workload: Workload, config: Config) -> SimStats {
+    run_workload(workload, &named_config(config, BASELINE_HISTORY_BITS))
+}

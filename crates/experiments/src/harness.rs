@@ -1,0 +1,152 @@
+//! Sweep runner: simulate workloads × configurations, in parallel.
+
+use pp_core::{SimConfig, SimStats, Simulator};
+use pp_workloads::Workload;
+
+/// One cell of a sweep matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// The workload simulated.
+    pub workload: Workload,
+    /// Index of the configuration in the caller's configuration list.
+    pub config_index: usize,
+    /// Collected statistics.
+    pub stats: SimStats,
+}
+
+/// The workload-scale multiplier from the `PP_SCALE` environment variable
+/// (default 1.0). Benches set e.g. `PP_SCALE=0.05` for quick runs.
+pub fn scale_factor() -> f64 {
+    std::env::var("PP_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// The scale for `workload` under the current `PP_SCALE`.
+pub fn scaled(workload: Workload) -> u64 {
+    ((workload.default_scale() as f64 * scale_factor()) as u64).max(1)
+}
+
+/// Worker thread count: one per available core, capped at the job count.
+pub fn parallelism(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs)
+        .max(1)
+}
+
+/// Simulate one workload under one configuration at the current scale.
+pub fn run_workload(workload: Workload, cfg: &SimConfig) -> SimStats {
+    let program = workload.build(scaled(workload));
+    let stats = Simulator::new(&program, cfg.clone()).run();
+    assert!(
+        !stats.hit_cycle_limit,
+        "{workload} hit the cycle limit under {cfg:?}"
+    );
+    stats
+}
+
+/// Simulate every workload under every configuration, fanning jobs out
+/// across threads. Results are returned in deterministic
+/// (workload-major, config-minor) order regardless of thread scheduling.
+pub fn run_matrix(workloads: &[Workload], configs: &[SimConfig]) -> Vec<MatrixResult> {
+    let jobs: Vec<(usize, Workload, usize)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, &w)| {
+            configs
+                .iter()
+                .enumerate()
+                .map(move |(ci, _)| (wi, w, ci))
+        })
+        .collect();
+
+    let n_workers = parallelism(jobs.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<MatrixResult>> = (0..jobs.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<MatrixResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(_, w, ci)) = jobs.get(i) else { break };
+                let stats = run_workload(w, &configs[ci]);
+                **slots[i].lock().expect("slot lock") = Some(MatrixResult {
+                    workload: w,
+                    config_index: ci,
+                    stats,
+                });
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Harmonic mean — the paper's summary statistic for IPC across
+/// benchmarks.
+///
+/// # Panics
+/// Panics if `values` is empty or contains a non-positive value.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "harmonic mean of nothing");
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "harmonic mean requires positive values"
+    );
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{named_config, Config};
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+        // Harmonic ≤ arithmetic.
+        assert!(harmonic_mean(&[1.0, 4.0]) < 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_mean_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn matrix_order_is_deterministic() {
+        std::env::set_var("PP_SCALE", "0.01");
+        let workloads = [Workload::Vortex, Workload::Compress];
+        let configs = [
+            named_config(Config::Monopath, 10),
+            named_config(Config::SeeJrs, 10),
+        ];
+        let r = run_matrix(&workloads, &configs);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].workload, Workload::Vortex);
+        assert_eq!(r[0].config_index, 0);
+        assert_eq!(r[1].config_index, 1);
+        assert_eq!(r[2].workload, Workload::Compress);
+        for cell in &r {
+            assert!(cell.stats.committed_instructions > 0);
+        }
+    }
+
+    #[test]
+    fn parallelism_bounds() {
+        assert_eq!(parallelism(0), 1);
+        assert!(parallelism(4) <= 4);
+        assert!(parallelism(1000) >= 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # pp-experiments — the paper's evaluation, regenerated
+//!
+//! One function per table/figure of the evaluation section of *Selective
+//! Eager Execution on the PolyPath Architecture* (ISCA 1998), plus the
+//! shared machinery: the six named machine configurations of Fig. 8, a
+//! parallel sweep runner, harmonic means, and text-table formatting.
+//!
+//! Binaries (`cargo run --release -p pp-experiments --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — benchmark characteristics |
+//! | `fig8_baseline` | Fig. 8 — baseline IPC, all six configurations |
+//! | `sec51_analysis` | §5.1 — fetch ratios, useless instructions, PVN |
+//! | `sec52_dualpath` | §5.2 — dual-path fractions, path utilization |
+//! | `fig9_predictor_size` | Fig. 9 — IPC vs. predictor state |
+//! | `fig10_window_size` | Fig. 10 — IPC vs. window size |
+//! | `fig11_fu_config` | Fig. 11 — IPC vs. functional unit count |
+//! | `fig12_pipeline_depth` | Fig. 12 — IPC vs. pipeline depth |
+//! | `ablations` | five extension studies (fetch policy, resolution timing, adaptive confidence, predictors, cache) |
+//! | `input_sensitivity` | Fig. 8 headline across three input data sets |
+//! | `workload_profile` | per-workload hot-loop profiles |
+//! | `calibrate` | workload calibration table |
+//! | `run_all` | everything above, written as text + CSV |
+//!
+//! Every binary honours `PP_SCALE` (a float multiplier on workload scale,
+//! default 1.0) so quick runs and full runs use the same code path.
+
+mod configs;
+mod harness;
+mod plot;
+mod table;
+
+pub mod experiments;
+
+pub use configs::{named_config, Config, CONFIG_ORDER};
+pub use harness::{
+    harmonic_mean, parallelism, run_matrix, run_workload, scale_factor, scaled, MatrixResult,
+};
+pub use plot::Chart;
+pub use table::Table;

@@ -1,0 +1,197 @@
+//! Minimal ASCII line charts, so the figure binaries can *show* the
+//! paper's curves, not just tabulate them.
+
+use std::fmt::Write as _;
+
+const GLYPHS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+/// A multi-series scatter/line chart rendered as ASCII.
+///
+/// ```
+/// use pp_experiments::Chart;
+///
+/// let mut chart = Chart::new("IPC vs depth", "IPC");
+/// chart.series("monopath", [(6.0, 2.34), (8.0, 2.11), (10.0, 1.91)]);
+/// chart.series("SEE", [(6.0, 2.49), (8.0, 2.29), (10.0, 2.11)]);
+/// let art = chart.render();
+/// assert!(art.contains("o monopath"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    width: usize,
+    height: usize,
+}
+
+impl Chart {
+    /// A chart with a title and y-axis label.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 64,
+            height: 16,
+        }
+    }
+
+    /// Set the plot area size in characters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is smaller than 8 characters.
+    #[must_use]
+    pub fn with_size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "chart too small to read");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Add a named series of `(x, y)` points.
+    pub fn series(
+        &mut self,
+        name: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> &mut Self {
+        self.series.push((name.into(), points.into_iter().collect()));
+        self
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` with no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        // Pad degenerate ranges; anchor y near zero when close.
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        let y_pad = (y_max - y_min) * 0.05;
+        let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, points)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (x, y) in points {
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                let col = cx.min(self.width - 1);
+                // Later series overwrite; collisions show the newer glyph.
+                grid[row][col] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        for (i, row) in grid.iter().enumerate() {
+            let y_here = y_hi - (y_hi - y_lo) * i as f64 / (self.height - 1) as f64;
+            let label = if i == 0 || i == self.height - 1 || i == self.height / 2 {
+                format!("{y_here:8.2}")
+            } else {
+                " ".repeat(8)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>8} +{}", "", "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{:>8}  {:<w$.6}{:>right$.6}",
+            self.y_label,
+            x_min,
+            x_max,
+            w = self.width / 2,
+            right = self.width - self.width / 2
+        );
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{:>10} {}", GLYPHS[si % GLYPHS.len()], name);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Chart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_extremes() {
+        let mut c = Chart::new("t", "ipc").with_size(20, 8);
+        c.series("a", [(0.0, 0.0), (10.0, 1.0)]);
+        let s = c.render();
+        assert!(s.contains('o'));
+        // Top row holds the max point, bottom row the min point.
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[1].contains('o'), "max at top: {s}");
+        assert!(rows[8].contains('o'), "min at bottom: {s}");
+        assert!(s.contains("t\n"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let mut c = Chart::new("t", "y");
+        c.series("first", [(0.0, 1.0)]);
+        c.series("second", [(1.0, 2.0)]);
+        let s = c.render();
+        assert!(s.contains("o first"));
+        assert!(s.contains("+ second"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let c = Chart::new("nothing", "y");
+        assert!(c.is_empty());
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = Chart::new("flat", "y");
+        c.series("k", [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]);
+        let s = c.render();
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        let _ = Chart::new("t", "y").with_size(4, 4);
+    }
+}

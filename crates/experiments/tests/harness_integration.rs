@@ -1,0 +1,112 @@
+//! Integration tests of the experiment harness at tiny scale: every
+//! table/figure function produces structurally sound results.
+
+use pp_experiments::experiments::{
+    self, config_index, BASELINE_HISTORY_BITS, SWEEP_SERIES,
+};
+use pp_experiments::{harmonic_mean, named_config, Config, CONFIG_ORDER};
+use pp_workloads::Workload;
+
+fn tiny_scale() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("PP_SCALE", "0.02"));
+}
+
+#[test]
+fn table1_rows_cover_all_workloads() {
+    tiny_scale();
+    let rows = experiments::table1();
+    assert_eq!(rows.len(), Workload::ALL.len());
+    for r in &rows {
+        assert!(r.instructions > 1_000, "{}", r.workload);
+        assert!(r.cond_branches > 100, "{}", r.workload);
+        assert!((0.0..=1.0).contains(&r.mispredict_rate), "{}", r.workload);
+        assert!((0.0..=1.0).contains(&r.taken_rate), "{}", r.workload);
+    }
+}
+
+#[test]
+fn fig8_matrix_is_complete_and_consistent() {
+    tiny_scale();
+    let data = experiments::fig8();
+    assert_eq!(data.cells.len(), Workload::ALL.len());
+    for row in &data.cells {
+        assert_eq!(row.len(), CONFIG_ORDER.len());
+        for stats in row {
+            assert!(stats.committed_instructions > 0);
+        }
+    }
+    // The harmonic means must match a recomputation.
+    for (ci, &c) in CONFIG_ORDER.iter().enumerate() {
+        let ipcs: Vec<f64> = data.cells.iter().map(|r| r[ci].ipc()).collect();
+        assert!((data.hmean(c) - harmonic_mean(&ipcs)).abs() < 1e-12);
+    }
+    // Oracle must dominate all real configurations.
+    for &c in &CONFIG_ORDER {
+        assert!(
+            data.hmean(Config::Oracle) >= data.hmean(c) * 0.999,
+            "oracle must dominate {}",
+            c.label()
+        );
+    }
+    // Committed instruction counts are architectural (mode-independent).
+    for row in &data.cells {
+        let reference = row[0].committed_instructions;
+        for stats in row {
+            assert_eq!(stats.committed_instructions, reference);
+        }
+    }
+}
+
+#[test]
+fn sec51_and_sec52_derive_from_fig8() {
+    tiny_scale();
+    let data = experiments::fig8();
+    let rows = experiments::sec51(&data);
+    assert_eq!(rows.len(), Workload::ALL.len());
+    for r in &rows {
+        assert!(r.mono_fetch_ratio >= 1.0, "{}", r.workload);
+        assert!((0.0..=1.0).contains(&r.pvn), "{}", r.workload);
+    }
+    let s = experiments::sec52(&data);
+    assert!(s.mean_paths_see >= 1.0);
+    assert!((0.0..=1.0).contains(&s.paths_le3_see));
+}
+
+#[test]
+fn sweep_points_are_well_formed() {
+    tiny_scale();
+    let points = experiments::fig12(&[6, 10]);
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert_eq!(p.hmean_ipc.len(), SWEEP_SERIES.len());
+        assert!(p.hmean_ipc.iter().all(|v| *v > 0.0));
+    }
+    // Deeper pipeline costs the monopath machine cycles.
+    let mono = 1;
+    assert!(
+        points[0].hmean_ipc[mono] > points[1].hmean_ipc[mono],
+        "6-stage monopath must beat 10-stage"
+    );
+}
+
+#[test]
+fn fig9_state_accounting() {
+    tiny_scale();
+    let points = experiments::fig9(&[10, 12]);
+    // 10 bits: 1k counters → 256 B PHT + 128 B JRS.
+    assert_eq!(points[0].state_bytes, 256 + 128);
+    assert_eq!(points[1].state_bytes, 1024 + 512);
+    assert!(points[1].mispredict_rate <= points[0].mispredict_rate + 0.05);
+}
+
+#[test]
+fn run_named_works_for_every_config() {
+    tiny_scale();
+    for c in CONFIG_ORDER {
+        let stats = experiments::run_named(Workload::Vortex, c);
+        assert!(stats.committed_instructions > 0, "{}", c.label());
+    }
+    let _ = config_index(Config::Oracle);
+    let _ = named_config(Config::SeeJrs, BASELINE_HISTORY_BITS);
+}

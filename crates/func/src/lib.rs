@@ -1,0 +1,44 @@
+//! # pp-func — functional reference emulator
+//!
+//! Architectural-level execution of [`pp_isa::Program`]s. The pipeline model
+//! in `pp-core` is execution-driven (values flow through rename and the
+//! physical register file), so this crate serves three roles:
+//!
+//! 1. **Reference for co-simulation**: the committed instruction stream of
+//!    the pipeline — in monopath *and* all eager-execution modes — must match
+//!    this emulator's trace exactly (wrong paths are architecturally
+//!    invisible).
+//! 2. **Oracle information**: pre-running a program yields the correct-path
+//!    conditional-branch outcome sequence ([`BranchTrace`]) used by the
+//!    oracle branch predictor and oracle confidence estimator.
+//! 3. **Workload characterization**: dynamic instruction counts and branch
+//!    statistics for Table 1.
+//!
+//! ```
+//! use pp_isa::{Asm, reg};
+//! use pp_func::Emulator;
+//!
+//! # fn main() -> Result<(), pp_isa::AsmError> {
+//! let mut a = Asm::new();
+//! a.li(reg::T0, 21);
+//! a.add(reg::A0, reg::T0, reg::T0);
+//! a.halt();
+//! let program = a.assemble()?;
+//!
+//! let mut emu = Emulator::new(&program);
+//! let summary = emu.run(1_000_000).expect("program halts");
+//! assert_eq!(emu.reg(reg::A0), 42);
+//! assert_eq!(summary.instructions, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod emulator;
+mod memory;
+mod profile;
+mod trace;
+
+pub use emulator::{EmuError, Emulator, RunSummary};
+pub use memory::Memory;
+pub use profile::Profile;
+pub use trace::{BranchRecord, BranchTrace};

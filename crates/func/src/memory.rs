@@ -1,0 +1,174 @@
+//! Sparse paged byte-addressable memory.
+//!
+//! The paper's machine model assumes all cache accesses hit, so the memory
+//! model only has to provide values, not timing. Pages are allocated lazily
+//! and read as zero before first write — wrong-path loads from wild
+//! addresses are therefore always defined.
+
+use std::collections::HashMap;
+
+use pp_isa::{DataSegment, Width};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse 64-bit byte-addressable memory with lazily allocated 4 KiB pages.
+///
+/// ```
+/// use pp_func::Memory;
+///
+/// let mut mem = Memory::new();
+/// assert_eq!(mem.read_u64(0x1000), 0, "unwritten memory reads zero");
+/// mem.write_u64(0x1000, 42);
+/// assert_eq!(mem.read_u64(0x1000), 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memory pre-loaded with a program's data segments.
+    pub fn with_segments(segments: &[DataSegment]) -> Self {
+        let mut m = Self::new();
+        for seg in segments {
+            for (i, b) in seg.bytes.iter().enumerate() {
+                m.write_u8(seg.base + i as u64, *b);
+            }
+        }
+        m
+    }
+
+    /// Read one byte (zero if never written).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Read a 64-bit little-endian word (no alignment requirement).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Write a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Read with an ISA access width, zero-extending bytes.
+    pub fn read(&self, addr: u64, width: Width) -> i64 {
+        match width {
+            Width::Byte => self.read_u8(addr) as i64,
+            Width::Word => self.read_u64(addr) as i64,
+        }
+    }
+
+    /// Write with an ISA access width (byte writes truncate).
+    pub fn write(&mut self, addr: u64, value: i64, width: Width) {
+        match width {
+            Width::Byte => self.write_u8(addr, value as u8),
+            Width::Word => self.write_u64(addr, value as u64),
+        }
+    }
+
+    /// Number of populated pages (for tests and capacity diagnostics).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterate over all populated (address, byte) pairs in arbitrary order
+    /// where the byte is nonzero. Used by co-simulation equality checks.
+    pub fn nonzero_bytes(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.pages.iter().flat_map(|(page_no, page)| {
+            let base = page_no << PAGE_SHIFT;
+            page.iter()
+                .enumerate()
+                .filter(|(_, b)| **b != 0)
+                .map(move |(i, b)| (base + i as u64, *b))
+        })
+    }
+
+    /// `true` when every populated byte equals the corresponding byte in
+    /// `other` and vice versa (i.e. the memories are architecturally equal).
+    pub fn same_contents(&self, other: &Memory) -> bool {
+        let subset = |a: &Memory, b: &Memory| a.nonzero_bytes().all(|(addr, v)| b.read_u8(addr) == v);
+        subset(self, other) && subset(other, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip_across_page_boundary() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // straddles page 0 and page 1
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn byte_writes_truncate() {
+        let mut m = Memory::new();
+        m.write(0x100, 0x1ff, Width::Byte);
+        assert_eq!(m.read(0x100, Width::Byte), 0xff);
+        assert_eq!(m.read_u8(0x101), 0);
+    }
+
+    #[test]
+    fn segments_are_loaded() {
+        let seg = DataSegment::from_words(0x1000, &[7, -1]);
+        let m = Memory::with_segments(&[seg]);
+        assert_eq!(m.read(0x1000, Width::Word), 7);
+        assert_eq!(m.read(0x1008, Width::Word), -1);
+    }
+
+    #[test]
+    fn same_contents_ignores_zero_writes() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        a.write_u8(5, 0); // allocates a page but stays architecturally zero
+        assert!(a.same_contents(&b));
+        a.write_u8(5, 9);
+        assert!(!a.same_contents(&b));
+    }
+
+    #[test]
+    fn wrapping_addresses_do_not_panic() {
+        let mut m = Memory::new();
+        m.write_u64(u64::MAX - 2, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u64(u64::MAX - 2), 0x0102_0304_0506_0708);
+    }
+}

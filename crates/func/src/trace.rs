@@ -1,0 +1,82 @@
+//! Correct-path branch traces for oracle predictors and estimators.
+
+/// Outcome of one dynamic conditional branch on the correct execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// Static PC (instruction index) of the branch.
+    pub pc: usize,
+    /// `true` if the branch was taken.
+    pub taken: bool,
+}
+
+/// The sequence of correct-path conditional-branch outcomes of a program.
+///
+/// The oracle branch predictor walks this trace with a cursor per execution
+/// path; a path is on the correct execution path exactly when its entire
+/// branch history matches a prefix of this trace.
+#[derive(Debug, Clone, Default)]
+pub struct BranchTrace {
+    records: Vec<BranchRecord>,
+}
+
+impl BranchTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record (used by the emulator during trace generation).
+    pub fn push(&mut self, pc: usize, taken: bool) {
+        self.records.push(BranchRecord { pc, taken });
+    }
+
+    /// The `i`-th dynamic conditional branch, if within the trace.
+    pub fn get(&self, i: usize) -> Option<BranchRecord> {
+        self.records.get(i).copied()
+    }
+
+    /// Number of dynamic conditional branches on the correct path.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the program executed no conditional branches.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of taken branches (for workload characterization).
+    pub fn taken_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.taken).count() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_len() {
+        let mut t = BranchTrace::new();
+        assert!(t.is_empty());
+        t.push(10, true);
+        t.push(12, false);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0), Some(BranchRecord { pc: 10, taken: true }));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn taken_rate() {
+        let mut t = BranchTrace::new();
+        assert_eq!(t.taken_rate(), 0.0);
+        t.push(0, true);
+        t.push(0, true);
+        t.push(0, false);
+        t.push(0, false);
+        assert!((t.taken_rate() - 0.5).abs() < 1e-12);
+    }
+}

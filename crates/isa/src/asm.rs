@@ -1,0 +1,566 @@
+//! A label-resolving assembler/builder for writing workload programs.
+//!
+//! Instructions are appended through convenience methods; branch and jump
+//! targets are [`Label`]s that may be bound before or after use. A data
+//! allocator hands out static memory starting at [`crate::DATA_BASE`].
+//!
+//! ```
+//! use pp_isa::{Asm, Cond, Operand, reg};
+//!
+//! # fn main() -> Result<(), pp_isa::AsmError> {
+//! let mut a = Asm::new();
+//! let table = a.alloc_words(&[3, 1, 4, 1, 5]);
+//! let done = a.new_label();
+//! a.li(reg::T0, table as i64);
+//! a.ld(reg::T1, reg::T0, 0);
+//! a.br(Cond::Eq, reg::T1, Operand::imm(0), done);
+//! a.bind(done)?;
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.code.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use crate::op::{AluOp, Cond, FpOp, Op, Operand, Reg, Width};
+use crate::program::{DataSegment, Program, DATA_BASE};
+
+/// A code position that may be referenced before it is bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced while building or assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was used as a branch/jump target but never bound.
+    UnboundLabel(Label),
+    /// [`Asm::bind`] was called twice for the same label.
+    RebindLabel(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label L{} was referenced but never bound", l.0),
+            AsmError::RebindLabel(l) => write!(f, "label L{} was bound more than once", l.0),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Instruction-stream builder with label resolution and a data allocator.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    code: Vec<PendingOp>,
+    labels: Vec<Option<usize>>,
+    label_names: Vec<Option<String>>,
+    data: Vec<DataSegment>,
+    data_cursor: u64,
+    entry: usize,
+}
+
+/// An op whose control-flow target may still be an unresolved label.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Ready(Op),
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        src2: Operand,
+        target: Label,
+    },
+    Jump {
+        target: Label,
+    },
+    Call {
+        target: Label,
+    },
+}
+
+impl Asm {
+    /// New empty builder. The data allocator starts at [`DATA_BASE`].
+    pub fn new() -> Self {
+        Asm {
+            data_cursor: DATA_BASE,
+            ..Default::default()
+        }
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        self.label_names.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Create a fresh label with a name (shown in listings).
+    pub fn new_named_label(&mut self, name: &str) -> Label {
+        let l = self.new_label();
+        self.label_names[l.0] = Some(name.to_string());
+        l
+    }
+
+    /// Bind `label` to the current code position.
+    ///
+    /// # Errors
+    /// Returns [`AsmError::RebindLabel`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        if self.labels[label.0].is_some() {
+            return Err(AsmError::RebindLabel(label));
+        }
+        self.labels[label.0] = Some(self.code.len());
+        Ok(())
+    }
+
+    /// Convenience: create a label and bind it here.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l).expect("fresh label cannot be bound");
+        l
+    }
+
+    /// Convenience: create a named label and bind it here.
+    pub fn here_named(&mut self, name: &str) -> Label {
+        let l = self.new_named_label(name);
+        self.bind(l).expect("fresh label cannot be bound");
+        l
+    }
+
+    /// Current code position (index of the next emitted instruction).
+    pub fn pc(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Set the program entry point to the current position.
+    pub fn set_entry_here(&mut self) {
+        self.entry = self.code.len();
+    }
+
+    /// Allocate `words.len()` 64-bit words of initialized static data;
+    /// returns the base byte address.
+    pub fn alloc_words(&mut self, words: &[i64]) -> u64 {
+        let base = self.data_cursor;
+        self.data.push(DataSegment::from_words(base, words));
+        self.data_cursor += words.len() as u64 * 8;
+        base
+    }
+
+    /// Allocate raw initialized bytes; returns the base byte address.
+    pub fn alloc_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let base = self.data_cursor;
+        self.data.push(DataSegment {
+            base,
+            bytes: bytes.to_vec(),
+        });
+        // Keep subsequent words 8-byte aligned.
+        self.data_cursor += (bytes.len() as u64).next_multiple_of(8);
+        base
+    }
+
+    /// Reserve `words` zero-initialized 64-bit words; returns the base address.
+    pub fn alloc_zeroed(&mut self, words: usize) -> u64 {
+        let base = self.data_cursor;
+        // Zero is the memory default; just advance the cursor.
+        self.data_cursor += words as u64 * 8;
+        base
+    }
+
+    /// Append a raw instruction.
+    pub fn emit(&mut self, op: Op) {
+        self.code.push(PendingOp::Ready(op));
+    }
+
+    // --- convenience emitters -------------------------------------------
+
+    /// `rd = rs1 <op> src2`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.emit(Op::Alu {
+            op,
+            rd,
+            rs1,
+            src2: src2.into(),
+        });
+    }
+
+    /// `rd = rs1 + src2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Add, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu(AluOp::Add, rd, rs1, Operand::imm(imm));
+    }
+
+    /// `rd = rs1 - src2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Sub, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 * src2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Mul, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 / src2` (0 on division by zero)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Div, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 % src2` (0 on division by zero)
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Rem, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 & src2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::And, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 | src2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Or, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 ^ src2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Xor, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 << src2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Sll, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 >> src2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Srl, rd, rs1, src2);
+    }
+
+    /// `rd = rs1 >> src2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Sra, rd, rs1, src2);
+    }
+
+    /// `rd = (rs1 < src2) as i64` (signed)
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Operand>) {
+        self.alu(AluOp::Slt, rd, rs1, src2);
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Op::Li { rd, imm });
+    }
+
+    /// `rd = rs` (encoded as `rd = rs + 0`)
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `rd = mem64[base + offset]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Op::Load {
+            rd,
+            base,
+            offset,
+            width: Width::Word,
+        });
+    }
+
+    /// `rd = mem8[base + offset]` (zero-extended)
+    pub fn ldb(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Op::Load {
+            rd,
+            base,
+            offset,
+            width: Width::Byte,
+        });
+    }
+
+    /// `mem64[base + offset] = src`
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.emit(Op::Store {
+            src,
+            base,
+            offset,
+            width: Width::Word,
+        });
+    }
+
+    /// `mem8[base + offset] = src & 0xff`
+    pub fn stb(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.emit(Op::Store {
+            src,
+            base,
+            offset,
+            width: Width::Byte,
+        });
+    }
+
+    /// Conditional branch to `target` if `rs1 <cond> src2`.
+    pub fn br(&mut self, cond: Cond, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.code.push(PendingOp::Branch {
+            cond,
+            rs1,
+            src2: src2.into(),
+            target,
+        });
+    }
+
+    /// Branch if `rs1 == src2`.
+    pub fn beq(&mut self, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.br(Cond::Eq, rs1, src2, target);
+    }
+
+    /// Branch if `rs1 != src2`.
+    pub fn bne(&mut self, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.br(Cond::Ne, rs1, src2, target);
+    }
+
+    /// Branch if `rs1 < src2` (signed).
+    pub fn blt(&mut self, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.br(Cond::Lt, rs1, src2, target);
+    }
+
+    /// Branch if `rs1 <= src2` (signed).
+    pub fn ble(&mut self, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.br(Cond::Le, rs1, src2, target);
+    }
+
+    /// Branch if `rs1 > src2` (signed).
+    pub fn bgt(&mut self, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.br(Cond::Gt, rs1, src2, target);
+    }
+
+    /// Branch if `rs1 >= src2` (signed).
+    pub fn bge(&mut self, rs1: Reg, src2: impl Into<Operand>, target: Label) {
+        self.br(Cond::Ge, rs1, src2, target);
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Label) {
+        self.code.push(PendingOp::Jump { target });
+    }
+
+    /// Direct call (`ra = pc + 1; pc = target`).
+    pub fn call(&mut self, target: Label) {
+        self.code.push(PendingOp::Call { target });
+    }
+
+    /// Return (`pc = ra`).
+    pub fn ret(&mut self) {
+        self.emit(Op::Ret);
+    }
+
+    /// Indirect jump (`pc = rs`), predicted through the BTB.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Op::Jr { rs });
+    }
+
+    /// Floating point operation `fd = fs1 <op> fs2`.
+    pub fn fp(&mut self, op: FpOp, fd: Reg, fs1: Reg, fs2: Reg) {
+        self.emit(Op::Fp { op, fd, fs1, fs2 });
+    }
+
+    /// Stop the program.
+    pub fn halt(&mut self) {
+        self.emit(Op::Halt);
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.emit(Op::Nop);
+    }
+
+    /// Resolve all labels and produce the final [`Program`].
+    ///
+    /// # Errors
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        let resolve = |l: Label| -> Result<usize, AsmError> {
+            self.labels[l.0].ok_or(AsmError::UnboundLabel(l))
+        };
+        let mut code = Vec::with_capacity(self.code.len());
+        for p in &self.code {
+            code.push(match *p {
+                PendingOp::Ready(op) => op,
+                PendingOp::Branch {
+                    cond,
+                    rs1,
+                    src2,
+                    target,
+                } => Op::Branch {
+                    cond,
+                    rs1,
+                    src2,
+                    target: resolve(target)?,
+                },
+                PendingOp::Jump { target } => Op::Jump {
+                    target: resolve(target)?,
+                },
+                PendingOp::Call { target } => Op::Call {
+                    target: resolve(target)?,
+                },
+            });
+        }
+        let mut labels: Vec<(usize, String)> = self
+            .labels
+            .iter()
+            .zip(&self.label_names)
+            .filter_map(|(pos, name)| match (pos, name) {
+                (Some(pc), Some(n)) => Some((*pc, n.clone())),
+                _ => None,
+            })
+            .collect();
+        labels.sort();
+        Ok(Program {
+            code,
+            data: self.data.clone(),
+            entry: self.entry,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.new_label();
+        let back = a.here();
+        a.addi(reg::T0, reg::T0, 1);
+        a.blt(reg::T0, Operand::imm(3), back);
+        a.jmp(fwd);
+        a.nop();
+        a.bind(fwd).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.code[1],
+            Op::Branch {
+                cond: Cond::Lt,
+                rs1: reg::T0,
+                src2: Operand::imm(3),
+                target: 0
+            }
+        );
+        assert_eq!(p.code[2], Op::Jump { target: 4 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jmp(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebind_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.here();
+        assert_eq!(a.bind(l), Err(AsmError::RebindLabel(l)));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = AsmError::UnboundLabel(Label(3));
+        assert!(e.to_string().contains("L3"));
+        let e = AsmError::RebindLabel(Label(1));
+        assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn data_allocator_is_sequential_and_aligned() {
+        let mut a = Asm::new();
+        let x = a.alloc_words(&[1, 2, 3]);
+        let y = a.alloc_bytes(&[1, 2, 3]); // 3 bytes, padded to 8
+        let z = a.alloc_zeroed(2);
+        let w = a.alloc_words(&[9]);
+        assert_eq!(x, DATA_BASE);
+        assert_eq!(y, DATA_BASE + 24);
+        assert_eq!(z, DATA_BASE + 32);
+        assert_eq!(w, DATA_BASE + 48);
+    }
+
+    #[test]
+    fn named_labels_appear_in_listing() {
+        let mut a = Asm::new();
+        a.here_named("main");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(p.listing().contains("main:"));
+    }
+
+    #[test]
+    fn call_and_ret_emit() {
+        let mut a = Asm::new();
+        let f = a.new_label();
+        a.call(f);
+        a.halt();
+        a.bind(f).unwrap();
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.code[0], Op::Call { target: 2 });
+        assert_eq!(p.code[2], Op::Ret);
+    }
+
+    #[test]
+    fn mov_encodes_as_addi_zero() {
+        let mut a = Asm::new();
+        a.mov(reg::T1, reg::T0);
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.code[0],
+            Op::Alu {
+                op: AluOp::Add,
+                rd: reg::T1,
+                rs1: reg::T0,
+                src2: Operand::imm(0)
+            }
+        );
+    }
+
+    #[test]
+    fn entry_point_can_be_moved() {
+        let mut a = Asm::new();
+        a.nop();
+        a.set_entry_here();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn all_convenience_branches_emit_right_cond() {
+        let mut a = Asm::new();
+        let l = a.here();
+        a.beq(reg::T0, 0i64, l);
+        a.bne(reg::T0, 0i64, l);
+        a.blt(reg::T0, 0i64, l);
+        a.ble(reg::T0, 0i64, l);
+        a.bgt(reg::T0, 0i64, l);
+        a.bge(reg::T0, 0i64, l);
+        let p = a.assemble().unwrap();
+        let conds: Vec<Cond> = p
+            .code
+            .iter()
+            .map(|op| match op {
+                Op::Branch { cond, .. } => *cond,
+                _ => panic!("expected branch"),
+            })
+            .collect();
+        assert_eq!(
+            conds,
+            vec![Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge]
+        );
+    }
+}

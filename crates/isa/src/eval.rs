@@ -1,0 +1,169 @@
+//! Shared instruction semantics.
+//!
+//! Both the functional emulator (`pp-func`) and the pipeline's execution
+//! units (`pp-core`) evaluate instructions through these helpers so results
+//! agree bit-for-bit. All operations are total: mis-speculated (wrong-path)
+//! instructions execute with arbitrary garbage operands and must never trap,
+//! so division by zero, overflowing shifts, and `i64::MIN / -1` all have
+//! defined results.
+
+use crate::op::{AluOp, Cond, FpOp};
+
+/// Evaluate an integer ALU operation.
+///
+/// * arithmetic wraps on 64 bits,
+/// * `Div`/`Rem` by zero yield `0`,
+/// * `i64::MIN / -1` wraps (yields `i64::MIN`, remainder `0`),
+/// * shift amounts are taken modulo 64.
+pub fn alu_eval(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+        AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Sra => a >> (b as u64 & 63),
+        AluOp::Slt => (a < b) as i64,
+        AluOp::Sltu => ((a as u64) < (b as u64)) as i64,
+    }
+}
+
+/// Evaluate a branch condition (signed comparison).
+pub fn cond_eval(cond: Cond, a: i64, b: i64) -> bool {
+    match cond {
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+        Cond::Lt => a < b,
+        Cond::Le => a <= b,
+        Cond::Gt => a > b,
+        Cond::Ge => a >= b,
+    }
+}
+
+/// Evaluate a floating point operation on register bit patterns.
+///
+/// FP registers hold `f64` values bit-for-bit in an `i64`. `Itof` treats the
+/// first source as a signed integer; `Ftoi` converts saturating, with NaN
+/// mapping to `0` (matching `f64 as i64` semantics in Rust).
+pub fn fp_eval(op: FpOp, a_bits: i64, b_bits: i64) -> i64 {
+    let a = f64::from_bits(a_bits as u64);
+    let b = f64::from_bits(b_bits as u64);
+    match op {
+        FpOp::Add => (a + b).to_bits() as i64,
+        FpOp::Sub => (a - b).to_bits() as i64,
+        FpOp::Mul => (a * b).to_bits() as i64,
+        FpOp::Div => (a / b).to_bits() as i64,
+        FpOp::Itof => (a_bits as f64).to_bits() as i64,
+        FpOp::Ftoi => a as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_wrap() {
+        assert_eq!(alu_eval(AluOp::Add, i64::MAX, 1), i64::MIN);
+        assert_eq!(alu_eval(AluOp::Sub, i64::MIN, 1), i64::MAX);
+    }
+
+    #[test]
+    fn div_rem_by_zero_are_zero() {
+        assert_eq!(alu_eval(AluOp::Div, 42, 0), 0);
+        assert_eq!(alu_eval(AluOp::Rem, 42, 0), 0);
+    }
+
+    #[test]
+    fn div_min_by_minus_one_wraps() {
+        assert_eq!(alu_eval(AluOp::Div, i64::MIN, -1), i64::MIN);
+        assert_eq!(alu_eval(AluOp::Rem, i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(alu_eval(AluOp::Sll, 1, 65), 2);
+        assert_eq!(alu_eval(AluOp::Srl, -1, 63), 1);
+        assert_eq!(alu_eval(AluOp::Sra, -8, 2), -2);
+        assert_eq!(alu_eval(AluOp::Srl, -8, 1), (u64::MAX >> 1) as i64 - 3);
+    }
+
+    #[test]
+    fn set_less_than() {
+        assert_eq!(alu_eval(AluOp::Slt, -1, 0), 1);
+        assert_eq!(alu_eval(AluOp::Sltu, -1, 0), 0); // -1 is u64::MAX
+        assert_eq!(alu_eval(AluOp::Slt, 3, 3), 0);
+    }
+
+    #[test]
+    fn logic_ops() {
+        assert_eq!(alu_eval(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu_eval(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu_eval(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn conditions() {
+        assert!(cond_eval(Cond::Eq, 1, 1));
+        assert!(cond_eval(Cond::Ne, 1, 2));
+        assert!(cond_eval(Cond::Lt, -5, 0));
+        assert!(cond_eval(Cond::Le, 5, 5));
+        assert!(cond_eval(Cond::Gt, 6, 5));
+        assert!(cond_eval(Cond::Ge, 5, 5));
+        assert!(!cond_eval(Cond::Lt, 5, 5));
+    }
+
+    #[test]
+    fn cond_matches_negation() {
+        for c in Cond::ALL {
+            for a in [-3i64, 0, 1, i64::MAX, i64::MIN] {
+                for b in [-3i64, 0, 1, i64::MAX] {
+                    assert_ne!(cond_eval(c, a, b), cond_eval(c.negate(), a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp_roundtrip() {
+        let a = 2.5f64.to_bits() as i64;
+        let b = 4.0f64.to_bits() as i64;
+        assert_eq!(f64::from_bits(fp_eval(FpOp::Add, a, b) as u64), 6.5);
+        assert_eq!(f64::from_bits(fp_eval(FpOp::Mul, a, b) as u64), 10.0);
+        assert_eq!(f64::from_bits(fp_eval(FpOp::Div, a, b) as u64), 0.625);
+        assert_eq!(f64::from_bits(fp_eval(FpOp::Sub, a, b) as u64), -1.5);
+    }
+
+    #[test]
+    fn fp_conversions() {
+        assert_eq!(f64::from_bits(fp_eval(FpOp::Itof, 7, 0) as u64), 7.0);
+        let x = 9.9f64.to_bits() as i64;
+        assert_eq!(fp_eval(FpOp::Ftoi, x, 0), 9);
+        let nan = f64::NAN.to_bits() as i64;
+        assert_eq!(fp_eval(FpOp::Ftoi, nan, 0), 0);
+    }
+
+    #[test]
+    fn fp_div_by_zero_is_inf_not_trap() {
+        let a = 1.0f64.to_bits() as i64;
+        let z = 0.0f64.to_bits() as i64;
+        assert!(f64::from_bits(fp_eval(FpOp::Div, a, z) as u64).is_infinite());
+    }
+}

@@ -1,0 +1,111 @@
+//! # pp-isa — instruction set for the PolyPath simulator
+//!
+//! A small 64-bit RISC instruction set used by the PolyPath reproduction.
+//! It stands in for the Alpha ISA used by the original paper: what matters
+//! for Selective Eager Execution is dynamic *control-flow behaviour*
+//! (conditional branches with data-dependent outcomes, calls/returns,
+//! loads/stores feeding branch conditions), not any particular encoding.
+//!
+//! The crate provides:
+//!
+//! * [`Op`] — the instruction forms (ALU, load/store, branch, jump,
+//!   call/return, FP, halt),
+//! * [`Program`] — executable code plus initial data segments,
+//! * [`Asm`] — a label-resolving assembler/builder used to write workloads,
+//! * shared evaluation helpers ([`alu_eval`], [`cond_eval`], [`fp_eval`])
+//!   so the functional emulator and the pipeline's execution units agree
+//!   bit-for-bit on semantics (including wrong-path corner cases such as
+//!   division by zero, which must not trap).
+//!
+//! Program counters are instruction indices, not byte addresses; memory
+//! data addresses are byte addresses in a flat 64-bit space.
+//!
+//! ```
+//! use pp_isa::{Asm, Cond, Operand, reg};
+//!
+//! # fn main() -> Result<(), pp_isa::AsmError> {
+//! let mut a = Asm::new();
+//! let top = a.new_label();
+//! a.li(reg::T0, 0);
+//! a.bind(top)?;
+//! a.addi(reg::T0, reg::T0, 1);
+//! a.br(Cond::Lt, reg::T0, Operand::imm(10), top);
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.code.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod eval;
+mod op;
+mod parse;
+mod program;
+
+pub use asm::{Asm, AsmError, Label};
+pub use eval::{alu_eval, cond_eval, fp_eval};
+pub use parse::{parse_asm, parse_reg, ParseError};
+pub use op::{AluOp, Cond, FpOp, InstClass, Op, Operand, Reg, Width, NUM_LOGICAL_REGS};
+pub use program::{DataSegment, Program, DATA_BASE, STACK_TOP};
+
+/// Well-known register names, mirroring a conventional RISC ABI.
+///
+/// Integer registers are `r0`–`r31` with `r0` hardwired to zero; floating
+/// point registers are `f0`–`f31` (register indices 32–63 internally).
+pub mod reg {
+    use crate::op::Reg;
+
+    /// Hardwired zero register. Writes are discarded, reads yield `0`.
+    pub const ZERO: Reg = Reg::int(0);
+    /// Return address, written by `call`, consumed by `ret`.
+    pub const RA: Reg = Reg::int(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg::int(2);
+    /// Global/data pointer.
+    pub const GP: Reg = Reg::int(3);
+
+    /// Argument/result registers.
+    pub const A0: Reg = Reg::int(4);
+    pub const A1: Reg = Reg::int(5);
+    pub const A2: Reg = Reg::int(6);
+    pub const A3: Reg = Reg::int(7);
+    pub const A4: Reg = Reg::int(8);
+    pub const A5: Reg = Reg::int(9);
+
+    /// Caller-saved temporaries.
+    pub const T0: Reg = Reg::int(10);
+    pub const T1: Reg = Reg::int(11);
+    pub const T2: Reg = Reg::int(12);
+    pub const T3: Reg = Reg::int(13);
+    pub const T4: Reg = Reg::int(14);
+    pub const T5: Reg = Reg::int(15);
+    pub const T6: Reg = Reg::int(16);
+    pub const T7: Reg = Reg::int(17);
+    pub const T8: Reg = Reg::int(18);
+    pub const T9: Reg = Reg::int(19);
+
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg::int(20);
+    pub const S1: Reg = Reg::int(21);
+    pub const S2: Reg = Reg::int(22);
+    pub const S3: Reg = Reg::int(23);
+    pub const S4: Reg = Reg::int(24);
+    pub const S5: Reg = Reg::int(25);
+    pub const S6: Reg = Reg::int(26);
+    pub const S7: Reg = Reg::int(27);
+    pub const S8: Reg = Reg::int(28);
+    pub const S9: Reg = Reg::int(29);
+    pub const S10: Reg = Reg::int(30);
+    pub const S11: Reg = Reg::int(31);
+
+    /// Floating point registers.
+    pub const F0: Reg = Reg::fp(0);
+    pub const F1: Reg = Reg::fp(1);
+    pub const F2: Reg = Reg::fp(2);
+    pub const F3: Reg = Reg::fp(3);
+    pub const F4: Reg = Reg::fp(4);
+    pub const F5: Reg = Reg::fp(5);
+    pub const F6: Reg = Reg::fp(6);
+    pub const F7: Reg = Reg::fp(7);
+}

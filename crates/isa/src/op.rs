@@ -1,0 +1,623 @@
+//! Instruction forms, registers, and operand types.
+
+use std::fmt;
+
+/// Number of architectural (logical) registers: 32 integer + 32 floating point.
+pub const NUM_LOGICAL_REGS: usize = 64;
+
+/// An architectural register.
+///
+/// Indices `0..32` are integer registers (`r0` hardwired to zero), indices
+/// `32..64` are floating point registers. The single flat namespace keeps the
+/// register-renaming machinery in the pipeline uniform, exactly as a unified
+/// physical register file would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Integer register `r{n}`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn int(n: u8) -> Self {
+        assert!(n < 32, "integer register index out of range");
+        Reg(n)
+    }
+
+    /// Floating point register `f{n}`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn fp(n: u8) -> Self {
+        assert!(n < 32, "fp register index out of range");
+        Reg(n + 32)
+    }
+
+    /// Flat index into the 64-entry logical register space.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a flat index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 64`.
+    pub fn from_index(idx: usize) -> Self {
+        assert!(idx < NUM_LOGICAL_REGS, "register index out of range");
+        Reg(idx as u8)
+    }
+
+    /// `true` for the hardwired-zero integer register `r0`.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` for floating point registers.
+    pub const fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - 32)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Integer ALU operations.
+///
+/// All arithmetic is two's-complement wrapping on 64 bits. Division and
+/// remainder by zero yield `0` — instructions on mis-speculated paths execute
+/// with whatever values the datapath holds and must never trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    /// Integer multiply (higher latency; executes on the IntType0 pipe,
+    /// mirroring the Alpha 21164's E0 multiplier).
+    Mul,
+    /// Signed division; division by zero yields 0.
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Shift left logical (shift amount taken mod 64).
+    Sll,
+    /// Shift right logical (shift amount taken mod 64).
+    Srl,
+    /// Shift right arithmetic (shift amount taken mod 64).
+    Sra,
+    /// Set-less-than, signed: `rd = (rs1 < src2) as i64`.
+    Slt,
+    /// Set-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// All ALU operations, useful for exhaustive tests.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Floating point operations on f64 values stored bit-for-bit in registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Convert integer source to f64.
+    Itof,
+    /// Convert f64 source to integer (saturating, NaN maps to 0).
+    Ftoi,
+}
+
+impl FpOp {
+    /// All FP operations, useful for exhaustive tests.
+    pub const ALL: [FpOp; 6] = [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::Itof,
+        FpOp::Ftoi,
+    ];
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Mul => "fmul",
+            FpOp::Div => "fdiv",
+            FpOp::Itof => "itof",
+            FpOp::Ftoi => "ftoi",
+        }
+    }
+}
+
+/// Branch comparison conditions (`rs1 <cond> src2`, signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// All conditions, useful for exhaustive tests.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// The condition testing the opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+            Cond::Ge => "bge",
+        }
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte, zero-extended on load.
+    Byte,
+    /// Eight bytes (a 64-bit word).
+    Word,
+}
+
+impl Width {
+    /// Access size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Width::Byte => 1,
+            Width::Word => 8,
+        }
+    }
+}
+
+/// The second source of an ALU or branch instruction: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(i64),
+}
+
+impl Operand {
+    /// Immediate operand.
+    pub const fn imm(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// `target` fields are instruction indices into [`crate::Program::code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `rd = rs1 <op> src2`
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        src2: Operand,
+    },
+    /// `rd = imm`
+    Li { rd: Reg, imm: i64 },
+    /// `rd = mem[base + offset]`
+    Load {
+        rd: Reg,
+        base: Reg,
+        offset: i64,
+        width: Width,
+    },
+    /// `mem[base + offset] = src`
+    Store {
+        src: Reg,
+        base: Reg,
+        offset: i64,
+        width: Width,
+    },
+    /// Conditional branch to `target` if `rs1 <cond> src2`.
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        src2: Operand,
+        target: usize,
+    },
+    /// Unconditional direct jump.
+    Jump { target: usize },
+    /// Direct call: `ra = pc + 1; pc = target`.
+    Call { target: usize },
+    /// Return: `pc = ra`.
+    Ret,
+    /// Indirect jump: `pc = rs` (predicted through the BTB).
+    Jr { rs: Reg },
+    /// `fd = fs1 <op> fs2` (for `Itof`/`Ftoi` only `fs1` is read).
+    Fp {
+        op: FpOp,
+        fd: Reg,
+        fs1: Reg,
+        fs2: Reg,
+    },
+    /// Stop the program.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse instruction classification used for functional unit assignment
+/// and latency selection in the pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Simple integer arithmetic/logic (1 cycle on either integer pipe).
+    IntAlu,
+    /// Integer multiply (long latency, IntType0 pipe only, like 21164 E0).
+    IntMul,
+    /// Integer divide/remainder (long latency, IntType0 pipe only).
+    IntDiv,
+    /// Conditional branch (IntType1 pipe only, like 21164 E1).
+    Branch,
+    /// Unconditional control transfer (`jump`/`call`/`ret`).
+    Jump,
+    /// Memory load (address generation + D-cache port).
+    Load,
+    /// Memory store (address generation + D-cache port at commit).
+    Store,
+    /// FP add/sub/convert (FPAdd pipe).
+    FpAdd,
+    /// FP multiply (FPMult pipe).
+    FpMul,
+    /// FP divide (FPMult pipe, long latency, not pipelined).
+    FpDiv,
+    /// Program end marker.
+    Halt,
+    /// No-op (consumes an integer pipe slot).
+    Nop,
+}
+
+impl Op {
+    /// The functional-unit class of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Op::Alu { op, .. } => match op {
+                AluOp::Mul => InstClass::IntMul,
+                AluOp::Div | AluOp::Rem => InstClass::IntDiv,
+                _ => InstClass::IntAlu,
+            },
+            Op::Li { .. } => InstClass::IntAlu,
+            Op::Load { .. } => InstClass::Load,
+            Op::Store { .. } => InstClass::Store,
+            Op::Branch { .. } => InstClass::Branch,
+            Op::Jump { .. } | Op::Call { .. } | Op::Ret | Op::Jr { .. } => InstClass::Jump,
+            Op::Fp { op, .. } => match op {
+                FpOp::Mul => InstClass::FpMul,
+                FpOp::Div => InstClass::FpDiv,
+                _ => InstClass::FpAdd,
+            },
+            Op::Halt => InstClass::Halt,
+            Op::Nop => InstClass::Nop,
+        }
+    }
+
+    /// Destination register written by this instruction, if any.
+    ///
+    /// Writes to the hardwired zero register are reported as `None`
+    /// (they are architecturally discarded).
+    pub fn dest(&self) -> Option<Reg> {
+        let d = match self {
+            Op::Alu { rd, .. } | Op::Li { rd, .. } | Op::Load { rd, .. } => Some(*rd),
+            Op::Fp { fd, .. } => Some(*fd),
+            Op::Call { .. } => Some(crate::reg::RA),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// Source registers read by this instruction (up to two).
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        let norm = |r: Reg| if r.is_zero() { None } else { Some(r) };
+        match self {
+            Op::Alu { rs1, src2, .. } => [norm(*rs1), src2.reg().and_then(norm)],
+            Op::Li { .. } => [None, None],
+            Op::Load { base, .. } => [norm(*base), None],
+            Op::Store { src, base, .. } => [norm(*base), norm(*src)],
+            Op::Branch { rs1, src2, .. } => [norm(*rs1), src2.reg().and_then(norm)],
+            Op::Jump { .. } | Op::Call { .. } => [None, None],
+            Op::Ret => [Some(crate::reg::RA), None],
+            Op::Jr { rs } => [norm(*rs), None],
+            Op::Fp { op, fs1, fs2, .. } => match op {
+                FpOp::Itof | FpOp::Ftoi => [norm(*fs1), None],
+                _ => [norm(*fs1), norm(*fs2)],
+            },
+            Op::Halt | Op::Nop => [None, None],
+        }
+    }
+
+    /// `true` for conditional branches (the instructions SEE may diverge on).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Op::Branch { .. })
+    }
+
+    /// `true` for any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Op::Branch { .. } | Op::Jump { .. } | Op::Call { .. } | Op::Ret | Op::Jr { .. }
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Alu { op, rd, rs1, src2 } => {
+                write!(f, "{} {rd}, {rs1}, {src2}", op.mnemonic())
+            }
+            Op::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Op::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
+                let m = if *width == Width::Byte { "ldb" } else { "ld" };
+                write!(f, "{m} {rd}, {offset}({base})")
+            }
+            Op::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
+                let m = if *width == Width::Byte { "stb" } else { "st" };
+                write!(f, "{m} {src}, {offset}({base})")
+            }
+            Op::Branch {
+                cond,
+                rs1,
+                src2,
+                target,
+            } => write!(f, "{} {rs1}, {src2}, @{target}", cond.mnemonic()),
+            Op::Jump { target } => write!(f, "jmp @{target}"),
+            Op::Call { target } => write!(f, "call @{target}"),
+            Op::Ret => write!(f, "ret"),
+            Op::Jr { rs } => write!(f, "jr {rs}"),
+            Op::Fp { op, fd, fs1, fs2 } => match op {
+                FpOp::Itof | FpOp::Ftoi => write!(f, "{} {fd}, {fs1}", op.mnemonic()),
+                _ => write!(f, "{} {fd}, {fs1}, {fs2}", op.mnemonic()),
+            },
+            Op::Halt => write!(f, "halt"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn reg_display_and_class() {
+        assert_eq!(reg::T0.to_string(), "r10");
+        assert_eq!(reg::F1.to_string(), "f1");
+        assert!(reg::F0.is_fp());
+        assert!(!reg::T0.is_fp());
+        assert!(reg::ZERO.is_zero());
+    }
+
+    #[test]
+    fn reg_flat_index_roundtrip() {
+        for idx in 0..NUM_LOGICAL_REGS {
+            assert_eq!(Reg::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_from_index_rejects_out_of_range() {
+        let _ = Reg::from_index(64);
+    }
+
+    #[test]
+    fn zero_register_writes_are_discarded() {
+        let op = Op::Alu {
+            op: AluOp::Add,
+            rd: reg::ZERO,
+            rs1: reg::T0,
+            src2: Operand::imm(1),
+        };
+        assert_eq!(op.dest(), None);
+    }
+
+    #[test]
+    fn zero_register_reads_are_not_dependencies() {
+        let op = Op::Alu {
+            op: AluOp::Add,
+            rd: reg::T1,
+            rs1: reg::ZERO,
+            src2: Operand::Reg(reg::ZERO),
+        };
+        assert_eq!(op.sources(), [None, None]);
+    }
+
+    #[test]
+    fn call_writes_ra_and_ret_reads_it() {
+        assert_eq!(Op::Call { target: 3 }.dest(), Some(reg::RA));
+        assert_eq!(Op::Ret.sources()[0], Some(reg::RA));
+    }
+
+    #[test]
+    fn classes() {
+        let alu = Op::Alu {
+            op: AluOp::Add,
+            rd: reg::T0,
+            rs1: reg::T1,
+            src2: Operand::imm(1),
+        };
+        assert_eq!(alu.class(), InstClass::IntAlu);
+        let mul = Op::Alu {
+            op: AluOp::Mul,
+            rd: reg::T0,
+            rs1: reg::T1,
+            src2: Operand::imm(2),
+        };
+        assert_eq!(mul.class(), InstClass::IntMul);
+        let div = Op::Alu {
+            op: AluOp::Div,
+            rd: reg::T0,
+            rs1: reg::T1,
+            src2: Operand::imm(2),
+        };
+        assert_eq!(div.class(), InstClass::IntDiv);
+        assert_eq!(Op::Ret.class(), InstClass::Jump);
+        assert_eq!(
+            Op::Fp {
+                op: FpOp::Mul,
+                fd: reg::F0,
+                fs1: reg::F1,
+                fs2: reg::F2
+            }
+            .class(),
+            InstClass::FpMul
+        );
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let op = Op::Branch {
+            cond: Cond::Lt,
+            rs1: reg::T0,
+            src2: Operand::imm(5),
+            target: 7,
+        };
+        assert_eq!(op.to_string(), "blt r10, 5, @7");
+        let ld = Op::Load {
+            rd: reg::T1,
+            base: reg::SP,
+            offset: -8,
+            width: Width::Word,
+        };
+        assert_eq!(ld.to_string(), "ld r11, -8(r2)");
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = reg::T0.into();
+        assert_eq!(o.reg(), Some(reg::T0));
+        let o: Operand = 42i64.into();
+        assert_eq!(o.reg(), None);
+    }
+
+    #[test]
+    fn branch_is_cond_branch() {
+        let b = Op::Branch {
+            cond: Cond::Eq,
+            rs1: reg::T0,
+            src2: Operand::imm(0),
+            target: 0,
+        };
+        assert!(b.is_cond_branch());
+        assert!(b.is_control());
+        assert!(Op::Ret.is_control());
+        assert!(!Op::Ret.is_cond_branch());
+        assert!(!Op::Nop.is_control());
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Word.bytes(), 8);
+    }
+}

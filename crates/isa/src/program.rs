@@ -1,0 +1,155 @@
+//! Executable program representation.
+
+use std::fmt;
+
+use crate::op::Op;
+
+/// Conventional base address of the static data region created by the
+/// assembler's data allocator.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Conventional initial stack pointer (stack grows toward lower addresses).
+pub const STACK_TOP: u64 = 0x7fff_0000;
+
+/// An initialized region of memory, loaded before execution starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Byte address of the first byte of the segment.
+    pub base: u64,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// A segment of 64-bit little-endian words starting at `base`.
+    pub fn from_words(base: u64, words: &[i64]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        DataSegment { base, bytes }
+    }
+
+    /// Exclusive end address of the segment.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+}
+
+/// An assembled program: code, initial data, entry point, and optional
+/// label names for disassembly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Instructions, addressed by index (the simulator's PC space).
+    pub code: Vec<Op>,
+    /// Initial memory contents.
+    pub data: Vec<DataSegment>,
+    /// Index of the first instruction to execute.
+    pub entry: usize,
+    /// `(pc, name)` pairs for human-readable listings, sorted by `pc`.
+    pub labels: Vec<(usize, String)>,
+}
+
+impl Program {
+    /// Instruction at `pc`, or `None` past the end of the text section.
+    ///
+    /// Fetching past the end is possible on mis-speculated paths; the
+    /// pipeline treats it as fetching a halt-like bubble.
+    pub fn fetch(&self, pc: usize) -> Option<Op> {
+        self.code.get(pc).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Human-readable listing with labels interleaved, one instruction per line.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        let mut li = 0;
+        for (pc, op) in self.code.iter().enumerate() {
+            while li < self.labels.len() && self.labels[li].0 == pc {
+                out.push_str(&format!("{}:\n", self.labels[li].1));
+                li += 1;
+            }
+            out.push_str(&format!("  {pc:5}  {op}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, Operand};
+    use crate::reg;
+
+    fn tiny() -> Program {
+        Program {
+            code: vec![
+                Op::Li {
+                    rd: reg::T0,
+                    imm: 1,
+                },
+                Op::Alu {
+                    op: AluOp::Add,
+                    rd: reg::T0,
+                    rs1: reg::T0,
+                    src2: Operand::imm(2),
+                },
+                Op::Halt,
+            ],
+            data: vec![DataSegment::from_words(DATA_BASE, &[10, 20])],
+            entry: 0,
+            labels: vec![(0, "start".to_string())],
+        }
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = tiny();
+        assert_eq!(
+            p.fetch(0),
+            Some(Op::Li {
+                rd: reg::T0,
+                imm: 1
+            })
+        );
+        assert_eq!(p.fetch(3), None);
+    }
+
+    #[test]
+    fn segment_from_words_little_endian() {
+        let s = DataSegment::from_words(0x100, &[0x0102_0304_0506_0708]);
+        assert_eq!(s.bytes, vec![8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(s.end(), 0x108);
+    }
+
+    #[test]
+    fn listing_contains_labels_and_ops() {
+        let p = tiny();
+        let l = p.listing();
+        assert!(l.contains("start:"));
+        assert!(l.contains("li r10, 1"));
+        assert!(l.contains("halt"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(tiny().len(), 3);
+        assert!(!tiny().is_empty());
+        assert!(Program::default().is_empty());
+    }
+}

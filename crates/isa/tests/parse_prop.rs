@@ -1,0 +1,112 @@
+//! Parser robustness: arbitrary text never panics, and programs built
+//! with the DSL round-trip through equivalent textual source.
+
+use pp_isa::{parse_asm, reg, Asm, Op, Operand};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser returns Ok or Err on any input — it never panics.
+    #[test]
+    fn arbitrary_text_never_panics(src in "\\PC*") {
+        let _ = parse_asm(&src);
+    }
+
+    /// Lines made of plausible assembly tokens never panic either.
+    #[test]
+    fn token_soup_never_panics(
+        lines in proptest::collection::vec(
+            "(add|ld|st|beq|jmp|li|\\.word|\\.zero|label:)( [a-z0-9, ()-]{0,20})?",
+            0..20
+        )
+    ) {
+        let src = lines.join("\n");
+        let _ = parse_asm(&src);
+    }
+}
+
+#[test]
+fn textual_and_dsl_programs_are_equivalent() {
+    // The same program written both ways must produce identical code.
+    let text = r"
+        .word nums, 7, 9
+        la   gp, nums
+        ld   t0, 0(gp)
+        ld   t1, 8(gp)
+        add  t2, t0, t1
+        st   t2, 16(gp)
+        halt
+    ";
+    let parsed = parse_asm(text).unwrap();
+
+    let mut a = Asm::new();
+    let nums = a.alloc_words(&[7, 9]);
+    a.li(reg::GP, nums as i64);
+    a.ld(reg::T0, reg::GP, 0);
+    a.ld(reg::T1, reg::GP, 8);
+    a.add(reg::T2, reg::T0, reg::T1);
+    a.st(reg::T2, reg::GP, 16);
+    a.halt();
+    let built = a.assemble().unwrap();
+
+    assert_eq!(parsed.code, built.code);
+    assert_eq!(parsed.data, built.data);
+}
+
+#[test]
+fn every_mnemonic_parses() {
+    let text = r"
+        .zero buf, 4
+        top:
+        add  t0, t1, t2
+        addi t0, t0, 1
+        sub  t0, t1, 5
+        mul  t0, t1, t2
+        div  t0, t1, t2
+        rem  t0, t1, t2
+        and  t0, t1, 255
+        or   t0, t1, t2
+        xor  t0, t1, t2
+        sll  t0, t1, 3
+        srl  t0, t1, 3
+        sra  t0, t1, 3
+        slt  t0, t1, t2
+        sltu t0, t1, t2
+        li   t0, -42
+        la   t1, buf
+        mov  t2, t0
+        ld   t3, 0(t1)
+        ldb  t4, 1(t1)
+        st   t3, 8(t1)
+        stb  t4, 9(t1)
+        beq  t0, t1, top
+        bne  t0, 0, top
+        blt  t0, t1, top
+        ble  t0, t1, top
+        bgt  t0, t1, top
+        bge  t0, t1, top
+        call func
+        jmp  end
+        func:
+        nop
+        ret
+        end:
+        itof f0, t0
+        fadd f1, f0, f0
+        fsub f2, f1, f0
+        fmul f3, f1, f2
+        fdiv f4, f3, f1
+        ftoi t5, f4
+        halt
+    ";
+    let program = parse_asm(text).expect("every mnemonic parses");
+    assert!(matches!(program.code.last(), Some(Op::Halt)));
+    assert_eq!(
+        program.code[2],
+        Op::Alu {
+            op: pp_isa::AluOp::Sub,
+            rd: reg::T0,
+            rs1: reg::T1,
+            src2: Operand::imm(5)
+        }
+    );
+}

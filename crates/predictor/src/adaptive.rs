@@ -1,0 +1,198 @@
+//! Self-monitoring confidence estimation — the paper's "lesson learned".
+//!
+//! Paper §5.1, on the m88ksim anomaly: *"a successful branch confidence
+//! estimator for SEE should be able to monitor its performance dynamically
+//! and revert back to strict monopath execution (always indicating
+//! 'high-confidence') if it makes too many errors."* The paper leaves this
+//! as future work; [`AdaptiveJrs`] implements it.
+//!
+//! The wrapper tracks the recent PVN (fraction of low-confidence flags
+//! that were real mispredictions) over a sliding window of resolved
+//! low-confidence branches. When the observed PVN falls below a floor the
+//! estimator *suppresses* low-confidence signals (SEE degrades gracefully
+//! to monopath); it keeps monitoring shadow estimates and re-enables
+//! itself when the underlying estimator becomes trustworthy again.
+
+use crate::confidence::{Confidence, Jrs, JrsConfig};
+
+/// Configuration of the adaptive wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// The wrapped JRS estimator.
+    pub inner: JrsConfig,
+    /// Re-evaluate the gate every `window` resolved low-confidence
+    /// estimates.
+    pub window: u32,
+    /// Suppress divergence while observed PVN (percent) is below this.
+    pub min_pvn_percent: u32,
+}
+
+impl AdaptiveConfig {
+    /// Paper-baseline JRS wrapped with a 512-sample window and a 20% PVN
+    /// floor: a pathological estimator (the paper's m88ksim ran at 16%)
+    /// falls below it, while the 30–55% PVN of healthy benchmarks keeps
+    /// the gate open even through window-to-window noise.
+    pub fn paper_baseline() -> Self {
+        AdaptiveConfig {
+            inner: JrsConfig::paper_baseline(),
+            window: 512,
+            min_pvn_percent: 20,
+        }
+    }
+}
+
+/// A JRS estimator that reverts to monopath when its PVN collapses.
+#[derive(Debug, Clone)]
+pub struct AdaptiveJrs {
+    jrs: Jrs,
+    config: AdaptiveConfig,
+    /// Low-confidence shadow estimates resolved in the current window.
+    low_seen: u32,
+    /// …of which were actually mispredicted.
+    low_wrong: u32,
+    /// When `false`, low-confidence signals are suppressed.
+    enabled: bool,
+}
+
+impl AdaptiveJrs {
+    /// Build from `config`.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero, `min_pvn_percent` exceeds 100, or the
+    /// inner JRS configuration is invalid.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        assert!(config.window > 0, "window must be nonzero");
+        assert!(config.min_pvn_percent <= 100, "PVN floor is a percentage");
+        AdaptiveJrs {
+            jrs: Jrs::new(config.inner),
+            config,
+            low_seen: 0,
+            low_wrong: 0,
+            enabled: true,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// `true` while low-confidence signals pass through.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Bytes of estimator state (the underlying table; the monitor is two
+    /// counters and a bit).
+    pub fn state_bytes(&self) -> usize {
+        self.jrs.state_bytes()
+    }
+
+    /// Estimate confidence; while the gate is closed every estimate is
+    /// [`Confidence::High`] (monopath behaviour).
+    pub fn estimate(&self, pc: usize, ghr: u64, predicted_taken: bool) -> Confidence {
+        match self.jrs.estimate(pc, ghr, predicted_taken) {
+            Confidence::Low if self.enabled => Confidence::Low,
+            _ => Confidence::High,
+        }
+    }
+
+    /// Update at branch commit. The shadow estimate (what the underlying
+    /// JRS *would* have said) is monitored even while suppressed, so the
+    /// gate can re-open.
+    pub fn update(&mut self, pc: usize, ghr: u64, predicted_taken: bool, correct: bool) {
+        if self.jrs.estimate(pc, ghr, predicted_taken) == Confidence::Low {
+            self.low_seen += 1;
+            if !correct {
+                self.low_wrong += 1;
+            }
+            if self.low_seen >= self.config.window {
+                let pvn_percent = 100 * self.low_wrong / self.low_seen;
+                self.enabled = pvn_percent >= self.config.min_pvn_percent;
+                self.low_seen = 0;
+                self.low_wrong = 0;
+            }
+        }
+        self.jrs.update(pc, ghr, predicted_taken, correct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AdaptiveJrs {
+        AdaptiveJrs::new(AdaptiveConfig {
+            inner: JrsConfig {
+                counter_bits: 1,
+                threshold: 1,
+                index_bits: 8,
+                enhanced_index: false,
+            },
+            window: 10,
+            min_pvn_percent: 30,
+        })
+    }
+
+    /// Feed `n` low-confidence resolutions with the given correctness.
+    /// Uses a distinct pc per event so each hits a cold (low) counter.
+    fn feed(a: &mut AdaptiveJrs, n: u32, correct: bool, base_pc: usize) {
+        for i in 0..n {
+            let pc = base_pc + i as usize;
+            assert_eq!(
+                a.jrs.estimate(pc, 0, true),
+                Confidence::Low,
+                "setup: counter must be cold"
+            );
+            a.update(pc, 0, true, correct);
+        }
+    }
+
+    #[test]
+    fn gate_closes_on_low_pvn() {
+        let mut a = tiny();
+        assert!(a.is_enabled());
+        // 10 low-confidence estimates, all actually correct: PVN 0%.
+        feed(&mut a, 10, true, 1000);
+        assert!(!a.is_enabled(), "gate must close below the PVN floor");
+        // While closed, everything is high confidence.
+        assert_eq!(a.estimate(5000, 0, true), Confidence::High);
+    }
+
+    #[test]
+    fn gate_reopens_when_pvn_recovers() {
+        let mut a = tiny();
+        feed(&mut a, 10, true, 1000);
+        assert!(!a.is_enabled());
+        // Next window: all low-confidence flags are real mispredictions.
+        feed(&mut a, 10, false, 2000);
+        assert!(a.is_enabled(), "gate must reopen at high PVN");
+        assert_eq!(a.estimate(9000, 0, true), Confidence::Low);
+    }
+
+    #[test]
+    fn high_pvn_keeps_gate_open() {
+        let mut a = tiny();
+        // 4 wrong out of 10 = 40% ≥ 30% floor.
+        feed(&mut a, 4, false, 1000);
+        feed(&mut a, 6, true, 3000);
+        assert!(a.is_enabled());
+    }
+
+    #[test]
+    fn state_accounting_matches_inner() {
+        let a = AdaptiveJrs::new(AdaptiveConfig::paper_baseline());
+        assert_eq!(a.state_bytes(), Jrs::new(JrsConfig::paper_baseline()).state_bytes());
+        assert_eq!(a.config().window, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = AdaptiveJrs::new(AdaptiveConfig {
+            inner: JrsConfig::paper_baseline(),
+            window: 0,
+            min_pvn_percent: 25,
+        });
+    }
+}

@@ -1,0 +1,248 @@
+//! Branch confidence estimation (paper §3.2.7, §4.2).
+
+use crate::counters::SaturatingCounter;
+
+/// A confidence estimate for one branch prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// The prediction is likely correct: follow it monopath-style.
+    High,
+    /// The prediction is diffident: SEE diverges and executes both paths.
+    Low,
+}
+
+/// Configuration of a [`Jrs`] estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JrsConfig {
+    /// Counter width in bits. The original JRS design advocates 4-bit
+    /// counters; the paper found 1-bit counters give much higher PVN for
+    /// SEE and uses them in the baseline.
+    pub counter_bits: u32,
+    /// A prediction is high-confidence when its counter value is at least
+    /// this threshold. With 1-bit counters the natural threshold is 1.
+    pub threshold: u8,
+    /// log2 of the number of counters. The paper always sizes the estimator
+    /// equal to the branch predictor (14 → 16 k counters at baseline).
+    pub index_bits: u32,
+    /// The paper's enhanced indexing: fold the speculative outcome of the
+    /// branch being estimated into the global history used for indexing.
+    pub enhanced_index: bool,
+}
+
+impl JrsConfig {
+    /// The paper's baseline estimator: 1-bit resetting counters, threshold
+    /// 1, 16 k entries, enhanced indexing.
+    pub fn paper_baseline() -> Self {
+        JrsConfig {
+            counter_bits: 1,
+            threshold: 1,
+            index_bits: 14,
+            enhanced_index: true,
+        }
+    }
+
+    /// The original Jacobsen et al. configuration: 4-bit resetting
+    /// counters (high-confidence once ≥ 8 correct in a row), plain gshare
+    /// indexing.
+    pub fn original_jrs(index_bits: u32) -> Self {
+        JrsConfig {
+            counter_bits: 4,
+            threshold: 8,
+            index_bits,
+            enhanced_index: false,
+        }
+    }
+
+    /// Same configuration with a different table size.
+    #[must_use]
+    pub fn with_index_bits(mut self, index_bits: u32) -> Self {
+        self.index_bits = index_bits;
+        self
+    }
+}
+
+/// The Jacobsen–Rotenberg–Smith resetting-counter confidence estimator.
+///
+/// Each counter holds the number of correct predictions since the last
+/// misprediction that indexed it; a saturating count at or above the
+/// threshold signals [`Confidence::High`].
+#[derive(Debug, Clone)]
+pub struct Jrs {
+    config: JrsConfig,
+    table: Vec<SaturatingCounter>,
+}
+
+impl Jrs {
+    /// Build an estimator from `config`.
+    ///
+    /// # Panics
+    /// Panics if `index_bits` is 0 or greater than 28, or the counter/
+    /// threshold combination is unrepresentable.
+    pub fn new(config: JrsConfig) -> Self {
+        assert!(
+            (1..=28).contains(&config.index_bits),
+            "index bits must be in 1..=28"
+        );
+        let probe = SaturatingCounter::new(config.counter_bits, 0);
+        assert!(
+            config.threshold <= probe.max() && config.threshold > 0,
+            "threshold must be in 1..=counter max"
+        );
+        Jrs {
+            config,
+            table: vec![probe; 1 << config.index_bits],
+        }
+    }
+
+    /// The configuration this estimator was built with.
+    pub fn config(&self) -> &JrsConfig {
+        &self.config
+    }
+
+    /// Bytes of estimator state, for Fig. 9's equal-area accounting
+    /// (1-bit counters at 14 index bits = 2 kB).
+    pub fn state_bytes(&self) -> usize {
+        (self.table.len() * self.config.counter_bits as usize).div_ceil(8)
+    }
+
+    fn index(&self, pc: usize, ghr: u64, predicted_taken: bool) -> usize {
+        let hist = if self.config.enhanced_index {
+            (ghr << 1) | predicted_taken as u64
+        } else {
+            ghr
+        };
+        let mask = (1usize << self.config.index_bits) - 1;
+        (pc ^ hist as usize) & mask
+    }
+
+    /// Estimate confidence in predicting `predicted_taken` for the branch
+    /// at `pc` under speculative history `ghr`.
+    pub fn estimate(&self, pc: usize, ghr: u64, predicted_taken: bool) -> Confidence {
+        if self.table[self.index(pc, ghr, predicted_taken)].value() >= self.config.threshold {
+            Confidence::High
+        } else {
+            Confidence::Low
+        }
+    }
+
+    /// Update at branch resolution/commit: increment on a correct
+    /// prediction, reset on a misprediction. Arguments must match those
+    /// used at [`Jrs::estimate`] time (the pipeline checkpoints them).
+    pub fn update(&mut self, pc: usize, ghr: u64, predicted_taken: bool, correct: bool) {
+        let idx = self.index(pc, ghr, predicted_taken);
+        let c = &mut self.table[idx];
+        if correct {
+            c.increment();
+        } else {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_bit() -> Jrs {
+        Jrs::new(JrsConfig {
+            counter_bits: 1,
+            threshold: 1,
+            index_bits: 10,
+            enhanced_index: false,
+        })
+    }
+
+    #[test]
+    fn fresh_estimator_is_low_confidence() {
+        let jrs = one_bit();
+        assert_eq!(jrs.estimate(5, 0, true), Confidence::Low);
+    }
+
+    #[test]
+    fn one_correct_prediction_flips_one_bit_counter_to_high() {
+        let mut jrs = one_bit();
+        jrs.update(5, 0, true, true);
+        assert_eq!(jrs.estimate(5, 0, true), Confidence::High);
+    }
+
+    #[test]
+    fn misprediction_resets_to_low() {
+        let mut jrs = one_bit();
+        jrs.update(5, 0, true, true);
+        jrs.update(5, 0, true, false);
+        assert_eq!(jrs.estimate(5, 0, true), Confidence::Low);
+    }
+
+    #[test]
+    fn four_bit_requires_threshold_correct_predictions() {
+        let mut jrs = Jrs::new(JrsConfig::original_jrs(10));
+        for i in 0..8 {
+            assert_eq!(
+                jrs.estimate(5, 0, true),
+                Confidence::Low,
+                "still low after {i} updates"
+            );
+            jrs.update(5, 0, true, true);
+        }
+        assert_eq!(jrs.estimate(5, 0, true), Confidence::High);
+    }
+
+    #[test]
+    fn enhanced_indexing_separates_predicted_directions() {
+        let mut jrs = Jrs::new(JrsConfig {
+            counter_bits: 1,
+            threshold: 1,
+            index_bits: 10,
+            enhanced_index: true,
+        });
+        // Train only the "predicted taken" entry.
+        jrs.update(5, 0, true, true);
+        assert_eq!(jrs.estimate(5, 0, true), Confidence::High);
+        // The "predicted not-taken" entry is a different counter.
+        assert_eq!(jrs.estimate(5, 0, false), Confidence::Low);
+    }
+
+    #[test]
+    fn plain_indexing_ignores_predicted_direction() {
+        let mut jrs = one_bit();
+        jrs.update(5, 0, true, true);
+        assert_eq!(jrs.estimate(5, 0, false), Confidence::High);
+    }
+
+    #[test]
+    fn state_bytes_accounting() {
+        // Paper baseline: 16k 1-bit counters = 2 kB.
+        assert_eq!(Jrs::new(JrsConfig::paper_baseline()).state_bytes(), 2048);
+        // Original JRS at 10 bits: 1k 4-bit counters = 512 B.
+        assert_eq!(Jrs::new(JrsConfig::original_jrs(10)).state_bytes(), 512);
+    }
+
+    #[test]
+    fn paper_baseline_shape() {
+        let c = JrsConfig::paper_baseline();
+        assert_eq!(c.counter_bits, 1);
+        assert_eq!(c.threshold, 1);
+        assert_eq!(c.index_bits, 14);
+        assert!(c.enhanced_index);
+        assert_eq!(c.with_index_bits(12).index_bits, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_above_counter_max_rejected() {
+        let _ = Jrs::new(JrsConfig {
+            counter_bits: 1,
+            threshold: 2,
+            index_bits: 8,
+            enhanced_index: false,
+        });
+    }
+
+    #[test]
+    fn different_histories_different_counters() {
+        let mut jrs = one_bit();
+        jrs.update(5, 0b1, true, true);
+        assert_eq!(jrs.estimate(5, 0b1, true), Confidence::High);
+        assert_eq!(jrs.estimate(5, 0b10, true), Confidence::Low);
+    }
+}

@@ -1,0 +1,116 @@
+//! Saturating counters, the storage element of all table-based predictors.
+
+/// An n-bit saturating counter (1 ≤ n ≤ 8), stored in a `u8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Counter of `bits` width initialized to `initial`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or greater than 8, or `initial` exceeds the
+    /// maximum representable value.
+    pub fn new(bits: u32, initial: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = if bits == 8 { u8::MAX } else { (1u8 << bits) - 1 };
+        assert!(initial <= max, "initial value exceeds counter range");
+        SaturatingCounter {
+            value: initial,
+            max,
+        }
+    }
+
+    /// Current value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Largest representable value.
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Increment, saturating at the maximum.
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrement, saturating at zero.
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Reset to zero (the JRS "resetting" behaviour on a misprediction).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// For 2-bit direction counters: `true` when the counter predicts taken
+    /// (value in the upper half of its range).
+    pub fn predicts_taken(self) -> bool {
+        self.value > self.max / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_hysteresis() {
+        let mut c = SaturatingCounter::new(2, 1); // weakly not-taken
+        assert!(!c.predicts_taken());
+        c.increment(); // 2: weakly taken
+        assert!(c.predicts_taken());
+        c.increment(); // 3: strongly taken
+        c.increment(); // saturates at 3
+        assert_eq!(c.value(), 3);
+        c.decrement(); // 2: still predicts taken
+        assert!(c.predicts_taken());
+    }
+
+    #[test]
+    fn saturates_at_zero() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.decrement();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn one_bit_counter() {
+        let mut c = SaturatingCounter::new(1, 0);
+        assert_eq!(c.max(), 1);
+        c.increment();
+        c.increment();
+        assert_eq!(c.value(), 1);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn eight_bit_counter() {
+        let mut c = SaturatingCounter::new(8, 254);
+        c.increment();
+        c.increment();
+        assert_eq!(c.value(), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_bits_rejected() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn initial_out_of_range_rejected() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+}

@@ -1,0 +1,337 @@
+//! Branch direction predictors.
+
+use crate::counters::SaturatingCounter;
+
+/// McFarling's gshare predictor: `(GHR ⊕ PC)` indexes a table of 2-bit
+/// saturating counters (paper §4.2; baseline = 14 history bits, 16 k
+/// counters, 4 kB of state).
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    history_bits: u32,
+    table: Vec<SaturatingCounter>,
+}
+
+impl Gshare {
+    /// A gshare predictor with `history_bits` bits of global history and
+    /// `2^history_bits` two-bit counters, initialized weakly not-taken.
+    ///
+    /// # Panics
+    /// Panics if `history_bits` is 0 or greater than 28.
+    pub fn new(history_bits: u32) -> Self {
+        assert!(
+            (1..=28).contains(&history_bits),
+            "history bits must be in 1..=28"
+        );
+        Gshare {
+            history_bits,
+            table: vec![SaturatingCounter::new(2, 1); 1 << history_bits],
+        }
+    }
+
+    /// Number of global history bits.
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Bytes of predictor state (2 bits per counter), for Fig. 9's
+    /// equal-area comparison.
+    pub fn state_bytes(&self) -> usize {
+        self.table.len() * 2 / 8
+    }
+
+    fn index(&self, pc: usize, ghr: u64) -> usize {
+        let mask = (1usize << self.history_bits) - 1;
+        (pc ^ ghr as usize) & mask
+    }
+
+    /// Predicted direction for the branch at `pc` under (speculative)
+    /// global history `ghr`.
+    pub fn predict(&self, pc: usize, ghr: u64) -> bool {
+        self.table[self.index(pc, ghr)].predicts_taken()
+    }
+
+    /// `true` when the 2-bit counter backing this prediction is in a
+    /// *strong* (saturated) state. Grunwald, Klauser, Manne & Pleszkun
+    /// (the paper's reference \[4\]) use this as a zero-cost confidence
+    /// estimator: weak counters are diffident predictions.
+    pub fn is_strong(&self, pc: usize, ghr: u64) -> bool {
+        let c = self.table[self.index(pc, ghr)];
+        c.value() == 0 || c.value() == c.max()
+    }
+
+    /// Train with the resolved outcome. `ghr` must be the same history
+    /// value used at prediction time (the pipeline checkpoints it).
+    pub fn update(&mut self, pc: usize, ghr: u64, taken: bool) {
+        let idx = self.index(pc, ghr);
+        let c = &mut self.table[idx];
+        if taken {
+            c.increment();
+        } else {
+            c.decrement();
+        }
+    }
+}
+
+/// A PC-indexed bimodal predictor (2-bit counters), used for ablations.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    index_bits: u32,
+    table: Vec<SaturatingCounter>,
+}
+
+impl Bimodal {
+    /// A bimodal predictor with `2^index_bits` two-bit counters.
+    ///
+    /// # Panics
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            (1..=28).contains(&index_bits),
+            "index bits must be in 1..=28"
+        );
+        Bimodal {
+            index_bits,
+            table: vec![SaturatingCounter::new(2, 1); 1 << index_bits],
+        }
+    }
+
+    /// Bytes of predictor state.
+    pub fn state_bytes(&self) -> usize {
+        self.table.len() * 2 / 8
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & ((1usize << self.index_bits) - 1)
+    }
+
+    /// Predicted direction for the branch at `pc` (history-independent).
+    pub fn predict(&self, pc: usize) -> bool {
+        self.table[self.index(pc)].predicts_taken()
+    }
+
+    /// Train with the resolved outcome.
+    pub fn update(&mut self, pc: usize, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.table[idx];
+        if taken {
+            c.increment();
+        } else {
+            c.decrement();
+        }
+    }
+}
+
+/// Static always-taken / always-not-taken prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPredictor {
+    taken: bool,
+}
+
+impl StaticPredictor {
+    /// Always predict taken.
+    pub const fn taken() -> Self {
+        StaticPredictor { taken: true }
+    }
+
+    /// Always predict not taken.
+    pub const fn not_taken() -> Self {
+        StaticPredictor { taken: false }
+    }
+
+    /// The (constant) prediction.
+    pub fn predict(&self) -> bool {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push_history;
+
+    #[test]
+    fn gshare_learns_biased_branch() {
+        let mut bp = Gshare::new(10);
+        // Same (pc, history) point trained repeatedly.
+        bp.update(42, 0b1010, true);
+        bp.update(42, 0b1010, true);
+        assert!(bp.predict(42, 0b1010));
+        // An untrained history point still predicts not-taken.
+        assert!(!bp.predict(42, push_history(0b1010, true)));
+    }
+
+    #[test]
+    fn gshare_learns_history_correlated_branch() {
+        // Branch at pc=7 alternates T,N,T,N...; with history it is fully
+        // predictable after warmup.
+        let mut bp = Gshare::new(12);
+        let mut ghr = 0;
+        let mut outcome = true;
+        for _ in 0..64 {
+            bp.update(7, ghr, outcome);
+            ghr = push_history(ghr, outcome);
+            outcome = !outcome;
+        }
+        // Now predictions should match the alternating pattern.
+        let mut correct = 0;
+        for _ in 0..32 {
+            if bp.predict(7, ghr) == outcome {
+                correct += 1;
+            }
+            bp.update(7, ghr, outcome);
+            ghr = push_history(ghr, outcome);
+            outcome = !outcome;
+        }
+        assert!(correct >= 30, "only {correct}/32 correct");
+    }
+
+    #[test]
+    fn gshare_state_bytes_matches_paper() {
+        // 14-bit history: 16k 2-bit counters = 4 kB.
+        assert_eq!(Gshare::new(14).state_bytes(), 4096);
+        // 10-bit history: 1k counters = 256 B (paper's 0.25 kB point).
+        assert_eq!(Gshare::new(10).state_bytes(), 256);
+    }
+
+    #[test]
+    fn gshare_different_histories_use_different_counters() {
+        let mut bp = Gshare::new(8);
+        bp.update(0, 0b01, true);
+        bp.update(0, 0b01, true);
+        bp.update(0, 0b10, false);
+        bp.update(0, 0b10, false);
+        assert!(bp.predict(0, 0b01));
+        assert!(!bp.predict(0, 0b10));
+    }
+
+    #[test]
+    fn bimodal_learns_per_pc() {
+        let mut bp = Bimodal::new(8);
+        bp.update(3, true);
+        bp.update(3, true);
+        bp.update(4, false);
+        assert!(bp.predict(3));
+        assert!(!bp.predict(4));
+        assert_eq!(Bimodal::new(10).state_bytes(), 256);
+    }
+
+    #[test]
+    fn static_predictors() {
+        assert!(StaticPredictor::taken().predict());
+        assert!(!StaticPredictor::not_taken().predict());
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits")]
+    fn gshare_rejects_zero_bits() {
+        let _ = Gshare::new(0);
+    }
+
+    #[test]
+    fn initial_prediction_is_not_taken() {
+        // Counters start weakly not-taken.
+        let bp = Gshare::new(8);
+        assert!(!bp.predict(123, 0));
+    }
+
+    #[test]
+    fn strength_tracks_saturation() {
+        let mut bp = Gshare::new(8);
+        assert!(!bp.is_strong(3, 0), "weak at reset");
+        bp.update(3, 0, true);
+        bp.update(3, 0, true);
+        assert!(bp.is_strong(3, 0), "strongly taken after training");
+        bp.update(3, 0, false);
+        assert!(!bp.is_strong(3, 0), "back to weak");
+        bp.update(3, 0, false);
+        bp.update(3, 0, false);
+        assert!(bp.is_strong(3, 0), "strongly not-taken");
+    }
+}
+
+/// A branch target buffer for indirect jumps (`jr`): a direct-mapped,
+/// tagged table of last-seen targets.
+///
+/// ```
+/// use pp_predictor::Btb;
+///
+/// let mut btb = Btb::new(10);
+/// assert_eq!(btb.predict(64), None);    // cold: fetch must stall
+/// btb.update(64, 7);                    // jr at pc 64 resolved to pc 7
+/// assert_eq!(btb.predict(64), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    index_bits: u32,
+    entries: Vec<Option<(u64, usize)>>,
+}
+
+impl Btb {
+    /// A BTB with `2^index_bits` entries.
+    ///
+    /// # Panics
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "BTB index bits must be in 1..=24"
+        );
+        Btb {
+            index_bits,
+            entries: vec![None; 1 << index_bits],
+        }
+    }
+
+    fn slot(&self, pc: usize) -> (usize, u64) {
+        let idx = pc & ((1usize << self.index_bits) - 1);
+        (idx, (pc >> self.index_bits) as u64)
+    }
+
+    /// Predicted target for the indirect jump at `pc`, if the BTB has a
+    /// (tag-matching) entry.
+    pub fn predict(&self, pc: usize) -> Option<usize> {
+        let (idx, tag) = self.slot(pc);
+        match self.entries[idx] {
+            Some((t, target)) if t == tag => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Record the resolved target.
+    pub fn update(&mut self, pc: usize, target: usize) {
+        let (idx, tag) = self.slot(pc);
+        self.entries[idx] = Some((tag, target));
+    }
+}
+
+#[cfg(test)]
+mod btb_tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(8);
+        assert_eq!(b.predict(100), None);
+        b.update(100, 7);
+        assert_eq!(b.predict(100), Some(7));
+        b.update(100, 9);
+        assert_eq!(b.predict(100), Some(9));
+    }
+
+    #[test]
+    fn tags_disambiguate_aliases() {
+        let mut b = Btb::new(4);
+        b.update(3, 10);
+        // pc 19 aliases slot 3 but has a different tag.
+        assert_eq!(b.predict(19), None);
+        b.update(19, 20);
+        assert_eq!(b.predict(19), Some(20));
+        assert_eq!(b.predict(3), None, "evicted by the alias");
+    }
+
+    #[test]
+    #[should_panic(expected = "index bits")]
+    fn zero_bits_rejected() {
+        let _ = Btb::new(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # pp-predictor — branch prediction and confidence estimation
+//!
+//! Table-based branch direction predictors and the branch confidence
+//! estimators used by Selective Eager Execution (paper §3.2.7, §4.2):
+//!
+//! * [`Gshare`] — McFarling's gshare: global history XOR branch address
+//!   indexing a table of 2-bit saturating counters. The paper's baseline
+//!   uses 14 history bits (16 k counters).
+//! * [`Bimodal`] — PC-indexed 2-bit counters (for ablations).
+//! * [`StaticPredictor`] — always-taken / always-not-taken baselines.
+//! * [`Jrs`] — the Jacobsen–Rotenberg–Smith resetting-counter confidence
+//!   estimator, with the paper's two modifications: 1-bit counters (better
+//!   PVN than the original 4-bit) and *enhanced indexing* that folds the
+//!   speculative outcome of the branch being estimated into the history.
+//!
+//! Speculative global history is a per-path value owned by the pipeline;
+//! predictors take it as an argument ([`push_history`] maintains it), so
+//! the same tables serve many simultaneous paths, as in the PolyPath
+//! micro-architecture.
+//!
+//! ```
+//! use pp_predictor::{Gshare, push_history};
+//!
+//! let mut bp = Gshare::new(14);
+//! // A loop's back-edge branch under an all-taken history is taken again.
+//! let ghr = push_history(push_history(0, true), true);
+//! bp.update(100, ghr, true);
+//! bp.update(100, ghr, true);
+//! assert!(bp.predict(100, ghr));
+//! ```
+
+mod adaptive;
+mod confidence;
+mod counters;
+mod direction;
+mod twolevel;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveJrs};
+pub use confidence::{Confidence, Jrs, JrsConfig};
+pub use counters::SaturatingCounter;
+pub use direction::{Bimodal, Btb, Gshare, StaticPredictor};
+pub use twolevel::{Agree, TwoLevelLocal};
+
+/// Shift one branch outcome into a speculative global history register.
+///
+/// The PolyPath pipeline keeps one GHR per live path, updated speculatively
+/// at prediction time and restored from the branch checkpoint on
+/// misprediction recovery (the paper reports ~1% accuracy gain from
+/// speculative update).
+pub fn push_history(ghr: u64, taken: bool) -> u64 {
+    (ghr << 1) | taken as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_history_shifts_in_lsb() {
+        assert_eq!(push_history(0, true), 1);
+        assert_eq!(push_history(1, false), 2);
+        assert_eq!(push_history(0b101, true), 0b1011);
+    }
+}

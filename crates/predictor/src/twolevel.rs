@@ -1,0 +1,165 @@
+//! Additional direction predictors from the paper's related-work list
+//! (§2 cites Yeh & Patt's two-level predictors and Sprangle's agree
+//! predictor). These serve the predictor-ablation experiments; the
+//! paper's own evaluation uses gshare.
+
+use crate::counters::SaturatingCounter;
+use crate::direction::{Bimodal, Gshare};
+
+/// A two-level *local*-history predictor (Yeh & Patt "PAg"): a table of
+/// per-branch history registers indexes a shared pattern table of 2-bit
+/// counters. Captures per-branch periodic patterns global history dilutes.
+#[derive(Debug, Clone)]
+pub struct TwoLevelLocal {
+    history_bits: u32,
+    histories: Vec<u16>,
+    pattern: Vec<SaturatingCounter>,
+    bht_mask: usize,
+}
+
+impl TwoLevelLocal {
+    /// `bht_bits` of branch-history-table index (per-PC), `history_bits`
+    /// of local history per entry (pattern table holds
+    /// `2^history_bits` counters).
+    ///
+    /// # Panics
+    /// Panics if either size is 0 or unreasonably large.
+    pub fn new(bht_bits: u32, history_bits: u32) -> Self {
+        assert!((1..=20).contains(&bht_bits), "bht bits in 1..=20");
+        assert!((1..=16).contains(&history_bits), "history bits in 1..=16");
+        TwoLevelLocal {
+            history_bits,
+            histories: vec![0; 1 << bht_bits],
+            pattern: vec![SaturatingCounter::new(2, 1); 1 << history_bits],
+            bht_mask: (1 << bht_bits) - 1,
+        }
+    }
+
+    /// Bytes of predictor state (history registers + pattern counters).
+    pub fn state_bytes(&self) -> usize {
+        (self.histories.len() * self.history_bits as usize + self.pattern.len() * 2).div_ceil(8)
+    }
+
+    fn pattern_index(&self, pc: usize) -> usize {
+        let h = self.histories[pc & self.bht_mask];
+        (h as usize) & ((1 << self.history_bits) - 1)
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: usize) -> bool {
+        self.pattern[self.pattern_index(pc)].predicts_taken()
+    }
+
+    /// Train with the resolved outcome and shift it into the local history.
+    pub fn update(&mut self, pc: usize, taken: bool) {
+        let idx = self.pattern_index(pc);
+        if taken {
+            self.pattern[idx].increment();
+        } else {
+            self.pattern[idx].decrement();
+        }
+        let h = &mut self.histories[pc & self.bht_mask];
+        *h = (*h << 1) | taken as u16;
+    }
+}
+
+/// Sprangle et al.'s *agree* predictor: a bimodal base ("bias") plus a
+/// gshare-indexed table predicting whether the branch will *agree* with
+/// its bias — converting destructive aliasing into constructive aliasing.
+#[derive(Debug, Clone)]
+pub struct Agree {
+    bias: Bimodal,
+    agree: Gshare,
+}
+
+impl Agree {
+    /// `bias_bits` of bimodal bias table, `history_bits` of agree table.
+    pub fn new(bias_bits: u32, history_bits: u32) -> Self {
+        Agree {
+            bias: Bimodal::new(bias_bits),
+            agree: Gshare::new(history_bits),
+        }
+    }
+
+    /// Bytes of predictor state.
+    pub fn state_bytes(&self) -> usize {
+        self.bias.state_bytes() + self.agree.state_bytes()
+    }
+
+    /// Predicted direction: bias XNOR agree.
+    pub fn predict(&self, pc: usize, ghr: u64) -> bool {
+        let bias = self.bias.predict(pc);
+        let agrees = self.agree.predict(pc, ghr);
+        bias == agrees
+    }
+
+    /// Train both tables with the resolved outcome.
+    pub fn update(&mut self, pc: usize, ghr: u64, taken: bool) {
+        let bias = self.bias.predict(pc);
+        // The agree table learns whether the outcome matched the bias
+        // *before* the bias itself trains.
+        self.agree.update(pc, ghr, taken == bias);
+        self.bias.update(pc, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_history_learns_periodic_pattern() {
+        // Pattern T T N repeating — global-history-free, purely local.
+        let mut p = TwoLevelLocal::new(8, 8);
+        let pattern = [true, true, false];
+        // Warm up.
+        for i in 0..120 {
+            p.update(42, pattern[i % 3]);
+        }
+        let mut correct = 0;
+        for i in 120..180 {
+            if p.predict(42) == pattern[i % 3] {
+                correct += 1;
+            }
+            p.update(42, pattern[i % 3]);
+        }
+        assert!(correct >= 55, "only {correct}/60 correct");
+    }
+
+    #[test]
+    fn local_histories_are_per_branch() {
+        let mut p = TwoLevelLocal::new(8, 6);
+        for _ in 0..20 {
+            p.update(1, true);
+            p.update(2, false);
+        }
+        assert!(p.predict(1));
+        assert!(!p.predict(2));
+    }
+
+    #[test]
+    fn agree_learns_biased_branches() {
+        let mut p = Agree::new(10, 10);
+        for _ in 0..8 {
+            p.update(7, 0b1010, true);
+        }
+        assert!(p.predict(7, 0b1010));
+        for _ in 0..12 {
+            p.update(9, 0b1010, false);
+        }
+        assert!(!p.predict(9, 0b1010));
+    }
+
+    #[test]
+    fn state_accounting() {
+        // 256 entries × 8-bit history + 256 × 2-bit counters.
+        assert_eq!(TwoLevelLocal::new(8, 8).state_bytes(), (256 * 8 + 256 * 2) / 8);
+        assert_eq!(Agree::new(10, 10).state_bytes(), 256 + 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "bht bits")]
+    fn rejects_zero_bht() {
+        let _ = TwoLevelLocal::new(0, 8);
+    }
+}

@@ -1,0 +1,129 @@
+//! `compress` analog: run-length encoding of mixed-entropy data.
+//!
+//! SPECint95 `compress` is an LZW compressor whose branch behaviour is
+//! dominated by data-dependent match tests. This analog RLE-encodes
+//! rotating 64-byte windows of a buffer that mixes byte runs with
+//! incompressible noise: the inner "does the run continue?" comparison is
+//! decided by the data, mispredicting at every run boundary.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const SRC_BYTES: usize = 2048;
+const WINDOW: i64 = 64;
+
+/// Build the program with `scale` encoded windows.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut rng = Lcg::new(0xc0_4213 ^ seed);
+
+    // Mixed-entropy source: ~half runs (length 2..=17), ~half noise.
+    let mut src = Vec::with_capacity(SRC_BYTES);
+    while src.len() < SRC_BYTES {
+        if rng.chance(1, 2) {
+            let b = rng.below(256) as u8;
+            let len = 2 + rng.below(16) as usize;
+            for _ in 0..len.min(SRC_BYTES - src.len()) {
+                src.push(b);
+            }
+        } else {
+            src.push(rng.below(256) as u8);
+        }
+    }
+
+    let mut a = Asm::new();
+    let src_base = a.alloc_bytes(&src);
+    let out_base = a.alloc_zeroed((2 * WINDOW as usize).div_ceil(8) + 2);
+
+    // Register map:
+    //   gp  = src base      s2 = out base     s0 = pass    s1 = checksum
+    //   a0  = src cursor    a1 = window end   a2 = out cursor
+    //   t1  = run byte      t2 = run length   a3 = run scan cursor
+    a.li(reg::GP, src_base as i64);
+    a.li(reg::S2, out_base as i64);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+
+    let outer = a.here_named("pass");
+    // start = (pass * 97) % (SRC_BYTES - WINDOW)
+    a.mul(reg::T0, reg::S0, 97i64);
+    a.rem(reg::T0, reg::T0, SRC_BYTES as i64 - WINDOW);
+    a.add(reg::A0, reg::GP, reg::T0);
+    a.add(reg::A1, reg::A0, Operand::imm(WINDOW));
+    a.mov(reg::A2, reg::S2);
+
+    let enc_loop = a.new_named_label("enc_loop");
+    let enc_done = a.new_named_label("enc_done");
+    let run_loop = a.new_named_label("run_loop");
+    let run_done = a.new_named_label("run_done");
+
+    a.bind(enc_loop).unwrap();
+    a.bge(reg::A0, reg::A1, enc_done);
+    a.ldb(reg::T1, reg::A0, 0);
+    a.li(reg::T2, 1);
+    a.addi(reg::A3, reg::A0, 1);
+
+    a.bind(run_loop).unwrap();
+    a.bge(reg::A3, reg::A1, run_done);
+    a.ldb(reg::T3, reg::A3, 0);
+    a.bne(reg::T3, reg::T1, run_done); // data-dependent: run continues?
+    a.addi(reg::T2, reg::T2, 1);
+    a.addi(reg::A3, reg::A3, 1);
+    a.jmp(run_loop);
+
+    a.bind(run_done).unwrap();
+    a.stb(reg::T1, reg::A2, 0);
+    a.stb(reg::T2, reg::A2, 1);
+    a.addi(reg::A2, reg::A2, 2);
+    a.mov(reg::A0, reg::A3);
+    a.jmp(enc_loop);
+
+    a.bind(enc_done).unwrap();
+    // checksum += encoded length + last literal
+    a.sub(reg::T4, reg::A2, reg::S2);
+    a.add(reg::S1, reg::S1, reg::T4);
+    a.add(reg::S1, reg::S1, reg::T1);
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), outer);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    a.assemble().expect("compress workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn halts_and_produces_checksum() {
+        let p = build(20, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(10_000_000).unwrap();
+        assert!(s.instructions > 1_000);
+        assert!(s.cond_branches > 100);
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let p1 = build(10, 0);
+        let p2 = build(10, 0);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn scale_grows_work_linearly() {
+        let run = |s| {
+            let p = build(s, 0);
+            Emulator::new(&p).run(100_000_000).unwrap().instructions
+        };
+        let (a, b) = (run(10), run(20));
+        assert!(b > a + (b - a) / 4, "work should grow with scale");
+    }
+}

@@ -1,0 +1,257 @@
+//! `gcc` analog: a stack-machine expression interpreter.
+//!
+//! SPECint95 `gcc` spends its time in data-dependent multiway dispatch
+//! (switch statements over IR codes). This analog interprets a long token
+//! stream on a value stack; each token is decoded through a compare chain
+//! whose outcome is decided by the (pseudo-random, skew-distributed)
+//! opcode — the classic interpreter-dispatch misprediction pattern.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const NTOK: usize = 4096;
+const TOKENS_PER_UNIT: i64 = 16;
+
+/// Opcodes of the interpreted stack machine.
+const OP_PUSH: i64 = 0;
+const OP_ADD: i64 = 1;
+const OP_SUB: i64 = 2;
+const OP_AND: i64 = 3;
+const OP_OR: i64 = 4;
+const OP_XOR: i64 = 5;
+const OP_DUP: i64 = 6;
+const OP_DROP: i64 = 7;
+
+/// Generate a depth-safe token stream: depth stays in `0..=48` at every
+/// point and returns to 0 at the end of the array, so the stream can be
+/// interpreted cyclically forever.
+fn generate_tokens(rng: &mut Lcg) -> Vec<i64> {
+    let mut toks = Vec::with_capacity(NTOK);
+    let mut depth: i64 = 0;
+    // Real compiler IR streams are idiomatic: the next opcode usually
+    // follows a common pattern after the previous one. A first-order
+    // Markov choice (70% canonical successor, 30% fresh draw) makes the
+    // dispatch chain learnable-but-imperfect, like gcc's switch
+    // statements, instead of uniformly random.
+    const SUCC: [i64; 8] = [
+        OP_ADD,  // after PUSH
+        OP_PUSH, // after ADD
+        OP_AND,  // after SUB
+        OP_DROP, // after AND
+        OP_XOR,  // after OR
+        OP_PUSH, // after XOR
+        OP_ADD,  // after DUP
+        OP_PUSH, // after DROP
+    ];
+    let mut prev = OP_PUSH;
+    while toks.len() < NTOK - 64 {
+        // Weighted opcode choice, constrained by current stack depth.
+        let r = rng.below(100);
+        let markov = rng.chance(70, 100);
+        let mut op = if markov { SUCC[prev as usize] } else { -1 };
+        if op < 0 || (depth < 2 && op != OP_PUSH) || (op == OP_DUP && depth >= 40) {
+            op = if depth < 2 || r < 35 {
+                OP_PUSH
+            } else if r < 48 {
+                OP_ADD
+            } else if r < 60 {
+                OP_SUB
+            } else if r < 70 {
+                OP_AND
+            } else if r < 78 {
+                OP_OR
+            } else if r < 86 {
+                OP_XOR
+            } else if r < 93 && depth < 40 {
+                OP_DUP
+            } else {
+                OP_DROP
+            };
+        }
+        prev = op;
+        match op {
+            OP_PUSH | OP_DUP => depth += 1,
+            OP_ADD | OP_SUB | OP_AND | OP_OR | OP_XOR | OP_DROP => depth -= 1,
+            _ => unreachable!(),
+        }
+        if depth > 48 {
+            // Undo: replace with a drop instead.
+            depth -= 2;
+            toks.push(OP_DROP);
+            continue;
+        }
+        let operand = (rng.below(1 << 16) as i64) << 4;
+        toks.push(op | operand);
+    }
+    // Drain the stack to depth 0, then pad with push/drop pairs. The
+    // final length may exceed NTOK by one pair; the interpreter uses the
+    // actual length as its cyclic modulus.
+    while depth > 0 {
+        toks.push(OP_DROP);
+        depth -= 1;
+    }
+    while toks.len() < NTOK {
+        toks.push(OP_PUSH | ((rng.below(1 << 16) as i64) << 4));
+        toks.push(OP_DROP);
+    }
+    toks
+}
+
+/// Build the program with `scale` units of 16 interpreted tokens each.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut rng = Lcg::new(0x6cc_1995 ^ seed);
+    let tokens = generate_tokens(&mut rng);
+
+    let ntok = tokens.len() as i64;
+    let mut a = Asm::new();
+    let tok_base = a.alloc_words(&tokens);
+    let stack_base = a.alloc_zeroed(64);
+
+    // gp = tokens, s2 = value-stack base, a2 = stack top pointer,
+    // s0 = unit counter, s1 = checksum, s4 = token index.
+    a.li(reg::GP, tok_base as i64);
+    a.li(reg::S2, stack_base as i64);
+    a.mov(reg::A2, reg::S2);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+    a.li(reg::S4, 0);
+
+    let unit = a.here_named("unit");
+    a.li(reg::S5, 0); // tokens this unit
+
+    let step = a.new_named_label("step");
+    let next = a.new_named_label("next");
+    let l_add = a.new_named_label("op_add");
+    let l_sub = a.new_named_label("op_sub");
+    let l_and = a.new_named_label("op_and");
+    let l_or = a.new_named_label("op_or");
+    let l_xor = a.new_named_label("op_xor");
+    let l_dup = a.new_named_label("op_dup");
+    let l_drop = a.new_named_label("op_drop");
+    let binop_store = a.new_named_label("binop_store");
+
+    a.bind(step).unwrap();
+    // tok = tokens[s4]; advance cyclic cursor.
+    a.sll(reg::T0, reg::S4, 3i64);
+    a.add(reg::T0, reg::T0, reg::GP);
+    a.ld(reg::T1, reg::T0, 0);
+    // cyclic cursor advance without a divide (a 16-cycle rem here would
+    // serialize the whole interpreter)
+    a.addi(reg::S4, reg::S4, 1);
+    let no_wrap = a.new_named_label("no_wrap");
+    a.blt(reg::S4, Operand::imm(ntok), no_wrap);
+    a.li(reg::S4, 0);
+    a.bind(no_wrap).unwrap();
+    // decode: t2 = opcode, t3 = operand
+    a.and(reg::T2, reg::T1, 0xfi64);
+    a.sra(reg::T3, reg::T1, 4i64);
+
+    // Dispatch compare chain (the misprediction generator).
+    a.bne(reg::T2, Operand::imm(OP_PUSH), l_add);
+    // push: *sp = operand; sp += 8
+    a.st(reg::T3, reg::A2, 0);
+    a.addi(reg::A2, reg::A2, 8);
+    a.jmp(next);
+
+    a.bind(l_add).unwrap();
+    a.bne(reg::T2, Operand::imm(OP_ADD), l_sub);
+    a.ld(reg::T4, reg::A2, -8);
+    a.ld(reg::T5, reg::A2, -16);
+    a.add(reg::T6, reg::T5, reg::T4);
+    a.jmp(binop_store);
+
+    a.bind(l_sub).unwrap();
+    a.bne(reg::T2, Operand::imm(OP_SUB), l_and);
+    a.ld(reg::T4, reg::A2, -8);
+    a.ld(reg::T5, reg::A2, -16);
+    a.sub(reg::T6, reg::T5, reg::T4);
+    a.jmp(binop_store);
+
+    a.bind(l_and).unwrap();
+    a.bne(reg::T2, Operand::imm(OP_AND), l_or);
+    a.ld(reg::T4, reg::A2, -8);
+    a.ld(reg::T5, reg::A2, -16);
+    a.and(reg::T6, reg::T5, reg::T4);
+    a.jmp(binop_store);
+
+    a.bind(l_or).unwrap();
+    a.bne(reg::T2, Operand::imm(OP_OR), l_xor);
+    a.ld(reg::T4, reg::A2, -8);
+    a.ld(reg::T5, reg::A2, -16);
+    a.or(reg::T6, reg::T5, reg::T4);
+    a.jmp(binop_store);
+
+    a.bind(l_xor).unwrap();
+    a.bne(reg::T2, Operand::imm(OP_XOR), l_dup);
+    a.ld(reg::T4, reg::A2, -8);
+    a.ld(reg::T5, reg::A2, -16);
+    a.xor(reg::T6, reg::T5, reg::T4);
+    a.jmp(binop_store);
+
+    a.bind(l_dup).unwrap();
+    a.bne(reg::T2, Operand::imm(OP_DUP), l_drop);
+    a.ld(reg::T4, reg::A2, -8);
+    a.st(reg::T4, reg::A2, 0);
+    a.addi(reg::A2, reg::A2, 8);
+    a.jmp(next);
+
+    a.bind(l_drop).unwrap();
+    // drop: checksum += pop
+    a.addi(reg::A2, reg::A2, -8);
+    a.ld(reg::T4, reg::A2, 0);
+    a.add(reg::S1, reg::S1, reg::T4);
+    a.jmp(next);
+
+    a.bind(binop_store).unwrap();
+    a.addi(reg::A2, reg::A2, -8);
+    a.st(reg::T6, reg::A2, -8);
+
+    a.bind(next).unwrap();
+    a.addi(reg::S5, reg::S5, 1);
+    a.blt(reg::S5, Operand::imm(TOKENS_PER_UNIT), step);
+
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), unit);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    a.assemble().expect("gcc workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn token_stream_is_depth_safe_and_cyclic() {
+        let mut rng = Lcg::new(0x6cc_1995);
+        let toks = generate_tokens(&mut rng);
+        assert!(toks.len() >= NTOK);
+        let mut depth: i64 = 0;
+        for _cycle in 0..2 {
+            for t in &toks {
+                match t & 0xf {
+                    OP_PUSH | OP_DUP => depth += 1,
+                    _ => depth -= 1,
+                }
+                assert!((0..=64).contains(&depth), "depth {depth} out of range");
+            }
+            assert_eq!(depth, 0, "stream must be depth-neutral per cycle");
+        }
+    }
+
+    #[test]
+    fn halts_and_produces_checksum() {
+        let p = build(30, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(10_000_000).unwrap();
+        assert!(s.cond_branches > 500);
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+}

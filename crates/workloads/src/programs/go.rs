@@ -1,0 +1,166 @@
+//! `go` analog: game-board evaluation with highly data-dependent control.
+//!
+//! SPECint95 `go` has the worst branch behaviour of the suite (24.8%
+//! mispredictions): its position-evaluation code branches on board
+//! contents that change constantly. This analog probes random positions
+//! of a mutating 9×9 three-state board: a three-way dispatch on the cell
+//! state, four bounds-checked neighbour comparisons, and a running-max
+//! test — nearly every branch is decided by effectively random data.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const CELLS: i64 = 64;
+const PROBES_PER_UNIT: i64 = 16;
+
+/// Build the program with `scale` units of 16 board probes each.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut rng = Lcg::new(0x0_6060 ^ seed);
+    // Clustered initial board (stones come in groups, as on a real board):
+    // neighbouring cells correlate, making neighbour-comparison branches
+    // slightly more predictable than uniform noise.
+    let mut board = vec![0i64; CELLS as usize];
+    for _ in 0..20 {
+        let centre = rng.below(CELLS as u64) as i64;
+        let colour = rng.below(3) as i64;
+        for d in [0i64, -1, 1, -8, 8] {
+            let pos = centre + d;
+            if (0..CELLS).contains(&pos) {
+                board[pos as usize] = colour;
+            }
+        }
+    }
+
+    let mut a = Asm::new();
+    let board_base = a.alloc_words(&board);
+    // Mutation colour table: 50% empty, 25% black, 25% white — stones are
+    // sparser than uniform noise, skewing the dispatch like real go code.
+    let colour_base = a.alloc_words(&[0, 0, 0, 0, 1, 1, 2, 2]);
+
+    // gp = board, s0 = unit, s1 = checksum, s5 = LCG state, s6 = best score.
+    a.li(reg::GP, board_base as i64);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+    a.li(reg::S5, (0x12345678u64 ^ seed) as i64 | 1);
+    a.li(reg::S6, -1_000_000);
+    a.li(reg::S8, colour_base as i64);
+
+    let unit = a.here_named("unit");
+    a.li(reg::S7, 0); // probes this unit
+
+    let probe = a.new_named_label("probe");
+
+    a.bind(probe).unwrap();
+    // xorshift step (all 1-cycle ops; an LCG's multiply would serialize
+    // the probe stream behind an 8-cycle unit)
+    a.sll(reg::T0, reg::S5, 13i64);
+    a.xor(reg::S5, reg::S5, reg::T0);
+    a.srl(reg::T0, reg::S5, 7i64);
+    a.xor(reg::S5, reg::S5, reg::T0);
+    a.sll(reg::T0, reg::S5, 17i64);
+    a.xor(reg::S5, reg::S5, reg::T0);
+    a.srl(reg::T0, reg::S5, 33i64);
+    a.and(reg::T0, reg::T0, CELLS - 1); // pos (8×8 board)
+    // cell = board[pos]
+    a.sll(reg::T1, reg::T0, 3i64);
+    a.add(reg::T1, reg::T1, reg::GP);
+    a.ld(reg::T2, reg::T1, 0);
+
+    // row/col for bounds checks (shift/mask on the 8×8 board)
+    a.srl(reg::T3, reg::T0, 3i64); // row
+    a.and(reg::T4, reg::T0, 7i64); // col
+
+    // Three-way dispatch on cell state (random data).
+    let black = a.new_named_label("black");
+    let white = a.new_named_label("white");
+    let neighbours = a.new_named_label("neighbours");
+    a.beq(reg::T2, 1i64, black);
+    a.beq(reg::T2, 2i64, white);
+    // empty: small bonus
+    a.li(reg::T5, 1); // score
+    a.jmp(neighbours);
+    a.bind(black).unwrap();
+    a.li(reg::T5, 3);
+    a.jmp(neighbours);
+    a.bind(white).unwrap();
+    a.li(reg::T5, -2);
+
+    a.bind(neighbours).unwrap();
+    // For each in-bounds neighbour: same colour → score += 2 else −1.
+    let check = |a: &mut Asm, bound_reg, bound_imm: i64, lt: bool, offset: i64| {
+        let skip = a.new_label();
+        let same = a.new_label();
+        let after = a.new_label();
+        if lt {
+            a.bge(bound_reg, Operand::imm(bound_imm), skip);
+        } else {
+            a.ble(bound_reg, Operand::imm(bound_imm), skip);
+        }
+        a.ld(reg::T6, reg::T1, offset * 8);
+        a.beq(reg::T6, reg::T2, same);
+        a.addi(reg::T5, reg::T5, -1);
+        a.jmp(after);
+        a.bind(same).unwrap();
+        a.addi(reg::T5, reg::T5, 2);
+        a.bind(after).unwrap();
+        a.bind(skip).unwrap();
+    };
+    check(&mut a, reg::T4, 0, false, -1); // left: col > 0
+    check(&mut a, reg::T4, 7, true, 1); // right: col < 7
+    check(&mut a, reg::T3, 0, false, -8); // up: row > 0
+    check(&mut a, reg::T3, 7, true, 8); // down: row < 7
+
+    // Running max (data-dependent).
+    let no_new_max = a.new_named_label("no_new_max");
+    a.ble(reg::T5, reg::S6, no_new_max);
+    a.mov(reg::S6, reg::T5);
+    a.addi(reg::S1, reg::S1, 7);
+    a.bind(no_new_max).unwrap();
+    a.add(reg::S1, reg::S1, reg::T5);
+
+    // Mutate a random cell so the board keeps changing (skewed colours).
+    a.srl(reg::T7, reg::S5, 13i64);
+    a.and(reg::T7, reg::T7, CELLS - 1);
+    a.sll(reg::T7, reg::T7, 3i64);
+    a.add(reg::T7, reg::T7, reg::GP);
+    a.srl(reg::T8, reg::S5, 7i64);
+    a.and(reg::T8, reg::T8, 7i64);
+    a.sll(reg::T8, reg::T8, 3i64);
+    a.add(reg::T8, reg::T8, reg::S8);
+    a.ld(reg::T8, reg::T8, 0);
+    a.st(reg::T8, reg::T7, 0);
+
+    // Decay the running max occasionally so new maxima keep appearing.
+    a.addi(reg::S6, reg::S6, -1);
+
+    a.addi(reg::S7, reg::S7, 1);
+    a.blt(reg::S7, Operand::imm(PROBES_PER_UNIT), probe);
+
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), unit);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    a.assemble().expect("go workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn halts_and_produces_checksum() {
+        let p = build(50, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(10_000_000).unwrap();
+        assert!(s.cond_branches > 2_000);
+        assert!(s.stores > 100, "board mutations happen");
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+}

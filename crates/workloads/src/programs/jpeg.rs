@@ -1,0 +1,166 @@
+//! `ijpeg` analog: blocked integer transform with quantization.
+//!
+//! SPECint95 `ijpeg` compresses images: regular 8×8 block arithmetic
+//! (predictable loops) punctuated by data-dependent clamping and
+//! zero-coefficient tests during quantization. This analog runs a
+//! weighted row/column transform over blocks of a synthetic image
+//! (smooth gradient + noise), quantizes with clamp branches, counts zero
+//! coefficients, and perturbs the image so successive passes differ.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const NBLOCKS: usize = 16;
+const BLOCK_WORDS: usize = 64;
+
+/// Build the program with `scale` transformed blocks.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut rng = Lcg::new(0x1_3e6 ^ seed);
+
+    // Synthetic image: per-block gradient plus noise.
+    let mut img = Vec::with_capacity(NBLOCKS * BLOCK_WORDS);
+    for b in 0..NBLOCKS {
+        for r in 0..8 {
+            for c in 0..8 {
+                let gradient = (r * 8 + c) as i64 * 3 + (b as i64 * 17) % 97;
+                let noise = rng.below(192) as i64 - 96;
+                img.push(gradient + noise);
+            }
+        }
+    }
+    // Weight table and quantization shift table (quantizers are powers of
+    // two so quantization is a shift, as fast JPEG implementations do —
+    // a 16-cycle divide per coefficient would dwarf everything else).
+    let weights: Vec<i64> = (0..8).map(|c| 16 + 3 * c).collect();
+    let quants: Vec<i64> = (0..8).map(|c| 2 + (c % 3)).collect();
+
+    let mut a = Asm::new();
+    let img_base = a.alloc_words(&img);
+    let w_base = a.alloc_words(&weights);
+    let q_base = a.alloc_words(&quants);
+    let tmp_base = a.alloc_zeroed(BLOCK_WORDS);
+
+    // gp = image, s2 = weights, s3 = quants, s4 = tmp block,
+    // s0 = pass, s1 = checksum, s5 = LCG state (image perturbation).
+    a.li(reg::GP, img_base as i64);
+    a.li(reg::S2, w_base as i64);
+    a.li(reg::S3, q_base as i64);
+    a.li(reg::S4, tmp_base as i64);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+    a.li(reg::S5, (0x5ca1ab1eu64 ^ seed) as i64 | 1);
+
+    let pass = a.here_named("block_pass");
+    // block base = img + (pass % NBLOCKS) * 64 * 8
+    a.rem(reg::T0, reg::S0, NBLOCKS as i64);
+    a.mul(reg::T0, reg::T0, (BLOCK_WORDS * 8) as i64);
+    a.add(reg::S6, reg::GP, reg::T0); // &block
+
+    // --- Row pass: tmp[r][c] = (block[r][c] * w[c]) >> 4, accumulate. ---
+    a.li(reg::A0, 0); // r
+    let row_loop = a.new_named_label("row_loop");
+    let col_loop = a.new_named_label("col_loop");
+    a.bind(row_loop).unwrap();
+    a.li(reg::A1, 0); // c
+    a.bind(col_loop).unwrap();
+    // idx = r*8 + c
+    a.sll(reg::T1, reg::A0, 3i64);
+    a.add(reg::T1, reg::T1, reg::A1);
+    a.sll(reg::T2, reg::T1, 3i64); // byte offset
+    a.add(reg::T3, reg::S6, reg::T2);
+    a.ld(reg::T4, reg::T3, 0); // x
+    a.sll(reg::T5, reg::A1, 3i64);
+    a.add(reg::T5, reg::T5, reg::S2);
+    a.ld(reg::T6, reg::T5, 0); // w[c]
+    a.mul(reg::T4, reg::T4, reg::T6);
+    a.sra(reg::T4, reg::T4, 4i64);
+    a.add(reg::T7, reg::S4, reg::T2);
+    a.st(reg::T4, reg::T7, 0); // tmp[idx] = y
+    a.addi(reg::A1, reg::A1, 1);
+    a.blt(reg::A1, Operand::imm(8), col_loop);
+    a.addi(reg::A0, reg::A0, 1);
+    a.blt(reg::A0, Operand::imm(8), row_loop);
+
+    // --- Quantize pass over tmp: clamp + zero count (data dependent). ---
+    a.li(reg::A0, 0); // idx
+    a.li(reg::A2, 0); // zero count
+    let q_loop = a.new_named_label("q_loop");
+    let not_neg = a.new_named_label("not_neg");
+    let not_big = a.new_named_label("not_big");
+    let not_zero = a.new_named_label("not_zero");
+    a.bind(q_loop).unwrap();
+    a.sll(reg::T2, reg::A0, 3i64);
+    a.add(reg::T3, reg::S4, reg::T2);
+    a.ld(reg::T4, reg::T3, 0); // y
+    // q = y >> qshift[idx % 8]
+    a.and(reg::T5, reg::A0, 7i64);
+    a.sll(reg::T5, reg::T5, 3i64);
+    a.add(reg::T5, reg::T5, reg::S3);
+    a.ld(reg::T6, reg::T5, 0);
+    a.sra(reg::T7, reg::T4, reg::T6);
+    // subtract a data-dependent bias so some coefficients go negative
+    a.addi(reg::T7, reg::T7, -6);
+    // clamp low (data decides)
+    a.bge(reg::T7, 0i64, not_neg);
+    a.li(reg::T7, 0);
+    a.bind(not_neg).unwrap();
+    // clamp high (rare)
+    a.ble(reg::T7, 255i64, not_big);
+    a.li(reg::T7, 255);
+    a.bind(not_big).unwrap();
+    // zero test (data decides)
+    a.bne(reg::T7, 0i64, not_zero);
+    a.addi(reg::A2, reg::A2, 1);
+    a.bind(not_zero).unwrap();
+    a.add(reg::S1, reg::S1, reg::T7);
+    a.addi(reg::A0, reg::A0, 1);
+    a.blt(reg::A0, Operand::imm(BLOCK_WORDS as i64), q_loop);
+    a.add(reg::S1, reg::S1, reg::A2);
+
+    // --- Perturb 12 random cells of the block (image keeps changing). ---
+    a.li(reg::A3, 0);
+    let perturb = a.new_named_label("perturb");
+    a.bind(perturb).unwrap();
+    a.mul(reg::S5, reg::S5, 6_364_136_223_846_793_005i64);
+    a.add(reg::S5, reg::S5, Operand::imm(1_442_695_040_888_963_407));
+    a.srl(reg::T1, reg::S5, 29i64);
+    a.and(reg::T1, reg::T1, 63i64); // cell
+    a.sll(reg::T1, reg::T1, 3i64);
+    a.add(reg::T1, reg::T1, reg::S6);
+    a.ld(reg::T2, reg::T1, 0);
+    a.srl(reg::T3, reg::S5, 40i64);
+    a.and(reg::T3, reg::T3, 511i64);
+    a.addi(reg::T3, reg::T3, -256);
+    a.add(reg::T2, reg::T2, reg::T3);
+    a.st(reg::T2, reg::T1, 0);
+    a.addi(reg::A3, reg::A3, 1);
+    a.blt(reg::A3, Operand::imm(12), perturb);
+
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), pass);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    a.assemble().expect("jpeg workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn halts_and_quantizes() {
+        let p = build(20, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(10_000_000).unwrap();
+        assert!(s.loads > 1_000);
+        assert!(s.stores > 1_000);
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+}

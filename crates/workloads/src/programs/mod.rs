@@ -1,0 +1,22 @@
+//! The eight workload program builders.
+//!
+//! Each submodule exposes `build(scale: u64) -> Program`. All programs:
+//!
+//! * are deterministic — input data comes from a seeded [`crate::Lcg`],
+//! * halt after `scale` outer iterations,
+//! * write a final checksum to memory so dead-code elimination of the
+//!   computation is impossible even in principle and co-simulation can
+//!   compare final state,
+//! * keep call depth far below the return-address-stack bound.
+
+pub mod compress;
+pub mod gcc;
+pub mod go;
+pub mod jpeg;
+pub mod m88ksim;
+pub mod perl;
+pub mod vortex;
+pub mod xlisp;
+
+/// Address where every workload stores its final checksum.
+pub const CHECKSUM_ADDR: u64 = 0x0f00_0000;

@@ -1,0 +1,133 @@
+//! `perl` analog: substring search with a rolling checksum.
+//!
+//! SPECint95 `perl` interprets text-processing scripts; its branch profile
+//! mixes predictable scanning loops with data-dependent match tests. This
+//! analog scans rotating windows of pseudo-random text for a rotating set
+//! of patterns: a first-character filter branch (rarely taken, data
+//! decides when) guards an inner verification loop.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const TEXT_BYTES: usize = 4096;
+const NPAT: usize = 8;
+const PAT_LEN: i64 = 4;
+const WINDOW: i64 = 256;
+
+/// Build the program with `scale` scanned windows.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut rng = Lcg::new(0x9e71_2004 ^ seed);
+
+    // Text over an 8-letter alphabet (denser accidental first-char hits
+    // make the filter branch harder, like perl's interpreters).
+    let mut text: Vec<u8> = (0..TEXT_BYTES)
+        .map(|_| b'a' + rng.below(8) as u8)
+        .collect();
+
+    // Patterns, each planted a few times in the text so hits exist.
+    let mut patterns = Vec::with_capacity(NPAT);
+    for _ in 0..NPAT {
+        let pat: Vec<u8> = (0..PAT_LEN).map(|_| b'a' + rng.below(8) as u8).collect();
+        for _ in 0..24 {
+            let at = rng.below((TEXT_BYTES - PAT_LEN as usize) as u64) as usize;
+            text[at..at + PAT_LEN as usize].copy_from_slice(&pat);
+        }
+        patterns.push(pat);
+    }
+
+    let mut a = Asm::new();
+    let text_base = a.alloc_bytes(&text);
+    // Patterns stored one per 8-byte slot.
+    let pat_flat: Vec<u8> = patterns
+        .iter()
+        .flat_map(|p| {
+            let mut s = p.clone();
+            s.resize(8, 0);
+            s
+        })
+        .collect();
+    let pat_base = a.alloc_bytes(&pat_flat);
+
+    // gp = text, s2 = patterns, s0 = unit, s1 = checksum (hit count + hash).
+    a.li(reg::GP, text_base as i64);
+    a.li(reg::S2, pat_base as i64);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+
+    let unit = a.here_named("window");
+    // pattern = patterns[unit % NPAT]; first char in s5.
+    a.rem(reg::T0, reg::S0, NPAT as i64);
+    a.sll(reg::T0, reg::T0, 3i64);
+    a.add(reg::S4, reg::S2, reg::T0); // pattern base
+    a.ldb(reg::S5, reg::S4, 0); // first char
+
+    // window start = (unit * 131) % (TEXT - WINDOW - PAT_LEN)
+    a.mul(reg::T0, reg::S0, 131i64);
+    a.rem(reg::T0, reg::T0, TEXT_BYTES as i64 - WINDOW - PAT_LEN);
+    a.add(reg::A0, reg::GP, reg::T0); // scan cursor
+    a.add(reg::A1, reg::A0, Operand::imm(WINDOW)); // scan end
+
+    let scan = a.new_named_label("scan");
+    let advance = a.new_named_label("advance");
+    let verify = a.new_named_label("verify");
+    let vloop = a.new_named_label("vloop");
+    let hit = a.new_named_label("hit");
+    let done = a.new_named_label("done");
+
+    a.bind(scan).unwrap();
+    a.bge(reg::A0, reg::A1, done);
+    a.ldb(reg::T1, reg::A0, 0);
+    // Rolling checksum keeps every character live.
+    a.sll(reg::T2, reg::S1, 1i64);
+    a.xor(reg::S1, reg::T2, reg::T1);
+    a.and(reg::S1, reg::S1, 0xff_ffffi64);
+    // First-character filter: data decides, mostly not taken.
+    a.beq(reg::T1, reg::S5, verify);
+    a.bind(advance).unwrap();
+    a.addi(reg::A0, reg::A0, 1);
+    a.jmp(scan);
+
+    a.bind(verify).unwrap();
+    a.li(reg::T3, 1); // j
+    a.bind(vloop).unwrap();
+    a.bge(reg::T3, Operand::imm(PAT_LEN), hit);
+    a.add(reg::T4, reg::A0, reg::T3);
+    a.ldb(reg::T5, reg::T4, 0);
+    a.add(reg::T6, reg::S4, reg::T3);
+    a.ldb(reg::T7, reg::T6, 0);
+    a.bne(reg::T5, reg::T7, advance); // mismatch: resume scan
+    a.addi(reg::T3, reg::T3, 1);
+    a.jmp(vloop);
+
+    a.bind(hit).unwrap();
+    a.addi(reg::S1, reg::S1, 1_000);
+    a.jmp(advance);
+
+    a.bind(done).unwrap();
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), unit);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    a.assemble().expect("perl workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn halts_and_finds_matches() {
+        let p = build(40, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(10_000_000).unwrap();
+        assert!(s.cond_branches > 1_000);
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+}

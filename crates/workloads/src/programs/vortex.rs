@@ -1,0 +1,161 @@
+//! `vortex` analog: a keyed record store with indexed lookups.
+//!
+//! SPECint95 `vortex` is an object-oriented database whose branches are
+//! dominated by highly regular lookup and validation loops — it has the
+//! best prediction rate of the suite (1.9%). This analog probes a
+//! low-load-factor open-addressing hash index over fixed-size records:
+//! almost every probe hits on the first slot, so branches are nearly
+//! perfectly predictable, with rare collision probes supplying the
+//! residual mispredictions.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const NREC: usize = 1024;
+const NSLOTS: usize = 4096;
+const LOOKUPS_PER_UNIT: i64 = 16;
+// Records are 32 bytes ([key, a, b, c]); addressing uses `<< 5`.
+
+/// Build the program with `scale` units of 16 lookups each.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut rng = Lcg::new(0x707e ^ seed);
+
+    // Distinct keys, constructed so ~97% are collision-free in the index
+    // (distinct modulo NSLOTS; ~99% of them): vortex's lookups are almost perfectly
+    // regular, with rare collision probes providing the residual
+    // mispredictions.
+    let mut keys = Vec::with_capacity(NREC);
+    let mut seen = std::collections::HashSet::new();
+    let mut used_slots = std::collections::HashSet::new();
+    while keys.len() < NREC {
+        let k = 1 + rng.below(1 << 30) as i64;
+        if !seen.insert(k) {
+            continue;
+        }
+        let collides = !used_slots.insert((k as usize) % NSLOTS);
+        let want_collision = keys.len() % 128 == 127; // ~0.8% colliders
+        if collides == want_collision {
+            keys.push(k);
+        } else {
+            seen.remove(&k);
+            if !collides {
+                used_slots.remove(&((k as usize) % NSLOTS));
+            }
+        }
+    }
+
+    // Records: [key, a, b, c].
+    let mut records = Vec::with_capacity(NREC * 4);
+    for &k in &keys {
+        records.push(k);
+        records.push(rng.below(1000) as i64);
+        records.push(rng.below(1000) as i64);
+        records.push(0);
+    }
+
+    // Open-addressing index: slot = key % NSLOTS, linear probing;
+    // slots store record_index + 1 (0 = empty).
+    let mut index = vec![0i64; NSLOTS];
+    for (i, &k) in keys.iter().enumerate() {
+        let mut h = (k as usize) % NSLOTS;
+        while index[h] != 0 {
+            h = (h + 1) % NSLOTS;
+        }
+        index[h] = i as i64 + 1;
+    }
+
+    // A fixed pseudo-random sequence of keys to look up.
+    let lookup_seq: Vec<i64> = (0..4096)
+        .map(|_| keys[rng.below(NREC as u64) as usize])
+        .collect();
+
+    let mut a = Asm::new();
+    let rec_base = a.alloc_words(&records);
+    let idx_base = a.alloc_words(&index);
+    let seq_base = a.alloc_words(&lookup_seq);
+
+    // gp = records, s2 = index, s3 = lookup sequence,
+    // s0 = unit, s1 = checksum, s4 = sequence cursor.
+    a.li(reg::GP, rec_base as i64);
+    a.li(reg::S2, idx_base as i64);
+    a.li(reg::S3, seq_base as i64);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+    a.li(reg::S4, 0);
+
+    let unit = a.here_named("unit");
+    a.li(reg::S5, 0); // lookups this unit
+
+    let lookup = a.new_named_label("lookup");
+    let probe = a.new_named_label("probe");
+    let found = a.new_named_label("found");
+    let next = a.new_named_label("next");
+
+    a.bind(lookup).unwrap();
+    // key = seq[s4]; s4 = (s4 + 1) % 4096
+    a.sll(reg::T0, reg::S4, 3i64);
+    a.add(reg::T0, reg::T0, reg::S3);
+    a.ld(reg::T1, reg::T0, 0); // key
+    a.addi(reg::S4, reg::S4, 1);
+    a.and(reg::S4, reg::S4, 4095i64);
+    // h = key & (NSLOTS-1)  (NSLOTS is a power of two; no divide)
+    a.and(reg::T2, reg::T1, (NSLOTS - 1) as i64);
+
+    a.bind(probe).unwrap();
+    a.sll(reg::T3, reg::T2, 3i64);
+    a.add(reg::T3, reg::T3, reg::S2);
+    a.ld(reg::T4, reg::T3, 0); // slot value (record index + 1)
+    a.addi(reg::T4, reg::T4, -1); // record index
+    a.sll(reg::T5, reg::T4, 5i64); // * REC_BYTES (32)
+    a.add(reg::T5, reg::T5, reg::GP); // &record
+    a.ld(reg::T6, reg::T5, 0); // record key
+    a.beq(reg::T6, reg::T1, found); // almost always first probe
+    // collision: advance slot
+    a.addi(reg::T2, reg::T2, 1);
+    a.and(reg::T2, reg::T2, (NSLOTS - 1) as i64);
+    a.jmp(probe);
+
+    a.bind(found).unwrap();
+    a.ld(reg::T7, reg::T5, 8);
+    a.ld(reg::T8, reg::T5, 16);
+    a.add(reg::S1, reg::S1, reg::T7);
+    a.add(reg::S1, reg::S1, reg::T8);
+    // Every 4th lookup mutates field c (a store into the record).
+    let no_store = a.new_named_label("no_store");
+    a.and(reg::T9, reg::S5, 3i64);
+    a.bne(reg::T9, 0i64, no_store);
+    a.st(reg::S1, reg::T5, 24);
+    a.bind(no_store).unwrap();
+
+    a.bind(next).unwrap();
+    a.addi(reg::S5, reg::S5, 1);
+    a.blt(reg::S5, Operand::imm(LOOKUPS_PER_UNIT), lookup);
+
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), unit);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    a.assemble().expect("vortex workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn halts_and_sums_fields() {
+        let p = build(40, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(10_000_000).unwrap();
+        assert!(s.loads > 1_000);
+        assert!(s.stores > 100);
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+}

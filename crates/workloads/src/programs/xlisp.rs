@@ -1,0 +1,207 @@
+//! `xlisp` analog: recursive traversal and marking of a cons-cell heap.
+//!
+//! SPECint95 `xlisp` is a Lisp interpreter whose time goes into walking
+//! tagged cons cells (eval, GC mark). This analog repeatedly marks trees
+//! in a pre-built heap of `[car, cdr, mark]` cells: a tag-bit test decides
+//! value vs. pointer (skewed, data-dependent), an "already marked?" test
+//! fires on shared subtrees, recursion descends `car` pointers and
+//! iteration follows `cdr` chains.
+
+use pp_isa::{reg, Asm, Operand, Program};
+
+use crate::rng::Lcg;
+
+use super::CHECKSUM_ADDR;
+
+const NCELLS: usize = 2048;
+const NROOTS: usize = 64;
+const CELL_BYTES: i64 = 32; // car, cdr, mark, pad — power of two for shift addressing
+
+/// Heap builder state.
+struct Heap {
+    /// `(car, cdr)` per cell; car is tagged (`value<<1` or `idx<<1|1`).
+    cells: Vec<(i64, i64)>,
+    rng: Lcg,
+}
+
+impl Heap {
+    fn alloc(&mut self) -> Option<usize> {
+        if self.cells.len() >= NCELLS {
+            return None;
+        }
+        self.cells.push((0, -1));
+        Some(self.cells.len() - 1)
+    }
+
+    /// Build a list whose elements are values or subtrees; returns the
+    /// head cell index. `depth` bounds car-nesting (and thus recursion).
+    fn build_list(&mut self, depth: u32) -> Option<usize> {
+        let len = 3 + self.rng.below(8) as usize;
+        let mut head: Option<usize> = None;
+        let mut tail: Option<usize> = None;
+        for _ in 0..len {
+            let Some(cell) = self.alloc() else { break };
+            // car: 80% value, 15% subtree (if depth allows), 5% shared
+            // back-pointer to an earlier cell (exercises "already marked").
+            let r = self.rng.below(100);
+            let car = if r < 80 || (depth == 0 && r < 95) {
+                (self.rng.below(1 << 20) as i64) << 1
+            } else if r < 95 && depth > 0 {
+                match self.build_list(depth - 1) {
+                    Some(sub) => ((sub as i64) << 1) | 1,
+                    None => (self.rng.below(1 << 20) as i64) << 1,
+                }
+            } else if cell > 0 {
+                let target = self.rng.below(cell as u64) as i64;
+                (target << 1) | 1
+            } else {
+                (self.rng.below(1 << 20) as i64) << 1
+            };
+            self.cells[cell].0 = car;
+            match tail {
+                None => head = Some(cell),
+                Some(t) => self.cells[t].1 = cell as i64,
+            }
+            tail = Some(cell);
+        }
+        head
+    }
+}
+
+/// Build the program with `scale` mark passes.
+pub fn build(scale: u64, seed: u64) -> Program {
+    let mut heap = Heap {
+        cells: Vec::new(),
+        rng: Lcg::new(0x1159 ^ seed),
+    };
+    let mut roots = Vec::with_capacity(NROOTS);
+    for _ in 0..NROOTS {
+        roots.push(heap.build_list(3).unwrap_or(0) as i64);
+    }
+    // Fill any remaining pool so the sweep has uniform data.
+    while heap.alloc().is_some() {}
+
+    // Flatten to [car, cdr, mark, pad] words.
+    let mut words = Vec::with_capacity(NCELLS * 4);
+    for (car, cdr) in &heap.cells {
+        words.push(*car);
+        words.push(*cdr);
+        words.push(0);
+        words.push(0);
+    }
+
+    let mut a = Asm::new();
+    let heap_base = a.alloc_words(&words);
+    let roots_base = a.alloc_words(&roots);
+
+    // gp = roots, s2 = heap, s0 = pass, s1 = checksum, s3 = mark id.
+    a.li(reg::GP, roots_base as i64);
+    a.li(reg::S2, heap_base as i64);
+    a.li(reg::S0, 0);
+    a.li(reg::S1, 0);
+
+    let mark_fn = a.new_named_label("mark");
+    let pass = a.here_named("pass");
+    a.addi(reg::S3, reg::S0, 1); // mark id = pass + 1
+    // root = roots[pass % NROOTS]
+    a.rem(reg::T0, reg::S0, NROOTS as i64);
+    a.sll(reg::T0, reg::T0, 3i64);
+    a.add(reg::T0, reg::T0, reg::GP);
+    a.ld(reg::A0, reg::T0, 0);
+    a.call(mark_fn);
+
+    // Sweep a rotating window of 96 cells: count freshly marked ones.
+    a.mul(reg::T0, reg::S0, 61i64);
+    a.rem(reg::T0, reg::T0, (NCELLS - 96) as i64);
+    a.sll(reg::T0, reg::T0, 5i64);
+    a.add(reg::A1, reg::S2, reg::T0); // cursor
+    a.li(reg::T1, 0); // counter
+    let sweep = a.new_named_label("sweep");
+    let not_marked = a.new_named_label("not_marked");
+    a.bind(sweep).unwrap();
+    a.ld(reg::T2, reg::A1, 16);
+    a.bne(reg::T2, reg::S3, not_marked);
+    a.addi(reg::S1, reg::S1, 1);
+    a.bind(not_marked).unwrap();
+    a.addi(reg::A1, reg::A1, CELL_BYTES);
+    a.addi(reg::T1, reg::T1, 1);
+    a.blt(reg::T1, Operand::imm(96), sweep);
+
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(scale as i64), pass);
+
+    a.li(reg::T0, CHECKSUM_ADDR as i64);
+    a.st(reg::S1, reg::T0, 0);
+    a.halt();
+
+    // --- mark(A0 = cell index) -----------------------------------------
+    a.bind(mark_fn).unwrap();
+    let mark_loop = a.new_named_label("mark_loop");
+    let mark_ret = a.new_named_label("mark_ret");
+    let value_case = a.new_named_label("value_case");
+    let after_car = a.new_named_label("after_car");
+
+    a.bind(mark_loop).unwrap();
+    // a3 = &cell (shift, not multiply: pointer chasing is serial enough)
+    a.sll(reg::A3, reg::A0, 5i64);
+    a.add(reg::A3, reg::A3, reg::S2);
+    a.ld(reg::T4, reg::A3, 16);
+    a.beq(reg::T4, reg::S3, mark_ret); // already marked this pass
+    a.st(reg::S3, reg::A3, 16);
+    a.ld(reg::T5, reg::A3, 0); // car
+    a.and(reg::T6, reg::T5, 1i64);
+    a.beq(reg::T6, 0i64, value_case);
+    // pointer: recurse on car
+    a.addi(reg::SP, reg::SP, -16);
+    a.st(reg::RA, reg::SP, 0);
+    a.st(reg::A3, reg::SP, 8);
+    a.srl(reg::A0, reg::T5, 1i64);
+    a.call(mark_fn);
+    a.ld(reg::RA, reg::SP, 0);
+    a.ld(reg::A3, reg::SP, 8);
+    a.addi(reg::SP, reg::SP, 16);
+    a.jmp(after_car);
+    a.bind(value_case).unwrap();
+    a.srl(reg::T7, reg::T5, 1i64);
+    a.add(reg::S1, reg::S1, reg::T7);
+    a.bind(after_car).unwrap();
+    a.ld(reg::T8, reg::A3, 8); // cdr
+    a.blt(reg::T8, 0i64, mark_ret);
+    a.mov(reg::A0, reg::T8);
+    a.jmp(mark_loop);
+    a.bind(mark_ret).unwrap();
+    a.ret();
+
+    a.assemble().expect("xlisp workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_func::Emulator;
+
+    #[test]
+    fn heap_is_acyclic_and_in_bounds() {
+        let mut heap = Heap {
+            cells: Vec::new(),
+            rng: Lcg::new(1),
+        };
+        let root = heap.build_list(3).unwrap();
+        assert!(root < heap.cells.len());
+        for (car, cdr) in &heap.cells {
+            if car & 1 == 1 {
+                assert!(((car >> 1) as usize) < NCELLS);
+            }
+            assert!(*cdr >= -1 && *cdr < NCELLS as i64);
+        }
+    }
+
+    #[test]
+    fn halts_and_marks_cells() {
+        let p = build(40, 0);
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(20_000_000).unwrap();
+        assert!(s.calls > 40, "recursion happens");
+        assert_ne!(emu.memory().read_u64(CHECKSUM_ADDR), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Deterministic pseudo-random data for workload inputs.
+
+/// A 64-bit linear congruential generator (Knuth MMIX constants).
+///
+/// Workload input data must be deterministic across runs and platforms;
+/// this tiny LCG seeds every data segment the workload builders allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x2545_f491_4f6c_dd1d,
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // Output the upper bits (LCG low bits are weak).
+        self.state >> 11
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        self.next_u64() % bound
+    }
+
+    /// A pseudo-random boolean with probability `num/den` of being true.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Lcg::new(1);
+        let mut b = Lcg::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_bits() {
+        let mut r = Lcg::new(3);
+        let ones: u32 = (0..1000).map(|_| (r.next_u64() & 1) as u32).sum();
+        assert!((400..600).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = Lcg::new(9);
+        let hits = (0..10_000).filter(|_| r.chance(1, 4)).count();
+        assert!((2200..2800).contains(&hits), "hits = {hits}");
+    }
+}

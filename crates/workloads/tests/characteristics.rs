@@ -1,0 +1,125 @@
+//! Workload characterization invariants (functional only, fast).
+
+use pp_func::Emulator;
+use pp_workloads::Workload;
+
+#[test]
+fn all_workloads_halt_at_multiple_scales() {
+    for w in Workload::ALL {
+        for scale in [1, 2, (w.default_scale() / 40).max(3)] {
+            let s = w.characterize(scale);
+            assert!(s.instructions > 0, "{w} at scale {scale}");
+        }
+    }
+}
+
+#[test]
+fn dynamic_size_grows_linearly_with_scale() {
+    for w in Workload::ALL {
+        let base = (w.default_scale() / 40).max(4);
+        let a = w.characterize(base).instructions as f64;
+        let b = w.characterize(base * 2).instructions as f64;
+        let ratio = b / a;
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "{w}: doubling scale gave ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn branch_density_is_workload_stable() {
+    // Branch fraction should not drift with scale (steady-state kernels).
+    for w in Workload::ALL {
+        let base = (w.default_scale() / 40).max(4);
+        let s1 = w.characterize(base);
+        let s2 = w.characterize(base * 3);
+        let d1 = s1.cond_branches as f64 / s1.instructions as f64;
+        let d2 = s2.cond_branches as f64 / s2.instructions as f64;
+        assert!(
+            (d1 - d2).abs() < 0.05,
+            "{w}: branch density drifted {d1:.3} → {d2:.3}"
+        );
+    }
+}
+
+#[test]
+fn all_workloads_touch_memory() {
+    for w in Workload::ALL {
+        let s = w.characterize((w.default_scale() / 40).max(4));
+        assert!(s.loads > 0, "{w} must load");
+        assert!(s.stores > 0, "{w} must store");
+    }
+}
+
+#[test]
+fn checksum_is_deterministic_and_scale_sensitive() {
+    for w in Workload::ALL {
+        let scale = (w.default_scale() / 40).max(4);
+        let read = |scale| {
+            let program = w.build(scale);
+            let mut emu = Emulator::new(&program);
+            emu.run(1_000_000_000).unwrap();
+            emu.memory().read_u64(0x0f00_0000)
+        };
+        assert_eq!(read(scale), read(scale), "{w}: nondeterministic checksum");
+    }
+}
+
+#[test]
+fn xlisp_recurses_and_m88ksim_interprets() {
+    let s = Workload::Xlisp.characterize(20);
+    assert!(s.calls > 20, "xlisp should recurse");
+    let s = Workload::M88ksim.characterize(50);
+    assert!(
+        s.loads as f64 / s.instructions as f64 > 0.08,
+        "m88ksim's interpreter is load-heavy: {}",
+        s.loads as f64 / s.instructions as f64
+    );
+}
+
+#[test]
+fn seeded_inputs_differ_but_stay_in_regime() {
+    // Different seeds = different input data (the paper's train/ref
+    // distinction): dynamic behaviour shifts but stays in the same band.
+    for w in [Workload::Compress, Workload::Go, Workload::Vortex] {
+        let scale = (w.default_scale() / 20).max(4);
+        let run = |seed: u64| {
+            let program = w.build_seeded(scale, seed);
+            let mut emu = Emulator::new(&program);
+            emu.run(1_000_000_000).unwrap()
+        };
+        let a = run(0);
+        let b = run(0xdead_beef);
+        // Same kernel: instruction counts within 3×…
+        let ratio = a.instructions as f64 / b.instructions as f64;
+        assert!((0.3..3.0).contains(&ratio), "{w}: ratio {ratio}");
+        // …but genuinely different data (checksums almost surely differ).
+        let checksum = |seed: u64| {
+            let program = w.build_seeded(scale, seed);
+            let mut emu = Emulator::new(&program);
+            emu.run(1_000_000_000).unwrap();
+            emu.memory().read_u64(0x0f00_0000)
+        };
+        assert_ne!(checksum(0), checksum(0xdead_beef), "{w}: seed had no effect");
+    }
+}
+
+#[test]
+fn default_build_is_seed_zero() {
+    for w in Workload::ALL {
+        assert_eq!(w.build(5), w.build_seeded(5, 0), "{w}");
+    }
+}
+
+#[test]
+fn fp_kernel_is_predictable_and_fp_heavy() {
+    use pp_workloads::extra::fp_kernel;
+    let p = fp_kernel(20);
+    let mut emu = Emulator::new(&p);
+    let s = emu.run(10_000_000).unwrap();
+    assert!(s.instructions > 4_000);
+    // Loop branches only: very high taken rate, near-zero data dependence.
+    assert!(s.taken_branches as f64 / s.cond_branches as f64 > 0.9);
+    assert_ne!(emu.memory().read_u64(0x0f00_0000), 0);
+}

@@ -1,0 +1,49 @@
+//! Run a program written in assembly *text* (see `collatz.s`) through the
+//! functional emulator and both machine models.
+//!
+//! ```sh
+//! cargo run --release --example collatz
+//! ```
+
+use polypath::core::{SimConfig, Simulator};
+use polypath::func::Emulator;
+use polypath::isa::{parse_asm, DATA_BASE};
+
+const SOURCE: &str = include_str!("collatz.s");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_asm(SOURCE)?;
+    println!(
+        "assembled {} instructions from collatz.s\n",
+        program.code.len()
+    );
+
+    // Functional answer first.
+    let mut emu = Emulator::new(&program);
+    let summary = emu.run(50_000_000)?;
+    println!(
+        "collatz(1..=400): total steps = {}, longest trajectory = {}",
+        emu.memory().read_u64(DATA_BASE),
+        emu.memory().read_u64(DATA_BASE + 8),
+    );
+    println!(
+        "functional: {} instructions, {} conditional branches\n",
+        summary.instructions, summary.cond_branches
+    );
+
+    // Timing comparison (checked against the emulator as it runs).
+    for (name, cfg) in [
+        ("monopath", SimConfig::monopath_baseline()),
+        ("PolyPath SEE", SimConfig::baseline()),
+    ] {
+        let mut sim = Simulator::new(&program, cfg.with_commit_checking());
+        let stats = sim.run();
+        println!(
+            "{name:<14} IPC {:5.3}  cycles {:>6}  mispredict {:4.1}%",
+            stats.ipc(),
+            stats.cycles,
+            100.0 * stats.mispredict_rate()
+        );
+    }
+    Ok(())
+}

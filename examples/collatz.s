@@ -1,0 +1,44 @@
+; Collatz trajectory lengths — written in PolyPath assembly text.
+;
+; For each n in 1..=LIMIT, count the steps of the 3n+1 iteration until
+; it reaches 1; store the total step count and the longest trajectory.
+; The "is n even?" branch is decided by data — classic hard-to-predict
+; control flow.
+
+.zero results, 2            ; [total_steps, max_steps]
+
+main:
+    li   s0, 1              ; n
+    li   s1, 0              ; total steps
+    li   s2, 0              ; max steps
+    li   s3, 400            ; LIMIT
+
+outer:
+    mov  t0, s0             ; x = n
+    li   t1, 0              ; steps
+
+step:
+    ble  t0, 1, done_one
+    and  t2, t0, 1
+    bne  t2, 0, odd         ; data-dependent: parity of x
+    srl  t0, t0, 1          ; even: x /= 2
+    jmp  next
+odd:
+    mul  t0, t0, 3          ; odd: x = 3x + 1
+    addi t0, t0, 1
+next:
+    addi t1, t1, 1
+    jmp  step
+
+done_one:
+    add  s1, s1, t1         ; total += steps
+    ble  t1, s2, not_max
+    mov  s2, t1             ; new maximum
+not_max:
+    addi s0, s0, 1
+    ble  s0, s3, outer
+
+    la   t9, results
+    st   s1, 0(t9)
+    st   s2, 8(t9)
+    halt

@@ -1,0 +1,98 @@
+//! Confidence estimator design-space exploration (paper §3.2.7, §4.2).
+//!
+//! The paper replaced the original JRS 4-bit resetting counters with
+//! 1-bit counters and folded the speculative branch outcome into the
+//! index, arguing PVN (the fraction of "low confidence" flags that are
+//! real mispredictions) is the metric that matters for SEE. This example
+//! reproduces that design study on the `go` analog (the most
+//! misprediction-bound workload).
+//!
+//! ```sh
+//! cargo run --release --example confidence_tradeoff
+//! ```
+
+use polypath::core::{ConfidenceKind, SimConfig, Simulator};
+use polypath::core::SimStats;
+use polypath::predictor::JrsConfig;
+use polypath::workloads::Workload;
+
+fn main() {
+    let workload = Workload::Go;
+    let program = workload.build(workload.default_scale() / 2);
+
+    let monopath = {
+        let mut sim = Simulator::new(&program, SimConfig::monopath_baseline());
+        sim.run()
+    };
+    println!(
+        "workload: {workload} — monopath IPC {:.3}, misprediction rate {:.1}%\n",
+        monopath.ipc(),
+        100.0 * monopath.mispredict_rate()
+    );
+
+    let variants: Vec<(&str, JrsConfig)> = vec![
+        (
+            "original JRS (4-bit, plain index)",
+            JrsConfig::original_jrs(14),
+        ),
+        (
+            "4-bit, enhanced index",
+            JrsConfig {
+                counter_bits: 4,
+                threshold: 8,
+                index_bits: 14,
+                enhanced_index: true,
+            },
+        ),
+        (
+            "1-bit, plain index",
+            JrsConfig {
+                counter_bits: 1,
+                threshold: 1,
+                index_bits: 14,
+                enhanced_index: false,
+            },
+        ),
+        (
+            "1-bit, enhanced index (paper baseline)",
+            JrsConfig::paper_baseline(),
+        ),
+    ];
+
+    println!(
+        "{:<40} {:>7} {:>7} {:>9} {:>10}",
+        "estimator", "IPC", "PVN %", "SENS %", "speedup %"
+    );
+    let report = |name: &str, stats: &SimStats| {
+        println!(
+            "{:<40} {:>7.3} {:>7.1} {:>9.1} {:>+10.1}",
+            name,
+            stats.ipc(),
+            100.0 * stats.pvn(),
+            100.0 * stats.sensitivity(),
+            100.0 * (stats.ipc() / monopath.ipc() - 1.0),
+        );
+    };
+    for (name, jc) in variants {
+        let cfg = SimConfig::baseline().with_confidence(ConfidenceKind::Jrs(jc));
+        let stats = Simulator::new(&program, cfg).run();
+        report(name, &stats);
+    }
+    // Two zero-or-low-cost alternatives for comparison.
+    let stats = Simulator::new(
+        &program,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Saturating),
+    )
+    .run();
+    report("saturating gshare counter (free)", &stats);
+    let stats = Simulator::new(
+        &program,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+    )
+    .run();
+    report("oracle (upper bound)", &stats);
+    println!(
+        "\nPVN = P(misprediction | flagged low confidence): the paper's key\n\
+         design metric — high-PVN estimators waste fewer divergences."
+    );
+}

@@ -1,0 +1,58 @@
+//! When does eager execution lose? (paper §5.1, the m88ksim anomaly)
+//!
+//! The paper found SEE *loses* 8.5% on m88ksim: the JRS estimator's PVN
+//! collapses to 16%, so most divergences are wasted on correctly
+//! predicted branches and the correct path is starved of fetch
+//! bandwidth. This example contrasts the best case (`go`) with the
+//! pathological regime (`m88ksim`/`vortex`, highly predictable) and
+//! prints the path-utilization histogram behind the effect.
+//!
+//! ```sh
+//! cargo run --release --example pathology_explorer
+//! ```
+
+use polypath::core::{SimConfig, Simulator};
+use polypath::workloads::Workload;
+
+fn main() {
+    println!(
+        "{:<10} {:>10} {:>9} {:>7} {:>11} {:>12} {:>11}",
+        "workload", "mono IPC", "SEE IPC", "PVN %", "speedup %", "useless Δ%", "mean paths"
+    );
+    for w in [Workload::Go, Workload::Compress, Workload::M88ksim, Workload::Vortex] {
+        let program = w.build(w.default_scale() / 2);
+        let mono = Simulator::new(&program, SimConfig::monopath_baseline()).run();
+        let see = Simulator::new(&program, SimConfig::baseline()).run();
+        println!(
+            "{:<10} {:>10.3} {:>9.3} {:>7.1} {:>+11.1} {:>+12.1} {:>11.2}",
+            w.name(),
+            mono.ipc(),
+            see.ipc(),
+            100.0 * see.pvn(),
+            100.0 * (see.ipc() / mono.ipc() - 1.0),
+            100.0
+                * (see.useless_instructions() as f64 / mono.useless_instructions().max(1) as f64
+                    - 1.0),
+            see.mean_active_paths(),
+        );
+    }
+
+    // Path histogram for the extreme cases.
+    for w in [Workload::Go, Workload::Vortex] {
+        let program = w.build(w.default_scale() / 2);
+        let see = Simulator::new(&program, SimConfig::baseline()).run();
+        println!("\n{} path-count distribution under SEE (fraction of cycles):", w.name());
+        let total: u64 = see.path_cycles.iter().sum();
+        for (k, &c) in see.path_cycles.iter().enumerate() {
+            if c > 0 {
+                let frac = c as f64 / total as f64;
+                let bar = "#".repeat((frac * 60.0).round() as usize);
+                println!("  {k:>2} paths: {:5.1}%  {bar}", 100.0 * frac);
+            }
+        }
+    }
+    println!(
+        "\nThe lesson the paper draws: a production SEE machine should monitor\n\
+         its estimator and fall back to monopath when PVN collapses."
+    );
+}

@@ -1,0 +1,62 @@
+//! Watch eager execution happen, cycle by cycle.
+//!
+//! Attaches a [`polypath::core::PipeView`] observer to a short run and
+//! prints the per-instruction stage timeline: rows marked `=<` are
+//! divergent branches, rows ending in `K` are wrong-path instructions
+//! that fetched (and often executed) but were killed when their branch
+//! resolved — the machinery of Selective Eager Execution made visible.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use polypath::core::{PipeView, SimConfig, Simulator};
+use polypath::isa::{reg, Asm, Operand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A short loop with one unpredictable branch per iteration.
+    let mut a = Asm::new();
+    let data: Vec<i64> = (0..32)
+        .map(|i| ((i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 60 & 1) as i64)
+        .collect();
+    let base = a.alloc_words(&data);
+    a.li(reg::GP, base as i64);
+    a.li(reg::S0, 0);
+    let top = a.here_named("loop");
+    a.and(reg::T0, reg::S0, 31i64);
+    a.sll(reg::T0, reg::T0, 3i64);
+    a.add(reg::T0, reg::T0, reg::GP);
+    a.ld(reg::T1, reg::T0, 0);
+    let skip = a.new_named_label("skip");
+    a.beq(reg::T1, 0i64, skip);
+    a.addi(reg::S1, reg::S1, 5);
+    a.bind(skip)?;
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(24), top);
+    a.halt();
+    let program = a.assemble()?;
+
+    let mut sim = Simulator::new(&program, SimConfig::baseline());
+    sim.set_observer(Box::new(PipeView::new()));
+    let stats = sim.run();
+
+    let view = sim
+        .take_observer()
+        .expect("observer attached")
+        .into_any()
+        .downcast::<PipeView>()
+        .expect("PipeView attached");
+
+    println!(
+        "ran {} cycles, {} committed, {} fetched ({} killed), {} divergences\n",
+        stats.cycles,
+        stats.committed_instructions,
+        stats.fetched_instructions,
+        stats.killed_instructions,
+        stats.divergences,
+    );
+    println!("   fid    pc    |cycle →                          | instruction");
+    println!("               (f fetch  d rename  x execute  . wait  C commit  K killed)");
+    print!("{}", view.render_range(0, 60));
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: simulate a branchy program on monopath and PolyPath/SEE
+//! machines and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use polypath::core::{ConfidenceKind, ExecMode, SimConfig, Simulator};
+use polypath::isa::{reg, Asm, Operand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A loop whose inner branch depends on pseudo-random data — the
+    // workload class Selective Eager Execution was designed for.
+    let mut a = Asm::new();
+    let data: Vec<i64> = (0..512)
+        .scan(0x2545f491_4f6cdd1du64, |s, _| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Some(((*s >> 40) & 1) as i64)
+        })
+        .collect();
+    let table = a.alloc_words(&data);
+
+    a.li(reg::GP, table as i64);
+    a.li(reg::S0, 0); // i
+    a.li(reg::S1, 0); // acc
+    let top = a.here_named("loop");
+    a.and(reg::T0, reg::S0, 511i64);
+    a.sll(reg::T0, reg::T0, 3i64);
+    a.add(reg::T0, reg::T0, reg::GP);
+    a.ld(reg::T1, reg::T0, 0);
+    let skip = a.new_named_label("skip");
+    a.beq(reg::T1, 0i64, skip); // data decides: ~50/50, unpredictable
+    a.addi(reg::S1, reg::S1, 3);
+    a.bind(skip)?;
+    a.addi(reg::S1, reg::S1, 1);
+    a.addi(reg::S0, reg::S0, 1);
+    a.blt(reg::S0, Operand::imm(20_000), top);
+    a.st(reg::S1, reg::ZERO, 0x1000);
+    a.halt();
+    let program = a.assemble()?;
+
+    println!("program ({} static instructions):\n{}", program.len(), program);
+
+    for (name, cfg) in [
+        ("monopath (gshare-14)", SimConfig::monopath_baseline()),
+        ("PolyPath SEE (gshare-14 + JRS)", SimConfig::baseline()),
+        (
+            "PolyPath SEE (perfect confidence)",
+            SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+        ),
+        (
+            "dual-path (gshare-14 + JRS)",
+            SimConfig::baseline()
+                .with_mode(ExecMode::DualPath),
+        ),
+    ] {
+        let mut sim = Simulator::new(&program, cfg);
+        let stats = sim.run();
+        println!(
+            "{name:<36} IPC {:5.3}  cycles {:>7}  mispredict {:4.1}%  divergences {:>6}  mean paths {:.2}",
+            stats.ipc(),
+            stats.cycles,
+            100.0 * stats.mispredict_rate(),
+            stats.divergences,
+            stats.mean_active_paths(),
+        );
+    }
+    Ok(())
+}

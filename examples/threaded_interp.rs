@@ -1,0 +1,97 @@
+//! A direct-threaded bytecode interpreter: `jr`-based dispatch through a
+//! branch target buffer.
+//!
+//! Real interpreters dispatch with an indirect jump per bytecode; the
+//! BTB predicts it by remembering the *last* target, so it mispredicts
+//! whenever consecutive occurrences of the dispatch site jump to
+//! different handlers — the classic "interpreter dispatch problem". This
+//! example builds a tiny threaded VM, runs a pseudo-random bytecode mix,
+//! and shows how monopath and SEE machines fare on it.
+//!
+//! ```sh
+//! cargo run --release --example threaded_interp
+//! ```
+
+use polypath::core::{SimConfig, Simulator};
+use polypath::isa::{reg, Asm, Operand, Program};
+
+const BYTECODES: i64 = 6_000;
+
+fn build_vm(handler_start: usize) -> Result<Program, Box<dyn std::error::Error>> {
+    // Bytecode stream: opcodes 0..4, pseudo-random.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let bytecode: Vec<i64> = (0..512)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 33) % 4) as i64
+        })
+        .collect();
+    let handlers: Vec<i64> = (0..4).map(|k| (handler_start + 3 * k) as i64).collect();
+
+    let mut b = Asm::new();
+    let cb = b.alloc_words(&bytecode);
+    let tb = b.alloc_words(&handlers);
+    let done = b.new_label();
+    b.li(reg::GP, cb as i64);
+    b.li(reg::S2, tb as i64);
+    b.li(reg::S0, 0); // bytecode counter
+    b.li(reg::S1, 0); // accumulator
+    let dispatch = b.here();
+    b.bge(reg::S0, Operand::imm(BYTECODES), done);
+    b.and(reg::T0, reg::S0, 511i64);
+    b.sll(reg::T0, reg::T0, 3i64);
+    b.add(reg::T0, reg::T0, reg::GP);
+    b.ld(reg::T1, reg::T0, 0); // opcode
+    b.sll(reg::T1, reg::T1, 3i64);
+    b.add(reg::T1, reg::T1, reg::S2);
+    b.ld(reg::T2, reg::T1, 0); // handler pc
+    b.jr(reg::T2); // the indirect dispatch
+    let hs = b.pc();
+    for k in 0..4 {
+        // Each handler: 3 instructions, tail-jumps back to dispatch.
+        b.addi(reg::S1, reg::S1, (k + 1) as i64);
+        b.addi(reg::S0, reg::S0, 1);
+        b.jmp(dispatch);
+    }
+    b.bind(done)?;
+    b.st(reg::S1, reg::ZERO, 0x6000);
+    b.halt();
+    if hs != handler_start {
+        // First pass discovers the layout; rebuild with the real PCs.
+        return build_vm(hs);
+    }
+    Ok(b.assemble()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = build_vm(0)?;
+    println!(
+        "threaded interpreter: {BYTECODES} bytecodes over 4 handlers, \
+         {} static instructions\n",
+        program.len()
+    );
+    for (name, cfg) in [
+        ("monopath", SimConfig::monopath_baseline()),
+        ("PolyPath SEE", SimConfig::baseline()),
+    ] {
+        let mut sim = Simulator::new(&program, cfg.with_commit_checking());
+        let stats = sim.run();
+        println!(
+            "{name:<14} IPC {:5.3}  cycles {:>6}  indirect mispredicts {:>5} \
+             ({:.1}% of dispatches)",
+            stats.ipc(),
+            stats.cycles,
+            stats.mispredicted_returns,
+            100.0 * stats.mispredicted_returns as f64 / BYTECODES as f64,
+        );
+    }
+    println!(
+        "\nThe BTB remembers only the last target per site, so a 4-way\n\
+         pseudo-random handler mix mispredicts most dispatches — pain that\n\
+         SEE cannot fix (it forks only on conditional branches) and that\n\
+         later work on context-based indirect predictors targets."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # polypath — Selective Eager Execution on the PolyPath Architecture
+//!
+//! Facade crate for the reproduction of Klauser, Paithankar & Grunwald,
+//! *Selective Eager Execution on the PolyPath Architecture* (ISCA 1998).
+//!
+//! The repository implements, from scratch:
+//!
+//! * a cycle-level, execution-driven simulator of a wide superscalar
+//!   out-of-order processor ([`core`] / `pp-core`),
+//! * the PolyPath extensions: context tags, multi-path fetch, per-path
+//!   register maps, CTX-filtered store-buffer forwarding ([`ctx`] / `pp-ctx`),
+//! * branch predictors and confidence estimators ([`predictor`] /
+//!   `pp-predictor`),
+//! * a small RISC ISA with an assembler DSL ([`isa`] / `pp-isa`) and a
+//!   functional reference emulator ([`func`] / `pp-func`),
+//! * SPECint95-analog workloads ([`workloads`] / `pp-workloads`),
+//! * the full experiment harness regenerating every table and figure of the
+//!   paper's evaluation ([`experiments`] / `pp-experiments`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use polypath::core::{ExecMode, SimConfig, Simulator};
+//! use polypath::workloads::Workload;
+//!
+//! // Build a workload program (a SPECint95 analog) at a small scale.
+//! let program = Workload::Compress.build(1_000);
+//!
+//! // Simulate it on the paper's baseline machine with SEE enabled.
+//! let cfg = SimConfig::baseline().with_mode(ExecMode::See);
+//! let stats = Simulator::new(&program, cfg).run();
+//! assert!(stats.committed_instructions > 0);
+//! println!("IPC = {:.3}", stats.ipc());
+//! ```
+
+pub use pp_core as core;
+pub use pp_ctx as ctx;
+pub use pp_experiments as experiments;
+pub use pp_func as func;
+pub use pp_isa as isa;
+pub use pp_predictor as predictor;
+pub use pp_workloads as workloads;

@@ -1,0 +1,196 @@
+//! Qualitative paper claims, asserted at reduced scale.
+//!
+//! These tests pin the *shape* of the paper's results: orderings,
+//! signs of effects, and resource-limit behaviours — not absolute IPC.
+
+use polypath::core::{ConfidenceKind, ExecMode, PredictorKind, SimConfig, SimStats, Simulator};
+use polypath::workloads::Workload;
+
+fn run(w: Workload, cfg: SimConfig, scale_div: u64) -> SimStats {
+    let program = w.build((w.default_scale() / scale_div).max(4));
+    Simulator::new(&program, cfg).run()
+}
+
+#[test]
+fn oracle_dominates_everything_on_go() {
+    let w = Workload::Go;
+    let mono = run(w, SimConfig::monopath_baseline(), 10);
+    let see = run(w, SimConfig::baseline(), 10);
+    let see_oracle = run(w, SimConfig::baseline().with_confidence(ConfidenceKind::Oracle), 10);
+    let oracle = run(
+        w,
+        SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
+        10,
+    );
+    // Fig. 8 ordering on the most misprediction-bound benchmark.
+    assert!(oracle.ipc() > see_oracle.ipc(), "oracle > SEE/oracle");
+    assert!(see_oracle.ipc() > see.ipc(), "SEE/oracle > SEE/JRS");
+    assert!(see.ipc() > mono.ipc(), "SEE/JRS > monopath on go");
+}
+
+#[test]
+fn see_gain_tracks_misprediction_rate() {
+    // go (worst-predicted) must benefit more from SEE than vortex
+    // (best-predicted) — the core premise of *selective* eager execution.
+    let gain = |w: Workload| {
+        let mono = run(w, SimConfig::monopath_baseline(), 10);
+        let see = run(w, SimConfig::baseline(), 10);
+        see.ipc() / mono.ipc()
+    };
+    let go = gain(Workload::Go);
+    let vortex = gain(Workload::Vortex);
+    assert!(
+        go > vortex,
+        "SEE gain on go ({go:.3}) must exceed vortex ({vortex:.3})"
+    );
+    assert!(go > 1.05, "go must benefit noticeably, got {go:.3}");
+}
+
+#[test]
+fn dual_path_captures_part_of_see_gain() {
+    let w = Workload::Go;
+    let mono = run(w, SimConfig::monopath_baseline(), 10).ipc();
+    let see = run(w, SimConfig::baseline().with_confidence(ConfidenceKind::Oracle), 10).ipc();
+    let dual = run(
+        w,
+        SimConfig::baseline()
+            .with_mode(ExecMode::DualPath)
+            .with_confidence(ConfidenceKind::Oracle),
+        10,
+    )
+    .ipc();
+    assert!(dual > mono, "dual-path beats monopath");
+    assert!(dual < see, "full SEE beats dual-path when divergences overlap");
+    let fraction = (dual - mono) / (see - mono);
+    assert!(
+        (0.2..1.0).contains(&fraction),
+        "dual-path fraction {fraction:.2} out of plausible range"
+    );
+}
+
+#[test]
+fn deeper_pipelines_amplify_sees_advantage() {
+    // Fig. 12: the relative SEE gain grows with pipeline depth.
+    let w = Workload::Go;
+    let gain_at = |depth: usize| {
+        let mono = run(
+            w,
+            SimConfig::monopath_baseline().with_pipeline_depth(depth),
+            10,
+        );
+        let see = run(
+            w,
+            SimConfig::baseline()
+                .with_confidence(ConfidenceKind::Oracle)
+                .with_pipeline_depth(depth),
+            10,
+        );
+        see.ipc() / mono.ipc()
+    };
+    let shallow = gain_at(6);
+    let deep = gain_at(10);
+    assert!(
+        deep > shallow,
+        "SEE gain at 10 stages ({deep:.3}) must exceed 6 stages ({shallow:.3})"
+    );
+}
+
+#[test]
+fn see_survives_one_functional_unit_of_each_type() {
+    // Fig. 11: SEE still wins with a starved execution core.
+    let w = Workload::Go;
+    let fus = polypath::core::FuConfig::uniform(1);
+    let mono = run(w, SimConfig::monopath_baseline().with_fus(fus), 10);
+    let see = run(
+        w,
+        SimConfig::baseline()
+            .with_confidence(ConfidenceKind::Oracle)
+            .with_fus(fus),
+        10,
+    );
+    assert!(
+        see.ipc() > mono.ipc(),
+        "SEE ({:.3}) must beat monopath ({:.3}) even with 1 FU of each type",
+        see.ipc(),
+        mono.ipc()
+    );
+}
+
+#[test]
+fn see_beats_monopath_at_small_windows() {
+    // Fig. 10: SEE's advantage persists with a 64-entry window.
+    let w = Workload::Go;
+    let mk = |cfg: SimConfig| {
+        let mut cfg = cfg.with_window_size(64);
+        cfg.ctx_positions = 32;
+        cfg
+    };
+    let mono = run(w, mk(SimConfig::monopath_baseline()), 10);
+    let see = run(
+        w,
+        mk(SimConfig::baseline().with_confidence(ConfidenceKind::Oracle)),
+        10,
+    );
+    assert!(see.ipc() > mono.ipc());
+}
+
+#[test]
+fn bigger_predictors_reduce_mispredictions() {
+    // Fig. 9 x-axis premise (8 vs 14 bits: the small table aliases
+    // heavily). gcc re-visits the
+    // same (pc, history) points, so its tables warm up at reduced scale.
+    let w = Workload::Gcc;
+    let small = run(
+        w,
+        SimConfig::monopath_baseline().with_predictor(PredictorKind::Gshare { history_bits: 8 }),
+        3,
+    );
+    let large = run(
+        w,
+        SimConfig::monopath_baseline().with_predictor(PredictorKind::Gshare { history_bits: 14 }),
+        3,
+    );
+    assert!(
+        large.mispredict_rate() < small.mispredict_rate(),
+        "14-bit gshare ({:.3}) must mispredict less than 8-bit ({:.3})",
+        large.mispredict_rate(),
+        small.mispredict_rate()
+    );
+}
+
+#[test]
+fn path_utilization_is_moderate() {
+    // §5.2: SEE uses few paths most of the time.
+    let see = run(Workload::Gcc, SimConfig::baseline(), 10);
+    assert!(see.mean_active_paths() >= 1.0);
+    assert!(
+        see.paths_at_most(8) > 0.9,
+        "≤8 paths should cover >90% of cycles, got {:.2}",
+        see.paths_at_most(8)
+    );
+}
+
+#[test]
+fn confidence_estimator_statistics_consistent() {
+    let see = run(Workload::Compress, SimConfig::baseline(), 10);
+    let total = see.low_conf_correct
+        + see.low_conf_incorrect
+        + see.high_conf_correct
+        + see.high_conf_incorrect;
+    assert_eq!(total, see.committed_branches);
+    assert!(see.pvn() > 0.0 && see.pvn() < 1.0);
+    assert!(see.sensitivity() > 0.0 && see.sensitivity() <= 1.0);
+}
+
+#[test]
+fn oracle_runs_never_mispredict() {
+    for w in [Workload::Perl, Workload::Xlisp] {
+        let s = run(
+            w,
+            SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
+            20,
+        );
+        assert_eq!(s.mispredicted_branches, 0, "{w}");
+        assert_eq!(s.recoveries, s.mispredicted_returns, "{w}: only RAS recoveries allowed");
+    }
+}

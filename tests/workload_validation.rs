@@ -1,0 +1,85 @@
+//! Cross-crate validation: every SPECint95-analog workload, co-simulated
+//! against the functional emulator, in monopath and eager modes. Wrong
+//! paths must be architecturally invisible for *real* programs, not just
+//! unit-test kernels.
+
+use polypath::core::{ConfidenceKind, ExecMode, SimConfig, Simulator};
+use polypath::func::Emulator;
+use polypath::workloads::Workload;
+
+/// Small scale so debug-mode co-simulation stays fast.
+fn small_scale(w: Workload) -> u64 {
+    (w.default_scale() / 25).max(4)
+}
+
+fn check(w: Workload, cfg: SimConfig, name: &str) {
+    let program = w.build(small_scale(w));
+    let mut sim = Simulator::new(&program, cfg.with_commit_checking());
+    let stats = sim.run();
+    assert!(!stats.hit_cycle_limit, "{w}/{name}: cycle limit");
+    let mut emu = Emulator::new(&program);
+    emu.run(1_000_000_000).expect("reference halts");
+    assert!(
+        sim.memory().same_contents(emu.memory()),
+        "{w}/{name}: final memory differs from functional reference"
+    );
+    assert!(stats.committed_instructions > 1_000, "{w}/{name}: too little work");
+}
+
+#[test]
+fn all_workloads_cosimulate_monopath() {
+    for w in Workload::ALL {
+        check(w, SimConfig::monopath_baseline(), "monopath");
+    }
+}
+
+#[test]
+fn all_workloads_cosimulate_see_jrs() {
+    for w in Workload::ALL {
+        check(w, SimConfig::baseline(), "see-jrs");
+    }
+}
+
+#[test]
+fn all_workloads_cosimulate_see_oracle() {
+    for w in Workload::ALL {
+        check(
+            w,
+            SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+            "see-oracle",
+        );
+    }
+}
+
+#[test]
+fn all_workloads_cosimulate_dual_path() {
+    for w in Workload::ALL {
+        check(w, SimConfig::baseline().with_mode(ExecMode::DualPath), "dual");
+    }
+}
+
+#[test]
+fn workload_results_mode_independent() {
+    // The committed instruction count is architectural: identical across
+    // execution models.
+    for w in Workload::ALL {
+        let program = w.build(small_scale(w));
+        let mono = Simulator::new(&program, SimConfig::monopath_baseline()).run();
+        let see = Simulator::new(&program, SimConfig::baseline()).run();
+        assert_eq!(
+            mono.committed_instructions, see.committed_instructions,
+            "{w}: committed count differs between modes"
+        );
+        assert_eq!(mono.committed_branches, see.committed_branches, "{w}");
+    }
+}
+
+#[test]
+fn workloads_are_deterministic() {
+    for w in Workload::ALL {
+        let s1 = Simulator::new(&w.build(small_scale(w)), SimConfig::baseline()).run();
+        let s2 = Simulator::new(&w.build(small_scale(w)), SimConfig::baseline()).run();
+        assert_eq!(s1.cycles, s2.cycles, "{w}: nondeterministic simulation");
+        assert_eq!(s1.fetched_instructions, s2.fetched_instructions, "{w}");
+    }
+}
