@@ -74,7 +74,10 @@ impl DCache {
     /// Panics on zero ways or absurd geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.ways > 0, "associativity must be nonzero");
-        assert!(cfg.sets_log2 <= 20 && cfg.line_log2 <= 12, "geometry too large");
+        assert!(
+            cfg.sets_log2 <= 20 && cfg.line_log2 <= 12,
+            "geometry too large"
+        );
         DCache {
             lines: vec![Line::default(); (1 << cfg.sets_log2) * cfg.ways],
             cfg,

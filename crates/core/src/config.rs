@@ -422,7 +422,9 @@ mod tests {
     fn frontend_latency_tracks_depth() {
         assert_eq!(SimConfig::baseline().frontend_latency(), 5);
         assert_eq!(
-            SimConfig::baseline().with_pipeline_depth(6).frontend_latency(),
+            SimConfig::baseline()
+                .with_pipeline_depth(6)
+                .frontend_latency(),
             3
         );
         assert_eq!(

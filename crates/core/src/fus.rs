@@ -164,8 +164,14 @@ mod tests {
     fn int_alu_falls_over_to_second_pipe() {
         let mut pool = FuPool::new(&FuConfig::uniform(1));
         pool.begin_cycle();
-        assert_eq!(pool.try_issue(InstClass::IntAlu, 0, &lat()), Some(FuClass::Int0));
-        assert_eq!(pool.try_issue(InstClass::IntAlu, 0, &lat()), Some(FuClass::Int1));
+        assert_eq!(
+            pool.try_issue(InstClass::IntAlu, 0, &lat()),
+            Some(FuClass::Int0)
+        );
+        assert_eq!(
+            pool.try_issue(InstClass::IntAlu, 0, &lat()),
+            Some(FuClass::Int1)
+        );
         assert_eq!(pool.try_issue(InstClass::IntAlu, 0, &lat()), None);
     }
 
@@ -199,7 +205,10 @@ mod tests {
         let mut pool = FuPool::new(&FuConfig::baseline());
         pool.begin_cycle();
         for _ in 0..4 {
-            assert_eq!(pool.try_issue(InstClass::Load, 0, &lat()), Some(FuClass::Mem));
+            assert_eq!(
+                pool.try_issue(InstClass::Load, 0, &lat()),
+                Some(FuClass::Mem)
+            );
         }
         assert_eq!(pool.try_issue(InstClass::Load, 0, &lat()), None);
         assert_eq!(pool.issued_this_cycle(FuClass::Mem), 4);

@@ -85,6 +85,7 @@ mod observer;
 mod oracle;
 mod ras;
 mod regfile;
+mod selfprof;
 mod sim;
 mod stats;
 mod storebuf;
@@ -96,10 +97,13 @@ pub use config::{
 };
 pub use frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
 pub use fus::{eligible_units, is_unpipelined, latency, FuClass, FuPool};
-pub use observer::{FetchId, KillStage, PipeEvent, PipeView, PipelineObserver, TraceLog};
+pub use observer::{
+    CycleSample, FetchId, KillStage, PipeEvent, PipeView, PipelineObserver, TraceLog,
+};
 pub use oracle::Oracle;
 pub use ras::{Ras, RAS_DEPTH};
 pub use regfile::{PhysReg, PhysRegFile, RegMap};
+pub use selfprof::HostProfile;
 pub use sim::Simulator;
 pub use stats::{FuBusy, SimStats};
 pub use storebuf::{LoadCheck, SbEntry, StoreBuffer};

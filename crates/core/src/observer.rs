@@ -62,9 +62,16 @@ pub enum PipeEvent {
         fid: FetchId,
         mispredicted: bool,
         diverged: bool,
+        /// The confidence estimate made at fetch (`true` = diffident).
+        /// Always `false` for returns and indirect jumps.
+        conf_low: bool,
     },
     /// A misprediction recovery redirected fetch to `pc`.
-    Redirected { cycle: u64, branch: FetchId, pc: usize },
+    Redirected {
+        cycle: u64,
+        branch: FetchId,
+        pc: usize,
+    },
     /// An instruction was squashed (wrong path).
     Killed {
         cycle: u64,
@@ -106,10 +113,33 @@ impl PipeEvent {
     }
 }
 
+/// A once-per-cycle machine-state snapshot, delivered to observers after
+/// all of the cycle's [`PipeEvent`]s. Cheap to produce (a handful of
+/// counters), and only produced when an observer is attached — telemetry
+/// sinks downsample it to their configured interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSample {
+    /// The cycle the snapshot describes.
+    pub cycle: u64,
+    /// Live paths in the CTX table.
+    pub live_paths: usize,
+    /// Paths currently eligible to fetch (live and not parked) — together
+    /// with `live_paths` this exposes the fetch-priority pressure.
+    pub fetching_paths: usize,
+    /// Occupied instruction-window entries.
+    pub window_occupancy: usize,
+    /// Instructions sitting in the front-end latches.
+    pub frontend_occupancy: usize,
+}
+
 /// Receiver of pipeline events.
 pub trait PipelineObserver {
     /// Called once per event, in simulation order.
     fn event(&mut self, ev: &PipeEvent);
+
+    /// Called once at the end of every simulated cycle with a state
+    /// snapshot. The default implementation ignores it.
+    fn sample(&mut self, _s: &CycleSample) {}
 
     /// Downcast support, so [`crate::Simulator::take_observer`] callers can
     /// recover the concrete observer. Implement as `self`.
@@ -229,10 +259,7 @@ impl PipeView {
             } else {
                 "  "
             };
-            let opstr = lane
-                .op
-                .map(|o| o.to_string())
-                .unwrap_or_else(|| "?".into());
+            let opstr = lane.op.map(|o| o.to_string()).unwrap_or_else(|| "?".into());
             let _ = writeln!(
                 out,
                 "{:>6} {:>5} {mark} |{}| {opstr}",
@@ -329,7 +356,11 @@ mod tests {
             path: pid(),
             op: Op::Nop,
         });
-        pv.event(&PipeEvent::Dispatched { cycle: 3, fid, seq: 0 });
+        pv.event(&PipeEvent::Dispatched {
+            cycle: 3,
+            fid,
+            seq: 0,
+        });
         pv.event(&PipeEvent::Issued { cycle: 4, fid });
         pv.event(&PipeEvent::Completed { cycle: 5, fid });
         pv.event(&PipeEvent::Committed { cycle: 6, fid });

@@ -23,9 +23,10 @@ use crate::cache::DCache;
 use crate::config::{ConfidenceKind, ExecMode, FetchPolicy, PredictorKind, SimConfig};
 use crate::frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
 use crate::fus::{self, FuClass, FuPool};
-use crate::observer::{FetchId, KillStage, PipeEvent, PipelineObserver};
+use crate::observer::{CycleSample, FetchId, KillStage, PipeEvent, PipelineObserver};
 use crate::oracle::Oracle;
 use crate::regfile::{PhysReg, PhysRegFile, RegMap};
+use crate::selfprof::HostProfile;
 use crate::stats::SimStats;
 use crate::storebuf::{LoadCheck, StoreBuffer};
 use crate::window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};
@@ -94,6 +95,7 @@ pub struct Simulator {
     stats: SimStats,
     fid_next: u64,
     observer: Option<Box<dyn PipelineObserver>>,
+    selfprof: Option<HostProfile>,
 }
 
 /// Emit an event through an optional observer without constructing it
@@ -194,6 +196,7 @@ impl Simulator {
             stats: SimStats::default(),
             fid_next: 0,
             observer: None,
+            selfprof: None,
             program: program.clone(),
             cfg,
         }
@@ -208,6 +211,18 @@ impl Simulator {
     /// Detach and return the observer (to inspect what it recorded).
     pub fn take_observer(&mut self) -> Option<Box<dyn PipelineObserver>> {
         self.observer.take()
+    }
+
+    /// Start accumulating host-side phase timings ([`HostProfile`]).
+    /// Adds two `Instant::now()` calls per pipeline phase per cycle, so
+    /// leave it off for accuracy-only runs.
+    pub fn enable_self_profiling(&mut self) {
+        self.selfprof = Some(HostProfile::default());
+    }
+
+    /// The host-side profile accumulated so far, if profiling is enabled.
+    pub fn host_profile(&self) -> Option<&HostProfile> {
+        self.selfprof.as_ref()
     }
 
     /// The configuration in use.
@@ -239,6 +254,7 @@ impl Simulator {
     /// legal steady state — or if co-simulation checking is enabled and a
     /// committed instruction deviates from the functional emulator.
     pub fn run(&mut self) -> SimStats {
+        let run_start = std::time::Instant::now();
         while !self.halted {
             if self.now >= self.cfg.max_cycles {
                 self.stats.hit_cycle_limit = true;
@@ -257,6 +273,11 @@ impl Simulator {
             );
         }
         self.stats.cycles = self.now;
+        if let Some(p) = &mut self.selfprof {
+            p.wall += run_start.elapsed();
+            p.cycles = self.now;
+            p.committed = self.stats.committed_instructions;
+        }
         self.stats.clone()
     }
 
@@ -265,17 +286,51 @@ impl Simulator {
         self.fu_pool.begin_cycle();
         self.account_fu_capacity();
 
-        self.do_commit();
-        if !self.halted {
-            self.do_writeback_and_resolve();
-            self.do_issue();
-            self.do_dispatch();
-            self.do_fetch();
+        if self.selfprof.is_none() {
+            self.do_commit();
+            if !self.halted {
+                self.do_writeback_and_resolve();
+                self.do_issue();
+                self.do_dispatch();
+                self.do_fetch();
+            }
+        } else {
+            use std::time::Instant;
+            let t0 = Instant::now();
+            self.do_commit();
+            let t1 = Instant::now();
+            let (mut t2, mut t3, mut t4, mut t5) = (t1, t1, t1, t1);
+            if !self.halted {
+                self.do_writeback_and_resolve();
+                t2 = Instant::now();
+                self.do_issue();
+                t3 = Instant::now();
+                self.do_dispatch();
+                t4 = Instant::now();
+                self.do_fetch();
+                t5 = Instant::now();
+            }
+            let p = self.selfprof.as_mut().expect("checked above");
+            p.commit += t1 - t0;
+            p.writeback += t2 - t1;
+            p.issue += t3 - t2;
+            p.dispatch += t4 - t3;
+            p.fetch += t5 - t4;
         }
 
         self.stats.record_path_count(self.paths.live());
         self.stats.window_occupancy_sum += self.window.occupancy() as u64;
         self.account_fu_busy();
+        if let Some(obs) = &mut self.observer {
+            let sample = CycleSample {
+                cycle: self.now,
+                live_paths: self.paths.live(),
+                fetching_paths: self.paths.iter().filter(|(_, p)| p.fetching).count(),
+                window_occupancy: self.window.occupancy(),
+                frontend_occupancy: self.frontend.len(),
+            };
+            obs.sample(&sample);
+        }
         self.now += 1;
     }
 
@@ -304,7 +359,9 @@ impl Simulator {
 
     fn do_commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.window.head_mut() else { break };
+            let Some(head) = self.window.head_mut() else {
+                break;
+            };
             if head.state != EntryState::Done {
                 break;
             }
@@ -427,7 +484,9 @@ impl Simulator {
     }
 
     fn check_against_reference(&mut self, e: &WinEntry) {
-        let Some(checker) = &mut self.checker else { return };
+        let Some(checker) = &mut self.checker else {
+            return;
+        };
         let ev = checker.step().expect("reference emulator failed");
         assert_eq!(
             ev.pc, e.pc,
@@ -468,7 +527,10 @@ impl Simulator {
                 if let (Some(d), Some(v)) = (e.dest, e.result) {
                     self.regfile.write(d.new, v);
                 }
-                emit(observer, || PipeEvent::Completed { cycle: now, fid: e.fid });
+                emit(observer, || PipeEvent::Completed {
+                    cycle: now,
+                    fid: e.fid,
+                });
                 if e.binfo.is_some() {
                     resolving.push(e.seq);
                 }
@@ -506,6 +568,7 @@ impl Simulator {
         let taken_target = b.taken_target;
         let fallthrough = b.fallthrough;
         let ghr_at_predict = b.ghr_at_predict;
+        let conf_low = b.conf_low;
 
         let mispredicted = if is_return {
             actual_target != Some(predicted_target)
@@ -520,6 +583,7 @@ impl Simulator {
             fid,
             mispredicted,
             diverged,
+            conf_low,
         });
 
         if diverged {
@@ -655,11 +719,7 @@ impl Simulator {
             if e.state != EntryState::Waiting {
                 continue;
             }
-            let ready = e
-                .srcs
-                .iter()
-                .flatten()
-                .all(|&p| regfile.is_ready(p));
+            let ready = e.srcs.iter().flatten().all(|&p| regfile.is_ready(p));
             if !ready {
                 continue;
             }
@@ -669,9 +729,7 @@ impl Simulator {
             let mut extra_latency = 0u64;
 
             match e.op {
-                Op::Load {
-                    offset, width, ..
-                } => {
+                Op::Load { offset, width, .. } => {
                     let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
                     let check = sb.check_load(e.seq, &e.ctx, addr, width);
                     if check == LoadCheck::Block {
@@ -774,7 +832,10 @@ impl Simulator {
 
             e.state = EntryState::Issued;
             e.complete_at = now + fus::latency(class, &cfg.latency) as u64 + extra_latency;
-            emit(observer, || PipeEvent::Issued { cycle: now, fid: e.fid });
+            emit(observer, || PipeEvent::Issued {
+                cycle: now,
+                fid: e.fid,
+            });
         }
     }
 
@@ -1023,7 +1084,9 @@ impl Simulator {
         let mut used = 0;
         while used < share && !self.frontend.is_full() {
             // The path may have been consumed by a divergence this cycle.
-            let Some(path) = self.paths.get(pid) else { break };
+            let Some(path) = self.paths.get(pid) else {
+                break;
+            };
             if !path.fetching {
                 break;
             }
@@ -1082,13 +1145,7 @@ impl Simulator {
     /// Fetch a conditional branch: predict, estimate confidence, possibly
     /// diverge. Returns `None` if no CTX position was available, otherwise
     /// `Some(stop_fetching_this_path_this_cycle)`.
-    fn fetch_cond_branch(
-        &mut self,
-        pid: PathId,
-        pc: usize,
-        op: Op,
-        target: usize,
-    ) -> Option<bool> {
+    fn fetch_cond_branch(&mut self, pid: PathId, pc: usize, op: Op, target: usize) -> Option<bool> {
         if self.positions.is_full() {
             return None;
         }
@@ -1103,9 +1160,7 @@ impl Simulator {
         // Oracle lookup (if this run carries a trace and the path is on
         // the architecturally correct execution).
         let correct_outcome = if was_on_correct {
-            self.oracle
-                .as_ref()
-                .and_then(|o| o.outcome(oracle_idx, pc))
+            self.oracle.as_ref().and_then(|o| o.outcome(oracle_idx, pc))
         } else {
             None
         };

@@ -211,27 +211,67 @@ impl SimStats {
         use std::fmt::Write as _;
         let mut o = String::new();
         let _ = writeln!(o, "cycles                 {:>12}", self.cycles);
-        let _ = writeln!(o, "committed              {:>12}", self.committed_instructions);
+        let _ = writeln!(
+            o,
+            "committed              {:>12}",
+            self.committed_instructions
+        );
         let _ = writeln!(o, "IPC                    {:>12.3}", self.ipc());
-        let _ = writeln!(o, "fetched                {:>12}  ({:.2}x committed)",
-            self.fetched_instructions, self.fetched_per_committed());
+        let _ = writeln!(
+            o,
+            "fetched                {:>12}  ({:.2}x committed)",
+            self.fetched_instructions,
+            self.fetched_per_committed()
+        );
         let _ = writeln!(o, "killed (wrong path)    {:>12}", self.killed_instructions);
-        let _ = writeln!(o, "branches               {:>12}  ({:.2}% mispredicted)",
-            self.committed_branches, 100.0 * self.mispredict_rate());
+        let _ = writeln!(
+            o,
+            "branches               {:>12}  ({:.2}% mispredicted)",
+            self.committed_branches,
+            100.0 * self.mispredict_rate()
+        );
         let _ = writeln!(o, "recoveries             {:>12}", self.recoveries);
         let _ = writeln!(o, "divergences            {:>12}", self.divergences);
         if self.low_conf_correct + self.low_conf_incorrect > 0 {
-            let _ = writeln!(o, "confidence PVN         {:>11.1}%  (sensitivity {:.1}%)",
-                100.0 * self.pvn(), 100.0 * self.sensitivity());
+            let _ = writeln!(
+                o,
+                "confidence PVN         {:>11.1}%  (sensitivity {:.1}%)",
+                100.0 * self.pvn(),
+                100.0 * self.sensitivity()
+            );
         }
-        let _ = writeln!(o, "mean active paths      {:>12.2}  (max {})",
-            self.mean_active_paths(), self.max_live_paths);
-        let _ = writeln!(o, "mean window occupancy  {:>12.1}", self.mean_window_occupancy());
-        let _ = writeln!(o, "IntType0 utilization   {:>11.1}%", 100.0 * self.fu_int0.utilization());
-        let _ = writeln!(o, "IntType1 utilization   {:>11.1}%", 100.0 * self.fu_int1.utilization());
-        let _ = writeln!(o, "mem port utilization   {:>11.1}%", 100.0 * self.fu_mem.utilization());
+        let _ = writeln!(
+            o,
+            "mean active paths      {:>12.2}  (max {})",
+            self.mean_active_paths(),
+            self.max_live_paths
+        );
+        let _ = writeln!(
+            o,
+            "mean window occupancy  {:>12.1}",
+            self.mean_window_occupancy()
+        );
+        let _ = writeln!(
+            o,
+            "IntType0 utilization   {:>11.1}%",
+            100.0 * self.fu_int0.utilization()
+        );
+        let _ = writeln!(
+            o,
+            "IntType1 utilization   {:>11.1}%",
+            100.0 * self.fu_int1.utilization()
+        );
+        let _ = writeln!(
+            o,
+            "mem port utilization   {:>11.1}%",
+            100.0 * self.fu_mem.utilization()
+        );
         if self.dcache_hits + self.dcache_misses > 0 {
-            let _ = writeln!(o, "D-cache miss rate      {:>11.1}%", 100.0 * self.dcache_miss_rate());
+            let _ = writeln!(
+                o,
+                "D-cache miss rate      {:>11.1}%",
+                100.0 * self.dcache_miss_rate()
+            );
         }
         o
     }

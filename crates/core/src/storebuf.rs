@@ -107,7 +107,13 @@ impl StoreBuffer {
     /// different-address stores never block the load; an exactly matching
     /// store forwards; a partially overlapping store blocks until it
     /// drains to the D-cache at commit.
-    pub fn check_load(&self, load_seq: Seq, load_ctx: &CtxTag, addr: u64, width: Width) -> LoadCheck {
+    pub fn check_load(
+        &self,
+        load_seq: Seq,
+        load_ctx: &CtxTag,
+        addr: u64,
+        width: Width,
+    ) -> LoadCheck {
         let mut forward: Option<i64> = None;
         for e in self.entries.iter() {
             if e.killed || e.seq >= load_seq || !load_ctx.is_descendant_or_equal(&e.ctx) {
@@ -143,7 +149,10 @@ impl StoreBuffer {
         while matches!(self.entries.front(), Some(e) if e.killed) {
             self.entries.pop_front();
         }
-        let e = self.entries.pop_front().expect("committing store not in buffer");
+        let e = self
+            .entries
+            .pop_front()
+            .expect("committing store not in buffer");
         assert_eq!(e.seq, seq, "stores must commit in order");
         (
             e.addr.expect("committed store without address"),
@@ -180,7 +189,10 @@ mod tests {
     #[test]
     fn load_with_no_stores_reads_memory() {
         let sb = StoreBuffer::new();
-        assert_eq!(sb.check_load(5, &CtxTag::root(), 0x100, W), LoadCheck::Memory);
+        assert_eq!(
+            sb.check_load(5, &CtxTag::root(), 0x100, W),
+            LoadCheck::Memory
+        );
     }
 
     #[test]
@@ -190,14 +202,20 @@ mod tests {
         sb.set_addr_data(1, 0x100, 11);
         sb.insert(2, CtxTag::root(), W);
         sb.set_addr_data(2, 0x100, 22);
-        assert_eq!(sb.check_load(3, &CtxTag::root(), 0x100, W), LoadCheck::Forward(22));
+        assert_eq!(
+            sb.check_load(3, &CtxTag::root(), 0x100, W),
+            LoadCheck::Forward(22)
+        );
     }
 
     #[test]
     fn unknown_address_blocks() {
         let mut sb = StoreBuffer::new();
         sb.insert(1, CtxTag::root(), W);
-        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x100, W), LoadCheck::Block);
+        assert_eq!(
+            sb.check_load(2, &CtxTag::root(), 0x100, W),
+            LoadCheck::Block
+        );
     }
 
     #[test]
@@ -205,7 +223,10 @@ mod tests {
         let mut sb = StoreBuffer::new();
         sb.insert(1, CtxTag::root(), W);
         sb.set_addr_data(1, 0x200, 9);
-        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x100, W), LoadCheck::Memory);
+        assert_eq!(
+            sb.check_load(2, &CtxTag::root(), 0x100, W),
+            LoadCheck::Memory
+        );
     }
 
     #[test]
@@ -213,7 +234,10 @@ mod tests {
         let mut sb = StoreBuffer::new();
         sb.insert(10, CtxTag::root(), W);
         sb.set_addr_data(10, 0x100, 1);
-        assert_eq!(sb.check_load(5, &CtxTag::root(), 0x100, W), LoadCheck::Memory);
+        assert_eq!(
+            sb.check_load(5, &CtxTag::root(), 0x100, W),
+            LoadCheck::Memory
+        );
     }
 
     #[test]
@@ -227,8 +251,14 @@ mod tests {
         sb.insert(1, store_tag, W);
         sb.set_addr_data(1, 0x100, 7);
         assert_eq!(sb.check_load(2, &sibling, 0x100, W), LoadCheck::Memory);
-        assert_eq!(sb.check_load(2, &descendant, 0x100, W), LoadCheck::Forward(7));
-        assert_eq!(sb.check_load(2, &store_tag, 0x100, W), LoadCheck::Forward(7));
+        assert_eq!(
+            sb.check_load(2, &descendant, 0x100, W),
+            LoadCheck::Forward(7)
+        );
+        assert_eq!(
+            sb.check_load(2, &store_tag, 0x100, W),
+            LoadCheck::Forward(7)
+        );
     }
 
     #[test]
@@ -246,7 +276,10 @@ mod tests {
         sb.insert(1, CtxTag::root(), Width::Byte);
         sb.set_addr_data(1, 0x103, 0xff);
         // Word load covering 0x100..0x108 overlaps the byte store.
-        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x100, W), LoadCheck::Block);
+        assert_eq!(
+            sb.check_load(2, &CtxTag::root(), 0x100, W),
+            LoadCheck::Block
+        );
         // Byte load at a different byte does not.
         assert_eq!(
             sb.check_load(2, &CtxTag::root(), 0x104, Width::Byte),
@@ -284,7 +317,10 @@ mod tests {
         sb.invalidate_position(2);
         // Tag became root: a root-path load can now forward.
         sb.set_addr_data(1, 0x10, 1);
-        assert_eq!(sb.check_load(2, &CtxTag::root(), 0x10, W), LoadCheck::Forward(1));
+        assert_eq!(
+            sb.check_load(2, &CtxTag::root(), 0x10, W),
+            LoadCheck::Forward(1)
+        );
     }
 
     #[test]

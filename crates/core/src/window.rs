@@ -325,7 +325,9 @@ mod tests {
     #[test]
     fn invalidate_position_broadcast() {
         let mut w = Window::new(4);
-        let t = CtxTag::root().with_position(3, true).with_position(5, false);
+        let t = CtxTag::root()
+            .with_position(3, true)
+            .with_position(5, false);
         w.push(entry(0, t));
         w.invalidate_position(3);
         let e = w.iter_live().next().unwrap();

@@ -79,7 +79,9 @@ fn lifecycle_invariants_hold_under_see() {
     let mut committed = 0u64;
     let mut killed = 0u64;
     for (fid, lc) in &map {
-        let f = lc.fetched.unwrap_or_else(|| panic!("{fid:?}: never fetched"));
+        let f = lc
+            .fetched
+            .unwrap_or_else(|| panic!("{fid:?}: never fetched"));
         // Stage order is monotone.
         if let Some(d) = lc.dispatched {
             assert!(d > f, "{fid:?}: dispatch before fetch latency");
@@ -125,13 +127,95 @@ fn divergences_match_stats() {
 #[test]
 fn monopath_emits_redirects_not_divergences() {
     let (events, stats) = run_traced(SimConfig::monopath_baseline());
-    assert!(!events.iter().any(|e| matches!(e, PipeEvent::Diverged { .. })));
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, PipeEvent::Diverged { .. })));
     let redirects = events
         .iter()
         .filter(|e| matches!(e, PipeEvent::Redirected { .. }))
         .count() as u64;
     assert_eq!(redirects, stats.recoveries);
     assert!(redirects > 0);
+}
+
+/// Kills are *caused*: every cycle containing a `Killed` event also
+/// contains the `Resolved` event (wrong divergence or misprediction)
+/// whose resolution bus did the killing — the kill bus acts in the
+/// resolution cycle, never spontaneously.
+#[test]
+fn kills_coincide_with_wrong_resolutions() {
+    let (events, stats) = run_traced(SimConfig::baseline());
+    assert!(stats.killed_instructions > 0, "workload must provoke kills");
+
+    let mut wrong_resolution_cycles: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            PipeEvent::Resolved {
+                cycle,
+                mispredicted,
+                diverged,
+                ..
+            } if *mispredicted || *diverged => Some(*cycle),
+            _ => None,
+        })
+        .collect();
+    wrong_resolution_cycles.dedup();
+
+    for ev in &events {
+        if let PipeEvent::Killed { cycle, fid, .. } = ev {
+            assert!(
+                wrong_resolution_cycles.binary_search(cycle).is_ok(),
+                "{fid:?} killed at cycle {cycle} with no wrong resolution there"
+            );
+        }
+    }
+}
+
+/// A minimal observer that only collects the per-cycle machine-state
+/// samples, exercising the `sample` hook independently of events.
+#[derive(Default)]
+struct SampleLog(Vec<pp_core::CycleSample>);
+
+impl pp_core::PipelineObserver for SampleLog {
+    fn event(&mut self, _ev: &PipeEvent) {}
+    fn sample(&mut self, s: &pp_core::CycleSample) {
+        self.0.push(*s);
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[test]
+fn cycle_samples_cover_every_cycle_within_bounds() {
+    let cfg = SimConfig::baseline();
+    let (window_size, max_paths) = (cfg.window_size, cfg.max_paths);
+    let program = branchy_program();
+    let mut sim = Simulator::new(&program, cfg);
+    sim.set_observer(Box::new(SampleLog::default()));
+    let stats = sim.run();
+    let samples = sim
+        .take_observer()
+        .expect("observer attached")
+        .into_any()
+        .downcast::<SampleLog>()
+        .expect("a SampleLog was attached")
+        .0;
+
+    assert_eq!(samples.len() as u64, stats.cycles, "one sample per cycle");
+    for pair in samples.windows(2) {
+        assert!(pair[1].cycle > pair[0].cycle, "cycles strictly increase");
+    }
+    for s in &samples {
+        assert!(s.live_paths >= 1, "the architectural path never dies");
+        assert!(s.live_paths <= max_paths);
+        assert!(s.fetching_paths <= s.live_paths);
+        assert!(s.window_occupancy <= window_size);
+    }
+    assert!(
+        samples.iter().any(|s| s.live_paths > 1),
+        "SEE on a branchy workload must multipath at some point"
+    );
 }
 
 #[test]

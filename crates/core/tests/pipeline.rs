@@ -119,7 +119,11 @@ fn predictable_loop_all_modes() {
         // A trained loop branch mispredicts only during table warm-up
         // (the first few dozen instances are in flight before the first
         // commit trains the counters).
-        assert!(s.mispredicted_branches < 60, "{name}: {}", s.mispredicted_branches);
+        assert!(
+            s.mispredicted_branches < 60,
+            "{name}: {}",
+            s.mispredicted_branches
+        );
     }
 }
 
@@ -214,7 +218,10 @@ fn calls_and_returns_predict_via_ras() {
     });
     for (name, cfg) in all_modes() {
         let s = run_checked(&p, cfg);
-        assert_eq!(s.mispredicted_returns, 0, "{name}: RAS should be perfect here");
+        assert_eq!(
+            s.mispredicted_returns, 0,
+            "{name}: RAS should be perfect here"
+        );
     }
 }
 
@@ -308,10 +315,16 @@ fn stats_invariants_hold() {
         );
         assert!(s.fetched_per_committed() >= 1.0, "{name}");
         let hist_cycles: u64 = s.path_cycles.iter().sum();
-        assert_eq!(hist_cycles, s.cycles, "{name}: path histogram covers every cycle");
+        assert_eq!(
+            hist_cycles, s.cycles,
+            "{name}: path histogram covers every cycle"
+        );
         let conf_total =
             s.low_conf_correct + s.low_conf_incorrect + s.high_conf_correct + s.high_conf_incorrect;
-        assert_eq!(conf_total, s.committed_branches, "{name}: confidence truth table");
+        assert_eq!(
+            conf_total, s.committed_branches,
+            "{name}: confidence truth table"
+        );
         assert_eq!(
             s.mispredicted_branches,
             s.low_conf_incorrect + s.high_conf_incorrect,
@@ -353,8 +366,14 @@ fn jrs_confidence_truth_table_populates() {
         &p,
         SimConfig::baseline().with_confidence(ConfidenceKind::Jrs(JrsConfig::paper_baseline())),
     );
-    assert!(s.low_conf_incorrect > 0, "some low-confidence mispredictions");
-    assert!(s.high_conf_correct > 0, "some high-confidence correct predictions");
+    assert!(
+        s.low_conf_incorrect > 0,
+        "some low-confidence mispredictions"
+    );
+    assert!(
+        s.high_conf_correct > 0,
+        "some high-confidence correct predictions"
+    );
     assert!(s.pvn() > 0.0 && s.pvn() <= 1.0);
 }
 
@@ -364,7 +383,13 @@ fn window_occupancy_and_fu_accounting_sane() {
     let s = run_checked(&p, SimConfig::baseline());
     assert!(s.mean_window_occupancy() > 0.0);
     assert!(s.mean_window_occupancy() <= 256.0);
-    for fu in [&s.fu_int0, &s.fu_int1, &s.fu_mem, &s.fu_fp_add, &s.fu_fp_mul] {
+    for fu in [
+        &s.fu_int0,
+        &s.fu_int1,
+        &s.fu_mem,
+        &s.fu_fp_add,
+        &s.fu_fp_mul,
+    ] {
         let u = fu.utilization();
         assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
     }
@@ -415,7 +440,11 @@ fn fetched_exceeds_committed_under_mispredictions() {
     let s = run_checked(&p, SimConfig::monopath_baseline());
     // The paper reports 1.86× on SPECint95; any misprediction-heavy loop
     // must fetch strictly more than it commits.
-    assert!(s.fetched_per_committed() > 1.05, "{}", s.fetched_per_committed());
+    assert!(
+        s.fetched_per_committed() > 1.05,
+        "{}",
+        s.fetched_per_committed()
+    );
 }
 
 // -----------------------------------------------------------------------
@@ -429,9 +458,8 @@ fn adaptive_confidence_cosimulates_and_limits_waste() {
     let p = random_branch_program(600);
     let adaptive = run_checked(
         &p,
-        SimConfig::baseline().with_confidence(ConfidenceKind::AdaptiveJrs(
-            AdaptiveConfig::paper_baseline(),
-        )),
+        SimConfig::baseline()
+            .with_confidence(ConfidenceKind::AdaptiveJrs(AdaptiveConfig::paper_baseline())),
     );
     // Same architectural outcome as any other mode.
     let mono = run_checked(&p, SimConfig::monopath_baseline());
@@ -457,9 +485,8 @@ fn adaptive_gate_closes_on_predictable_code() {
     let plain = run_checked(&p, SimConfig::baseline());
     let gated = run_checked(
         &p,
-        SimConfig::baseline().with_confidence(ConfidenceKind::AdaptiveJrs(
-            AdaptiveConfig::paper_baseline(),
-        )),
+        SimConfig::baseline()
+            .with_confidence(ConfidenceKind::AdaptiveJrs(AdaptiveConfig::paper_baseline())),
     );
     assert!(
         gated.divergences <= plain.divergences,
@@ -767,7 +794,10 @@ fn indirect_jumps_predict_through_btb() {
         // The periodic jr pattern alternates targets at one pc: a
         // direct-mapped BTB mispredicts most dispatches (realistic), but
         // some early ones must at least resolve without deadlock.
-        assert!(s.mispredicted_returns > 0, "{name}: cold BTB must mispredict");
+        assert!(
+            s.mispredicted_returns > 0,
+            "{name}: cold BTB must mispredict"
+        );
     }
 }
 

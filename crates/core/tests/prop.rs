@@ -1,4 +1,5 @@
-//! Property-based tests for the pipeline core.
+//! Randomized property tests for the pipeline core (seeded and
+//! dependency-free via `pp-testutil`).
 //!
 //! The heavyweight one generates random always-halting programs (forward
 //! branches over random data inside a bounded counted loop) and checks
@@ -11,7 +12,7 @@ use pp_core::{
 };
 use pp_func::Emulator;
 use pp_isa::{reg, AluOp, Asm, Cond, Operand, Program, Reg};
-use proptest::prelude::*;
+use pp_testutil::{cases, Rng};
 
 // ---------------------------------------------------------------------
 // Random-program generation
@@ -36,20 +37,30 @@ enum FuzzOp {
     Nop,
 }
 
-fn fuzz_op() -> impl Strategy<Value = FuzzOp> {
-    prop_oneof![
-        4 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
-            .prop_map(|(o, d, a, b, i)| FuzzOp::Alu(o, d, a, b, i)),
-        2 => (any::<u8>(), any::<i16>()).prop_map(|(d, v)| FuzzOp::Li(d, v)),
-        2 => (any::<u8>(), any::<u16>()).prop_map(|(d, o)| FuzzOp::Load(d, o)),
-        2 => (any::<u8>(), any::<u16>()).prop_map(|(s, o)| FuzzOp::Store(s, o)),
-        3 => (any::<u8>(), any::<u8>(), any::<u8>(), 1u8..12)
-            .prop_map(|(c, a, b, t)| FuzzOp::Branch(c, a, b, t)),
-        1 => (1u8..8).prop_map(FuzzOp::Jump),
-        1 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(o, d, a, b)| FuzzOp::Fp(o, d, a, b)),
-        1 => Just(FuzzOp::Nop),
-    ]
+/// One weighted-random fuzz op (weights mirror the original proptest
+/// strategy: ALU-heavy with a sprinkle of control flow and FP).
+fn fuzz_op(rng: &mut Rng) -> FuzzOp {
+    match rng.below(16) {
+        0..=3 => FuzzOp::Alu(
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.any_i8(),
+        ),
+        4..=5 => FuzzOp::Li(rng.any_u8(), rng.any_i16()),
+        6..=7 => FuzzOp::Load(rng.any_u8(), rng.any_u16()),
+        8..=9 => FuzzOp::Store(rng.any_u8(), rng.any_u16()),
+        10..=12 => FuzzOp::Branch(
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.in_range(1..12) as u8,
+        ),
+        13 => FuzzOp::Jump(rng.in_range(1..8) as u8),
+        14 => FuzzOp::Fp(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_u8()),
+        _ => FuzzOp::Nop,
+    }
 }
 
 /// Assemble a fuzzed body inside a counted loop. All control flow inside
@@ -88,7 +99,12 @@ fn build_program(body: &[FuzzOp], loop_count: i64) -> Program {
                 } else {
                     Operand::Reg(fuzz_reg(s2))
                 };
-                a.alu(ops[(o as usize) % ops.len()], fuzz_reg(d), fuzz_reg(s1), src2);
+                a.alu(
+                    ops[(o as usize) % ops.len()],
+                    fuzz_reg(d),
+                    fuzz_reg(s1),
+                    src2,
+                );
             }
             FuzzOp::Li(d, v) => a.li(fuzz_reg(d), v as i64),
             FuzzOp::Load(d, o) => a.ld(fuzz_reg(d), reg::GP, (o % 4000) as i64),
@@ -148,18 +164,12 @@ fn fuzz_configs() -> Vec<SimConfig> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 40,
-        .. ProptestConfig::default()
-    })]
-
-    /// Every mode commits the architectural execution of a random program.
-    #[test]
-    fn random_programs_commit_architecturally(
-        body in proptest::collection::vec(fuzz_op(), 4..40),
-        loop_count in 2i64..30,
-    ) {
+/// Every mode commits the architectural execution of a random program.
+#[test]
+fn random_programs_commit_architecturally() {
+    cases(40, |rng| {
+        let body = rng.vec_of(4..40, fuzz_op);
+        let loop_count = rng.in_range(2..30) as i64;
         let program = build_program(&body, loop_count);
 
         // Functional reference.
@@ -169,28 +179,31 @@ proptest! {
         for cfg in fuzz_configs() {
             let mut sim = Simulator::new(&program, cfg.clone().with_commit_checking());
             let stats = sim.run();
-            prop_assert!(!stats.hit_cycle_limit);
-            prop_assert_eq!(
+            assert!(!stats.hit_cycle_limit);
+            assert_eq!(
                 stats.committed_instructions, summary.instructions,
-                "commit count mismatch under {:?}", cfg.mode
+                "commit count mismatch under {:?}",
+                cfg.mode
             );
-            prop_assert!(
+            assert!(
                 sim.memory().same_contents(emu.memory()),
-                "final memory mismatch under {:?}", cfg.mode
+                "final memory mismatch under {:?}",
+                cfg.mode
             );
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Model-based structure tests
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The RAS behaves like a (bounded) Vec stack under arbitrary
-    /// push/pop sequences, and clones are immutable checkpoints.
-    #[test]
-    fn ras_matches_vec_model(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
+/// The RAS behaves like a (bounded) Vec stack under arbitrary
+/// push/pop sequences, and clones are immutable checkpoints.
+#[test]
+fn ras_matches_vec_model() {
+    cases(256, |rng| {
+        let ops = rng.vec_of(0..200, |r| r.flip().then(|| r.any_u16()));
         let mut ras = Ras::new();
         let mut model: Vec<usize> = Vec::new();
         for op in ops {
@@ -204,19 +217,22 @@ proptest! {
                 }
                 None => {
                     let (got, rest) = ras.pop();
-                    prop_assert_eq!(got, model.pop());
+                    assert_eq!(got, model.pop());
                     ras = rest;
                 }
             }
-            prop_assert_eq!(ras.depth(), model.len());
+            assert_eq!(ras.depth(), model.len());
         }
-    }
+    });
+}
 
-    /// Physical register allocation conserves registers: every allocate
-    /// is balanced by a release, and the free count never goes negative
-    /// or exceeds the initial pool.
-    #[test]
-    fn regfile_conserves_registers(ops in proptest::collection::vec(any::<bool>(), 0..300)) {
+/// Physical register allocation conserves registers: every allocate
+/// is balanced by a release, and the free count never goes negative
+/// or exceeds the initial pool.
+#[test]
+fn regfile_conserves_registers() {
+    cases(256, |rng| {
+        let ops = rng.vec_of(0..300, |r| r.flip());
         let mut f = PhysRegFile::new(128);
         let initial_free = f.free_count();
         let mut live = Vec::new();
@@ -229,29 +245,29 @@ proptest! {
             } else if let Some(r) = live.pop() {
                 f.release(r);
             }
-            prop_assert_eq!(f.free_count() + live.len(), initial_free);
+            assert_eq!(f.free_count() + live.len(), initial_free);
         }
-    }
+    });
+}
 
-    /// RegMap rename/lookup matches a HashMap model.
-    #[test]
-    fn regmap_matches_map_model(
-        renames in proptest::collection::vec((0u8..64, any::<u16>()), 0..100)
-    ) {
+/// RegMap rename/lookup matches a HashMap model.
+#[test]
+fn regmap_matches_map_model() {
+    cases(256, |rng| {
+        let renames = rng.vec_of(0..100, |r| (r.in_range(0..64) as u8, r.any_u16()));
         let mut m = RegMap::identity();
-        let mut model: std::collections::HashMap<usize, u16> = HashMap::new();
+        let mut model: std::collections::HashMap<usize, u16> = std::collections::HashMap::new();
         for (logical, phys) in renames {
             let l = Reg::from_index(logical as usize);
             let old = m.rename(l, pp_core::PhysReg(phys % 128));
-            let model_old = model.insert(logical as usize, phys % 128)
+            let model_old = model
+                .insert(logical as usize, phys % 128)
                 .unwrap_or(logical as u16);
-            prop_assert_eq!(old.0, model_old);
+            assert_eq!(old.0, model_old);
         }
         for i in 0..64 {
             let want = model.get(&i).copied().unwrap_or(i as u16);
-            prop_assert_eq!(m.lookup(Reg::from_index(i)).0, want);
+            assert_eq!(m.lookup(Reg::from_index(i)).0, want);
         }
-    }
+    });
 }
-
-use std::collections::HashMap;

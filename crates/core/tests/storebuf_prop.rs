@@ -1,11 +1,11 @@
-//! Model-based property test for the CTX-filtered store buffer: the
+//! Model-based randomized test for the CTX-filtered store buffer: the
 //! forwarding decision must match a naive reference model for arbitrary
 //! interleavings of stores, kills, and position invalidations.
 
 use pp_core::{LoadCheck, StoreBuffer};
 use pp_ctx::CtxTag;
 use pp_isa::Width;
-use proptest::prelude::*;
+use pp_testutil::{cases, Rng};
 
 /// One store in the reference model.
 #[derive(Debug, Clone)]
@@ -52,26 +52,41 @@ fn model_check(
 #[derive(Debug, Clone)]
 enum Step {
     /// Insert a store: tag path bits, has address yet, narrow width.
-    Insert { path: u8, resolved: bool, byte: bool, addr: u8, data: i8 },
+    Insert {
+        path: u8,
+        resolved: bool,
+        byte: bool,
+        addr: u8,
+        data: i8,
+    },
     /// Kill descendants of a one-position tag.
     Kill { pos: u8, dir: bool },
     /// Invalidate a position everywhere.
     Invalidate { pos: u8 },
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        6 => (any::<u8>(), any::<bool>(), any::<bool>(), any::<u8>(), any::<i8>())
-            .prop_map(|(path, resolved, byte, addr, data)| Step::Insert {
-                path, resolved, byte, addr, data
-            }),
-        1 => (0u8..6, any::<bool>()).prop_map(|(pos, dir)| Step::Kill { pos, dir }),
-        1 => (0u8..6).prop_map(|pos| Step::Invalidate { pos }),
-    ]
+/// Weighted step: inserts dominate (6:1:1) as in the original strategy.
+fn step(rng: &mut Rng) -> Step {
+    match rng.below(8) {
+        0..=5 => Step::Insert {
+            path: rng.any_u8(),
+            resolved: rng.flip(),
+            byte: rng.flip(),
+            addr: rng.any_u8(),
+            data: rng.any_i8(),
+        },
+        6 => Step::Kill {
+            pos: rng.in_range(0..6) as u8,
+            dir: rng.flip(),
+        },
+        _ => Step::Invalidate {
+            pos: rng.in_range(0..6) as u8,
+        },
+    }
 }
 
 /// Tag from the low 6 bits of `path`: bit i set → position i valid with
-/// direction from bit i of a fixed direction pattern.
+/// direction from bit 6 of `path`.
 fn tag_of(path: u8) -> CtxTag {
     let mut t = CtxTag::root();
     for pos in 0..6 {
@@ -82,26 +97,37 @@ fn tag_of(path: u8) -> CtxTag {
     t
 }
 
-proptest! {
-    #[test]
-    fn store_buffer_matches_model(
-        steps in proptest::collection::vec(step(), 0..60),
-        load_path in any::<u8>(),
-        load_addr in any::<u8>(),
-        load_byte in any::<bool>(),
-    ) {
+#[test]
+fn store_buffer_matches_model() {
+    cases(512, |rng| {
+        let steps = rng.vec_of(0..60, step);
+        let load_path = rng.any_u8();
+        let load_addr = rng.any_u8();
+        let load_byte = rng.flip();
+
         let mut sb = StoreBuffer::new();
         let mut model: Vec<ModelStore> = Vec::new();
         let mut seq = 0u64;
 
         for s in steps {
             match s {
-                Step::Insert { path, resolved, byte, addr, data } => {
+                Step::Insert {
+                    path,
+                    resolved,
+                    byte,
+                    addr,
+                    data,
+                } => {
                     let tag = tag_of(path);
                     let width = if byte { Width::Byte } else { Width::Word };
                     sb.insert(seq, tag, width);
                     let mut m = ModelStore {
-                        seq, tag, addr: None, data: None, width, killed: false,
+                        seq,
+                        tag,
+                        addr: None,
+                        data: None,
+                        width,
+                        killed: false,
                     };
                     if resolved {
                         sb.set_addr_data(seq, addr as u64, data as i64);
@@ -131,11 +157,11 @@ proptest! {
             }
         }
 
-        // Probe several loads younger than everything.
+        // Probe a load younger than everything.
         let load_tag = tag_of(load_path);
         let width = if load_byte { Width::Byte } else { Width::Word };
         let got = sb.check_load(seq + 1, &load_tag, load_addr as u64, width);
         let want = model_check(&model, seq + 1, &load_tag, load_addr as u64, width);
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
 }

@@ -45,7 +45,11 @@ impl CtxTag {
         );
         CtxTag {
             valid: self.valid | bit,
-            dir: if taken { self.dir | bit } else { self.dir & !bit },
+            dir: if taken {
+                self.dir | bit
+            } else {
+                self.dir & !bit
+            },
         }
     }
 
@@ -178,7 +182,9 @@ mod tests {
     #[test]
     fn everyone_descends_from_root() {
         let root = CtxTag::root();
-        let some = CtxTag::root().with_position(5, false).with_position(9, true);
+        let some = CtxTag::root()
+            .with_position(5, false)
+            .with_position(9, true);
         assert!(some.is_descendant_or_equal(&root));
         assert!(root.is_descendant_or_equal(&root));
         assert!(!root.is_descendant_or_equal(&some));
@@ -186,7 +192,9 @@ mod tests {
 
     #[test]
     fn invalidate_frees_position_for_reuse() {
-        let mut tag = CtxTag::root().with_position(0, true).with_position(1, false);
+        let mut tag = CtxTag::root()
+            .with_position(0, true)
+            .with_position(1, false);
         tag.invalidate(0);
         assert_eq!(tag.position(0), None);
         assert_eq!(tag.position(1), Some(false));
@@ -206,7 +214,9 @@ mod tests {
 
     #[test]
     fn clear_resets_everything() {
-        let mut tag = CtxTag::root().with_position(0, true).with_position(63, false);
+        let mut tag = CtxTag::root()
+            .with_position(0, true)
+            .with_position(63, false);
         tag.clear();
         assert!(tag.is_root());
     }
@@ -248,7 +258,9 @@ mod tests {
 
     #[test]
     fn debug_format_shows_tnx() {
-        let tag = CtxTag::root().with_position(0, true).with_position(2, false);
+        let tag = CtxTag::root()
+            .with_position(0, true)
+            .with_position(2, false);
         assert_eq!(format!("{tag:?}"), "CtxTag(TXN)".replace("TXN", "TXNX"));
         assert_eq!(format!("{}", CtxTag::root()), "CtxTag(XXXX)");
     }

@@ -1,23 +1,16 @@
-//! Property-based tests for CTX tag algebra and position allocation.
+//! Randomized property tests for CTX tag algebra and position allocation
+//! (seeded and dependency-free via `pp-testutil`).
 
 use pp_ctx::{CtxTag, PositionAllocator, MAX_POSITIONS};
-use proptest::prelude::*;
+use pp_testutil::{cases, Rng};
 
-/// Strategy: a sequence of (position, direction) pairs with distinct positions.
-fn distinct_positions(max_len: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
-    proptest::collection::vec((0..MAX_POSITIONS, any::<bool>()), 0..max_len).prop_map(|v| {
-        let mut seen = [false; MAX_POSITIONS];
-        v.into_iter()
-            .filter(|(p, _)| {
-                if seen[*p] {
-                    false
-                } else {
-                    seen[*p] = true;
-                    true
-                }
-            })
-            .collect()
-    })
+/// A sequence of (position, direction) pairs with distinct positions.
+fn distinct_positions(rng: &mut Rng, max_len: usize) -> Vec<(usize, bool)> {
+    let raw = rng.vec_of(0..max_len, |r| (r.in_range(0..MAX_POSITIONS), r.flip()));
+    let mut seen = [false; MAX_POSITIONS];
+    raw.into_iter()
+        .filter(|(p, _)| !std::mem::replace(&mut seen[*p], true))
+        .collect()
 }
 
 fn build_tag(path: &[(usize, bool)]) -> CtxTag {
@@ -25,10 +18,11 @@ fn build_tag(path: &[(usize, bool)]) -> CtxTag {
         .fold(CtxTag::root(), |t, (p, d)| t.with_position(*p, *d))
 }
 
-proptest! {
-    /// Extending a tag always yields a descendant of every prefix.
-    #[test]
-    fn extension_preserves_descent(path in distinct_positions(16)) {
+/// Extending a tag always yields a descendant of every prefix.
+#[test]
+fn extension_preserves_descent() {
+    cases(256, |rng| {
+        let path = distinct_positions(rng, 16);
         let mut tag = CtxTag::root();
         let mut prefixes = vec![tag];
         for (p, d) in &path {
@@ -36,108 +30,120 @@ proptest! {
             prefixes.push(tag);
         }
         for prefix in &prefixes {
-            prop_assert!(tag.is_descendant_or_equal(prefix));
-            prop_assert!(tag.related(prefix));
+            assert!(tag.is_descendant_or_equal(prefix));
+            assert!(tag.related(prefix));
         }
-    }
+    });
+}
 
-    /// Descent is a partial order: reflexive, antisymmetric, transitive.
-    #[test]
-    fn descent_is_partial_order(
-        a in distinct_positions(10),
-        b in distinct_positions(10),
-        c in distinct_positions(10),
-    ) {
+/// Descent is a partial order: reflexive, antisymmetric, transitive.
+#[test]
+fn descent_is_partial_order() {
+    cases(512, |rng| {
+        let (a, b, c) = (
+            distinct_positions(rng, 10),
+            distinct_positions(rng, 10),
+            distinct_positions(rng, 10),
+        );
         let (ta, tb, tc) = (build_tag(&a), build_tag(&b), build_tag(&c));
         // reflexive
-        prop_assert!(ta.is_descendant_or_equal(&ta));
+        assert!(ta.is_descendant_or_equal(&ta));
         // antisymmetric
         if ta.is_descendant_or_equal(&tb) && tb.is_descendant_or_equal(&ta) {
-            prop_assert_eq!(ta, tb);
+            assert_eq!(ta, tb);
         }
         // transitive
         if ta.is_descendant_or_equal(&tb) && tb.is_descendant_or_equal(&tc) {
-            prop_assert!(ta.is_descendant_or_equal(&tc));
+            assert!(ta.is_descendant_or_equal(&tc));
         }
-    }
+    });
+}
 
-    /// Divergence creates two mutually unrelated children, both descendants
-    /// of the parent.
-    #[test]
-    fn divergence_children_unrelated(
-        path in distinct_positions(10),
-        pos in 0..MAX_POSITIONS,
-    ) {
+/// Divergence creates two mutually unrelated children, both descendants
+/// of the parent.
+#[test]
+fn divergence_children_unrelated() {
+    cases(512, |rng| {
+        let path = distinct_positions(rng, 10);
+        let pos = rng.in_range(0..MAX_POSITIONS);
         let parent = build_tag(&path);
-        prop_assume!(parent.position(pos).is_none());
+        if parent.position(pos).is_some() {
+            return; // position already used by the prefix: skip this case
+        }
         let taken = parent.with_position(pos, true);
         let not_taken = parent.with_position(pos, false);
-        prop_assert!(taken.is_descendant_or_equal(&parent));
-        prop_assert!(not_taken.is_descendant_or_equal(&parent));
-        prop_assert!(!taken.related(&not_taken));
-    }
+        assert!(taken.is_descendant_or_equal(&parent));
+        assert!(not_taken.is_descendant_or_equal(&parent));
+        assert!(!taken.related(&not_taken));
+    });
+}
 
-    /// Invalidating a position in both tags never turns unrelated tags into
-    /// a wrong kill decision for descendants of other positions.
-    #[test]
-    fn invalidate_removes_position_only(
-        path in distinct_positions(12),
-    ) {
-        prop_assume!(!path.is_empty());
+/// Invalidating a position removes exactly that position and nothing else.
+#[test]
+fn invalidate_removes_position_only() {
+    cases(512, |rng| {
+        let path = distinct_positions(rng, 12);
+        if path.is_empty() {
+            return;
+        }
         let tag = build_tag(&path);
         for (p, _) in &path {
             let mut t = tag;
             t.invalidate(*p);
-            prop_assert_eq!(t.position(*p), None);
-            prop_assert_eq!(t.valid_count(), tag.valid_count() - 1);
+            assert_eq!(t.position(*p), None);
+            assert_eq!(t.valid_count(), tag.valid_count() - 1);
             // All other positions unchanged.
             for (q, d) in &path {
                 if q != p {
-                    prop_assert_eq!(t.position(*q), Some(*d));
+                    assert_eq!(t.position(*q), Some(*d));
                 }
             }
         }
-    }
+    });
+}
 
-    /// The allocator never double-allocates, never exceeds capacity, and
-    /// reuses freed positions.
-    #[test]
-    fn allocator_conservation(
-        capacity in 1usize..=MAX_POSITIONS,
-        ops in proptest::collection::vec(any::<bool>(), 0..200),
-    ) {
+/// The allocator never double-allocates, never exceeds capacity, and
+/// reuses freed positions.
+#[test]
+fn allocator_conservation() {
+    cases(256, |rng| {
+        let capacity = rng.in_range(1..MAX_POSITIONS + 1);
+        let ops = rng.vec_of(0..200, |r| r.flip());
         let mut alloc = PositionAllocator::new(capacity);
         let mut live: Vec<usize> = Vec::new();
         for do_alloc in ops {
             if do_alloc || live.is_empty() {
                 match alloc.allocate() {
                     Some(p) => {
-                        prop_assert!(!live.contains(&p), "double allocation of {}", p);
-                        prop_assert!(p < capacity);
+                        assert!(!live.contains(&p), "double allocation of {p}");
+                        assert!(p < capacity);
                         live.push(p);
                     }
-                    None => prop_assert_eq!(live.len(), capacity),
+                    None => assert_eq!(live.len(), capacity),
                 }
             } else {
                 let p = live.remove(0);
                 alloc.free(p);
             }
-            prop_assert_eq!(alloc.live(), live.len());
+            assert_eq!(alloc.live(), live.len());
         }
-    }
+    });
+}
 
-    /// Kill-set check: after a divergence at `pos`, everything built on the
-    /// wrong child is a descendant of the wrong child; everything built on
-    /// the right child is not.
-    #[test]
-    fn kill_set_separates_subtrees(
-        prefix in distinct_positions(6),
-        pos in 0..MAX_POSITIONS,
-        wrong_ext in distinct_positions(5),
-        right_ext in distinct_positions(5),
-    ) {
+/// Kill-set check: after a divergence at `pos`, everything built on the
+/// wrong child is a descendant of the wrong child; everything built on
+/// the right child is not.
+#[test]
+fn kill_set_separates_subtrees() {
+    cases(512, |rng| {
+        let prefix = distinct_positions(rng, 6);
+        let pos = rng.in_range(0..MAX_POSITIONS);
+        let wrong_ext = distinct_positions(rng, 5);
+        let right_ext = distinct_positions(rng, 5);
         let parent = build_tag(&prefix);
-        prop_assume!(parent.position(pos).is_none());
+        if parent.position(pos).is_some() {
+            return;
+        }
         let wrong = parent.with_position(pos, true);
         let right = parent.with_position(pos, false);
 
@@ -152,11 +158,11 @@ proptest! {
         let wrong_desc = extend(wrong, &wrong_ext);
         let right_desc = extend(right, &right_ext);
 
-        prop_assert!(wrong_desc.is_descendant_or_equal(&wrong));
-        prop_assert!(!right_desc.is_descendant_or_equal(&wrong));
+        assert!(wrong_desc.is_descendant_or_equal(&wrong));
+        assert!(!right_desc.is_descendant_or_equal(&wrong));
         // The parent (and the branch itself) survives the kill.
-        prop_assert!(!parent.is_descendant_or_equal(&wrong));
-    }
+        assert!(!parent.is_descendant_or_equal(&wrong));
+    });
 }
 
 /// The paper's Fig. 5 shows the hierarchy comparator as per-position
@@ -166,29 +172,27 @@ proptest! {
 /// proves them equivalent.
 fn gate_level_descendant(a: &CtxTag, b: &CtxTag) -> bool {
     (0..MAX_POSITIONS).all(|pos| match (a.position(pos), b.position(pos)) {
-        (_, None) => true,                 // B doesn't constrain this position
-        (None, Some(_)) => false,          // B does, A has no history here
-        (Some(da), Some(db)) => da == db,  // both valid: directions must agree
+        (_, None) => true,                // B doesn't constrain this position
+        (None, Some(_)) => false,         // B does, A has no history here
+        (Some(da), Some(db)) => da == db, // both valid: directions must agree
     })
 }
 
-proptest! {
-    #[test]
-    fn bitwise_comparator_matches_fig5_gates(
-        a in distinct_positions(16),
-        b in distinct_positions(16),
-    ) {
+#[test]
+fn bitwise_comparator_matches_fig5_gates() {
+    cases(512, |rng| {
+        let a = distinct_positions(rng, 16);
+        let b = distinct_positions(rng, 16);
         let (ta, tb) = (build_tag(&a), build_tag(&b));
-        prop_assert_eq!(
+        assert_eq!(
             ta.is_descendant_or_equal(&tb),
             gate_level_descendant(&ta, &tb),
-            "bitwise and gate-level comparators disagree for {:?} vs {:?}",
-            ta, tb
+            "bitwise and gate-level comparators disagree for {ta:?} vs {tb:?}"
         );
         // And symmetrically.
-        prop_assert_eq!(
+        assert_eq!(
             tb.is_descendant_or_equal(&ta),
             gate_level_descendant(&tb, &ta)
         );
-    }
+    });
 }

@@ -92,9 +92,8 @@ fn main() {
     let configs = vec![
         mono.clone(),
         see.clone(),
-        see.clone().with_confidence(ConfidenceKind::AdaptiveJrs(
-            AdaptiveConfig::paper_baseline(),
-        )),
+        see.clone()
+            .with_confidence(ConfidenceKind::AdaptiveJrs(AdaptiveConfig::paper_baseline())),
     ];
     let results = run_matrix(&Workload::ALL, &configs);
     let mut t = Table::new(["benchmark", "monopath", "SEE/JRS", "SEE/adaptive-JRS"]);
@@ -130,7 +129,10 @@ fn main() {
     // --- 4. Direction predictors ------------------------------------------
     println!("Ablation 4 — base direction predictor (~equal state budgets):");
     let predictors: Vec<(&str, PredictorKind)> = vec![
-        ("gshare-14 (paper)", PredictorKind::Gshare { history_bits: 14 }),
+        (
+            "gshare-14 (paper)",
+            PredictorKind::Gshare { history_bits: 14 },
+        ),
         ("bimodal-14", PredictorKind::Bimodal { index_bits: 14 }),
         (
             "two-level local 12/12",
@@ -149,7 +151,10 @@ fn main() {
     ];
     let mut t = Table::new(["predictor", "monopath IPC", "SEE/JRS IPC", "SEE gain %"]);
     for (name, pk) in predictors {
-        let configs = vec![mono.clone().with_predictor(pk), see.clone().with_predictor(pk)];
+        let configs = vec![
+            mono.clone().with_predictor(pk),
+            see.clone().with_predictor(pk),
+        ];
         let m = hmean_of(&configs);
         t.row([
             name.to_string(),

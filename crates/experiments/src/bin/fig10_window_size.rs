@@ -18,8 +18,7 @@ fn main() {
     );
     for p in &points {
         t.row(
-            std::iter::once(p.x.to_string())
-                .chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
+            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
         );
     }
     println!("Fig. 10 — IPC vs. instruction window size (harmonic mean)");

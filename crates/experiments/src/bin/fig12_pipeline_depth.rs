@@ -18,8 +18,7 @@ fn main() {
     );
     for p in &points {
         t.row(
-            std::iter::once(p.x.to_string())
-                .chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
+            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
         );
     }
     println!("Fig. 12 — IPC vs. pipeline depth (harmonic mean)");

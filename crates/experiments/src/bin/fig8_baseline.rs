@@ -5,10 +5,13 @@
 //! −8.5% on m88ksim); dual-path gets 58–66% of SEE's improvement.
 
 use pp_experiments::experiments::{config_index, fig8};
-use pp_experiments::{Config, Table, CONFIG_ORDER};
+use pp_experiments::{
+    named_config, run_workload_telemetered, speedup_pct, Config, Table, TelemetryOpts, CONFIG_ORDER,
+};
 use pp_workloads::Workload;
 
 fn main() {
+    let (telemetry, _rest) = TelemetryOpts::from_env();
     let data = fig8();
 
     let mut t = Table::new(
@@ -34,7 +37,7 @@ fn main() {
     println!("Fig. 8 — baseline IPC (columns are the paper's legend)");
     println!("{t}");
 
-    let pct = |a: Config, b: Config| (data.speedup(a, b) - 1.0) * 100.0;
+    let pct = |a: Config, b: Config| speedup_pct(data.speedup(a, b), 1.0);
     println!("derived (paper reference in parentheses):");
     println!(
         "  oracle over monopath:       {:+.1}%  (+94%)",
@@ -59,7 +62,18 @@ fn main() {
     let see = config_index(Config::SeeJrs);
     let mono = config_index(Config::Monopath);
     for (wi, w) in Workload::ALL.iter().enumerate() {
-        let s = data.cells[wi][see].ipc() / data.cells[wi][mono].ipc() - 1.0;
-        println!("  SEE/JRS on {:<9} {:+.1}%", format!("{w}:"), s * 100.0);
+        let s = speedup_pct(data.cells[wi][see].ipc(), data.cells[wi][mono].ipc());
+        println!("  SEE/JRS on {:<9} {:+.1}%", format!("{w}:"), s);
+    }
+
+    if telemetry.enabled() {
+        println!("\ntelemetry pass (SEE/JRS, instrumented re-run):");
+        let cfg = named_config(
+            Config::SeeJrs,
+            pp_experiments::experiments::BASELINE_HISTORY_BITS,
+        );
+        for w in Workload::ALL {
+            run_workload_telemetered(w, &cfg, &telemetry, "fig8_see_jrs");
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! does risk is absorbed by the otherwise-idle FP pipes.
 
 use pp_core::{SimConfig, Simulator};
-use pp_experiments::{named_config, Config};
+use pp_experiments::{named_config, speedup_pct, Config};
 use pp_workloads::extra::fp_kernel;
 
 fn main() {
@@ -37,7 +37,7 @@ fn main() {
         "  SEE/JRS:  IPC {:.3}  divergences {}  ({:+.2}% vs monopath)",
         see.ipc(),
         see.divergences,
-        100.0 * (see.ipc() / mono.ipc() - 1.0),
+        speedup_pct(see.ipc(), mono.ipc()),
     );
     println!(
         "\npaper expectation: a small non-negative effect on highly\n\

@@ -7,7 +7,7 @@
 //! and rough magnitude of every SEE effect should be input-independent.
 
 use pp_core::Simulator;
-use pp_experiments::{harmonic_mean, named_config, scaled, Config, Table};
+use pp_experiments::{harmonic_mean, named_config, scaled, speedup_frac, Config, Table};
 use pp_workloads::Workload;
 
 const SEEDS: [u64; 3] = [0, 0x5eed_0001, 0x5eed_0002];
@@ -28,7 +28,7 @@ fn main() {
             let program = w.build_seeded(scaled(w), seed);
             let m = Simulator::new(&program, mono.clone()).run();
             let s = Simulator::new(&program, see.clone()).run();
-            let gain = s.ipc() / m.ipc() - 1.0;
+            let gain = speedup_frac(s.ipc(), m.ipc());
             per_seed_gains[si].push((s.ipc(), m.ipc()));
             cells.push(format!("{:+.1}", 100.0 * gain));
         }

@@ -2,19 +2,24 @@
 //! — and write both text and CSV outputs under `results/`.
 //!
 //! ```sh
-//! cargo run --release -p pp-experiments --bin run_all [output-dir]
+//! cargo run --release -p pp-experiments --bin run_all [output-dir] \
+//!     [--telemetry-out DIR] [--telemetry-sample-every N]
 //! ```
 //!
 //! Honours `PP_SCALE` like every other binary. This is the one-command
-//! path from a fresh checkout to the full EXPERIMENTS.md data set.
+//! path from a fresh checkout to the full EXPERIMENTS.md data set. With
+//! `--telemetry-out`, an instrumented SEE/JRS pass additionally drops
+//! per-workload metrics / time-series / Chrome-trace artifacts there.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
 use pp_experiments::experiments::{
-    self, config_index, fig10, fig11, fig12, fig9, SWEEP_SERIES,
+    self, config_index, fig10, fig11, fig12, fig9, BASELINE_HISTORY_BITS, SWEEP_SERIES,
 };
-use pp_experiments::{Config, Table, CONFIG_ORDER};
+use pp_experiments::{
+    named_config, run_workload_telemetered, Config, Table, TelemetryOpts, CONFIG_ORDER,
+};
 use pp_workloads::Workload;
 
 fn write(dir: &Path, name: &str, contents: &str) {
@@ -30,21 +35,27 @@ fn sweep_tables(points: &[experiments::SweepPoint], x_name: &str) -> Table {
     );
     for p in points {
         t.row(
-            std::iter::once(p.x.to_string())
-                .chain(p.hmean_ipc.iter().map(|v| format!("{v:.4}"))),
+            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.4}"))),
         );
     }
     t
 }
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let (telemetry, rest) = TelemetryOpts::from_env();
+    let dir = rest.into_iter().next().unwrap_or_else(|| "results".into());
     let dir = Path::new(&dir);
     std::fs::create_dir_all(dir).expect("create output directory");
 
     // Table 1.
     let rows = experiments::table1();
-    let mut t = Table::new(["benchmark", "instructions", "cond_branches", "taken", "mispredict"]);
+    let mut t = Table::new([
+        "benchmark",
+        "instructions",
+        "cond_branches",
+        "taken",
+        "mispredict",
+    ]);
     for r in &rows {
         t.row([
             r.workload.name().to_string(),
@@ -66,19 +77,30 @@ fn main() {
     for (wi, w) in Workload::ALL.iter().enumerate() {
         t.row(
             std::iter::once(w.name().to_string()).chain(
-                CONFIG_ORDER.iter().map(|&c| format!("{:.4}", data.ipc(wi, c))),
+                CONFIG_ORDER
+                    .iter()
+                    .map(|&c| format!("{:.4}", data.ipc(wi, c))),
             ),
         );
     }
     t.row(
-        std::iter::once("hmean".to_string())
-            .chain(CONFIG_ORDER.iter().map(|&c| format!("{:.4}", data.hmean(c)))),
+        std::iter::once("hmean".to_string()).chain(
+            CONFIG_ORDER
+                .iter()
+                .map(|&c| format!("{:.4}", data.hmean(c))),
+        ),
     );
     write(dir, "fig8.csv", &t.to_csv());
     write(dir, "fig8.txt", &t.render());
 
     let sec51 = experiments::sec51(&data);
-    let mut t = Table::new(["benchmark", "fetch_ratio", "pvn", "useless_delta", "see_speedup"]);
+    let mut t = Table::new([
+        "benchmark",
+        "fetch_ratio",
+        "pvn",
+        "useless_delta",
+        "see_speedup",
+    ]);
     for r in &sec51 {
         t.row([
             r.workload.name().to_string(),
@@ -111,10 +133,34 @@ fn main() {
     write(dir, "path_histogram.csv", &t.to_csv());
 
     // Sweeps.
-    write(dir, "fig9.csv", &sweep_tables(&fig9(&[10, 11, 12, 13, 14, 15, 16]), "history_bits").to_csv());
-    write(dir, "fig10.csv", &sweep_tables(&fig10(&[64, 128, 256, 512, 1024]), "window").to_csv());
-    write(dir, "fig11.csv", &sweep_tables(&fig11(&[1, 2, 3, 4]), "fus_per_type").to_csv());
-    write(dir, "fig12.csv", &sweep_tables(&fig12(&[6, 7, 8, 9, 10]), "stages").to_csv());
+    write(
+        dir,
+        "fig9.csv",
+        &sweep_tables(&fig9(&[10, 11, 12, 13, 14, 15, 16]), "history_bits").to_csv(),
+    );
+    write(
+        dir,
+        "fig10.csv",
+        &sweep_tables(&fig10(&[64, 128, 256, 512, 1024]), "window").to_csv(),
+    );
+    write(
+        dir,
+        "fig11.csv",
+        &sweep_tables(&fig11(&[1, 2, 3, 4]), "fus_per_type").to_csv(),
+    );
+    write(
+        dir,
+        "fig12.csv",
+        &sweep_tables(&fig12(&[6, 7, 8, 9, 10]), "stages").to_csv(),
+    );
+
+    if telemetry.enabled() {
+        println!("telemetry pass (SEE/JRS, instrumented re-run):");
+        let cfg = named_config(Config::SeeJrs, BASELINE_HISTORY_BITS);
+        for w in Workload::ALL {
+            run_workload_telemetered(w, &cfg, &telemetry, "see_jrs");
+        }
+    }
 
     println!("done.");
 }

@@ -28,8 +28,7 @@ fn main() {
             format!("{:+.1}", 100.0 * r.see_speedup),
         ]);
     }
-    let mean_ratio: f64 =
-        rows.iter().map(|r| r.mono_fetch_ratio).sum::<f64>() / rows.len() as f64;
+    let mean_ratio: f64 = rows.iter().map(|r| r.mono_fetch_ratio).sum::<f64>() / rows.len() as f64;
     println!("§5.1 analysis (paper: mean fetch/commit 1.86; PVN >40% except m88ksim ~16%)");
     println!("{t}");
     println!("mean monopath fetch/commit ratio: {mean_ratio:.2}  (paper: 1.86)");

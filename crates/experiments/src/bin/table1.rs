@@ -26,8 +26,7 @@ fn main() {
             format!("{:.2}", 100.0 * r.mispredict_rate),
         ]);
     }
-    let mean =
-        rows.iter().map(|r| r.mispredict_rate).sum::<f64>() / rows.len() as f64;
+    let mean = rows.iter().map(|r| r.mispredict_rate).sum::<f64>() / rows.len() as f64;
     println!("Table 1 — workload characteristics (paper: 1.9%…24.8%, mean 7.2%)");
     println!("{t}");
     println!("mean misprediction rate: {:.2}%", 100.0 * mean);

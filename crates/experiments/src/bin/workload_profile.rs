@@ -8,8 +8,8 @@
 //! With no argument, prints a summary of all eight workloads; with a
 //! workload name (e.g. `go`), prints its annotated listing.
 
-use pp_func::Emulator;
 use pp_experiments::Table;
+use pp_func::Emulator;
 use pp_workloads::Workload;
 
 fn main() {
@@ -26,9 +26,7 @@ fn main() {
             let scale = (w.default_scale() / 10).max(4);
             let program = w.build(scale);
             let mut emu = Emulator::new(&program);
-            let (summary, profile) = emu
-                .run_profiled(1_000_000_000)
-                .expect("workload halts");
+            let (summary, profile) = emu.run_profiled(1_000_000_000).expect("workload halts");
             println!(
                 "{w} at scale {scale}: {} instructions, {} branches\n",
                 summary.instructions, summary.cond_branches

@@ -8,7 +8,9 @@ use pp_core::{FuConfig, SimConfig, SimStats};
 use pp_workloads::Workload;
 
 use crate::configs::{named_config, Config, CONFIG_ORDER};
-use crate::harness::{harmonic_mean, run_matrix, run_workload, scaled};
+use crate::harness::{
+    geometric_mean, harmonic_mean, run_matrix, run_workload, scaled, speedup_frac,
+};
 
 /// Baseline gshare history bits (16 k counters).
 pub const BASELINE_HISTORY_BITS: u32 = 14;
@@ -148,8 +150,7 @@ fn sweep(points: &[u64], make: impl Fn(Config, u64) -> SimConfig) -> Vec<SweepPo
     points
         .iter()
         .map(|&x| {
-            let configs: Vec<SimConfig> =
-                SWEEP_SERIES.iter().map(|&c| make(c, x)).collect();
+            let configs: Vec<SimConfig> = SWEEP_SERIES.iter().map(|&c| make(c, x)).collect();
             let results = run_matrix(&Workload::ALL, &configs);
             let hmean_ipc: Vec<f64> = (0..configs.len())
                 .map(|ci| {
@@ -169,8 +170,7 @@ fn sweep(points: &[u64], make: impl Fn(Config, u64) -> SimConfig) -> Vec<SweepPo
                         .max(1e-6)
                 })
                 .collect();
-            let gmean =
-                (rates.iter().map(|r| r.ln()).sum::<f64>() / rates.len() as f64).exp();
+            let gmean = geometric_mean(&rates);
             SweepPoint {
                 x,
                 state_bytes: 0,
@@ -260,7 +260,7 @@ pub fn sec51(fig8: &Fig8) -> Vec<Sec51Row> {
                 useless_delta: s.useless_instructions() as f64
                     / m.useless_instructions().max(1) as f64
                     - 1.0,
-                see_speedup: s.ipc() / m.ipc() - 1.0,
+                see_speedup: speedup_frac(s.ipc(), m.ipc()),
             }
         })
         .collect()
@@ -302,7 +302,11 @@ pub fn sec52(fig8: &Fig8) -> Sec52 {
         .iter()
         .map(|row| row[see].mean_active_paths())
         .collect();
-    let le3: Vec<f64> = fig8.cells.iter().map(|row| row[see].paths_at_most(3)).collect();
+    let le3: Vec<f64> = fig8
+        .cells
+        .iter()
+        .map(|row| row[see].paths_at_most(3))
+        .collect();
     Sec52 {
         oracle_dual_fraction: frac(Config::DualOracle, Config::SeeOracle),
         jrs_dual_fraction: frac(Config::DualJrs, Config::SeeJrs),

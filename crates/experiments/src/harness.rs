@@ -1,6 +1,11 @@
-//! Sweep runner: simulate workloads × configurations, in parallel.
+//! Sweep runner: simulate workloads × configurations, in parallel —
+//! plus the shared derived-metric helpers and the `--telemetry-*`
+//! command-line plumbing every binary uses.
+
+use std::path::PathBuf;
 
 use pp_core::{SimConfig, SimStats, Simulator};
+use pp_telemetry::{TelemetryArtifacts, TelemetryConfig, TelemetryObserver};
 use pp_workloads::Workload;
 
 /// One cell of a sweep matrix.
@@ -56,12 +61,7 @@ pub fn run_matrix(workloads: &[Workload], configs: &[SimConfig]) -> Vec<MatrixRe
     let jobs: Vec<(usize, Workload, usize)> = workloads
         .iter()
         .enumerate()
-        .flat_map(|(wi, &w)| {
-            configs
-                .iter()
-                .enumerate()
-                .map(move |(ci, _)| (wi, w, ci))
-        })
+        .flat_map(|(wi, &w)| configs.iter().enumerate().map(move |(ci, _)| (wi, w, ci)))
         .collect();
 
     let n_workers = parallelism(jobs.len());
@@ -74,7 +74,9 @@ pub fn run_matrix(workloads: &[Workload], configs: &[SimConfig]) -> Vec<MatrixRe
         for _ in 0..n_workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(_, w, ci)) = jobs.get(i) else { break };
+                let Some(&(_, w, ci)) = jobs.get(i) else {
+                    break;
+                };
                 let stats = run_workload(w, &configs[ci]);
                 **slots[i].lock().expect("slot lock") = Some(MatrixResult {
                     workload: w,
@@ -103,6 +105,144 @@ pub fn harmonic_mean(values: &[f64]) -> f64 {
         "harmonic mean requires positive values"
     );
     values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Geometric mean — the summary statistic for rates (misprediction,
+/// miss rates) across benchmarks.
+///
+/// # Panics
+/// Panics if `values` is empty or contains a non-positive value (clamp
+/// zero rates before calling, e.g. with `.max(1e-6)`).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "geometric mean requires positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Relative improvement of `new` over `old` as a fraction
+/// (`0.14` = 14% faster; negative = slowdown).
+pub fn speedup_frac(new: f64, old: f64) -> f64 {
+    new / old - 1.0
+}
+
+/// Relative improvement of `new` over `old` in percent — the form the
+/// paper quotes ("SEE/JRS ≈ +14%").
+pub fn speedup_pct(new: f64, old: f64) -> f64 {
+    100.0 * speedup_frac(new, old)
+}
+
+// ---------------------------------------------------------------------
+// Telemetry plumbing
+// ---------------------------------------------------------------------
+
+/// Telemetry options shared by the experiment binaries, parsed from
+/// `--telemetry-out <dir>` and `--telemetry-sample-every <n>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryOpts {
+    /// Artifact directory; telemetry is enabled iff this is set.
+    pub out_dir: Option<PathBuf>,
+    /// Machine-state sampling interval in cycles.
+    pub sample_every: u64,
+}
+
+impl Default for TelemetryOpts {
+    fn default() -> Self {
+        TelemetryOpts {
+            out_dir: None,
+            sample_every: 64,
+        }
+    }
+}
+
+impl TelemetryOpts {
+    /// Parse telemetry flags out of `args`, returning the options and
+    /// the arguments that were not telemetry-related (in order).
+    ///
+    /// Accepted forms: `--telemetry-out DIR`, `--telemetry-out=DIR`,
+    /// `--telemetry-sample-every N`, `--telemetry-sample-every=N`.
+    ///
+    /// # Panics
+    /// Panics on a flag missing its value or a non-numeric interval —
+    /// a usage error worth failing loudly on.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
+        let mut opts = TelemetryOpts::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(v) = a.strip_prefix("--telemetry-out=") {
+                opts.out_dir = Some(PathBuf::from(v));
+            } else if a == "--telemetry-out" {
+                let v = it.next().expect("--telemetry-out needs a directory");
+                opts.out_dir = Some(PathBuf::from(v));
+            } else if let Some(v) = a.strip_prefix("--telemetry-sample-every=") {
+                opts.sample_every = v.parse().expect("--telemetry-sample-every needs a number");
+            } else if a == "--telemetry-sample-every" {
+                let v = it.next().expect("--telemetry-sample-every needs a number");
+                opts.sample_every = v.parse().expect("--telemetry-sample-every needs a number");
+            } else {
+                rest.push(a);
+            }
+        }
+        (opts, rest)
+    }
+
+    /// Parse from the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> (Self, Vec<String>) {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Whether an output directory was requested.
+    pub fn enabled(&self) -> bool {
+        self.out_dir.is_some()
+    }
+}
+
+/// Simulate one workload with a [`TelemetryObserver`] and host
+/// self-profiling attached, writing the three artifacts
+/// (`{prefix}_{workload}.metrics.jsonl` / `.timeseries.csv` /
+/// `.trace.json`) into `opts.out_dir`.
+///
+/// # Panics
+/// Panics if telemetry is not enabled in `opts`, if the run hits the
+/// cycle limit, or if the artifacts cannot be written.
+pub fn run_workload_telemetered(
+    workload: Workload,
+    cfg: &SimConfig,
+    opts: &TelemetryOpts,
+    prefix: &str,
+) -> (SimStats, TelemetryArtifacts) {
+    let dir = opts.out_dir.as_deref().expect("telemetry enabled");
+    let program = workload.build(scaled(workload));
+    let mut sim = Simulator::new(&program, cfg.clone());
+    sim.set_observer(Box::new(TelemetryObserver::with_config(TelemetryConfig {
+        sample_every: opts.sample_every,
+        ..Default::default()
+    })));
+    sim.enable_self_profiling();
+    let stats = sim.run();
+    assert!(
+        !stats.hit_cycle_limit,
+        "{workload} hit the cycle limit under {cfg:?}"
+    );
+    let host = sim.host_profile().cloned();
+    let mut tel = TelemetryObserver::from_box(sim.take_observer().expect("observer attached"))
+        .expect("a TelemetryObserver was attached");
+    let name = format!("{prefix}_{}", workload.name());
+    let arts = tel
+        .write_artifacts(dir, &name, &stats, host.as_ref())
+        .unwrap_or_else(|e| panic!("writing telemetry artifacts for {name}: {e}"));
+    if let Some(h) = &host {
+        println!(
+            "  {workload}: {:.1} KIPS host-side, {} divergence sites, artifacts in {}",
+            h.kips(),
+            tel.branches().len(),
+            dir.display(),
+        );
+    }
+    (stats, arts)
 }
 
 #[cfg(test)]
@@ -148,5 +288,79 @@ mod tests {
         assert_eq!(parallelism(0), 1);
         assert!(parallelism(4) <= 4);
         assert!(parallelism(1000) >= 1);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        // Geometric ≤ arithmetic.
+        assert!(geometric_mean(&[1.0, 4.0]) < 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn speedup_helpers() {
+        assert!((speedup_frac(1.14, 1.0) - 0.14).abs() < 1e-12);
+        assert!((speedup_pct(1.14, 1.0) - 14.0).abs() < 1e-12);
+        assert!(speedup_pct(0.9, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn telemetry_opts_parse_all_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+
+        let (o, rest) = TelemetryOpts::parse(args(&["results"]));
+        assert!(!o.enabled());
+        assert_eq!(o.sample_every, 64);
+        assert_eq!(rest, vec!["results".to_string()]);
+
+        let (o, rest) = TelemetryOpts::parse(args(&[
+            "--telemetry-out",
+            "results/telemetry",
+            "out",
+            "--telemetry-sample-every=32",
+        ]));
+        assert!(o.enabled());
+        assert_eq!(o.out_dir.unwrap(), PathBuf::from("results/telemetry"));
+        assert_eq!(o.sample_every, 32);
+        assert_eq!(rest, vec!["out".to_string()]);
+
+        let (o, _) = TelemetryOpts::parse(args(&[
+            "--telemetry-out=d",
+            "--telemetry-sample-every",
+            "128",
+        ]));
+        assert_eq!(o.out_dir.unwrap(), PathBuf::from("d"));
+        assert_eq!(o.sample_every, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "--telemetry-out needs a directory")]
+    fn telemetry_opts_reject_dangling_flag() {
+        TelemetryOpts::parse(["--telemetry-out".to_string()]);
+    }
+
+    #[test]
+    fn telemetered_run_writes_artifacts() {
+        std::env::set_var("PP_SCALE", "0.01");
+        let dir = std::env::temp_dir().join(format!("pp-telemetry-test-{}", std::process::id()));
+        let opts = TelemetryOpts {
+            out_dir: Some(dir.clone()),
+            sample_every: 8,
+        };
+        let cfg = named_config(Config::SeeJrs, 10);
+        let (stats, arts) = run_workload_telemetered(Workload::Compress, &cfg, &opts, "test");
+        assert!(stats.committed_instructions > 0);
+        for p in [&arts.metrics, &arts.timeseries, &arts.trace] {
+            let meta = std::fs::metadata(p).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert!(meta.len() > 0, "{p:?} is empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

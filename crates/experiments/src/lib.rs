@@ -35,7 +35,8 @@ pub mod experiments;
 
 pub use configs::{named_config, Config, CONFIG_ORDER};
 pub use harness::{
-    harmonic_mean, parallelism, run_matrix, run_workload, scale_factor, scaled, MatrixResult,
+    geometric_mean, harmonic_mean, parallelism, run_matrix, run_workload, run_workload_telemetered,
+    scale_factor, scaled, speedup_frac, speedup_pct, MatrixResult, TelemetryOpts,
 };
 pub use plot::Chart;
 pub use table::Table;

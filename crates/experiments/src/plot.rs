@@ -55,7 +55,8 @@ impl Chart {
         name: impl Into<String>,
         points: impl IntoIterator<Item = (f64, f64)>,
     ) -> &mut Self {
-        self.series.push((name.into(), points.into_iter().collect()));
+        self.series
+            .push((name.into(), points.into_iter().collect()));
         self
     }
 
@@ -101,10 +102,8 @@ impl Chart {
         for (si, (_, points)) in self.series.iter().enumerate() {
             let glyph = GLYPHS[si % GLYPHS.len()];
             for (x, y) in points {
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy.min(self.height - 1);
                 let col = cx.min(self.width - 1);
                 // Later series overwrite; collisions show the newer glyph.

@@ -50,7 +50,11 @@ impl Table {
         };
         let mut out = String::new();
         let line = |cells: &[String]| {
-            cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         };
         out.push_str(&line(&self.header));
         out.push('\n');

@@ -1,9 +1,7 @@
 //! Integration tests of the experiment harness at tiny scale: every
 //! table/figure function produces structurally sound results.
 
-use pp_experiments::experiments::{
-    self, config_index, BASELINE_HISTORY_BITS, SWEEP_SERIES,
-};
+use pp_experiments::experiments::{self, config_index, BASELINE_HISTORY_BITS, SWEEP_SERIES};
 use pp_experiments::{harmonic_mean, named_config, Config, CONFIG_ORDER};
 use pp_workloads::Workload;
 

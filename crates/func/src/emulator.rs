@@ -161,7 +161,12 @@ impl Emulator {
         let mut store = None;
         let mut next_pc = pc + 1;
         match op {
-            Op::Alu { op: a, rd, rs1, src2 } => {
+            Op::Alu {
+                op: a,
+                rd,
+                rs1,
+                src2,
+            } => {
                 let v = alu_eval(a, self.reg(rs1), self.operand(src2));
                 self.set_reg(rd, v);
                 if !rd.is_zero() {
@@ -217,7 +222,12 @@ impl Emulator {
             }
             Op::Ret => next_pc = self.reg(reg::RA) as usize,
             Op::Jr { rs } => next_pc = self.reg(rs) as usize,
-            Op::Fp { op: f, fd, fs1, fs2 } => {
+            Op::Fp {
+                op: f,
+                fd,
+                fs1,
+                fs2,
+            } => {
                 let v = fp_eval(f, self.reg(fs1), self.reg(fs2));
                 self.set_reg(fd, v);
                 if !fd.is_zero() {
@@ -256,7 +266,10 @@ impl Emulator {
     ///
     /// # Errors
     /// Same as [`Emulator::run`].
-    pub fn run_with_trace(&mut self, max_steps: u64) -> Result<(RunSummary, BranchTrace), EmuError> {
+    pub fn run_with_trace(
+        &mut self,
+        max_steps: u64,
+    ) -> Result<(RunSummary, BranchTrace), EmuError> {
         let mut trace = BranchTrace::new();
         let summary = self.run_inner(max_steps, Some(&mut trace))?;
         Ok((summary, trace))
@@ -488,10 +501,7 @@ mod tests {
             a.jmp(top);
         });
         let mut e = Emulator::new(&p);
-        assert_eq!(
-            e.run(10),
-            Err(EmuError::StepLimitExceeded { limit: 10 })
-        );
+        assert_eq!(e.run(10), Err(EmuError::StepLimitExceeded { limit: 10 }));
     }
 
     #[test]

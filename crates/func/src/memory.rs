@@ -113,7 +113,8 @@ impl Memory {
     /// `true` when every populated byte equals the corresponding byte in
     /// `other` and vice versa (i.e. the memories are architecturally equal).
     pub fn same_contents(&self, other: &Memory) -> bool {
-        let subset = |a: &Memory, b: &Memory| a.nonzero_bytes().all(|(addr, v)| b.read_u8(addr) == v);
+        let subset =
+            |a: &Memory, b: &Memory| a.nonzero_bytes().all(|(addr, v)| b.read_u8(addr) == v);
         subset(self, other) && subset(other, self)
     }
 }

@@ -65,7 +65,13 @@ mod tests {
         t.push(10, true);
         t.push(12, false);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.get(0), Some(BranchRecord { pc: 10, taken: true }));
+        assert_eq!(
+            t.get(0),
+            Some(BranchRecord {
+                pc: 10,
+                taken: true
+            })
+        );
         assert_eq!(t.get(2), None);
     }
 

@@ -45,8 +45,8 @@ mod program;
 
 pub use asm::{Asm, AsmError, Label};
 pub use eval::{alu_eval, cond_eval, fp_eval};
-pub use parse::{parse_asm, parse_reg, ParseError};
 pub use op::{AluOp, Cond, FpOp, InstClass, Op, Operand, Reg, Width, NUM_LOGICAL_REGS};
+pub use parse::{parse_asm, parse_reg, ParseError};
 pub use program::{DataSegment, Program, DATA_BASE, STACK_TOP};
 
 /// Well-known register names, mirroring a conventional RISC ABI.

@@ -208,12 +208,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                 return err(line, format!("bad label `{name}`"));
             }
             let l = p.label(name);
-            p.asm
-                .bind(l)
-                .map_err(|_| ParseError {
-                    line,
-                    message: format!("label `{name}` defined twice"),
-                })?;
+            p.asm.bind(l).map_err(|_| ParseError {
+                line,
+                message: format!("label `{name}` defined twice"),
+            })?;
             text = rest[1..].trim();
         }
         if text.is_empty() {
@@ -229,11 +227,7 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
     })
 }
 
-fn parse_instruction<'a>(
-    p: &mut Parser<'a>,
-    text: &'a str,
-    line: usize,
-) -> Result<(), ParseError> {
+fn parse_instruction<'a>(p: &mut Parser<'a>, text: &'a str, line: usize) -> Result<(), ParseError> {
     let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
@@ -556,8 +550,20 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let program = parse_asm("li t0, 0xff\nli t1, -0x10\nhalt").unwrap();
-        assert_eq!(program.code[0], Op::Li { rd: reg::T0, imm: 255 });
-        assert_eq!(program.code[1], Op::Li { rd: reg::T1, imm: -16 });
+        assert_eq!(
+            program.code[0],
+            Op::Li {
+                rd: reg::T0,
+                imm: 255
+            }
+        );
+        assert_eq!(
+            program.code[1],
+            Op::Li {
+                rd: reg::T1,
+                imm: -16
+            }
+        );
     }
 
     #[test]

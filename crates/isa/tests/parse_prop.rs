@@ -2,26 +2,51 @@
 //! with the DSL round-trip through equivalent textual source.
 
 use pp_isa::{parse_asm, reg, Asm, Op, Operand};
-use proptest::prelude::*;
+use pp_testutil::{cases, Rng};
 
-proptest! {
-    /// The parser returns Ok or Err on any input — it never panics.
-    #[test]
-    fn arbitrary_text_never_panics(src in "\\PC*") {
+/// Arbitrary printable-ish text: a mix of ASCII (printable + whitespace)
+/// and multi-byte unicode, the same space proptest's `\PC*` explored.
+fn arbitrary_text(rng: &mut Rng) -> String {
+    let len = rng.in_range(0..120);
+    (0..len)
+        .map(|_| match rng.below(12) {
+            0 => char::from(rng.any_u8() & 0x7f),          // any 7-bit byte
+            1 => *rng.pick(&['\n', '\t', ' ', ',']),       // structure chars
+            2 => *rng.pick(&['é', 'λ', '漢', '🦀']),       // multi-byte
+            _ => char::from(0x20 + (rng.any_u8() % 0x5f)), // printable ASCII
+        })
+        .collect()
+}
+
+/// The parser returns Ok or Err on any input — it never panics.
+#[test]
+fn arbitrary_text_never_panics() {
+    cases(512, |rng| {
+        let src = arbitrary_text(rng);
         let _ = parse_asm(&src);
-    }
+    });
+}
 
-    /// Lines made of plausible assembly tokens never panic either.
-    #[test]
-    fn token_soup_never_panics(
-        lines in proptest::collection::vec(
-            "(add|ld|st|beq|jmp|li|\\.word|\\.zero|label:)( [a-z0-9, ()-]{0,20})?",
-            0..20
-        )
-    ) {
+/// Lines made of plausible assembly tokens never panic either.
+#[test]
+fn token_soup_never_panics() {
+    const HEADS: [&str; 9] = [
+        "add", "ld", "st", "beq", "jmp", "li", ".word", ".zero", "label:",
+    ];
+    const TAIL_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789, ()-";
+    cases(512, |rng| {
+        let lines = rng.vec_of(0..20, |r| {
+            let mut line = (*r.pick(&HEADS)).to_string();
+            if r.flip() {
+                line.push(' ');
+                let n = r.in_range(0..21);
+                line.extend((0..n).map(|_| char::from(*r.pick(TAIL_CHARS))));
+            }
+            line
+        });
         let src = lines.join("\n");
         let _ = parse_asm(&src);
-    }
+    });
 }
 
 #[test]

@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn state_accounting_matches_inner() {
         let a = AdaptiveJrs::new(AdaptiveConfig::paper_baseline());
-        assert_eq!(a.state_bytes(), Jrs::new(JrsConfig::paper_baseline()).state_bytes());
+        assert_eq!(
+            a.state_bytes(),
+            Jrs::new(JrsConfig::paper_baseline()).state_bytes()
+        );
         assert_eq!(a.config().window, 512);
     }
 

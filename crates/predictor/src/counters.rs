@@ -15,7 +15,11 @@ impl SaturatingCounter {
     /// maximum representable value.
     pub fn new(bits: u32, initial: u8) -> Self {
         assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
-        let max = if bits == 8 { u8::MAX } else { (1u8 << bits) - 1 };
+        let max = if bits == 8 {
+            u8::MAX
+        } else {
+            (1u8 << bits) - 1
+        };
         assert!(initial <= max, "initial value exceeds counter range");
         SaturatingCounter {
             value: initial,

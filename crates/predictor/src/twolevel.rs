@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn state_accounting() {
         // 256 entries × 8-bit history + 256 × 2-bit counters.
-        assert_eq!(TwoLevelLocal::new(8, 8).state_bytes(), (256 * 8 + 256 * 2) / 8);
+        assert_eq!(
+            TwoLevelLocal::new(8, 8).state_bytes(),
+            (256 * 8 + 256 * 2) / 8
+        );
         assert_eq!(Agree::new(10, 10).state_bytes(), 256 + 256);
     }
 

@@ -1,0 +1,358 @@
+//! Artifact writers: JSON Lines metrics, CSV time series, Chrome trace
+//! JSON. All JSON is emitted by hand (the workspace carries no
+//! serialization dependency); everything writes through `io::Write` so
+//! tests can target byte buffers and the harness can target files.
+
+use std::io::{self, Write};
+
+use pp_core::{HostProfile, SimStats};
+
+use crate::attribution::{BranchTable, PathTable, TimeSeries};
+use crate::registry::{Histogram, Registry};
+use crate::trace::ChromeTrace;
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON has no other spelling for).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .map(|(lo, hi, n)| format!("[{lo},{hi},{n}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50_ub\":{},\"p99_ub\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        json_f64(h.mean()),
+        h.quantile_ub(0.5),
+        h.quantile_ub(0.99),
+        buckets.join(","),
+    )
+}
+
+/// Write the metrics artifact: one self-describing JSON object per line.
+///
+/// Line kinds: `counter`, `gauge`, `histogram` (registry instruments),
+/// `derived` (the [`SimStats`] metric methods), `branch_pc` (one line per
+/// static branch site), `path_hist` (lifetime / kill-depth), and `host`
+/// (self-profiling) when available.
+pub fn write_metrics_jsonl<W: Write>(
+    w: &mut W,
+    stats: &SimStats,
+    host: Option<&HostProfile>,
+    registry: &Registry,
+    branches: &BranchTable,
+    paths: &PathTable,
+) -> io::Result<()> {
+    // Derived metrics: the paper's evaluation numbers, computed by the
+    // shared SimStats helpers so every consumer agrees on the formulas.
+    let derived: [(&str, f64); 9] = [
+        ("ipc", stats.ipc()),
+        ("mispredict_rate", stats.mispredict_rate()),
+        ("pvn", stats.pvn()),
+        ("sensitivity", stats.sensitivity()),
+        ("mean_active_paths", stats.mean_active_paths()),
+        ("mean_window_occupancy", stats.mean_window_occupancy()),
+        ("fetched_per_committed", stats.fetched_per_committed()),
+        ("dcache_miss_rate", stats.dcache_miss_rate()),
+        ("useless_instructions", stats.useless_instructions() as f64),
+    ];
+    for (name, v) in derived {
+        writeln!(
+            w,
+            "{{\"kind\":\"derived\",\"name\":\"{name}\",\"value\":{}}}",
+            json_f64(v)
+        )?;
+    }
+    let raw: [(&str, u64); 8] = [
+        ("cycles", stats.cycles),
+        ("committed_instructions", stats.committed_instructions),
+        ("fetched_instructions", stats.fetched_instructions),
+        ("killed_instructions", stats.killed_instructions),
+        ("committed_branches", stats.committed_branches),
+        ("mispredicted_branches", stats.mispredicted_branches),
+        ("divergences", stats.divergences),
+        ("recoveries", stats.recoveries),
+    ];
+    for (name, v) in raw {
+        writeln!(
+            w,
+            "{{\"kind\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}"
+        )?;
+    }
+
+    for (name, v) in registry.counters() {
+        writeln!(
+            w,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        )?;
+    }
+    for (name, v) in registry.gauges() {
+        writeln!(
+            w,
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            json_f64(v)
+        )?;
+    }
+    for (name, h) in registry.hists() {
+        writeln!(
+            w,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            hist_json(h)
+        )?;
+    }
+
+    writeln!(
+        w,
+        "{{\"kind\":\"path_hist\",\"name\":\"path_lifetime_cycles\",\"value\":{}}}",
+        hist_json(&paths.lifetime)
+    )?;
+    writeln!(
+        w,
+        "{{\"kind\":\"path_hist\",\"name\":\"path_kill_depth\",\"value\":{}}}",
+        hist_json(&paths.kill_depth)
+    )?;
+
+    for (pc, s) in branches.sorted() {
+        writeln!(
+            w,
+            "{{\"kind\":\"branch_pc\",\"pc\":{pc},\"resolved\":{},\"mispredicted\":{},\
+             \"diverged\":{},\"forked\":{},\"low_incorrect\":{},\"low_correct\":{},\
+             \"high_incorrect\":{},\"high_correct\":{},\"mispredict_rate\":{},\"pvn\":{}}}",
+            s.resolved,
+            s.mispredicted,
+            s.diverged,
+            s.forked,
+            s.low_incorrect,
+            s.low_correct,
+            s.high_incorrect,
+            s.high_correct,
+            json_f64(s.mispredict_rate()),
+            json_f64(s.pvn()),
+        )?;
+    }
+
+    if let Some(p) = host {
+        writeln!(
+            w,
+            "{{\"kind\":\"host\",\"name\":\"kips\",\"value\":{}}}",
+            json_f64(p.kips())
+        )?;
+        writeln!(
+            w,
+            "{{\"kind\":\"host\",\"name\":\"wall_seconds\",\"value\":{}}}",
+            json_f64(p.wall.as_secs_f64())
+        )?;
+        for (name, d) in p.phases() {
+            writeln!(
+                w,
+                "{{\"kind\":\"host\",\"name\":\"phase_{name}_seconds\",\"value\":{}}}",
+                json_f64(d.as_secs_f64())
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Write the cycle-sampled machine-state time series as CSV.
+pub fn write_timeseries_csv<W: Write>(w: &mut W, ts: &TimeSeries) -> io::Result<()> {
+    writeln!(
+        w,
+        "cycle,live_paths,fetching_paths,window_occupancy,frontend_occupancy"
+    )?;
+    for r in ts.rows() {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            r.cycle, r.live_paths, r.fetching_paths, r.window_occupancy, r.frontend_occupancy
+        )?;
+    }
+    Ok(())
+}
+
+/// Write the Chrome trace-event artifact
+/// (`chrome://tracing` / Perfetto "load trace file" format).
+pub fn write_chrome_trace<W: Write>(w: &mut W, trace: &ChromeTrace) -> io::Result<()> {
+    write!(w, "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if !*first {
+            write!(w, ",")?;
+        }
+        *first = false;
+        Ok(())
+    };
+
+    // Metadata: name the process and one thread per path slot.
+    sep(w, &mut first)?;
+    write!(
+        w,
+        "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"polypath-sim\"}}}}"
+    )?;
+    for tid in trace.tids() {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"path {tid}\"}}}}"
+        )?;
+    }
+
+    for e in trace.events() {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"cat\":\"{}\",\"name\":\"{}\"",
+            e.ph,
+            e.tid,
+            e.ts,
+            json_escape(e.cat),
+            json_escape(&e.name),
+        )?;
+        if e.ph == 'X' {
+            write!(w, ",\"dur\":{}", e.dur)?;
+        }
+        if e.ph == 'i' {
+            // Thread-scoped instant.
+            write!(w, ",\"s\":\"t\"")?;
+        }
+        if !e.args.is_empty() {
+            write!(w, ",\"args\":{{")?;
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "\"{}\":{v}", json_escape(k))?;
+            }
+            write!(w, "}}")?;
+        }
+        write!(w, "}}")?;
+    }
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_are_json_objects() {
+        let mut reg = Registry::new();
+        let c = reg.counter("telemetry_events");
+        reg.inc(c, 7);
+        let h = reg.histogram("h");
+        reg.observe(h, 3);
+        let mut branches = BranchTable::new();
+        branches.record_resolution(64, true, true, true);
+        let paths = PathTable::new();
+        let stats = SimStats {
+            cycles: 10,
+            committed_instructions: 20,
+            ..Default::default()
+        };
+
+        let mut buf = Vec::new();
+        write_metrics_jsonl(&mut buf, &stats, None, &reg, &branches, &paths).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+            // Balanced braces and quotes — cheap structural sanity.
+            let braces = line.matches('{').count() == line.matches('}').count();
+            assert!(braces, "unbalanced: {line}");
+            assert_eq!(
+                line.matches('"').count() % 2,
+                0,
+                "unbalanced quotes: {line}"
+            );
+        }
+        assert!(text.contains("\"name\":\"ipc\",\"value\":2"));
+        assert!(text.contains("\"name\":\"telemetry_events\",\"value\":7"));
+        assert!(text.contains("\"kind\":\"branch_pc\",\"pc\":64"));
+        assert!(text.contains("path_kill_depth"));
+    }
+
+    #[test]
+    fn timeseries_csv_shape() {
+        use pp_core::CycleSample;
+        let mut ts = TimeSeries::new(1);
+        ts.offer(&CycleSample {
+            cycle: 0,
+            live_paths: 2,
+            fetching_paths: 1,
+            window_occupancy: 17,
+            frontend_occupancy: 4,
+        });
+        let mut buf = Vec::new();
+        write_timeseries_csv(&mut buf, &ts).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "cycle,live_paths,fetching_paths,window_occupancy,frontend_occupancy"
+        );
+        assert_eq!(lines.next().unwrap(), "0,2,1,17,4");
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let mut t = ChromeTrace::new();
+        t.span("add @12".into(), "exec", 0, 3, 6, vec![("fid", "9".into())]);
+        t.instant("kill".into(), "kill", 2, 8);
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &t).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\""));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"dur\":3"));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"s\":\"t\""));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"args\":{\"fid\":9}"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end telemetry: run a real workload with a [`TelemetryObserver`]
+//! attached and check the acceptance invariants — observation does not
+//! perturb the simulation, the attribution tables tie out against
+//! [`SimStats`], and the three artifacts have the right shape.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pp_core::{HostProfile, SimConfig, SimStats, Simulator};
+use pp_telemetry::{TelemetryConfig, TelemetryObserver};
+use pp_workloads::Workload;
+
+const SCALE: u64 = 3_000;
+
+struct Runs {
+    plain: SimStats,
+    stats: SimStats,
+    tel: Box<TelemetryObserver>,
+    host: Option<HostProfile>,
+}
+
+/// The two simulations (with and without telemetry), run once and
+/// shared across every test in this file.
+fn runs() -> MutexGuard<'static, Runs> {
+    static RUNS: OnceLock<Mutex<Runs>> = OnceLock::new();
+    RUNS.get_or_init(|| {
+        let program = Workload::Compress.build(SCALE);
+        let plain = Simulator::new(&program, SimConfig::baseline()).run();
+
+        let mut sim = Simulator::new(&program, SimConfig::baseline());
+        sim.set_observer(Box::new(TelemetryObserver::with_config(TelemetryConfig {
+            sample_every: 16,
+            ..Default::default()
+        })));
+        sim.enable_self_profiling();
+        let stats = sim.run();
+        let host = sim.host_profile().cloned();
+        let mut tel = TelemetryObserver::from_box(sim.take_observer().expect("observer attached"))
+            .expect("a TelemetryObserver was attached");
+        tel.seal();
+        Mutex::new(Runs {
+            plain,
+            stats,
+            tel,
+            host,
+        })
+    })
+    .lock()
+    .expect("runs lock")
+}
+
+/// Attaching telemetry must not change the simulation: identical
+/// SimStats with and without the observer.
+#[test]
+fn observer_does_not_perturb_the_run() {
+    let r = runs();
+    assert_eq!(r.plain, r.stats);
+}
+
+/// Acceptance: per-PC divergence counts sum to `SimStats::divergences`,
+/// and the rest of the attribution ties out.
+#[test]
+fn attribution_ties_out_against_stats() {
+    let r = runs();
+    let (stats, tel, host) = (&r.stats, &r.tel, &r.host);
+    assert!(stats.divergences > 0, "compress must diverge under SEE");
+    assert_eq!(tel.branches().total_diverged(), stats.divergences);
+
+    let reg = tel.registry();
+    let counter = |name: &str| {
+        reg.counters()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("counter {name} registered"))
+            .1
+    };
+    assert_eq!(counter("fetched"), stats.fetched_instructions);
+    assert_eq!(counter("committed"), stats.committed_instructions);
+    assert_eq!(counter("killed"), stats.killed_instructions);
+    assert_eq!(counter("divergences"), stats.divergences);
+
+    // Kill-depth mass equals killed instructions: every killed
+    // instruction is attributed to exactly one path generation.
+    assert_eq!(tel.paths().kill_depth.sum(), stats.killed_instructions);
+    assert!(tel.paths().generations() > 0);
+    assert_eq!(tel.paths().open_count(), 0, "seal() closed everything");
+
+    // Self-profiling rode along.
+    let host = host.as_ref().expect("self-profiling enabled");
+    assert_eq!(host.cycles, stats.cycles);
+    assert!(host.kips() > 0.0);
+}
+
+/// The time series is downsampled on the configured interval and its
+/// rows are strictly increasing in cycle.
+#[test]
+fn timeseries_is_downsampled_and_monotone() {
+    let r = runs();
+    let rows = r.tel.series().rows();
+    assert_eq!(rows.len() as u64, r.stats.cycles.div_ceil(16));
+    for w in rows.windows(2) {
+        assert!(w[0].cycle < w[1].cycle);
+        assert_eq!(w[1].cycle % 16, 0);
+    }
+    assert!(rows.iter().any(|r| r.live_paths > 1), "SEE forks paths");
+    assert!(rows.iter().all(|r| r.window_occupancy <= 256));
+}
+
+/// Artifact shape: JSONL lines are objects, CSV has the documented
+/// header, and the trace file is a Chrome trace-event JSON document.
+#[test]
+fn artifacts_have_the_documented_shape() {
+    let mut r = runs();
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("telemetry-int");
+    let stats = r.stats.clone();
+    let host = r.host.clone();
+    let arts = r
+        .tel
+        .write_artifacts(&dir, "compress", &stats, host.as_ref())
+        .expect("artifacts written");
+
+    let metrics = std::fs::read_to_string(&arts.metrics).unwrap();
+    assert!(metrics.lines().count() > 20);
+    for line in metrics.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad JSONL: {line}"
+        );
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert_eq!(line.matches('"').count() % 2, 0);
+    }
+    assert!(metrics.contains("\"kind\":\"derived\",\"name\":\"ipc\""));
+    assert!(metrics.contains("\"kind\":\"branch_pc\""));
+    assert!(metrics.contains("\"name\":\"kips\""));
+
+    let csv = std::fs::read_to_string(&arts.timeseries).unwrap();
+    assert!(
+        csv.starts_with("cycle,live_paths,fetching_paths,window_occupancy,frontend_occupancy\n")
+    );
+    assert_eq!(csv.lines().count() as u64, 1 + stats.cycles.div_ceil(16));
+
+    let trace = std::fs::read_to_string(&arts.trace).unwrap();
+    assert!(trace.starts_with("{\"displayTimeUnit\""));
+    assert!(trace.contains("\"traceEvents\":["));
+    assert!(trace.contains("\"ph\":\"X\""));
+    assert!(trace.contains("\"ph\":\"M\""));
+    assert!(trace.trim_end().ends_with("]}"));
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+}

@@ -64,7 +64,7 @@ pub fn build(scale: u64, seed: u64) -> Program {
     a.xor(reg::S5, reg::S5, reg::T0);
     a.srl(reg::T0, reg::S5, 33i64);
     a.and(reg::T0, reg::T0, CELLS - 1); // pos (8×8 board)
-    // cell = board[pos]
+                                        // cell = board[pos]
     a.sll(reg::T1, reg::T0, 3i64);
     a.add(reg::T1, reg::T1, reg::GP);
     a.ld(reg::T2, reg::T1, 0);

@@ -95,7 +95,7 @@ pub fn build(scale: u64, seed: u64) -> Program {
     a.sll(reg::T2, reg::A0, 3i64);
     a.add(reg::T3, reg::S4, reg::T2);
     a.ld(reg::T4, reg::T3, 0); // y
-    // q = y >> qshift[idx % 8]
+                               // q = y >> qshift[idx % 8]
     a.and(reg::T5, reg::A0, 7i64);
     a.sll(reg::T5, reg::T5, 3i64);
     a.add(reg::T5, reg::T5, reg::S3);

@@ -35,26 +35,26 @@ fn enc(op: i64, rd: i64, rs: i64, imm: i64) -> i64 {
 /// misprediction rate in the paper.
 fn guest_program(scale: u64, seed: u64) -> Vec<i64> {
     vec![
-        enc(G_LI, 1, 0, 0),             // 0: r1 = 0        (i)
-        enc(G_LI, 2, 0, scale as i64),  // 1: r2 = scale    (bound)
-        enc(G_LI, 3, 0, 0),             // 2: r3 = 0        (acc)
+        enc(G_LI, 1, 0, 0),                           // 0: r1 = 0        (i)
+        enc(G_LI, 2, 0, scale as i64),                // 1: r2 = scale    (bound)
+        enc(G_LI, 3, 0, 0),                           // 2: r3 = 0        (acc)
         enc(G_LI, 4, 0, 13 | (seed as i64 & 0x7fff)), // 3: r4 (xorshift state)
         // loop:
-        enc(G_ADD, 3, 1, 0),            // 4: acc += i
+        enc(G_ADD, 3, 1, 0), // 4: acc += i
         // xorshift: x ^= x << 7; x ^= x >> 9
-        enc(G_SLL, 5, 4, 7),            // 5: r5 = x << 7
-        enc(G_XOR, 4, 5, 0),            // 6: x ^= r5
-        enc(G_SRL, 5, 4, 9),            // 7: r5 = x >> 9
-        enc(G_XOR, 4, 5, 0),            // 8: x ^= r5
-        enc(G_ANDI, 5, 4, 1),           // 9: r5 = x & 1
-        enc(G_BEQ, 5, 0, 12),           // 10: if even goto 12  (random)
-        enc(G_ADD, 3, 4, 0),            // 11: acc += x
-        enc(G_ANDI, 6, 4, 6),           // 12: r6 = x & 6
-        enc(G_BEQ, 6, 0, 14),           // 13: if bit clear goto 14 (random)
+        enc(G_SLL, 5, 4, 7),  // 5: r5 = x << 7
+        enc(G_XOR, 4, 5, 0),  // 6: x ^= r5
+        enc(G_SRL, 5, 4, 9),  // 7: r5 = x >> 9
+        enc(G_XOR, 4, 5, 0),  // 8: x ^= r5
+        enc(G_ANDI, 5, 4, 1), // 9: r5 = x & 1
+        enc(G_BEQ, 5, 0, 12), // 10: if even goto 12  (random)
+        enc(G_ADD, 3, 4, 0),  // 11: acc += x
+        enc(G_ANDI, 6, 4, 6), // 12: r6 = x & 6
+        enc(G_BEQ, 6, 0, 14), // 13: if bit clear goto 14 (random)
         // 14 is the loop branch either way; the taken path just skips
         // nothing — the branch exists purely for its unpredictability.
-        enc(G_BLT, 1, 2, 4),            // 14: if ++i < bound goto 4
-        enc(G_HALT, 0, 0, 0),           // 15: halt
+        enc(G_BLT, 1, 2, 4),  // 14: if ++i < bound goto 4
+        enc(G_HALT, 0, 0, 0), // 15: halt
     ]
 }
 
@@ -88,7 +88,7 @@ pub fn build(scale: u64, seed: u64) -> Program {
     a.srl(reg::T4, reg::T1, 16i64);
     a.and(reg::T4, reg::T4, 0xffi64); // rs
     a.sra(reg::T5, reg::T1, 24i64); // imm
-    // rd/rs addresses
+                                    // rd/rs addresses
     a.sll(reg::T6, reg::T3, 3i64);
     a.add(reg::T6, reg::T6, reg::S2); // &r[rd]
     a.sll(reg::T7, reg::T4, 3i64);

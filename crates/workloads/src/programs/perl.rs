@@ -23,9 +23,7 @@ pub fn build(scale: u64, seed: u64) -> Program {
 
     // Text over an 8-letter alphabet (denser accidental first-char hits
     // make the filter branch harder, like perl's interpreters).
-    let mut text: Vec<u8> = (0..TEXT_BYTES)
-        .map(|_| b'a' + rng.below(8) as u8)
-        .collect();
+    let mut text: Vec<u8> = (0..TEXT_BYTES).map(|_| b'a' + rng.below(8) as u8).collect();
 
     // Patterns, each planted a few times in the text so hits exist.
     let mut patterns = Vec::with_capacity(NPAT);

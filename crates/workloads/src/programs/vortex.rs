@@ -113,7 +113,7 @@ pub fn build(scale: u64, seed: u64) -> Program {
     a.add(reg::T5, reg::T5, reg::GP); // &record
     a.ld(reg::T6, reg::T5, 0); // record key
     a.beq(reg::T6, reg::T1, found); // almost always first probe
-    // collision: advance slot
+                                    // collision: advance slot
     a.addi(reg::T2, reg::T2, 1);
     a.and(reg::T2, reg::T2, (NSLOTS - 1) as i64);
     a.jmp(probe);

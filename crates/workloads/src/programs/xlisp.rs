@@ -103,7 +103,7 @@ pub fn build(scale: u64, seed: u64) -> Program {
     let mark_fn = a.new_named_label("mark");
     let pass = a.here_named("pass");
     a.addi(reg::S3, reg::S0, 1); // mark id = pass + 1
-    // root = roots[pass % NROOTS]
+                                 // root = roots[pass % NROOTS]
     a.rem(reg::T0, reg::S0, NROOTS as i64);
     a.sll(reg::T0, reg::T0, 3i64);
     a.add(reg::T0, reg::T0, reg::GP);

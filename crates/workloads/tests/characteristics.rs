@@ -101,7 +101,11 @@ fn seeded_inputs_differ_but_stay_in_regime() {
             emu.run(1_000_000_000).unwrap();
             emu.memory().read_u64(0x0f00_0000)
         };
-        assert_ne!(checksum(0), checksum(0xdead_beef), "{w}: seed had no effect");
+        assert_ne!(
+            checksum(0),
+            checksum(0xdead_beef),
+            "{w}: seed had no effect"
+        );
     }
 }
 

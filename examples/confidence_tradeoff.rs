@@ -11,8 +11,8 @@
 //! cargo run --release --example confidence_tradeoff
 //! ```
 
-use polypath::core::{ConfidenceKind, SimConfig, Simulator};
 use polypath::core::SimStats;
+use polypath::core::{ConfidenceKind, SimConfig, Simulator};
 use polypath::predictor::JrsConfig;
 use polypath::workloads::Workload;
 

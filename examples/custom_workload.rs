@@ -82,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Timing runs, with commit checking against the same emulator.
-    let mono = Simulator::new(&program, SimConfig::monopath_baseline().with_commit_checking()).run();
+    let mono = Simulator::new(
+        &program,
+        SimConfig::monopath_baseline().with_commit_checking(),
+    )
+    .run();
     let see = Simulator::new(&program, SimConfig::baseline().with_commit_checking()).run();
     println!(
         "monopath: IPC {:.3} (mispredict {:.1}%)",

@@ -19,7 +19,12 @@ fn main() {
         "{:<10} {:>10} {:>9} {:>7} {:>11} {:>12} {:>11}",
         "workload", "mono IPC", "SEE IPC", "PVN %", "speedup %", "useless Δ%", "mean paths"
     );
-    for w in [Workload::Go, Workload::Compress, Workload::M88ksim, Workload::Vortex] {
+    for w in [
+        Workload::Go,
+        Workload::Compress,
+        Workload::M88ksim,
+        Workload::Vortex,
+    ] {
         let program = w.build(w.default_scale() / 2);
         let mono = Simulator::new(&program, SimConfig::monopath_baseline()).run();
         let see = Simulator::new(&program, SimConfig::baseline()).run();
@@ -41,7 +46,10 @@ fn main() {
     for w in [Workload::Go, Workload::Vortex] {
         let program = w.build(w.default_scale() / 2);
         let see = Simulator::new(&program, SimConfig::baseline()).run();
-        println!("\n{} path-count distribution under SEE (fraction of cycles):", w.name());
+        println!(
+            "\n{} path-count distribution under SEE (fraction of cycles):",
+            w.name()
+        );
         let total: u64 = see.path_cycles.iter().sum();
         for (k, &c) in see.path_cycles.iter().enumerate() {
             if c > 0 {

@@ -14,7 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut a = Asm::new();
     let data: Vec<i64> = (0..512)
         .scan(0x2545f491_4f6cdd1du64, |s, _| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             Some(((*s >> 40) & 1) as i64)
         })
         .collect();
@@ -39,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     a.halt();
     let program = a.assemble()?;
 
-    println!("program ({} static instructions):\n{}", program.len(), program);
+    println!(
+        "program ({} static instructions):\n{}",
+        program.len(),
+        program
+    );
 
     for (name, cfg) in [
         ("monopath (gshare-14)", SimConfig::monopath_baseline()),
@@ -50,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "dual-path (gshare-14 + JRS)",
-            SimConfig::baseline()
-                .with_mode(ExecMode::DualPath),
+            SimConfig::baseline().with_mode(ExecMode::DualPath),
         ),
     ] {
         let mut sim = Simulator::new(&program, cfg);

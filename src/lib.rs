@@ -15,7 +15,9 @@
 //!   functional reference emulator ([`func`] / `pp-func`),
 //! * SPECint95-analog workloads ([`workloads`] / `pp-workloads`),
 //! * the full experiment harness regenerating every table and figure of the
-//!   paper's evaluation ([`experiments`] / `pp-experiments`).
+//!   paper's evaluation ([`experiments`] / `pp-experiments`),
+//! * telemetry: metrics registry, per-branch/per-path attribution, and
+//!   JSONL/CSV/Chrome-trace exporters ([`telemetry`] / `pp-telemetry`).
 //!
 //! ## Quickstart
 //!
@@ -39,4 +41,5 @@ pub use pp_experiments as experiments;
 pub use pp_func as func;
 pub use pp_isa as isa;
 pub use pp_predictor as predictor;
+pub use pp_telemetry as telemetry;
 pub use pp_workloads as workloads;

@@ -16,7 +16,11 @@ fn oracle_dominates_everything_on_go() {
     let w = Workload::Go;
     let mono = run(w, SimConfig::monopath_baseline(), 10);
     let see = run(w, SimConfig::baseline(), 10);
-    let see_oracle = run(w, SimConfig::baseline().with_confidence(ConfidenceKind::Oracle), 10);
+    let see_oracle = run(
+        w,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+        10,
+    );
     let oracle = run(
         w,
         SimConfig::monopath_baseline().with_predictor(PredictorKind::Oracle),
@@ -50,7 +54,12 @@ fn see_gain_tracks_misprediction_rate() {
 fn dual_path_captures_part_of_see_gain() {
     let w = Workload::Go;
     let mono = run(w, SimConfig::monopath_baseline(), 10).ipc();
-    let see = run(w, SimConfig::baseline().with_confidence(ConfidenceKind::Oracle), 10).ipc();
+    let see = run(
+        w,
+        SimConfig::baseline().with_confidence(ConfidenceKind::Oracle),
+        10,
+    )
+    .ipc();
     let dual = run(
         w,
         SimConfig::baseline()
@@ -60,7 +69,10 @@ fn dual_path_captures_part_of_see_gain() {
     )
     .ipc();
     assert!(dual > mono, "dual-path beats monopath");
-    assert!(dual < see, "full SEE beats dual-path when divergences overlap");
+    assert!(
+        dual < see,
+        "full SEE beats dual-path when divergences overlap"
+    );
     let fraction = (dual - mono) / (see - mono);
     assert!(
         (0.2..1.0).contains(&fraction),
@@ -191,6 +203,9 @@ fn oracle_runs_never_mispredict() {
             20,
         );
         assert_eq!(s.mispredicted_branches, 0, "{w}");
-        assert_eq!(s.recoveries, s.mispredicted_returns, "{w}: only RAS recoveries allowed");
+        assert_eq!(
+            s.recoveries, s.mispredicted_returns,
+            "{w}: only RAS recoveries allowed"
+        );
     }
 }

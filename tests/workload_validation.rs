@@ -23,7 +23,10 @@ fn check(w: Workload, cfg: SimConfig, name: &str) {
         sim.memory().same_contents(emu.memory()),
         "{w}/{name}: final memory differs from functional reference"
     );
-    assert!(stats.committed_instructions > 1_000, "{w}/{name}: too little work");
+    assert!(
+        stats.committed_instructions > 1_000,
+        "{w}/{name}: too little work"
+    );
 }
 
 #[test]
@@ -54,7 +57,11 @@ fn all_workloads_cosimulate_see_oracle() {
 #[test]
 fn all_workloads_cosimulate_dual_path() {
     for w in Workload::ALL {
-        check(w, SimConfig::baseline().with_mode(ExecMode::DualPath), "dual");
+        check(
+            w,
+            SimConfig::baseline().with_mode(ExecMode::DualPath),
+            "dual",
+        );
     }
 }
 
