@@ -1,0 +1,53 @@
+//! Kernel throughput: simulated instructions per host second over the
+//! `run_all` workload set — the criterion twin of the offline
+//! `bench_kernel` binary.
+//!
+//! Criterion gives statistics (medians, change detection against the
+//! previous run); the `pp-experiments` `bench_kernel` binary gives the
+//! committed `BENCH_kernel.json` artifact and works without crates.io
+//! access. Both exercise the identical configurations so a regression in
+//! one shows in the other:
+//!
+//! ```sh
+//! # registry available (CI):
+//! cargo bench --manifest-path crates/bench/Cargo.toml --bench kernel
+//! # offline artifact refresh:
+//! cargo run --release -p pp-experiments --bin bench_kernel
+//! ```
+//!
+//! `Throughput::Elements` is set to the committed instruction count, so
+//! criterion's `elem/s` column *is* simulated instructions per second
+//! (KIPS × 1000).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pp_bench::{bench_scale, simulate};
+use pp_experiments::{named_config, Config};
+use pp_workloads::Workload;
+
+/// Same configuration triple as `bench_kernel` / the golden suite.
+const KERNEL_CONFIGS: [(Config, &str); 3] = [
+    (Config::Monopath, "monopath"),
+    (Config::SeeJrs, "see_jrs"),
+    (Config::DualJrs, "dual_jrs"),
+];
+
+fn kernel_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    for (config, key) in KERNEL_CONFIGS {
+        let cfg = named_config(config, 10);
+        for w in Workload::ALL {
+            let committed = simulate(w, &cfg).committed_instructions;
+            g.throughput(Throughput::Elements(committed));
+            g.bench_function(format!("{key}/{}", w.name()), |b| {
+                b.iter(|| black_box(simulate(black_box(w), black_box(&cfg))))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, kernel_throughput);
+criterion_main!(benches);

@@ -12,6 +12,9 @@
 //!   hierarchy comparison, history position allocation, gshare and JRS
 //!   table access, window kill broadcasts, and end-to-end simulated
 //!   cycles per second.
+//! * `kernel` — end-to-end simulated-KIPS over the `run_all` workload
+//!   set, the criterion twin of the `bench_kernel` binary that maintains
+//!   `BENCH_kernel.json` (see DESIGN.md, "Performance methodology").
 //!
 //! Helpers shared by the suites live here.
 

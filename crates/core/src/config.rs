@@ -161,6 +161,19 @@ impl LatencyConfig {
             fp_div: 16,
         }
     }
+
+    /// The largest configured operation latency (bounds how far into the
+    /// future an issued instruction can schedule its writeback, before
+    /// any cache-miss penalty is added).
+    pub fn max_latency(&self) -> u32 {
+        self.int_alu
+            .max(self.int_mul)
+            .max(self.int_div)
+            .max(self.load)
+            .max(self.fp_add)
+            .max(self.fp_mul)
+            .max(self.fp_div)
+    }
 }
 
 /// Complete machine configuration.
@@ -356,6 +369,11 @@ impl SimConfig {
             "pipeline depth must be in 4..=16"
         );
         assert!(self.max_paths >= 1, "at least one path required");
+        assert!(
+            self.max_paths <= 64,
+            "at most 64 path slots (the CTX-table tag index uses one-word \
+             slot bitmasks)"
+        );
         assert!(
             (1..=pp_ctx::MAX_POSITIONS).contains(&self.ctx_positions),
             "ctx positions out of range"

@@ -6,7 +6,7 @@
 //! return-address stack, oracle-trace cursor) and — once valid — the
 //! path's active register map (§3.2.5).
 
-use pp_ctx::CtxTag;
+use pp_ctx::{CtxTag, ResolutionKill};
 use pp_isa::Op;
 
 use crate::ras::Ras;
@@ -80,15 +80,23 @@ pub struct FetchedInst {
     pub pc: usize,
     /// The instruction.
     pub op: Op,
-    /// CTX tag at fetch (receives broadcasts while queued).
+    /// CTX tag snapshotted at fetch. Lazy, like the window's entry tags:
+    /// the branch-commit broadcast does not touch the queue — a stored bit
+    /// is genuine iff its position has not been freed since
+    /// [`born`](Self::born) (see the window module docs).
     pub ctx: CtxTag,
+    /// Position-allocator free-epoch at fetch, interpreting
+    /// [`ctx`](Self::ctx).
+    pub born: u64,
     /// Fetching path (rename reads this path's register map).
     pub path: pp_ctx::PathId,
     /// Cycle the instruction was fetched (dispatch happens
     /// `frontend_latency` cycles later).
     pub fetch_cycle: u64,
-    /// Branch bookkeeping.
-    pub binfo: Option<FetchBranchInfo>,
+    /// Branch bookkeeping. Boxed: it is the largest field by far and most
+    /// instructions are not branches, so keeping it out of line shrinks
+    /// every queue transfer.
+    pub binfo: Option<Box<FetchBranchInfo>>,
     /// Squashed while queued.
     pub killed: bool,
 }
@@ -173,20 +181,14 @@ impl FrontEnd {
     /// Resolution bus over the front-end latches: mark wrong-path
     /// instructions killed. The callback sees each newly killed
     /// instruction (to release CTX positions held by killed branches).
-    pub fn kill_descendants(&mut self, wrong_tag: &CtxTag, mut on_kill: impl FnMut(&FetchedInst)) {
+    /// Latch tags are lazy — the selector's free-epoch filter spares
+    /// stale leftover bits, so there is no commit-time broadcast over the
+    /// queue at all.
+    pub fn kill_matching(&mut self, kill: &ResolutionKill, mut on_kill: impl FnMut(&FetchedInst)) {
         for inst in self.queue.iter_mut() {
-            if !inst.killed && inst.ctx.is_descendant_or_equal(wrong_tag) {
+            if !inst.killed && kill.matches(&inst.ctx, inst.born) {
                 inst.killed = true;
                 on_kill(inst);
-            }
-        }
-    }
-
-    /// Commit bus over the front-end latches.
-    pub fn invalidate_position(&mut self, pos: usize) {
-        for inst in self.queue.iter_mut() {
-            if !inst.killed {
-                inst.ctx.invalidate(pos);
             }
         }
     }
@@ -198,12 +200,17 @@ mod tests {
     use pp_ctx::PathTable;
 
     fn inst(pc: usize, ctx: CtxTag, cycle: u64) -> FetchedInst {
+        inst_born(pc, ctx, cycle, 0)
+    }
+
+    fn inst_born(pc: usize, ctx: CtxTag, cycle: u64, born: u64) -> FetchedInst {
         let mut t: PathTable<()> = PathTable::new(1);
         FetchedInst {
             fid: crate::observer::FetchId(pc as u64),
             pc,
             op: Op::Nop,
             ctx,
+            born,
             path: t.allocate(()).unwrap(),
             fetch_cycle: cycle,
             binfo: None,
@@ -236,7 +243,12 @@ mod tests {
         fe.push(inst(1, wrong, 0));
         fe.push(inst(2, CtxTag::root(), 0));
         let mut killed = 0;
-        fe.kill_descendants(&wrong, |_| killed += 1);
+        let kill = ResolutionKill {
+            pos: 0,
+            dir: true,
+            stale_before: 0,
+        };
+        fe.kill_matching(&kill, |_| killed += 1);
         assert_eq!(killed, 1);
         let mut dropped = 0;
         let popped = fe.pop_ready(100, 1, |_| dropped += 1).unwrap();
@@ -253,11 +265,20 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_position_in_latches() {
-        let mut fe = FrontEnd::new(2);
-        fe.push(inst(0, CtxTag::root().with_position(1, true), 0));
-        fe.invalidate_position(1);
-        let i = fe.pop_ready(10, 1, |_| ()).unwrap();
-        assert!(i.ctx.is_root());
+    fn kill_spares_stale_snapshot_bits() {
+        // Lazy latch tags: a bit whose position was freed after the
+        // snapshot (born 3 < stale_before 5) must not match the selector.
+        let mut fe = FrontEnd::new(4);
+        let t = CtxTag::root().with_position(0, true);
+        fe.push(inst_born(1, t, 0, 3));
+        fe.push(inst_born(2, t, 0, 7));
+        let kill = ResolutionKill {
+            pos: 0,
+            dir: true,
+            stale_before: 5,
+        };
+        let mut killed = Vec::new();
+        fe.kill_matching(&kill, |i| killed.push(i.pc));
+        assert_eq!(killed, vec![2]);
     }
 }

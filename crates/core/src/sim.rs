@@ -11,7 +11,7 @@
 //! one stage per cycle): commit → writeback/branch-resolution → issue →
 //! rename/dispatch → fetch.
 
-use pp_ctx::{CtxTag, PathId, PathTable, PositionAllocator};
+use pp_ctx::{CtxTag, PathId, PathTable, PositionAllocator, TagIndex};
 use pp_func::{Emulator, Memory};
 use pp_isa::{alu_eval, cond_eval, fp_eval, Op, Operand, Program};
 use pp_predictor::{
@@ -75,6 +75,10 @@ pub struct Simulator {
     memory: Memory,
     regfile: PhysRegFile,
     paths: PathTable<PathCtx>,
+    /// Reverse index over `paths`' tags: per-(position, direction) slot
+    /// bitmasks, maintained at every path-tag mutation, so kill sweeps and
+    /// the commit broadcast touch only the paths that actually match.
+    path_tags: TagIndex,
     positions: PositionAllocator,
     frontend: FrontEnd,
     window: Window,
@@ -96,6 +100,28 @@ pub struct Simulator {
     fid_next: u64,
     observer: Option<Box<dyn PipelineObserver>>,
     selfprof: Option<HostProfile>,
+
+    // Per-cycle scratch buffers, hoisted out of the stage functions so the
+    // steady-state cycle loop performs no heap allocation.
+    scratch_resolving: Vec<Seq>,
+    scratch_fetch_order: Vec<PathId>,
+    /// Pending writebacks: a bucket ring indexed `complete_at %
+    /// completions.len()`, one bucket per future cycle. Every issued entry
+    /// is enqueued once, so the writeback stage touches only the entries
+    /// completing this cycle instead of scanning the window; a bucket sort
+    /// on drain reproduces the scan's oldest-first order within a cycle.
+    /// Entries killed after issue are still drained and skipped. The ring
+    /// is longer than any schedulable latency (max op latency + worst
+    /// cache-miss penalty) and its `now` bucket is drained every cycle,
+    /// so slots never alias.
+    completions: Vec<Vec<Seq>>,
+    /// Dataflow wakeup lists, indexed by physical register: entries that
+    /// dispatched with that source operand not yet ready. Drained when the
+    /// register is written; surviving waiters whose operands are then all
+    /// ready become issue candidates ([`Window::wake`]). Killed waiters are
+    /// not unregistered — the drain skips them — and a register's list is
+    /// cleared of leftovers when it is reallocated.
+    waiters: Vec<Vec<Seq>>,
 }
 
 /// Emit an event through an optional observer without constructing it
@@ -167,7 +193,9 @@ impl Simulator {
             oracle_idx: 0,
             birth: 0,
         };
-        paths.allocate(root).expect("fresh path table has room");
+        let root_id = paths.allocate(root).expect("fresh path table has room");
+        let mut path_tags = TagIndex::new(cfg.ctx_positions, cfg.max_paths);
+        path_tags.insert(root_id.index(), &CtxTag::root());
 
         let frontend_capacity = cfg.fetch_width * (cfg.frontend_latency() as usize + 2);
 
@@ -175,6 +203,7 @@ impl Simulator {
             memory: Memory::with_segments(&program.data),
             regfile: PhysRegFile::new(cfg.effective_phys_regs()),
             paths,
+            path_tags,
             positions: PositionAllocator::new(cfg.ctx_positions),
             frontend: FrontEnd::new(frontend_capacity),
             window: Window::new(cfg.window_size),
@@ -197,6 +226,15 @@ impl Simulator {
             fid_next: 0,
             observer: None,
             selfprof: None,
+            scratch_resolving: Vec::new(),
+            scratch_fetch_order: Vec::new(),
+            completions: {
+                let span = cfg.latency.max_latency()
+                    + cfg.dcache.as_ref().map_or(0, |d| d.miss_latency)
+                    + 2;
+                vec![Vec::new(); span as usize]
+            },
+            waiters: vec![Vec::new(); cfg.effective_phys_regs()],
             program: program.clone(),
             cfg,
         }
@@ -377,8 +415,11 @@ impl Simulator {
                 }
             }
             let e = self.window.pop_head();
+            // Entry tags are lazy: a committing entry may still *store*
+            // bits, but every one must refer to a since-freed position
+            // (i.e. the broadcast-maintained tag would be root).
             debug_assert!(
-                e.ctx.is_root(),
+                self.positions.effectively_root(&e.ctx, e.born),
                 "committing entry pc={} seq={} with live tag {:?}",
                 e.pc,
                 e.seq,
@@ -472,14 +513,23 @@ impl Simulator {
     }
 
     /// The branch commit bus (§3.2.2): invalidate the history position in
-    /// every tag store in the machine, then reclaim it.
+    /// every eager tag store in the machine, then reclaim it. The window
+    /// and front-end queue are exempt — their tags are lazy, and freeing
+    /// the position (which bumps its free epoch) is what retires the
+    /// stored bits there.
     fn release_branch_position(&mut self, pos: usize) {
-        self.window.invalidate_position(pos);
-        self.frontend.invalidate_position(pos);
         self.sb.invalidate_position(pos);
-        for (_, p) in self.paths.iter_mut() {
-            p.tag.invalidate(pos);
+        let mut holding = self.path_tags.holding_position(pos);
+        while holding != 0 {
+            let slot = holding.trailing_zeros() as usize;
+            holding &= holding - 1;
+            self.paths
+                .get_mut(PathId::from_index(slot))
+                .expect("indexed path is live")
+                .tag
+                .invalidate(pos);
         }
+        self.path_tags.invalidate_position(pos);
         self.positions.free(pos);
     }
 
@@ -518,29 +568,60 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn do_writeback_and_resolve(&mut self) {
-        let mut resolving: Vec<Seq> = Vec::new();
+        let mut resolving = std::mem::take(&mut self.scratch_resolving);
+        resolving.clear();
         let now = self.now;
-        let observer = &mut self.observer;
-        for e in self.window.iter_live_mut() {
-            if e.state == EntryState::Issued && e.complete_at <= self.now {
-                e.state = EntryState::Done;
-                if let (Some(d), Some(v)) = (e.dest, e.result) {
-                    self.regfile.write(d.new, v);
-                }
-                emit(observer, || PipeEvent::Completed {
-                    cycle: now,
-                    fid: e.fid,
-                });
-                if e.binfo.is_some() {
-                    resolving.push(e.seq);
-                }
+        // Drain this cycle's completion bucket. Issue order within a
+        // cycle is not seq order (the candidate scan can issue across
+        // paths), so sort the bucket to reproduce the oldest-first order
+        // the old full-window scan produced.
+        let Simulator {
+            window,
+            regfile,
+            observer,
+            completions,
+            waiters,
+            ..
+        } = self;
+        let slot = (now % completions.len() as u64) as usize;
+        let mut bucket = std::mem::take(&mut completions[slot]);
+        bucket.sort_unstable();
+        for seq in bucket.drain(..) {
+            // Killed after issue: the queue entry is stale, skip it.
+            let Some(e) = window.get_live_by_seq(seq) else {
+                continue;
+            };
+            debug_assert!(e.state == EntryState::Issued && e.complete_at == now);
+            e.state = EntryState::Done;
+            let fid = e.fid;
+            let wrote = match (e.dest, e.result) {
+                (Some(d), Some(v)) => Some((d.new, v)),
+                _ => None,
+            };
+            if e.binfo.is_some() {
+                resolving.push(seq);
             }
+            if let Some((r, v)) = wrote {
+                regfile.write(r, v);
+                // The wakeup bus: waiters on this register whose operands
+                // are now all ready become issue candidates.
+                let mut list = std::mem::take(&mut waiters[r.0 as usize]);
+                for wseq in list.drain(..) {
+                    window.wake(wseq, |srcs| {
+                        srcs.iter().flatten().all(|&p| regfile.is_ready(p))
+                    });
+                }
+                waiters[r.0 as usize] = list;
+            }
+            emit(observer, || PipeEvent::Completed { cycle: now, fid });
         }
+        completions[slot] = bucket;
         if !self.cfg.resolve_at_commit {
-            for seq in resolving {
+            for &seq in &resolving {
                 self.resolve_branch(seq);
             }
         }
+        self.scratch_resolving = resolving;
     }
 
     /// Branch resolution (§3.2.2–§3.2.3): compare outcome with prediction,
@@ -548,7 +629,7 @@ impl Simulator {
     /// restore checkpointed state into a fresh recovery path.
     fn resolve_branch(&mut self, seq: Seq) {
         // A resolution processed earlier this cycle may have killed it.
-        let Some(e) = self.window.iter_live_mut().find(|e| e.seq == seq) else {
+        let Some(e) = self.window.get_live_by_seq(seq) else {
             return;
         };
         let b = e.binfo.as_mut().expect("resolving non-branch");
@@ -558,6 +639,7 @@ impl Simulator {
         b.resolved = true;
 
         let parent_tag = e.ctx;
+        let born = e.born;
         let pos = b.position;
         let diverged = b.diverged;
         let is_return = b.is_return;
@@ -589,13 +671,11 @@ impl Simulator {
         if diverged {
             // Both successors executed; kill the wrong one, keep the other.
             self.live_divergences -= 1;
-            let wrong = parent_tag.with_position(pos, !outcome.expect("diverged branch outcome"));
-            self.kill_subtree(&wrong);
+            self.kill_subtree(pos, !outcome.expect("diverged branch outcome"));
         } else if mispredicted {
             self.stats.recoveries += 1;
             let wrong_dir = if is_return { true } else { predicted_taken };
-            let wrong = parent_tag.with_position(pos, wrong_dir);
-            self.kill_subtree(&wrong);
+            self.kill_subtree(pos, wrong_dir);
 
             // Create the recovery path from the checkpoint (§3.1).
             let cp: Box<Checkpoint> =
@@ -611,8 +691,15 @@ impl Simulator {
                 let pc = if out { taken_target } else { fallthrough };
                 (out, pc, push_history(ghr_at_predict, out))
             };
+            // The branch's stored parent tag is a lazy snapshot: scrub
+            // bits whose positions were freed since dispatch so the
+            // recovery path starts from the broadcast-maintained tag.
+            let recovery_tag = self
+                .positions
+                .scrub(parent_tag, born)
+                .with_position(pos, tag_dir);
             let recovery = PathCtx {
-                tag: parent_tag.with_position(pos, tag_dir),
+                tag: recovery_tag,
                 pc,
                 fetching: true,
                 ghr,
@@ -628,44 +715,65 @@ impl Simulator {
                 branch: fid,
                 pc: recovery.pc,
             });
-            self.paths
+            let rid = self
+                .paths
                 .allocate(recovery)
                 .expect("a path slot is free after killing the wrong subtree");
+            self.path_tags.insert(rid.index(), &recovery_tag);
         }
         // Correctly predicted, non-divergent: nothing to do until commit.
     }
 
     /// Apply the resolution bus: squash every instruction, store-buffer
-    /// entry, and path whose tag descends from `wrong_tag`, releasing the
-    /// resources they hold.
-    fn kill_subtree(&mut self, wrong_tag: &CtxTag) {
-        // Instruction window.
-        let killed = self.window.kill_descendants(wrong_tag);
-        for k in &killed {
-            self.stats.killed_instructions += 1;
-            emit(&mut self.observer, || PipeEvent::Killed {
-                cycle: self.now,
+    /// entry, and path on the wrong side of the branch occupying `pos`,
+    /// releasing the resources they hold.
+    ///
+    /// The selector is the single `(pos, wrong_dir)` pair: a live position
+    /// belongs to exactly one unresolved branch, so a tag descends from
+    /// `parent + (pos, wrong_dir)` iff it holds that pair (plus, for the
+    /// lazy window tags, the free-epoch freshness check).
+    fn kill_subtree(&mut self, pos: usize, wrong_dir: bool) {
+        let kill = self.positions.resolution_kill(pos, wrong_dir);
+        let Simulator {
+            window,
+            frontend,
+            sb,
+            regfile,
+            positions,
+            paths,
+            path_tags,
+            stats,
+            observer,
+            live_divergences,
+            now,
+            ..
+        } = self;
+        let now = *now;
+
+        // Instruction window: resources are released in the kill callback,
+        // with no clone of the killed entries. Positions freed here belong
+        // to killed (unresolved) branches, never to `pos` itself, so the
+        // selector's captured epoch stays valid throughout.
+        window.kill_matching(&kill, |k| {
+            stats.killed_instructions += 1;
+            emit(observer, || PipeEvent::Killed {
+                cycle: now,
                 fid: k.fid,
                 stage: KillStage::Window,
             });
             if let Some(d) = k.dest {
-                self.regfile.release(d.new);
+                regfile.release(d.new);
             }
             if let Some(b) = &k.binfo {
                 if !b.resolved && b.diverged {
-                    self.live_divergences -= 1;
+                    *live_divergences -= 1;
                 }
-                self.positions.free(b.position);
+                positions.free(b.position);
             }
-        }
+        });
 
         // Front-end latches.
-        let positions = &mut self.positions;
-        let stats = &mut self.stats;
-        let live_div = &mut self.live_divergences;
-        let observer = &mut self.observer;
-        let now = self.now;
-        self.frontend.kill_descendants(wrong_tag, |inst| {
+        frontend.kill_matching(&kill, |inst| {
             stats.killed_instructions += 1;
             emit(observer, || PipeEvent::Killed {
                 cycle: now,
@@ -675,23 +783,33 @@ impl Simulator {
             if let Some(b) = &inst.binfo {
                 positions.free(b.position);
                 if b.diverged {
-                    *live_div -= 1;
+                    *live_divergences -= 1;
                 }
             }
         });
 
         // Store buffer.
-        self.sb.kill_descendants(wrong_tag);
+        sb.kill_matching(&kill);
 
-        // Paths (the CTX table liveness sweep).
-        let dead: Vec<PathId> = self
-            .paths
-            .iter()
-            .filter(|(_, p)| p.tag.is_descendant_or_equal(wrong_tag))
-            .map(|(id, _)| id)
-            .collect();
-        for id in dead {
-            self.paths.free(id);
+        // Paths: the CTX-table sweep is a single mask lookup.
+        let dead = path_tags.killed_by(&kill);
+        #[cfg(debug_assertions)]
+        {
+            let expect = paths
+                .iter()
+                .filter(|(_, p)| p.tag.has(pos, wrong_dir))
+                .fold(0u64, |m, (id, _)| m | 1 << id.index());
+            debug_assert_eq!(
+                dead, expect,
+                "TagIndex wrong-path mask diverged from the path tags"
+            );
+        }
+        let mut mask = dead;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let p = paths.free(PathId::from_index(slot));
+            path_tags.remove(slot, &p.tag);
         }
     }
 
@@ -711,19 +829,16 @@ impl Simulator {
             observer,
             dcache,
             stats,
+            completions,
             ..
         } = self;
         let now = *now;
 
-        for e in window.iter_live_mut() {
-            if e.state != EntryState::Waiting {
-                continue;
-            }
-            let ready = e.srcs.iter().flatten().all(|&p| regfile.is_ready(p));
-            if !ready {
-                continue;
-            }
-
+        window.for_each_issuable(|e| {
+            debug_assert!(
+                e.srcs.iter().flatten().all(|&p| regfile.is_ready(p)),
+                "issue candidate with a not-ready operand"
+            );
             let read = |slot: Option<PhysReg>| slot.map(|p| regfile.read(p)).unwrap_or(0);
             let class = e.op.class();
             let mut extra_latency = 0u64;
@@ -733,10 +848,10 @@ impl Simulator {
                     let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
                     let check = sb.check_load(e.seq, &e.ctx, addr, width);
                     if check == LoadCheck::Block {
-                        continue;
+                        return false;
                     }
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     let (value, forwarded) = match check {
                         LoadCheck::Forward(v) => (v, true),
@@ -762,7 +877,7 @@ impl Simulator {
                 }
                 Op::Store { offset, width, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
                     let data = read(e.srcs[1]);
@@ -775,7 +890,7 @@ impl Simulator {
                 }
                 Op::Alu { op, src2, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     let a = read(e.srcs[0]);
                     let bval = match src2 {
@@ -786,19 +901,19 @@ impl Simulator {
                 }
                 Op::Li { imm, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     e.result = Some(imm);
                 }
                 Op::Fp { op, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     e.result = Some(fp_eval(op, read(e.srcs[0]), read(e.srcs[1])));
                 }
                 Op::Branch { cond, src2, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     let a = read(e.srcs[0]);
                     let bval = match src2 {
@@ -810,7 +925,7 @@ impl Simulator {
                 }
                 Op::Ret | Op::Jr { .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     let target = read(e.srcs[0]);
                     let b = e.binfo.as_mut().expect("indirect jump without info");
@@ -818,25 +933,28 @@ impl Simulator {
                 }
                 Op::Call { target } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                     let _ = target;
                     e.result = Some((e.pc + 1) as i64);
                 }
                 Op::Jump { .. } | Op::Halt | Op::Nop => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        continue;
+                        return false;
                     }
                 }
             }
 
             e.state = EntryState::Issued;
             e.complete_at = now + fus::latency(class, &cfg.latency) as u64 + extra_latency;
+            let slot = (e.complete_at % completions.len() as u64) as usize;
+            completions[slot].push(e.seq);
             emit(observer, || PipeEvent::Issued {
                 cycle: now,
                 fid: e.fid,
             });
-        }
+            true
+        });
     }
 
     // ------------------------------------------------------------------
@@ -898,9 +1016,23 @@ impl Simulator {
                 .regfile
                 .allocate()
                 .expect("free register checked before dispatch");
+            // Leftover wakeup registrations from the register's previous
+            // life are dead weight; drop them with the reallocation.
+            self.waiters[new.0 as usize].clear();
             let old = regmap.rename(logical, new);
             DestInfo { logical, new, old }
         });
+
+        // Operands not ready yet register on the producer's wakeup list;
+        // if everything is already ready the entry enters the window as an
+        // immediate issue candidate.
+        let mut ops_ready = true;
+        for &src in srcs.iter().flatten() {
+            if !self.regfile.is_ready(src) {
+                ops_ready = false;
+                self.waiters[src.0 as usize].push(seq);
+            }
+        }
 
         // Branches: build the recovery checkpoint / divergence RegMaps.
         let binfo = inst.binfo.as_ref().map(|fb| {
@@ -920,7 +1052,7 @@ impl Simulator {
                     oracle_idx: fb.oracle_idx_after,
                 }))
             };
-            self.make_branch_info(&inst, fb, checkpoint)
+            Box::new(self.make_branch_info(&inst, fb, checkpoint))
         });
 
         // Divergent branch renaming: copy the (parent) map into the taken
@@ -943,7 +1075,10 @@ impl Simulator {
         }
 
         if let Op::Store { width, .. } = inst.op {
-            self.sb.insert(seq, inst.ctx, width);
+            // Store-buffer tags are eager (they receive the commit
+            // broadcast), so scrub the lazy fetch snapshot on the way in.
+            let tag = self.positions.scrub(inst.ctx, inst.born);
+            self.sb.insert(seq, tag, width);
         }
 
         emit(&mut self.observer, || PipeEvent::Dispatched {
@@ -951,22 +1086,26 @@ impl Simulator {
             fid: inst.fid,
             seq,
         });
-        self.window.push(WinEntry {
-            fid: inst.fid,
-            seq,
-            pc: inst.pc,
-            op: inst.op,
-            ctx: inst.ctx,
-            path: inst.path,
-            srcs,
-            dest,
-            state: EntryState::Waiting,
-            complete_at: 0,
-            result: None,
-            binfo,
-            mem: None,
-            killed: false,
-        });
+        self.window.push(
+            WinEntry {
+                fid: inst.fid,
+                seq,
+                pc: inst.pc,
+                op: inst.op,
+                ctx: inst.ctx,
+                born: inst.born,
+                path: inst.path,
+                srcs,
+                dest,
+                state: EntryState::Waiting,
+                complete_at: 0,
+                result: None,
+                binfo,
+                mem: None,
+                killed: false,
+            },
+            ops_ready,
+        );
         self.stats.dispatched_instructions += 1;
     }
 
@@ -1005,15 +1144,36 @@ impl Simulator {
 
     fn do_fetch(&mut self) {
         // Priority order: older paths first (§4.2 — bandwidth decreases
-        // exponentially with distance from the oldest branch).
-        let mut order: Vec<(u64, PathId)> = self
-            .paths
-            .iter()
-            .filter(|(_, p)| p.fetching)
-            .map(|(id, p)| (p.birth, id))
-            .collect();
-        order.sort_unstable();
+        // exponentially with distance from the oldest branch). The path
+        // table maintains allocation order incrementally, and births are
+        // assigned in allocation order, so this is the same snapshot the
+        // old per-cycle `(birth, id)` sort produced — without the sort.
+        let mut order = std::mem::take(&mut self.scratch_fetch_order);
+        order.clear();
+        for &id in self.paths.ids_by_age() {
+            if self.paths.get(id).expect("listed path is live").fetching {
+                order.push(id);
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut check: Vec<(u64, PathId)> = self
+                .paths
+                .iter()
+                .filter(|(_, p)| p.fetching)
+                .map(|(id, p)| (p.birth, id))
+                .collect();
+            check.sort_unstable();
+            debug_assert!(
+                order.iter().eq(check.iter().map(|(_, id)| id)),
+                "age-order list diverged from the birth sort"
+            );
+        }
+        self.fetch_arbitrate(&order);
+        self.scratch_fetch_order = order;
+    }
 
+    fn fetch_arbitrate(&mut self, order: &[PathId]) {
         if order.is_empty() {
             if !self.halted {
                 self.stats.fetch_stall_no_path += 1;
@@ -1025,7 +1185,7 @@ impl Simulator {
 
         // A single live path gets the whole machine (paper goal 1).
         if order.len() == 1 {
-            self.fetch_path(order[0].1, budget);
+            self.fetch_path(order[0], budget);
             return;
         }
 
@@ -1035,14 +1195,14 @@ impl Simulator {
                 // by age rank (rank 0 → half the width, rank 1 → a
                 // quarter, …, minimum 1), then a work-conserving second
                 // pass hands leftover slots to paths in priority order.
-                for (i, &(_, pid)) in order.iter().enumerate() {
+                for (i, &pid) in order.iter().enumerate() {
                     if budget == 0 || self.frontend.is_full() {
                         break;
                     }
                     let share = (self.cfg.fetch_width >> (i + 1)).max(1).min(budget);
                     budget -= self.fetch_path(pid, share);
                 }
-                for &(_, pid) in &order {
+                for &pid in order {
                     if budget == 0 || self.frontend.is_full() {
                         break;
                     }
@@ -1051,7 +1211,7 @@ impl Simulator {
             }
             FetchPolicy::OldestFirst => {
                 // Strict priority: each path takes what the older ones left.
-                for &(_, pid) in &order {
+                for &pid in order {
                     if budget == 0 || self.frontend.is_full() {
                         break;
                     }
@@ -1063,7 +1223,7 @@ impl Simulator {
                 let mut progress = true;
                 while budget > 0 && progress && !self.frontend.is_full() {
                     progress = false;
-                    for &(_, pid) in &order {
+                    for &pid in order {
                         if budget == 0 || self.frontend.is_full() {
                             break;
                         }
@@ -1207,7 +1367,7 @@ impl Simulator {
 
         let pos = self.positions.allocate().expect("checked not full");
 
-        let mut fb = FetchBranchInfo {
+        let mut fb = Box::new(FetchBranchInfo {
             is_return: false,
             predicted_taken: predicted,
             predicted_target: if predicted { target } else { pc + 1 },
@@ -1219,15 +1379,16 @@ impl Simulator {
             was_on_correct,
             oracle_idx_after: oracle_idx + 1,
             taken_path: None,
-        };
+        });
 
         if diverge {
             self.stats.divergences += 1;
             self.live_divergences += 1;
 
             // New slot for the taken successor…
+            let taken_tag = parent_tag.with_position(pos, true);
             let taken = PathCtx {
-                tag: parent_tag.with_position(pos, true),
+                tag: taken_tag,
                 pc: target,
                 fetching: true,
                 ghr: push_history(ghr, true),
@@ -1239,6 +1400,7 @@ impl Simulator {
             };
             self.birth_next += 1;
             let taken_pid = self.paths.allocate(taken).expect("checked not full");
+            self.path_tags.insert(taken_pid.index(), &taken_tag);
             fb.taken_path = Some(taken_pid);
 
             // …while this slot continues as the not-taken successor.
@@ -1248,6 +1410,7 @@ impl Simulator {
             path.ghr = push_history(ghr, false);
             path.on_correct = was_on_correct && correct_outcome == Some(false);
             path.oracle_idx = oracle_idx + 1;
+            self.path_tags.extend(pid.index(), pos, false);
         } else {
             let path = self.paths.get_mut(pid).expect("path exists");
             path.tag = parent_tag.with_position(pos, predicted);
@@ -1255,6 +1418,7 @@ impl Simulator {
             path.ghr = push_history(ghr, predicted);
             path.on_correct = was_on_correct && correct_outcome == Some(predicted);
             path.oracle_idx = oracle_idx + 1;
+            self.path_tags.extend(pid.index(), pos, predicted);
         }
 
         let taken_path = fb.taken_path;
@@ -1296,7 +1460,7 @@ impl Simulator {
         };
         let predicted_target = pred.unwrap_or(usize::MAX);
 
-        let fb = FetchBranchInfo {
+        let fb = Box::new(FetchBranchInfo {
             is_return: true,
             predicted_taken: true,
             predicted_target,
@@ -1308,18 +1472,25 @@ impl Simulator {
             was_on_correct,
             oracle_idx_after: oracle_idx,
             taken_path: None,
-        };
+        });
 
         let path = self.paths.get_mut(pid).expect("path exists");
         path.tag = parent_tag.with_position(pos, true);
         path.ras = new_ras;
         path.pc = predicted_target;
+        self.path_tags.extend(pid.index(), pos, true);
 
         self.push_fetched_with_tag(pid, pc, op, Some(fb), parent_tag);
         true
     }
 
-    fn push_fetched(&mut self, pid: PathId, pc: usize, op: Op, binfo: Option<FetchBranchInfo>) {
+    fn push_fetched(
+        &mut self,
+        pid: PathId,
+        pc: usize,
+        op: Op,
+        binfo: Option<Box<FetchBranchInfo>>,
+    ) {
         let tag = self.paths.get(pid).expect("path exists").tag;
         self.push_fetched_with_tag(pid, pc, op, binfo, tag);
     }
@@ -1329,7 +1500,7 @@ impl Simulator {
         pid: PathId,
         pc: usize,
         op: Op,
-        binfo: Option<FetchBranchInfo>,
+        binfo: Option<Box<FetchBranchInfo>>,
         tag: CtxTag,
     ) -> FetchId {
         let fid = FetchId(self.fid_next);
@@ -1339,6 +1510,7 @@ impl Simulator {
             pc,
             op,
             ctx: tag,
+            born: self.positions.current_tick(),
             path: pid,
             fetch_cycle: self.now,
             binfo,

@@ -276,6 +276,97 @@ impl SimStats {
         o
     }
 
+    /// Canonical JSON rendering of every raw counter, one field per
+    /// line, in struct declaration order.
+    ///
+    /// This is the golden-snapshot format: all fields are integers or
+    /// booleans, so the text is bit-exact across platforms and build
+    /// profiles — any behavioral change to the simulator shows up as a
+    /// line-level diff. Derived metrics (IPC, rates) are deliberately
+    /// excluded: they are pure functions of these counters.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let fu = |b: &FuBusy| {
+            format!(
+                "{{\"busy_cycles\": {}, \"capacity_cycles\": {}}}",
+                b.busy_cycles, b.capacity_cycles
+            )
+        };
+        let path_cycles: Vec<String> = self.path_cycles.iter().map(u64::to_string).collect();
+        let mut o = String::new();
+        let _ = writeln!(o, "{{");
+        let _ = writeln!(o, "  \"cycles\": {},", self.cycles);
+        let _ = writeln!(o, "  \"hit_cycle_limit\": {},", self.hit_cycle_limit);
+        let _ = writeln!(
+            o,
+            "  \"fetched_instructions\": {},",
+            self.fetched_instructions
+        );
+        let _ = writeln!(
+            o,
+            "  \"dispatched_instructions\": {},",
+            self.dispatched_instructions
+        );
+        let _ = writeln!(
+            o,
+            "  \"committed_instructions\": {},",
+            self.committed_instructions
+        );
+        let _ = writeln!(
+            o,
+            "  \"killed_instructions\": {},",
+            self.killed_instructions
+        );
+        let _ = writeln!(o, "  \"committed_branches\": {},", self.committed_branches);
+        let _ = writeln!(
+            o,
+            "  \"mispredicted_branches\": {},",
+            self.mispredicted_branches
+        );
+        let _ = writeln!(
+            o,
+            "  \"mispredicted_returns\": {},",
+            self.mispredicted_returns
+        );
+        let _ = writeln!(o, "  \"recoveries\": {},", self.recoveries);
+        let _ = writeln!(o, "  \"divergences\": {},", self.divergences);
+        let _ = writeln!(o, "  \"low_conf_incorrect\": {},", self.low_conf_incorrect);
+        let _ = writeln!(o, "  \"low_conf_correct\": {},", self.low_conf_correct);
+        let _ = writeln!(
+            o,
+            "  \"high_conf_incorrect\": {},",
+            self.high_conf_incorrect
+        );
+        let _ = writeln!(o, "  \"high_conf_correct\": {},", self.high_conf_correct);
+        let _ = writeln!(o, "  \"path_cycles\": [{}],", path_cycles.join(", "));
+        let _ = writeln!(o, "  \"max_live_paths\": {},", self.max_live_paths);
+        let _ = writeln!(
+            o,
+            "  \"window_occupancy_sum\": {},",
+            self.window_occupancy_sum
+        );
+        let _ = writeln!(o, "  \"fu_int0\": {},", fu(&self.fu_int0));
+        let _ = writeln!(o, "  \"fu_int1\": {},", fu(&self.fu_int1));
+        let _ = writeln!(o, "  \"fu_fp_add\": {},", fu(&self.fu_fp_add));
+        let _ = writeln!(o, "  \"fu_fp_mul\": {},", fu(&self.fu_fp_mul));
+        let _ = writeln!(o, "  \"fu_mem\": {},", fu(&self.fu_mem));
+        let _ = writeln!(
+            o,
+            "  \"fetch_stall_no_path\": {},",
+            self.fetch_stall_no_path
+        );
+        let _ = writeln!(o, "  \"fetch_stall_no_ctx\": {},", self.fetch_stall_no_ctx);
+        let _ = writeln!(
+            o,
+            "  \"dispatch_stall_window_full\": {},",
+            self.dispatch_stall_window_full
+        );
+        let _ = writeln!(o, "  \"dcache_hits\": {},", self.dcache_hits);
+        let _ = writeln!(o, "  \"dcache_misses\": {}", self.dcache_misses);
+        let _ = writeln!(o, "}}");
+        o
+    }
+
     /// Record a cycle with `live` paths.
     pub fn record_path_count(&mut self, live: usize) {
         if self.path_cycles.len() <= live {
@@ -374,6 +465,61 @@ mod tests {
         assert!(!text.contains("D-cache"));
         s.dcache_misses = 1;
         assert!(s.summary().contains("D-cache"));
+    }
+
+    #[test]
+    fn to_json_covers_every_field_and_is_stable() {
+        let mut s = SimStats {
+            cycles: 100,
+            committed_instructions: 250,
+            fu_mem: FuBusy {
+                busy_cycles: 7,
+                capacity_cycles: 200,
+            },
+            ..Default::default()
+        };
+        s.record_path_count(2);
+        let j = s.to_json();
+        // One "key": line per struct field (FuBusy inlined as objects).
+        for key in [
+            "cycles",
+            "hit_cycle_limit",
+            "fetched_instructions",
+            "dispatched_instructions",
+            "committed_instructions",
+            "killed_instructions",
+            "committed_branches",
+            "mispredicted_branches",
+            "mispredicted_returns",
+            "recoveries",
+            "divergences",
+            "low_conf_incorrect",
+            "low_conf_correct",
+            "high_conf_incorrect",
+            "high_conf_correct",
+            "path_cycles",
+            "max_live_paths",
+            "window_occupancy_sum",
+            "fu_int0",
+            "fu_int1",
+            "fu_fp_add",
+            "fu_fp_mul",
+            "fu_mem",
+            "fetch_stall_no_path",
+            "fetch_stall_no_ctx",
+            "dispatch_stall_window_full",
+            "dcache_hits",
+            "dcache_misses",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"path_cycles\": [0, 0, 1],"), "{j}");
+        assert!(
+            j.contains("{\"busy_cycles\": 7, \"capacity_cycles\": 200}"),
+            "{j}"
+        );
+        // Identical stats render identically (byte-stable snapshots).
+        assert_eq!(j, s.clone().to_json());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! is restricted to loads on the same path or a descendant path of the
 //! store, decided with the CTX hierarchy comparator.
 
-use pp_ctx::CtxTag;
+use pp_ctx::{CtxTag, ResolutionKill};
 use pp_isa::Width;
 
 use crate::window::Seq;
@@ -40,9 +40,17 @@ pub enum LoadCheck {
 }
 
 /// The store buffer: entries in program order.
+///
+/// Tags here are **eager** — they receive every commit-time invalidation
+/// broadcast — so forwarding can compare a (possibly stale-bitted) lazy
+/// load tag from the window against them directly: a stale load bit can
+/// never coincide with a live store bit, because the free that staled it
+/// either broadcast-cleared the position here too or killed every store
+/// holding it.
 #[derive(Debug, Default)]
 pub struct StoreBuffer {
     entries: std::collections::VecDeque<SbEntry>,
+    live: usize,
 }
 
 fn ranges_overlap(a: u64, aw: Width, b: u64, bw: Width) -> bool {
@@ -58,7 +66,7 @@ impl StoreBuffer {
 
     /// Live entries (diagnostics).
     pub fn len(&self) -> usize {
-        self.entries.iter().filter(|e| !e.killed).count()
+        self.live
     }
 
     /// `true` when no live entry remains.
@@ -83,6 +91,7 @@ impl StoreBuffer {
             width,
             killed: false,
         });
+        self.live += 1;
     }
 
     /// Record the computed address and data when the store executes.
@@ -116,7 +125,12 @@ impl StoreBuffer {
     ) -> LoadCheck {
         let mut forward: Option<i64> = None;
         for e in self.entries.iter() {
-            if e.killed || e.seq >= load_seq || !load_ctx.is_descendant_or_equal(&e.ctx) {
+            if e.seq >= load_seq {
+                // Entries are in program order (insert asserts it): nothing
+                // further back can be older than the load.
+                break;
+            }
+            if e.killed || !load_ctx.is_descendant_or_equal(&e.ctx) {
                 continue;
             }
             match e.addr {
@@ -154,6 +168,7 @@ impl StoreBuffer {
             .pop_front()
             .expect("committing store not in buffer");
         assert_eq!(e.seq, seq, "stores must commit in order");
+        self.live -= 1;
         (
             e.addr.expect("committed store without address"),
             e.data.expect("committed store without data"),
@@ -161,11 +176,13 @@ impl StoreBuffer {
         )
     }
 
-    /// Resolution bus: kill stores on the wrong path.
-    pub fn kill_descendants(&mut self, wrong_tag: &CtxTag) {
+    /// Resolution bus: kill stores on the wrong path. Tags here are eager,
+    /// so the single `(position, direction)` pair test suffices.
+    pub fn kill_matching(&mut self, kill: &ResolutionKill) {
         for e in self.entries.iter_mut() {
-            if !e.killed && e.ctx.is_descendant_or_equal(wrong_tag) {
+            if !e.killed && kill.matches_eager(&e.ctx) {
                 e.killed = true;
+                self.live -= 1;
             }
         }
     }
@@ -185,6 +202,14 @@ mod tests {
     use super::*;
 
     const W: Width = Width::Word;
+
+    fn kill_at(pos: usize, dir: bool) -> ResolutionKill {
+        ResolutionKill {
+            pos,
+            dir,
+            stale_before: 0,
+        }
+    }
 
     #[test]
     fn load_with_no_stores_reads_memory() {
@@ -293,7 +318,7 @@ mod tests {
         let wrong = CtxTag::root().with_position(0, true);
         sb.insert(1, wrong, W);
         sb.set_addr_data(1, 0x100, 5);
-        sb.kill_descendants(&wrong);
+        sb.kill_matching(&kill_at(0, true));
         assert_eq!(sb.check_load(2, &wrong, 0x100, W), LoadCheck::Memory);
         assert!(sb.is_empty());
     }
@@ -305,9 +330,10 @@ mod tests {
         sb.insert(1, wrong, W);
         sb.insert(2, CtxTag::root(), W);
         sb.set_addr_data(2, 0x10, 42);
-        sb.kill_descendants(&wrong);
+        sb.kill_matching(&kill_at(0, true));
         assert_eq!(sb.commit(2), (0x10, 42, W));
         assert!(sb.is_empty());
+        let _ = wrong;
     }
 
     #[test]

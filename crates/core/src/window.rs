@@ -4,11 +4,20 @@
 //! (in fetch order, which is program order per path), issue out of order,
 //! and leave at the head in order. Each entry stores its CTX tag; the
 //! per-entry control-flow state machine of Fig. 6 is realized by
-//! [`Window::kill_descendants`] (branch resolution bus),
-//! [`Window::invalidate_position`] (branch commit bus), and the head
-//! entry's tag being cleared as it commits.
+//! [`Window::kill_matching`] (branch resolution bus) and the head entry's
+//! tag being cleared as it commits.
+//!
+//! Entry tags are **lazy**: the branch-commit invalidation broadcast does
+//! not touch the window (rewriting every entry's tag on every branch
+//! commit was the hottest loop in the simulator). Instead each entry
+//! records the position allocator's free-epoch clock at dispatch
+//! ([`WinEntry::born`]); a stored tag bit is genuine iff its position has
+//! not been freed since, which is exactly what
+//! [`pp_ctx::ResolutionKill::matches`] tests. Code that needs the
+//! broadcast-equivalent tag asks the allocator to
+//! [`scrub`](pp_ctx::PositionAllocator::scrub) the stored snapshot.
 
-use pp_ctx::{CtxTag, PathId};
+use pp_ctx::{CtxTag, PathId, ResolutionKill};
 use pp_isa::{Op, Reg, Width};
 
 use crate::ras::Ras;
@@ -114,8 +123,12 @@ pub struct WinEntry {
     pub pc: usize,
     /// Decoded instruction.
     pub op: Op,
-    /// CTX tag (updated by resolution/commit broadcasts).
+    /// CTX tag as captured at dispatch. Lazy: never rewritten by the
+    /// branch-commit broadcast — interpret together with [`born`](Self::born).
     pub ctx: CtxTag,
+    /// Position-allocator free-epoch at dispatch. A bit of [`ctx`](Self::ctx)
+    /// at position `p` is genuine iff `allocator.last_free_tick(p) <= born`.
+    pub born: u64,
     /// Path the instruction was fetched on (statistics only).
     pub path: PathId,
     /// Renamed source physical registers.
@@ -128,8 +141,11 @@ pub struct WinEntry {
     pub complete_at: u64,
     /// Computed result (valid once issued, for register-writing ops).
     pub result: Option<i64>,
-    /// Branch bookkeeping (conditional branches and returns).
-    pub binfo: Option<BranchInfo>,
+    /// Branch bookkeeping (conditional branches and returns). Boxed: it is
+    /// by far the largest field and most entries are not branches, so
+    /// keeping it out of line roughly halves the entry size the per-cycle
+    /// window scans walk over.
+    pub binfo: Option<Box<BranchInfo>>,
     /// Memory bookkeeping (loads and stores).
     pub mem: Option<MemInfo>,
     /// Squashed by a resolution kill; skipped by commit and reclaimed.
@@ -137,9 +153,31 @@ pub struct WinEntry {
 }
 
 /// The instruction window: a bounded queue in allocation (program) order.
+///
+/// Entries carry contiguous dispatch sequence numbers (each dispatch pushes
+/// exactly one entry and entries leave only from the front, corpses
+/// included), so `seq → index` is a subtraction — see
+/// [`get_live_by_seq`](Self::get_live_by_seq).
+///
+/// The issue stage does not scan entries at all: a bitmap
+/// ([`ready_bits`](Self::ready_bits)) marks the *issue candidates* — live,
+/// waiting entries whose source operands are all ready. Candidacy is set at
+/// dispatch (operands already ready) or by the writeback stage's
+/// [`wake`](Self::wake) (the dataflow wakeup bus), and cleared on issue or
+/// kill, so [`for_each_issuable`](Self::for_each_issuable) touches only
+/// entries that can actually issue this cycle.
 #[derive(Debug)]
 pub struct Window {
     entries: std::collections::VecDeque<WinEntry>,
+    /// Issue-candidate bitmap: global bit `index + bit_off` of the word
+    /// sequence is set iff `entries[index]` is live, `Waiting`, and all its
+    /// sources are ready (it may still lose on functional units or memory
+    /// ordering — the bit stays set and it retries next cycle).
+    ready_bits: std::collections::VecDeque<u64>,
+    /// Offset of `entries[0]`'s bit within the first `ready_bits` word;
+    /// always `< 64`. Popping an entry advances it; at 64 the exhausted
+    /// word itself is popped.
+    bit_off: usize,
     live: usize,
     capacity: usize,
 }
@@ -153,9 +191,28 @@ impl Window {
         assert!(capacity > 0, "window capacity must be nonzero");
         Window {
             entries: std::collections::VecDeque::with_capacity(capacity),
+            ready_bits: std::collections::VecDeque::with_capacity(capacity / 64 + 2),
+            bit_off: 0,
             live: 0,
             capacity,
         }
+    }
+
+    fn set_bit(&mut self, index: usize) {
+        let g = index + self.bit_off;
+        self.ready_bits[g / 64] |= 1u64 << (g % 64);
+    }
+
+    /// Index of the entry with sequence number `seq`, dead or alive — a
+    /// subtraction, since the queue's seqs are contiguous.
+    fn index_of(&self, seq: Seq) -> Option<usize> {
+        let front = self.entries.front()?.seq;
+        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
+        if idx >= self.entries.len() {
+            return None;
+        }
+        debug_assert_eq!(self.entries[idx].seq, seq, "window seqs not contiguous");
+        Some(idx)
     }
 
     /// Live (not killed) entries currently occupying window slots.
@@ -173,15 +230,30 @@ impl Window {
         self.live == 0
     }
 
-    /// Insert a renamed instruction at the tail.
+    /// Insert a renamed instruction at the tail. `ops_ready` is whether all
+    /// its source operands are already ready — if so it is an immediate
+    /// issue candidate; otherwise the dispatcher must have registered it
+    /// for a [`wake`](Self::wake) on each outstanding operand.
     ///
     /// # Panics
     /// Panics if the window is full (callers must check `is_full`).
-    pub fn push(&mut self, entry: WinEntry) {
+    pub fn push(&mut self, entry: WinEntry, ops_ready: bool) {
         assert!(!self.is_full(), "window overflow");
         debug_assert!(!entry.killed);
+        debug_assert!(
+            self.entries.back().is_none_or(|b| b.seq + 1 == entry.seq),
+            "window seqs must be contiguous"
+        );
+        let g = self.entries.len() + self.bit_off;
+        while self.ready_bits.len() <= g / 64 {
+            self.ready_bits.push_back(0);
+        }
+        let candidate = ops_ready && entry.state == EntryState::Waiting;
         self.entries.push_back(entry);
         self.live += 1;
+        if candidate {
+            self.set_bit(self.entries.len() - 1);
+        }
     }
 
     /// The oldest live entry, if any (commit candidate). Killed entries at
@@ -198,6 +270,7 @@ impl Window {
     pub fn pop_head(&mut self) -> WinEntry {
         self.drain_dead_head();
         let e = self.entries.pop_front().expect("pop from empty window");
+        self.advance_bits();
         debug_assert!(!e.killed);
         self.live -= 1;
         e
@@ -206,42 +279,108 @@ impl Window {
     fn drain_dead_head(&mut self) {
         while matches!(self.entries.front(), Some(e) if e.killed) {
             self.entries.pop_front();
+            self.advance_bits();
+        }
+    }
+
+    /// Shift the candidate bitmap past the just-popped head entry.
+    fn advance_bits(&mut self) {
+        self.ready_bits[0] &= !(1u64 << self.bit_off);
+        self.bit_off += 1;
+        if self.bit_off == 64 {
+            self.ready_bits.pop_front();
+            self.bit_off = 0;
         }
     }
 
     /// Iterate over live entries, oldest first.
+    ///
+    /// There is deliberately no mutable counterpart: issue candidacy is
+    /// mirrored in the ready bitmap, so mutations must go through
+    /// [`push`](Self::push), [`kill_matching`](Self::kill_matching),
+    /// [`for_each_issuable`](Self::for_each_issuable), [`wake`](Self::wake),
+    /// or [`get_live_by_seq`](Self::get_live_by_seq) (which permits mutating
+    /// anything *except* a `Waiting` state, source readiness, or liveness).
     pub fn iter_live(&self) -> impl Iterator<Item = &WinEntry> {
         self.entries.iter().filter(|e| !e.killed)
     }
 
-    /// Iterate mutably over live entries, oldest first.
-    pub fn iter_live_mut(&mut self) -> impl Iterator<Item = &mut WinEntry> {
-        self.entries.iter_mut().filter(|e| !e.killed)
-    }
-
     /// The branch resolution bus (paper §3.2.3 "resolution"): kill every
-    /// live entry whose tag descends from (or equals) `wrong_tag`. Returns
-    /// the killed entries so the caller can release registers, CTX
-    /// positions, and store-buffer state.
-    pub fn kill_descendants(&mut self, wrong_tag: &CtxTag) -> Vec<WinEntry> {
-        let mut killed = Vec::new();
-        for e in self.entries.iter_mut() {
-            if !e.killed && e.ctx.is_descendant_or_equal(wrong_tag) {
+    /// live entry on the wrong path of the resolving branch, invoking
+    /// `on_kill` on each so the caller can release registers, CTX
+    /// positions, and store-buffer state without the old API's per-kill
+    /// entry clone.
+    ///
+    /// The selector's epoch filter spares entries whose matching tag bit is
+    /// a stale leftover from a previous allocation of the position.
+    pub fn kill_matching(&mut self, kill: &ResolutionKill, mut on_kill: impl FnMut(&WinEntry)) {
+        let mut killed = 0;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if !e.killed && kill.matches(&e.ctx, e.born) {
                 e.killed = true;
-                self.live -= 1;
-                killed.push(e.clone());
+                killed += 1;
+                on_kill(e);
+                let g = i + self.bit_off;
+                self.ready_bits[g / 64] &= !(1u64 << (g % 64));
             }
         }
-        killed
+        self.live -= killed;
     }
 
-    /// The branch commit bus (paper §3.2.3 "commit"): invalidate one
-    /// history position in every live entry's tag.
-    pub fn invalidate_position(&mut self, pos: usize) {
-        for e in self.entries.iter_mut() {
-            if !e.killed {
-                e.ctx.invalidate(pos);
+    /// The issue stage's select scan: visit the issue candidates (live,
+    /// waiting, operands ready — maintained by [`push`](Self::push),
+    /// [`wake`](Self::wake), and [`kill_matching`](Self::kill_matching))
+    /// oldest first. `try_issue` returns `true` once the entry issued (it
+    /// must have set [`WinEntry::state`]); candidates that lost on a
+    /// structural resource keep their bit and are revisited next cycle.
+    ///
+    /// The scan walks only the candidate bitmap — cycles with nothing
+    /// ready cost a few word tests regardless of window occupancy.
+    pub fn for_each_issuable(&mut self, mut try_issue: impl FnMut(&mut WinEntry) -> bool) {
+        for w in 0..self.ready_bits.len() {
+            let mut word = self.ready_bits[w];
+            if w == 0 {
+                word &= !0u64 << self.bit_off;
             }
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let idx = w * 64 + b - self.bit_off;
+                let e = &mut self.entries[idx];
+                debug_assert!(e.state == EntryState::Waiting && !e.killed);
+                if try_issue(e) {
+                    debug_assert!(self.entries[idx].state == EntryState::Issued);
+                    self.ready_bits[w] &= !(1u64 << b);
+                }
+            }
+        }
+    }
+
+    /// The writeback stage's wakeup bus: if the entry with sequence number
+    /// `seq` is live, waiting, and its source operands now pass `ready`,
+    /// mark it an issue candidate. No-op for absent or killed entries
+    /// (waiter registrations are not cleaned up on kill) and for entries
+    /// still missing another operand.
+    pub fn wake(&mut self, seq: Seq, ready: impl FnOnce(&[Option<PhysReg>; 2]) -> bool) {
+        let Some(idx) = self.index_of(seq) else {
+            return;
+        };
+        let e = &self.entries[idx];
+        if !e.killed && e.state == EntryState::Waiting && ready(&e.srcs) {
+            self.set_bit(idx);
+        }
+    }
+
+    /// The live entry with dispatch sequence number `seq`, located in O(1)
+    /// by exploiting seq contiguity (each dispatch pushes exactly one
+    /// entry; entries — corpses included — leave only from the front).
+    pub fn get_live_by_seq(&mut self, seq: Seq) -> Option<&mut WinEntry> {
+        let idx = self.index_of(seq)?;
+        let e = &mut self.entries[idx];
+        if e.killed {
+            None
+        } else {
+            Some(e)
         }
     }
 }
@@ -252,6 +391,10 @@ mod tests {
     use pp_ctx::PathTable;
 
     fn entry(seq: Seq, ctx: CtxTag) -> WinEntry {
+        entry_born(seq, ctx, 0)
+    }
+
+    fn entry_born(seq: Seq, ctx: CtxTag, born: u64) -> WinEntry {
         let mut paths: PathTable<()> = PathTable::new(1);
         let path = paths.allocate(()).unwrap();
         WinEntry {
@@ -260,6 +403,7 @@ mod tests {
             pc: seq as usize,
             op: Op::Nop,
             ctx,
+            born,
             path,
             srcs: [None, None],
             dest: None,
@@ -272,11 +416,25 @@ mod tests {
         }
     }
 
+    fn kill_at(pos: usize, dir: bool) -> ResolutionKill {
+        ResolutionKill {
+            pos,
+            dir,
+            stale_before: 0,
+        }
+    }
+
+    fn kill_seqs(w: &mut Window, kill: &ResolutionKill) -> Vec<Seq> {
+        let mut seqs = Vec::new();
+        w.kill_matching(kill, |e| seqs.push(e.seq));
+        seqs
+    }
+
     #[test]
     fn push_pop_order() {
         let mut w = Window::new(4);
-        w.push(entry(0, CtxTag::root()));
-        w.push(entry(1, CtxTag::root()));
+        w.push(entry(0, CtxTag::root()), false);
+        w.push(entry(1, CtxTag::root()), false);
         assert_eq!(w.occupancy(), 2);
         assert_eq!(w.pop_head().seq, 0);
         assert_eq!(w.pop_head().seq, 1);
@@ -287,24 +445,22 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let mut w = Window::new(1);
-        w.push(entry(0, CtxTag::root()));
-        w.push(entry(1, CtxTag::root()));
+        w.push(entry(0, CtxTag::root()), false);
+        w.push(entry(1, CtxTag::root()), false);
     }
 
     #[test]
-    fn kill_descendants_selective() {
+    fn kill_matching_selective() {
         let mut w = Window::new(8);
         let parent = CtxTag::root();
         let taken = parent.with_position(0, true);
         let not_taken = parent.with_position(0, false);
-        w.push(entry(0, parent)); // the branch itself: survives
-        w.push(entry(1, taken));
-        w.push(entry(2, not_taken));
-        w.push(entry(3, taken.with_position(1, false))); // descendant of taken
+        w.push(entry(0, parent), false); // the branch itself: survives
+        w.push(entry(1, taken), false);
+        w.push(entry(2, not_taken), false);
+        w.push(entry(3, taken.with_position(1, false)), false); // descendant of taken
 
-        let killed = w.kill_descendants(&taken);
-        let killed_seqs: Vec<Seq> = killed.iter().map(|e| e.seq).collect();
-        assert_eq!(killed_seqs, vec![1, 3]);
+        assert_eq!(kill_seqs(&mut w, &kill_at(0, true)), vec![1, 3]);
         assert_eq!(w.occupancy(), 2);
 
         // Commit proceeds over the corpses.
@@ -313,50 +469,164 @@ mod tests {
     }
 
     #[test]
+    fn kill_matching_spares_stale_snapshots() {
+        let mut w = Window::new(4);
+        let t = CtxTag::root().with_position(0, true);
+        // Dispatched before position 0 was last freed (born 3 < 5): its
+        // stored bit is a leftover from the previous allocation.
+        w.push(entry_born(0, t, 3), false);
+        // Dispatched under the current allocation (born 7 >= 5).
+        w.push(entry_born(1, t, 7), false);
+        let kill = ResolutionKill {
+            pos: 0,
+            dir: true,
+            stale_before: 5,
+        };
+        assert_eq!(kill_seqs(&mut w, &kill), vec![1]);
+        assert_eq!(w.occupancy(), 1);
+    }
+
+    #[test]
     fn head_skips_killed() {
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(0, t));
-        w.push(entry(1, CtxTag::root()));
-        w.kill_descendants(&t);
+        w.push(entry(0, t), false);
+        w.push(entry(1, CtxTag::root()), false);
+        kill_seqs(&mut w, &kill_at(0, true));
         assert_eq!(w.head_mut().unwrap().seq, 1);
     }
 
     #[test]
-    fn invalidate_position_broadcast() {
-        let mut w = Window::new(4);
-        let t = CtxTag::root()
-            .with_position(3, true)
-            .with_position(5, false);
-        w.push(entry(0, t));
-        w.invalidate_position(3);
-        let e = w.iter_live().next().unwrap();
-        assert_eq!(e.ctx.position(3), None);
-        assert_eq!(e.ctx.position(5), Some(false));
+    fn get_live_by_seq_finds_live_skips_killed_and_absent() {
+        let mut w = Window::new(8);
+        let t = CtxTag::root().with_position(0, true);
+        w.push(entry(10, CtxTag::root()), false);
+        w.push(entry(11, t), false);
+        w.push(entry(12, CtxTag::root()), false);
+        assert_eq!(w.get_live_by_seq(12).unwrap().seq, 12);
+        assert!(w.get_live_by_seq(13).is_none());
+        kill_seqs(&mut w, &kill_at(0, true));
+        assert!(
+            w.get_live_by_seq(11).is_none(),
+            "killed entries don't resolve"
+        );
+        // Popping the head keeps the remaining queue searchable.
+        assert_eq!(w.pop_head().seq, 10);
+        assert_eq!(w.get_live_by_seq(12).unwrap().seq, 12);
     }
 
     #[test]
     fn occupancy_counts_only_live() {
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(0, t));
-        w.push(entry(1, CtxTag::root()));
+        w.push(entry(0, t), false);
+        w.push(entry(1, CtxTag::root()), false);
         assert!(!w.is_full());
-        w.kill_descendants(&t);
+        kill_seqs(&mut w, &kill_at(0, true));
         assert_eq!(w.occupancy(), 1);
         // The freed slot can be reused.
-        w.push(entry(2, CtxTag::root()));
-        w.push(entry(3, CtxTag::root()));
-        w.push(entry(4, CtxTag::root()));
+        w.push(entry(2, CtxTag::root()), false);
+        w.push(entry(3, CtxTag::root()), false);
+        w.push(entry(4, CtxTag::root()), false);
         assert!(w.is_full());
     }
 
     #[test]
     fn iter_live_oldest_first() {
         let mut w = Window::new(4);
-        w.push(entry(5, CtxTag::root()));
-        w.push(entry(6, CtxTag::root()));
+        w.push(entry(5, CtxTag::root()), false);
+        w.push(entry(6, CtxTag::root()), false);
         let seqs: Vec<Seq> = w.iter_live().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![5, 6]);
+    }
+
+    /// Issue every candidate, returning the visit order.
+    fn issue_seqs(w: &mut Window) -> Vec<Seq> {
+        let mut seqs = Vec::new();
+        w.for_each_issuable(|e| {
+            seqs.push(e.seq);
+            e.state = EntryState::Issued;
+            true
+        });
+        seqs
+    }
+
+    #[test]
+    fn push_ready_entries_are_candidates_oldest_first() {
+        let mut w = Window::new(4);
+        w.push(entry(0, CtxTag::root()), true);
+        w.push(entry(1, CtxTag::root()), false);
+        w.push(entry(2, CtxTag::root()), true);
+        assert_eq!(issue_seqs(&mut w), vec![0, 2]);
+        // Issued entries are not revisited.
+        assert_eq!(issue_seqs(&mut w), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn wake_promotes_only_when_all_operands_ready() {
+        let mut w = Window::new(4);
+        w.push(entry(0, CtxTag::root()), false);
+        w.push(entry(1, CtxTag::root()), false);
+        assert!(issue_seqs(&mut w).is_empty());
+        // Still missing the other operand: not promoted.
+        w.wake(1, |_| false);
+        assert!(issue_seqs(&mut w).is_empty());
+        w.wake(1, |_| true);
+        assert_eq!(issue_seqs(&mut w), vec![1]);
+    }
+
+    #[test]
+    fn wake_ignores_absent_and_killed_entries() {
+        let mut w = Window::new(4);
+        let t = CtxTag::root().with_position(0, true);
+        w.push(entry(0, t), false);
+        kill_seqs(&mut w, &kill_at(0, true));
+        w.wake(0, |_| true); // killed
+        w.wake(7, |_| true); // never dispatched
+        assert!(issue_seqs(&mut w).is_empty());
+    }
+
+    #[test]
+    fn structural_loser_stays_a_candidate() {
+        let mut w = Window::new(4);
+        w.push(entry(0, CtxTag::root()), true);
+        let mut visits = 0;
+        w.for_each_issuable(|_| {
+            visits += 1;
+            false // lost on a functional unit
+        });
+        w.for_each_issuable(|_| {
+            visits += 1;
+            false
+        });
+        assert_eq!(visits, 2, "candidate must be revisited until it issues");
+    }
+
+    #[test]
+    fn kill_clears_candidacy() {
+        let mut w = Window::new(4);
+        let t = CtxTag::root().with_position(0, true);
+        w.push(entry(0, t), true);
+        w.push(entry(1, CtxTag::root()), true);
+        kill_seqs(&mut w, &kill_at(0, true));
+        assert_eq!(issue_seqs(&mut w), vec![1]);
+    }
+
+    #[test]
+    fn candidate_bitmap_survives_word_rollover() {
+        // Drive bit_off across the 64-bit word boundary (head pops shift
+        // the bitmap) and check candidacy still lands on the right entries.
+        let mut w = Window::new(8);
+        for i in 0..70 {
+            w.push(entry(i, CtxTag::root()), false);
+            let popped = w.pop_head();
+            assert_eq!(popped.seq, i);
+        }
+        w.push(entry(70, CtxTag::root()), false);
+        w.push(entry(71, CtxTag::root()), true);
+        w.push(entry(72, CtxTag::root()), false);
+        w.wake(72, |_| true);
+        assert_eq!(issue_seqs(&mut w), vec![71, 72]);
+        assert_eq!(w.get_live_by_seq(70).unwrap().seq, 70);
     }
 }

@@ -3,7 +3,7 @@
 //! interleavings of stores, kills, and position invalidations.
 
 use pp_core::{LoadCheck, StoreBuffer};
-use pp_ctx::CtxTag;
+use pp_ctx::{CtxTag, ResolutionKill};
 use pp_isa::Width;
 use pp_testutil::{cases, Rng};
 
@@ -138,8 +138,16 @@ fn store_buffer_matches_model() {
                     seq += 1;
                 }
                 Step::Kill { pos, dir } => {
+                    // The simulator issues single-(position, direction) kill
+                    // selectors; for eager tags that test is equivalent to
+                    // "descendant of the one-position wrong-path tag", which
+                    // is what the model checks.
                     let wrong = CtxTag::root().with_position(pos as usize, dir);
-                    sb.kill_descendants(&wrong);
+                    sb.kill_matching(&ResolutionKill {
+                        pos: pos as usize,
+                        dir,
+                        stale_before: 0,
+                    });
                     for m in &mut model {
                         if m.tag.is_descendant_or_equal(&wrong) {
                             m.killed = true;

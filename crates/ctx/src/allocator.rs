@@ -1,6 +1,7 @@
 //! History position allocation with left-to-right, wrap-around reuse.
 
-use crate::tag::MAX_POSITIONS;
+use crate::kill::ResolutionKill;
+use crate::tag::{CtxTag, MAX_POSITIONS};
 
 /// Allocates CTX history positions to branches.
 ///
@@ -23,12 +24,25 @@ use crate::tag::MAX_POSITIONS;
 /// alloc.free(p0);               // the branch committed
 /// assert_eq!(alloc.allocate(), Some(1), "assignment continues left-to-right");
 /// ```
+/// In addition to the free bitmap, the allocator keeps a *free epoch* per
+/// position: a monotonically increasing tick stamped every time a position
+/// is vacated. Structures that cannot afford the commit-time invalidation
+/// broadcast (the instruction window, whose tags would otherwise all be
+/// rewritten on every branch commit) instead record the allocator tick when
+/// an entry captured its tag; a stored `(position, direction)` pair is
+/// genuine iff the position has not been freed since —
+/// `last_free_tick(pos) <= entry.born`. See [`ResolutionKill`].
 #[derive(Debug, Clone)]
 pub struct PositionAllocator {
     capacity: usize,
     in_use: u128,
     /// Next position to try, advancing monotonically (mod capacity).
     cursor: usize,
+    /// Monotonic count of frees; the epoch clock for staleness checks.
+    tick: u64,
+    /// `free_tick[pos]`: value of `tick` just after `pos` was last freed
+    /// (0 if never freed).
+    free_tick: Vec<u64>,
 }
 
 impl PositionAllocator {
@@ -45,6 +59,8 @@ impl PositionAllocator {
             capacity,
             in_use: 0,
             cursor: 0,
+            tick: 0,
+            free_tick: vec![0; capacity],
         }
     }
 
@@ -93,11 +109,72 @@ impl PositionAllocator {
             "double free of position {pos}"
         );
         self.in_use &= !(1u128 << pos);
+        self.tick += 1;
+        self.free_tick[pos] = self.tick;
     }
 
     /// `true` if `pos` is currently allocated.
     pub fn is_live(&self, pos: usize) -> bool {
         pos < self.capacity && self.in_use & (1u128 << pos) != 0
+    }
+
+    /// Current value of the free-epoch clock. A tag snapshot stamped with
+    /// this tick stays verifiable against later frees: every bit it holds
+    /// is genuine as long as `last_free_tick(pos) <= stamp`.
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Epoch at which `pos` was last freed (0 if never freed).
+    pub fn last_free_tick(&self, pos: usize) -> u64 {
+        self.free_tick[pos]
+    }
+
+    /// Kill selector for the wrong path of the branch occupying `pos`,
+    /// resolving with actual direction `!wrong_dir` — i.e. kill everything
+    /// whose tag holds `(pos, wrong_dir)`. Captures the position's current
+    /// free epoch so lazily-maintained tag snapshots can be matched too.
+    pub fn resolution_kill(&self, pos: usize, wrong_dir: bool) -> ResolutionKill {
+        debug_assert!(
+            self.is_live(pos),
+            "resolving a branch with a freed position"
+        );
+        ResolutionKill {
+            pos,
+            dir: wrong_dir,
+            stale_before: self.free_tick[pos],
+        }
+    }
+
+    /// Drop every bit of `tag` whose position has been freed since the
+    /// snapshot was stamped at tick `born`. The result is the tag the entry
+    /// *would* hold had it received all invalidation broadcasts.
+    #[must_use]
+    pub fn scrub(&self, tag: CtxTag, born: u64) -> CtxTag {
+        let mut scrubbed = tag;
+        let mut mask = tag.valid_mask();
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.free_tick[pos] > born {
+                scrubbed.invalidate(pos);
+            }
+        }
+        scrubbed
+    }
+
+    /// `true` iff `tag`, snapshotted at tick `born`, is effectively the
+    /// root tag: every stored bit refers to a since-freed position.
+    pub fn effectively_root(&self, tag: &CtxTag, born: u64) -> bool {
+        let mut mask = tag.valid_mask();
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.free_tick[pos] <= born {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -166,6 +243,73 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = PositionAllocator::new(0);
+    }
+
+    #[test]
+    fn free_epochs_distinguish_stale_bits() {
+        let mut a = PositionAllocator::new(4);
+        let p = a.allocate().unwrap();
+        let born_live = a.current_tick();
+        // A tag snapshotted while p is live is genuine…
+        let tag = CtxTag::root().with_position(p, true);
+        assert_eq!(a.scrub(tag, born_live), tag);
+        assert!(!a.effectively_root(&tag, born_live));
+        // …until p is freed: the same snapshot is now stale.
+        a.free(p);
+        assert_eq!(a.scrub(tag, born_live), CtxTag::root());
+        assert!(a.effectively_root(&tag, born_live));
+        // A snapshot stamped after the position is re-allocated is genuine
+        // again.
+        let p2 = a.allocate().unwrap();
+        let born_new = a.current_tick();
+        let tag2 = CtxTag::root().with_position(p2, false);
+        assert_eq!(a.scrub(tag2, born_new), tag2);
+    }
+
+    #[test]
+    fn scrub_keeps_live_bits_and_drops_freed_ones() {
+        let mut a = PositionAllocator::new(8);
+        let p0 = a.allocate().unwrap();
+        let p1 = a.allocate().unwrap();
+        let born = a.current_tick();
+        let tag = CtxTag::root()
+            .with_position(p0, true)
+            .with_position(p1, false);
+        a.free(p0);
+        let scrubbed = a.scrub(tag, born);
+        assert_eq!(scrubbed.position(p0), None);
+        assert_eq!(scrubbed.position(p1), Some(false));
+        assert!(!a.effectively_root(&tag, born));
+    }
+
+    #[test]
+    fn resolution_kill_matches_current_allocation_only() {
+        let mut a = PositionAllocator::new(4);
+        let p = a.allocate().unwrap();
+        let stale_born = a.current_tick();
+        let stale_tag = CtxTag::root().with_position(p, true);
+        a.free(p);
+        assert_eq!(a.allocate(), Some(1)); // cursor moved on
+        a.free(1);
+        let p_again = a.allocate().unwrap();
+        assert_eq!(p_again, 2);
+        let p_reused = loop {
+            let q = a.allocate().unwrap();
+            if q == p {
+                break q;
+            }
+            a.free(q);
+        };
+        let fresh_born = a.current_tick();
+        let kill = a.resolution_kill(p_reused, true);
+        // Fresh snapshot with (p, T): killed. Stale snapshot from the
+        // previous allocation of p: spared despite identical bits.
+        assert!(kill.matches(&CtxTag::root().with_position(p, true), fresh_born));
+        assert!(!kill.matches(&stale_tag, stale_born));
+        // Eager structures (no epochs) match on the bits alone.
+        assert!(kill.matches_eager(&CtxTag::root().with_position(p, true)));
+        assert!(!kill.matches_eager(&CtxTag::root().with_position(p, false)));
+        assert!(!kill.matches_eager(&CtxTag::root()));
     }
 
     #[test]

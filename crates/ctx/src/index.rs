@@ -1,0 +1,225 @@
+//! Reverse index from history positions to the path-table slots whose tags
+//! hold them.
+
+use crate::kill::ResolutionKill;
+use crate::tag::CtxTag;
+
+/// Precomputed descendant bitmasks over the CTX table.
+///
+/// For every `(history position, direction)` pair the index keeps a bitmask
+/// of path-table slots whose registered tag holds that pair. Because a tag
+/// is a conjunction of its pairs, the set of live descendants of any tag is
+/// the AND of the masks of its valid positions — [`descendants_of`] — and
+/// the wrong-path set of a resolving branch is a single mask lookup —
+/// [`matching`]. This turns the kill broadcast's per-path hierarchy
+/// comparison and the path-status sweeps into word-wide bit tests.
+///
+/// The index is maintained incrementally by the context manager at the few
+/// points where a path tag changes: path birth ([`insert`]), tag extension
+/// when a branch is fetched ([`extend`]), the branch-commit invalidation
+/// broadcast ([`invalidate_position`]), and path death ([`remove`]).
+///
+/// [`descendants_of`]: TagIndex::descendants_of
+/// [`matching`]: TagIndex::matching
+/// [`insert`]: TagIndex::insert
+/// [`extend`]: TagIndex::extend
+/// [`invalidate_position`]: TagIndex::invalidate_position
+/// [`remove`]: TagIndex::remove
+#[derive(Debug, Clone)]
+pub struct TagIndex {
+    /// `masks[pos][dir]`: slots whose tag holds `(pos, dir)`.
+    masks: Vec<[u64; 2]>,
+    /// Slots with a registered tag.
+    live: u64,
+}
+
+impl TagIndex {
+    /// Index over `positions` history positions and `slots` path slots.
+    ///
+    /// # Panics
+    /// Panics if `slots` exceeds 64 (masks are single words — the CTX
+    /// table is architecturally small) or `positions` is 0.
+    pub fn new(positions: usize, slots: usize) -> Self {
+        assert!(positions > 0, "need at least one history position");
+        assert!(slots <= 64, "TagIndex supports at most 64 path slots");
+        TagIndex {
+            masks: vec![[0; 2]; positions],
+            live: 0,
+        }
+    }
+
+    /// Bitmask of slots with a registered tag.
+    pub fn live_mask(&self) -> u64 {
+        self.live
+    }
+
+    /// Register `tag` as the tag of path slot `slot`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the slot is already registered.
+    pub fn insert(&mut self, slot: usize, tag: &CtxTag) {
+        let bit = self.slot_bit(slot);
+        debug_assert!(self.live & bit == 0, "slot {slot} already registered");
+        self.live |= bit;
+        let mut mask = tag.valid_mask();
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let dir = tag.position(pos) == Some(true);
+            self.masks[pos][dir as usize] |= bit;
+        }
+    }
+
+    /// Unregister path slot `slot`, whose registered tag is `tag`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the slot is not registered.
+    pub fn remove(&mut self, slot: usize, tag: &CtxTag) {
+        let bit = self.slot_bit(slot);
+        debug_assert!(self.live & bit != 0, "slot {slot} not registered");
+        self.live &= !bit;
+        let mut mask = tag.valid_mask();
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let dir = tag.position(pos) == Some(true);
+            debug_assert!(self.masks[pos][dir as usize] & bit != 0);
+            self.masks[pos][dir as usize] &= !bit;
+        }
+    }
+
+    /// Record that slot `slot`'s tag gained `(pos, taken)` — a branch was
+    /// fetched on that path.
+    pub fn extend(&mut self, slot: usize, pos: usize, taken: bool) {
+        let bit = self.slot_bit(slot);
+        debug_assert!(self.live & bit != 0, "slot {slot} not registered");
+        debug_assert!(
+            self.masks[pos][0] & bit == 0 && self.masks[pos][1] & bit == 0,
+            "slot {slot} already holds position {pos}"
+        );
+        self.masks[pos][taken as usize] |= bit;
+    }
+
+    /// The branch-commit broadcast: drop position `pos` from every
+    /// registered tag.
+    pub fn invalidate_position(&mut self, pos: usize) {
+        self.masks[pos] = [0; 2];
+    }
+
+    /// Slots whose registered tag holds `(pos, taken)` — the wrong-path set
+    /// of a resolving branch (see [`ResolutionKill`]).
+    pub fn matching(&self, pos: usize, taken: bool) -> u64 {
+        self.masks[pos][taken as usize]
+    }
+
+    /// Slots whose registered tag holds `pos` with either direction.
+    pub fn holding_position(&self, pos: usize) -> u64 {
+        self.masks[pos][0] | self.masks[pos][1]
+    }
+
+    /// Slots matching a resolution-kill selector (path tags are eagerly
+    /// maintained, so no epoch check is needed).
+    pub fn killed_by(&self, kill: &ResolutionKill) -> u64 {
+        self.matching(kill.pos, kill.dir)
+    }
+
+    /// Bitmask of registered slots whose tag equals `ancestor` or descends
+    /// from it: the AND of the per-position masks over `ancestor`'s valid
+    /// set, seeded with every live slot (the root tag constrains nothing).
+    pub fn descendants_of(&self, ancestor: &CtxTag) -> u64 {
+        let mut acc = self.live;
+        let mut mask = ancestor.valid_mask();
+        while mask != 0 && acc != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let dir = ancestor.position(pos) == Some(true);
+            acc &= self.masks[pos][dir as usize];
+        }
+        acc
+    }
+
+    fn slot_bit(&self, slot: usize) -> u64 {
+        assert!(slot < 64, "slot index out of range");
+        1u64 << slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descendants_match_comparator() {
+        let mut idx = TagIndex::new(8, 8);
+        let root = CtxTag::root();
+        let t = root.with_position(0, true);
+        let tn = t.with_position(1, false);
+        let tt = t.with_position(1, true);
+        let tags = [root, t, tn, tt];
+        for (slot, tag) in tags.iter().enumerate() {
+            idx.insert(slot, tag);
+        }
+        for ancestor in &tags {
+            let expect = tags
+                .iter()
+                .enumerate()
+                .filter(|(_, tag)| tag.is_descendant_or_equal(ancestor))
+                .fold(0u64, |m, (slot, _)| m | 1 << slot);
+            assert_eq!(idx.descendants_of(ancestor), expect, "{ancestor}");
+        }
+    }
+
+    #[test]
+    fn extend_and_invalidate_track_tag_mutation() {
+        let mut idx = TagIndex::new(4, 4);
+        let mut tag = CtxTag::root();
+        idx.insert(0, &tag);
+        tag = tag.with_position(2, true);
+        idx.extend(0, 2, true);
+        assert_eq!(idx.matching(2, true), 1);
+        assert_eq!(idx.matching(2, false), 0);
+        assert_eq!(idx.holding_position(2), 1);
+        // Commit broadcast: the bit disappears everywhere.
+        tag.invalidate(2);
+        idx.invalidate_position(2);
+        assert_eq!(idx.holding_position(2), 0);
+        assert_eq!(idx.descendants_of(&CtxTag::root()), 1, "path still live");
+    }
+
+    #[test]
+    fn remove_clears_only_that_slot() {
+        let mut idx = TagIndex::new(4, 4);
+        let a = CtxTag::root().with_position(1, false);
+        let b = CtxTag::root()
+            .with_position(1, false)
+            .with_position(2, true);
+        idx.insert(0, &a);
+        idx.insert(1, &b);
+        assert_eq!(idx.matching(1, false), 0b11);
+        idx.remove(0, &a);
+        assert_eq!(idx.matching(1, false), 0b10);
+        assert_eq!(idx.live_mask(), 0b10);
+    }
+
+    #[test]
+    fn killed_by_is_the_wrong_path_mask() {
+        let mut idx = TagIndex::new(4, 4);
+        let parent = CtxTag::root();
+        let taken = parent.with_position(0, true);
+        let not_taken = parent.with_position(0, false);
+        idx.insert(0, &taken);
+        idx.insert(1, &not_taken);
+        let kill = ResolutionKill {
+            pos: 0,
+            dir: false,
+            stale_before: 0,
+        };
+        assert_eq!(idx.killed_by(&kill), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn too_many_slots_rejected() {
+        let _ = TagIndex::new(4, 65);
+    }
+}

@@ -1,0 +1,113 @@
+//! The branch-resolution kill selector.
+
+use crate::tag::CtxTag;
+
+/// Selector for the kill broadcast issued when a branch resolves: everything
+/// on the wrong side of the branch occupying history position `pos` dies.
+///
+/// The full-tag form of the broadcast compares each entry's tag against
+/// `parent_tag.with_position(pos, dir)` with the hierarchy comparator
+/// (paper Fig. 5). Because a live history position is owned by exactly one
+/// unresolved branch, and every tag that carries a bit at `pos` was created
+/// on that branch's successor lineage (and therefore already carries all of
+/// `parent_tag`), the subset test degenerates to the single pair test
+/// `tag.has(pos, dir)` — that is what [`matches_eager`] checks.
+///
+/// Structures that skip the commit-time invalidation broadcast (the
+/// instruction window) can hold *stale* bits: a `(pos, dir)` pair left over
+/// from a previous allocation of `pos`. [`matches`] filters those with the
+/// allocator's free-epoch clock: a stored bit is genuine iff `pos` has not
+/// been freed since the tag was snapshotted (`stale_before <= born`).
+///
+/// [`matches`]: ResolutionKill::matches
+/// [`matches_eager`]: ResolutionKill::matches_eager
+///
+/// Construct via [`crate::PositionAllocator::resolution_kill`], which
+/// captures the position's current free epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolutionKill {
+    /// History position owned by the resolving branch.
+    pub pos: usize,
+    /// Direction bit of the *wrong* path (kill tags holding this value).
+    pub dir: bool,
+    /// Free epoch of `pos` when the kill was issued: tag snapshots stamped
+    /// before this tick carry a stale bit from a previous allocation of
+    /// `pos` and must not match.
+    pub stale_before: u64,
+}
+
+impl ResolutionKill {
+    /// Does a lazily-maintained tag snapshot stamped at tick `born` lie on
+    /// the wrong path?
+    pub fn matches(&self, tag: &CtxTag, born: u64) -> bool {
+        born >= self.stale_before && tag.has(self.pos, self.dir)
+    }
+
+    /// Does an eagerly-maintained tag (one that receives every commit-time
+    /// invalidation broadcast, so it never holds stale bits) lie on the
+    /// wrong path?
+    pub fn matches_eager(&self, tag: &CtxTag) -> bool {
+        tag.has(self.pos, self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_match_is_the_pair_test() {
+        let kill = ResolutionKill {
+            pos: 3,
+            dir: true,
+            stale_before: 0,
+        };
+        let on_wrong = CtxTag::root()
+            .with_position(3, true)
+            .with_position(5, false);
+        let on_right = CtxTag::root().with_position(3, false);
+        let elsewhere = CtxTag::root().with_position(4, true);
+        assert!(kill.matches_eager(&on_wrong));
+        assert!(!kill.matches_eager(&on_right));
+        assert!(!kill.matches_eager(&elsewhere));
+    }
+
+    #[test]
+    fn lazy_match_requires_fresh_snapshot() {
+        let kill = ResolutionKill {
+            pos: 2,
+            dir: false,
+            stale_before: 7,
+        };
+        let tag = CtxTag::root().with_position(2, false);
+        assert!(kill.matches(&tag, 7), "born at the free boundary is fresh");
+        assert!(kill.matches(&tag, 12));
+        assert!(!kill.matches(&tag, 6), "snapshot predates the last free");
+    }
+
+    #[test]
+    fn eager_equivalence_with_full_tag_comparator() {
+        // For any tag extending the parent, matching (pos, dir) is the same
+        // as descending from parent + (pos, dir).
+        let parent = CtxTag::root().with_position(0, true);
+        let wrong = parent.with_position(1, false);
+        let kill = ResolutionKill {
+            pos: 1,
+            dir: false,
+            stale_before: 0,
+        };
+        for tag in [
+            wrong,
+            wrong.with_position(2, true),
+            parent,
+            parent.with_position(1, true),
+            CtxTag::root(),
+        ] {
+            assert_eq!(
+                kill.matches_eager(&tag),
+                tag.is_descendant_or_equal(&wrong),
+                "{tag}"
+            );
+        }
+    }
+}

@@ -20,7 +20,13 @@
 //!   assignment with reuse on branch commit (§3.2.2),
 //! * [`PathId`] / [`PathTable`] — a small slot table for live execution
 //!   paths, generic over the per-path payload (the CTX table of Fig. 7
-//!   stores fetch PC and status in it; `pp-core` supplies that payload).
+//!   stores fetch PC and status in it; `pp-core` supplies that payload),
+//! * [`TagIndex`] — a reverse index from `(position, direction)` pairs to
+//!   path slots, turning descendant sweeps and the wrong-path kill set into
+//!   single-word mask operations,
+//! * [`ResolutionKill`] — the kill selector broadcast when a branch
+//!   resolves, with the free-epoch staleness filter that lets the
+//!   instruction window keep its tags lazily (no per-commit rewrite).
 //!
 //! ```
 //! use pp_ctx::CtxTag;
@@ -36,9 +42,13 @@
 //! ```
 
 mod allocator;
+mod index;
+mod kill;
 mod table;
 mod tag;
 
 pub use allocator::PositionAllocator;
+pub use index::TagIndex;
+pub use kill::ResolutionKill;
 pub use table::{PathId, PathTable};
 pub use tag::{CtxTag, MAX_POSITIONS};

@@ -11,6 +11,12 @@ impl PathId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id for slot `index` — the inverse of [`PathId::index`]. Used to
+    /// decode slot bitmasks produced by [`crate::TagIndex`] back into ids.
+    pub fn from_index(index: usize) -> Self {
+        PathId(u32::try_from(index).expect("slot index fits in u32"))
+    }
 }
 
 impl fmt::Display for PathId {
@@ -39,6 +45,12 @@ impl fmt::Display for PathId {
 #[derive(Debug, Clone)]
 pub struct PathTable<T> {
     slots: Vec<Option<T>>,
+    /// Live ids, oldest allocation first. Kept incrementally so the fetch
+    /// arbiter can walk paths in age order without a per-cycle sort: slot
+    /// indices are reused, but a reused slot re-enters at the back, so list
+    /// order is allocation order.
+    order: Vec<PathId>,
+    live: usize,
 }
 
 impl<T> PathTable<T> {
@@ -50,6 +62,8 @@ impl<T> PathTable<T> {
         assert!(capacity > 0, "path table capacity must be nonzero");
         PathTable {
             slots: (0..capacity).map(|_| None).collect(),
+            order: Vec::with_capacity(capacity),
+            live: 0,
         }
     }
 
@@ -60,19 +74,22 @@ impl<T> PathTable<T> {
 
     /// Number of live paths.
     pub fn live(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.live
     }
 
     /// `true` when every slot is occupied.
     pub fn is_full(&self) -> bool {
-        self.slots.iter().all(|s| s.is_some())
+        self.live == self.slots.len()
     }
 
     /// Allocate a slot for a new path, or `None` when the table is full.
     pub fn allocate(&mut self, payload: T) -> Option<PathId> {
         let idx = self.slots.iter().position(|s| s.is_none())?;
         self.slots[idx] = Some(payload);
-        Some(PathId(idx as u32))
+        self.live += 1;
+        let id = PathId(idx as u32);
+        self.order.push(id);
+        Some(id)
     }
 
     /// Free a path slot, returning its payload.
@@ -81,9 +98,17 @@ impl<T> PathTable<T> {
     /// Panics if the slot is already free (a path killed twice indicates a
     /// control-flow bookkeeping bug).
     pub fn free(&mut self, id: PathId) -> T {
-        self.slots[id.index()]
+        let payload = self.slots[id.index()]
             .take()
-            .expect("freeing a dead path slot")
+            .expect("freeing a dead path slot");
+        self.live -= 1;
+        let at = self
+            .order
+            .iter()
+            .position(|&o| o == id)
+            .expect("live path present in order list");
+        self.order.remove(at);
+        payload
     }
 
     /// Shared access to a live path's payload.
@@ -115,6 +140,11 @@ impl<T> PathTable<T> {
     /// Ids of live paths, in slot order (allocation-friendly snapshot).
     pub fn live_ids(&self) -> Vec<PathId> {
         self.iter().map(|(id, _)| id).collect()
+    }
+
+    /// Ids of live paths, oldest allocation first.
+    pub fn ids_by_age(&self) -> &[PathId] {
+        &self.order
     }
 }
 
@@ -182,6 +212,31 @@ mod tests {
         let a = t.allocate(5).unwrap();
         *t.get_mut(a).unwrap() += 1;
         assert_eq!(t.get(a), Some(&6));
+    }
+
+    #[test]
+    fn age_order_survives_slot_reuse() {
+        let mut t: PathTable<&str> = PathTable::new(4);
+        let a = t.allocate("a").unwrap();
+        let b = t.allocate("b").unwrap();
+        t.free(a);
+        let c = t.allocate("c").unwrap(); // reuses slot 0, but is youngest
+        assert_eq!(c.index(), 0);
+        assert_eq!(t.ids_by_age(), &[b, c]);
+        let names: Vec<&str> = t
+            .ids_by_age()
+            .iter()
+            .map(|&id| *t.get(id).unwrap())
+            .collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn from_index_roundtrips() {
+        let mut t: PathTable<u8> = PathTable::new(3);
+        t.allocate(0).unwrap();
+        let b = t.allocate(1).unwrap();
+        assert_eq!(PathId::from_index(b.index()), b);
     }
 
     #[test]

@@ -86,6 +86,29 @@ impl CtxTag {
         self.valid.count_ones()
     }
 
+    /// `true` iff position `pos` is valid with direction `taken`.
+    ///
+    /// This is the single-position form of the hierarchy comparator: for a
+    /// one-position ancestor `A = root + (pos, taken)`,
+    /// `self.is_descendant_or_equal(&A) == self.has(pos, taken)`. The kill
+    /// broadcast uses it because a live history position belongs to exactly
+    /// one unresolved branch, so matching that branch's `(position,
+    /// wrong-direction)` pair is equivalent to the whole-tag subset test.
+    pub fn has(&self, pos: usize, taken: bool) -> bool {
+        debug_assert!(pos < MAX_POSITIONS);
+        let bit = 1u128 << pos;
+        self.valid & bit != 0 && (self.dir & bit != 0) == taken
+    }
+
+    /// Bitmask of valid positions (bit `p` set iff position `p` is `T`/`N`).
+    ///
+    /// Exposed so position-indexed side structures ([`crate::TagIndex`],
+    /// the allocator's staleness scrub) can walk a tag's valid set with
+    /// `trailing_zeros` instead of probing all [`MAX_POSITIONS`] slots.
+    pub fn valid_mask(&self) -> u128 {
+        self.valid
+    }
+
     /// `true` for the all-`X` tag.
     pub fn is_root(&self) -> bool {
         self.valid == 0
@@ -263,6 +286,34 @@ mod tests {
             .with_position(2, false);
         assert_eq!(format!("{tag:?}"), "CtxTag(TXN)".replace("TXN", "TXNX"));
         assert_eq!(format!("{}", CtxTag::root()), "CtxTag(XXXX)");
+    }
+
+    #[test]
+    fn has_matches_single_position_ancestor_test() {
+        let tag = CtxTag::root()
+            .with_position(3, true)
+            .with_position(7, false);
+        for pos in 0..16 {
+            for dir in [false, true] {
+                let ancestor = CtxTag::root().with_position(pos, dir);
+                assert_eq!(
+                    tag.has(pos, dir),
+                    tag.is_descendant_or_equal(&ancestor),
+                    "pos={pos} dir={dir}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_mask_tracks_positions() {
+        let mut tag = CtxTag::root()
+            .with_position(0, true)
+            .with_position(5, false);
+        assert_eq!(tag.valid_mask(), 0b100001);
+        tag.invalidate(0);
+        assert_eq!(tag.valid_mask(), 0b100000);
+        assert_eq!(CtxTag::root().valid_mask(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Randomized property tests for CTX tag algebra and position allocation
 //! (seeded and dependency-free via `pp-testutil`).
 
-use pp_ctx::{CtxTag, PositionAllocator, MAX_POSITIONS};
+use pp_ctx::{CtxTag, PositionAllocator, TagIndex, MAX_POSITIONS};
 use pp_testutil::{cases, Rng};
 
 /// A sequence of (position, direction) pairs with distinct positions.
@@ -176,6 +176,133 @@ fn gate_level_descendant(a: &CtxTag, b: &CtxTag) -> bool {
         (None, Some(_)) => false,         // B does, A has no history here
         (Some(da), Some(db)) => da == db, // both valid: directions must agree
     })
+}
+
+/// Lifecycle property: the incrementally maintained [`TagIndex`] stays in
+/// lock-step with the hierarchy comparator under a randomized CTX-table
+/// lifecycle — divergence, tag extension, resolution kills, and commit
+/// invalidation broadcasts — including position reuse after wrap-around of
+/// the [`PositionAllocator`].
+///
+/// The model mirrors the simulator's maintenance points exactly: `insert`
+/// at path birth, `extend` when a path fetches a branch, `remove` when a
+/// resolution kills a path, `invalidate_position` + `free` when a branch
+/// commits, and `free` without broadcast when a kill leaves a position with
+/// no live holder (the killed branch owned it).
+#[test]
+fn tag_index_matches_comparator_through_lifecycle() {
+    const POSITIONS: usize = 8; // small: forces allocator wrap-around
+    const SLOTS: usize = 16;
+
+    cases(192, |rng| {
+        let mut alloc = PositionAllocator::new(POSITIONS);
+        let mut idx = TagIndex::new(POSITIONS, SLOTS);
+        let mut tags: Vec<Option<CtxTag>> = vec![None; SLOTS];
+        tags[0] = Some(CtxTag::root());
+        idx.insert(0, &CtxTag::root());
+        let mut unresolved: Vec<usize> = Vec::new(); // in-flight branch positions
+        let mut resolved: Vec<usize> = Vec::new(); // resolved, awaiting commit
+
+        let check = |idx: &TagIndex, tags: &[Option<CtxTag>]| {
+            let live = tags
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_some())
+                .fold(0u64, |m, (s, _)| m | 1 << s);
+            assert_eq!(idx.live_mask(), live);
+            for (sa, ta) in tags.iter().enumerate() {
+                let Some(ta) = ta else { continue };
+                let mask = idx.descendants_of(ta);
+                for (sb, tb) in tags.iter().enumerate() {
+                    let Some(tb) = tb else { continue };
+                    assert_eq!(
+                        mask >> sb & 1 == 1,
+                        tb.is_descendant_or_equal(ta),
+                        "descendant mask of slot {sa} ({ta}) wrong at slot {sb} ({tb})"
+                    );
+                }
+            }
+            for pos in 0..POSITIONS {
+                for dir in [false, true] {
+                    let expect = tags
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.is_some_and(|t| t.has(pos, dir)))
+                        .fold(0u64, |m, (s, _)| m | 1 << s);
+                    assert_eq!(idx.matching(pos, dir), expect, "mask for ({pos}, {dir})");
+                }
+            }
+        };
+
+        for _ in 0..rng.in_range(20..80) {
+            let live_slots: Vec<usize> = (0..SLOTS).filter(|&s| tags[s].is_some()).collect();
+            match rng.below(4) {
+                // Fetch a branch on a random live path; sometimes diverge.
+                0 | 1 => {
+                    let Some(pos) = alloc.allocate() else {
+                        continue;
+                    };
+                    let s = live_slots[rng.in_range(0..live_slots.len())];
+                    let parent = tags[s].unwrap();
+                    let free_slot = (0..SLOTS).find(|&f| tags[f].is_none());
+                    if let (true, Some(f)) = (rng.flip(), free_slot) {
+                        // Divergence: new slot takes the taken successor,
+                        // the fetching slot continues as not-taken.
+                        let taken = parent.with_position(pos, true);
+                        idx.insert(f, &taken);
+                        tags[f] = Some(taken);
+                        idx.extend(s, pos, false);
+                        tags[s] = Some(parent.with_position(pos, false));
+                    } else {
+                        let dir = rng.flip();
+                        idx.extend(s, pos, dir);
+                        tags[s] = Some(parent.with_position(pos, dir));
+                    }
+                    unresolved.push(pos);
+                }
+                // Resolve a random in-flight branch: kill one direction.
+                2 if !unresolved.is_empty() => {
+                    let pos = unresolved.swap_remove(rng.in_range(0..unresolved.len()));
+                    let mut wrong = rng.flip();
+                    if idx.matching(pos, wrong) == idx.live_mask() {
+                        // The model has no notion of the architecturally
+                        // correct path; just never kill every live path.
+                        wrong = !wrong;
+                    }
+                    let mut dead = idx.matching(pos, wrong);
+                    while dead != 0 {
+                        let s = dead.trailing_zeros() as usize;
+                        dead &= dead - 1;
+                        idx.remove(s, &tags[s].take().unwrap());
+                    }
+                    // Positions whose every holder died were owned by killed
+                    // branches: reclaim them without any broadcast.
+                    unresolved.retain(|&q| {
+                        idx.holding_position(q) != 0 || {
+                            alloc.free(q);
+                            false
+                        }
+                    });
+                    if idx.holding_position(pos) == 0 {
+                        alloc.free(pos);
+                    } else {
+                        resolved.push(pos);
+                    }
+                }
+                // Commit a resolved branch: invalidation broadcast + free.
+                _ if !resolved.is_empty() => {
+                    let pos = resolved.swap_remove(rng.in_range(0..resolved.len()));
+                    idx.invalidate_position(pos);
+                    for t in tags.iter_mut().flatten() {
+                        t.invalidate(pos);
+                    }
+                    alloc.free(pos);
+                }
+                _ => {}
+            }
+            check(&idx, &tags);
+        }
+    });
 }
 
 #[test]

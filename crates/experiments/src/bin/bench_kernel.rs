@@ -1,0 +1,220 @@
+//! Kernel throughput benchmark: simulated KIPS over the `run_all`
+//! workload set, exported as `BENCH_kernel.json`.
+//!
+//! ```sh
+//! cargo run --release -p pp-experiments --bin bench_kernel -- \
+//!     [--out BENCH_kernel.json] [--baseline OLD.json] [--repeat N]
+//! ```
+//!
+//! Runs every workload of the paper's evaluation under the named
+//! configurations sequentially (no worker threads, so wall-clock numbers
+//! are not distorted by core contention), and writes a JSON report:
+//! per-run KIPS plus the per-pipeline-phase host-time breakdown, and an
+//! aggregate over the whole set. With `--baseline`, the aggregate of a
+//! previously captured report is embedded and the speedup computed —
+//! this is how the perf trajectory in `BENCH_kernel.json` is maintained:
+//! capture once before an optimization, re-run with `--baseline` after
+//! it.
+//!
+//! Each (workload, config) pair is run **twice**: once clean — no
+//! observer, no self-profiling, wall time measured around `run()` — for
+//! the KIPS figure, and once with host self-profiling enabled for the
+//! phase attribution. The phase timers read the clock twice per phase,
+//! five phases per cycle, which adds a per-cycle constant that would
+//! otherwise dilute (or mask) kernel speedups; keeping the timing run
+//! un-instrumented makes KIPS reflect the simulator alone. Baselines
+//! must be captured with the same methodology to be comparable.
+//!
+//! `--repeat N` runs the timing run N times per pair and keeps the
+//! **minimum** wall time. Host-side noise (frequency scaling, other
+//! tenants) only ever adds time, so min-of-N estimates the undisturbed
+//! cost; on shared machines use `--repeat 3` for both the baseline
+//! capture and the comparison run, back to back.
+//!
+//! Honours `PP_SCALE` like every other binary; the scale in use is
+//! recorded in the report so baselines are only compared at like scale.
+
+use std::fmt::Write as _;
+
+use pp_experiments::experiments::BASELINE_HISTORY_BITS;
+use pp_experiments::{named_config, scale_factor, scaled, Config};
+use pp_workloads::Workload;
+
+use pp_core::Simulator;
+
+/// The configurations benchmarked, in order. Monopath exercises the
+/// single-path fast path, SEE/JRS the divergence machinery, dual-path
+/// the bounded variant.
+const BENCH_CONFIGS: [Config; 3] = [Config::Monopath, Config::SeeJrs, Config::DualJrs];
+
+struct RunReport {
+    workload: Workload,
+    config: Config,
+    committed: u64,
+    cycles: u64,
+    wall_s: f64,
+    kips: f64,
+    phases: Vec<(&'static str, f64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn run_one(w: Workload, c: Config, repeat: usize) -> RunReport {
+    let cfg = named_config(c, BASELINE_HISTORY_BITS);
+    let program = w.build(scaled(w));
+
+    // Timing runs: nothing attached, wall clock measured from outside,
+    // minimum over `repeat` identical runs.
+    let mut wall = std::time::Duration::MAX;
+    let mut stats = None;
+    for _ in 0..repeat {
+        let mut sim = Simulator::new(&program, cfg.clone());
+        let start = std::time::Instant::now();
+        let s = sim.run();
+        wall = wall.min(start.elapsed());
+        assert!(!s.hit_cycle_limit, "{w} hit the cycle limit");
+        if let Some(prev) = &stats {
+            assert_eq!(&s, prev, "{w} repeat run diverged");
+        }
+        stats = Some(s);
+    }
+    let stats = stats.expect("repeat must be nonzero");
+
+    // Attribution run: same simulation, phase timers on.
+    let mut prof_sim = Simulator::new(&program, cfg);
+    prof_sim.enable_self_profiling();
+    let prof_stats = prof_sim.run();
+    assert_eq!(
+        prof_stats.committed_instructions, stats.committed_instructions,
+        "self-profiling must not perturb the simulation"
+    );
+    let host = prof_sim.host_profile().expect("profiling enabled").clone();
+
+    RunReport {
+        workload: w,
+        config: c,
+        committed: stats.committed_instructions,
+        cycles: stats.cycles,
+        wall_s: wall.as_secs_f64(),
+        kips: stats.committed_instructions as f64 / wall.as_secs_f64() / 1e3,
+        phases: host
+            .phases()
+            .iter()
+            .map(|(n, d)| (*n, d.as_secs_f64()))
+            .collect(),
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_kernel.json");
+    let mut baseline: Option<String> = None;
+    let mut repeat = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat count must be a positive integer");
+                assert!(repeat > 0, "--repeat count must be a positive integer");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let mut runs = Vec::new();
+    let mut total_committed = 0u64;
+    let mut total_wall = 0.0f64;
+    for w in Workload::ALL {
+        for c in BENCH_CONFIGS {
+            let r = run_one(w, c, repeat);
+            println!(
+                "{:>9} × {:<24} {:>8.1} KIPS  ({} committed in {:.2}s)",
+                w.name(),
+                c.label(),
+                r.kips,
+                r.committed,
+                r.wall_s
+            );
+            total_committed += r.committed;
+            total_wall += r.wall_s;
+            runs.push(r);
+        }
+    }
+    let aggregate_kips = total_committed as f64 / total_wall / 1e3;
+    println!(
+        "aggregate: {aggregate_kips:.1} simulated KIPS over {} runs",
+        runs.len()
+    );
+
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"benchmark\": \"kernel\",");
+    let _ = writeln!(
+        j,
+        "  \"unit\": \"simulated KIPS (committed kilo-instructions per host second)\","
+    );
+    let _ = writeln!(j, "  \"scale_factor\": {},", scale_factor());
+    let _ = writeln!(j, "  \"timing_runs_min_of\": {repeat},");
+    let _ = writeln!(j, "  \"history_bits\": {BASELINE_HISTORY_BITS},");
+    let _ = writeln!(j, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let phases: Vec<String> = r
+            .phases
+            .iter()
+            .map(|(n, s)| format!("\"{n}\": {s:.6}"))
+            .collect();
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"committed\": {}, \"cycles\": {}, \"wall_s\": {:.6}, \"kips\": {:.1}, \"phases_s\": {{{}}}}}{}",
+            r.workload.name(),
+            json_escape(r.config.label()),
+            r.committed,
+            r.cycles,
+            r.wall_s,
+            r.kips,
+            phases.join(", "),
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(
+        j,
+        "  \"aggregate\": {{\"committed\": {total_committed}, \"wall_s\": {total_wall:.6}, \"kips\": {aggregate_kips:.1}}}{}",
+        if baseline.is_some() { "," } else { "" }
+    );
+    if let Some(bpath) = &baseline {
+        let old = std::fs::read_to_string(bpath)
+            .unwrap_or_else(|e| panic!("reading baseline {bpath}: {e}"));
+        let old_kips =
+            extract_aggregate_kips(&old).unwrap_or_else(|| panic!("no aggregate kips in {bpath}"));
+        let _ = writeln!(j, "  \"baseline_kips\": {old_kips:.1},");
+        let _ = writeln!(
+            j,
+            "  \"speedup_vs_baseline\": {:.3}",
+            aggregate_kips / old_kips
+        );
+        println!(
+            "speedup vs baseline ({old_kips:.1} KIPS): {:.2}x",
+            aggregate_kips / old_kips
+        );
+    }
+    let _ = writeln!(j, "}}");
+    std::fs::write(&out, j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// Pull `"kips": <x>` out of a previous report's `"aggregate"` object
+/// (dependency-free parsing; the format is our own).
+fn extract_aggregate_kips(text: &str) -> Option<f64> {
+    let agg = text.split("\"aggregate\"").nth(1)?;
+    let kips = agg.split("\"kips\":").nth(1)?;
+    let end = kips.find(['}', ','])?;
+    kips[..end].trim().parse().ok()
+}

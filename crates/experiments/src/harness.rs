@@ -9,7 +9,7 @@ use pp_telemetry::{TelemetryArtifacts, TelemetryConfig, TelemetryObserver};
 use pp_workloads::Workload;
 
 /// One cell of a sweep matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixResult {
     /// The workload simulated.
     pub workload: Workload,
@@ -58,13 +58,26 @@ pub fn run_workload(workload: Workload, cfg: &SimConfig) -> SimStats {
 /// across threads. Results are returned in deterministic
 /// (workload-major, config-minor) order regardless of thread scheduling.
 pub fn run_matrix(workloads: &[Workload], configs: &[SimConfig]) -> Vec<MatrixResult> {
+    let n = parallelism(workloads.len() * configs.len());
+    run_matrix_with_workers(workloads, configs, n)
+}
+
+/// [`run_matrix`] with an explicit worker-thread count. Each simulation
+/// is self-contained, so the results — including their order — are
+/// identical for every `workers >= 1`; the determinism suite locks this
+/// in.
+pub fn run_matrix_with_workers(
+    workloads: &[Workload],
+    configs: &[SimConfig],
+    workers: usize,
+) -> Vec<MatrixResult> {
     let jobs: Vec<(usize, Workload, usize)> = workloads
         .iter()
         .enumerate()
         .flat_map(|(wi, &w)| configs.iter().enumerate().map(move |(ci, _)| (wi, w, ci)))
         .collect();
 
-    let n_workers = parallelism(jobs.len());
+    let n_workers = workers.clamp(1, jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<MatrixResult>> = (0..jobs.len()).map(|_| None).collect();
     let slots: Vec<std::sync::Mutex<&mut Option<MatrixResult>>> =

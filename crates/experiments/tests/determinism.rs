@@ -1,0 +1,60 @@
+//! Harness-level determinism: `run_matrix` must produce bit-identical
+//! `MatrixResult` vectors run-to-run *and* across worker-thread counts.
+//!
+//! The paper's evaluation (and the golden-equivalence suite) lean on
+//! this: a sweep is only comparable to a previous sweep if thread
+//! scheduling can never leak into simulated results or their order.
+
+use pp_experiments::{named_config, run_matrix, run_matrix_with_workers, Config, MatrixResult};
+use pp_workloads::Workload;
+
+fn configs() -> Vec<pp_core::SimConfig> {
+    vec![
+        named_config(Config::Monopath, 10),
+        named_config(Config::SeeJrs, 10),
+    ]
+}
+
+fn assert_identical(a: &[MatrixResult], b: &[MatrixResult], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: result count differs");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            (x.workload, x.config_index),
+            (y.workload, y.config_index),
+            "{what}: cell order differs"
+        );
+        assert_eq!(
+            x.stats, y.stats,
+            "{what}: stats differ for {} / config {}",
+            x.workload, x.config_index
+        );
+    }
+}
+
+#[test]
+fn matrix_identical_across_runs_and_worker_counts() {
+    // This test binary runs alone in its own process, so scaling the
+    // workloads down here cannot race with other tests.
+    std::env::set_var("PP_SCALE", "0.005");
+    let workloads = Workload::ALL;
+    let configs = configs();
+
+    let serial = run_matrix_with_workers(&workloads, &configs, 1);
+    assert_eq!(serial.len(), workloads.len() * configs.len());
+    for cell in &serial {
+        assert!(cell.stats.committed_instructions > 0);
+        assert!(!cell.stats.hit_cycle_limit);
+    }
+
+    // Same worker count, run twice: identical.
+    let serial2 = run_matrix_with_workers(&workloads, &configs, 1);
+    assert_identical(&serial, &serial2, "serial repeat");
+
+    // A second worker count: identical to serial.
+    let threaded = run_matrix_with_workers(&workloads, &configs, 4);
+    assert_identical(&serial, &threaded, "1 vs 4 workers");
+
+    // And the default entry point (however many cores CI has).
+    let auto = run_matrix(&workloads, &configs);
+    assert_identical(&serial, &auto, "1 worker vs default");
+}

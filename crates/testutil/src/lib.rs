@@ -13,6 +13,13 @@
 //!
 //! Unlike proptest there is no shrinking: generators are kept small
 //! enough that the failing seed itself is a readable counterexample.
+//!
+//! The crate also hosts the workspace's golden-file layer (module
+//! [`golden`]): snapshot comparison with a `PP_UPDATE_GOLDEN=1`
+//! regeneration path, and the shared `crates/testutil/golden/`
+//! snapshot directory.
+
+pub mod golden;
 
 /// Deterministic 64-bit RNG (splitmix64 seeding + xorshift64* stream).
 ///
