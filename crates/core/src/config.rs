@@ -221,6 +221,13 @@ pub struct SimConfig {
     /// Run the functional emulator in lock-step and assert that every
     /// committed instruction matches it (co-simulation).
     pub check_commits: bool,
+    /// Run the per-cycle micro-architectural sanitizer: at the end of every
+    /// cycle, re-derive the machine's structural invariants (CTX tag-index
+    /// consistency, position ownership, wakeup/completion bookkeeping,
+    /// store-buffer filtering, register free-list conservation) from
+    /// scratch and panic on the first violation. Expensive — for debugging
+    /// and fuzzing, not timing runs.
+    pub sanitize: bool,
 }
 
 impl SimConfig {
@@ -246,6 +253,7 @@ impl SimConfig {
             max_cycles: 500_000_000,
             dcache: None,
             check_commits: false,
+            sanitize: false,
         }
     }
 
@@ -308,6 +316,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_commit_checking(mut self) -> Self {
         self.check_commits = true;
+        self
+    }
+
+    /// Builder-style: enable the per-cycle micro-architectural sanitizer.
+    #[must_use]
+    pub fn with_sanitizer(mut self) -> Self {
+        self.sanitize = true;
         self
     }
 

@@ -178,6 +178,12 @@ impl FrontEnd {
         }
     }
 
+    /// Every queued instruction — corpses included — oldest first. For the
+    /// sanitizer; not part of the pipeline.
+    pub(crate) fn debug_iter(&self) -> impl Iterator<Item = &FetchedInst> {
+        self.queue.iter()
+    }
+
     /// Resolution bus over the front-end latches: mark wrong-path
     /// instructions killed. The callback sees each newly killed
     /// instruction (to release CTX positions held by killed branches).

@@ -78,6 +78,7 @@
 //! ```
 
 mod cache;
+mod check;
 mod config;
 mod frontend;
 mod fus;
@@ -92,18 +93,20 @@ mod storebuf;
 mod window;
 
 pub use cache::{CacheConfig, DCache};
+pub use check::{compare, CheckFailure, DiffOracle, Divergence, DivergenceKind};
 pub use config::{
     ConfidenceKind, ExecMode, FetchPolicy, FuConfig, LatencyConfig, PredictorKind, SimConfig,
 };
 pub use frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
 pub use fus::{eligible_units, is_unpipelined, latency, FuClass, FuPool};
 pub use observer::{
-    CycleSample, FetchId, KillStage, PipeEvent, PipeView, PipelineObserver, TraceLog,
+    CommitRecord, CycleSample, FetchId, KillStage, PipeEvent, PipeView, PipelineObserver, TraceLog,
 };
 pub use oracle::Oracle;
 pub use ras::{Ras, RAS_DEPTH};
 pub use regfile::{PhysReg, PhysRegFile, RegMap};
 pub use selfprof::HostProfile;
+pub use sim::sanitize::Violation;
 pub use sim::Simulator;
 pub use stats::{FuBusy, SimStats};
 pub use storebuf::{LoadCheck, SbEntry, StoreBuffer};

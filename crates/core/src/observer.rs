@@ -13,8 +13,8 @@
 //!   wrong-path instructions show as rows that fetch and execute but
 //!   never commit.
 
-use pp_ctx::PathId;
-use pp_isa::Op;
+use pp_ctx::{CtxTag, PathId};
+use pp_isa::{Op, Reg, Width};
 
 use crate::window::Seq;
 
@@ -113,6 +113,38 @@ impl PipeEvent {
     }
 }
 
+/// The architectural effect of one committed instruction — the commit
+/// stream a differential oracle compares against the functional emulator's
+/// [`pp_func::StepEvent`] stream.
+///
+/// Produced at retirement (after the store buffer released the value to
+/// memory and the destination mapping was made architectural), only when a
+/// consumer is attached, so checker-off runs build nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Cycle the instruction retired.
+    pub cycle: u64,
+    /// Fetch identity (ties the commit back to trace events).
+    pub fid: FetchId,
+    /// Window sequence number.
+    pub seq: Seq,
+    /// Architectural PC (instruction index).
+    pub pc: usize,
+    /// The instruction.
+    pub op: Op,
+    /// The entry's fetch-time CTX tag, verbatim (lazy — may hold stale
+    /// bits whose positions were since recycled). A committing instruction
+    /// is architectural, so the *scrubbed* tag is always root; the raw tag
+    /// records which speculative context the instruction was fetched under,
+    /// which is what a divergence report wants to show.
+    pub ctx: CtxTag,
+    /// Destination register and the committed value (`None` when the
+    /// instruction writes no register, or writes the zero register).
+    pub dest: Option<(Reg, i64)>,
+    /// Memory effect: `(byte address, stored value, width)` for stores.
+    pub store: Option<(u64, i64, Width)>,
+}
+
 /// A once-per-cycle machine-state snapshot, delivered to observers after
 /// all of the cycle's [`PipeEvent`]s. Cheap to produce (a handful of
 /// counters), and only produced when an observer is attached — telemetry
@@ -140,6 +172,12 @@ pub trait PipelineObserver {
     /// Called once at the end of every simulated cycle with a state
     /// snapshot. The default implementation ignores it.
     fn sample(&mut self, _s: &CycleSample) {}
+
+    /// Called once per architecturally retired instruction with its
+    /// committed effects, in program order, after the matching
+    /// [`PipeEvent::Committed`]. The default implementation ignores it;
+    /// differential oracles override it.
+    fn commit(&mut self, _r: &CommitRecord) {}
 
     /// Downcast support, so [`crate::Simulator::take_observer`] callers can
     /// recover the concrete observer. Implement as `self`.

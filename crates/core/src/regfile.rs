@@ -40,6 +40,12 @@ impl RegMap {
         self.map[logical.index()] = to.0;
         PhysReg(old)
     }
+
+    /// The raw mapping array. For the sanitizer's free-list conservation
+    /// check; not part of the pipeline.
+    pub(crate) fn raw(&self) -> &[u16; NUM_LOGICAL_REGS] {
+        &self.map
+    }
 }
 
 /// The physical register file: values, ready bits, and the free list.
@@ -103,6 +109,12 @@ impl PhysRegFile {
         );
         self.ready[r.0 as usize] = true;
         self.free.push(r.0);
+    }
+
+    /// The free list, verbatim. For the sanitizer's conservation check;
+    /// not part of the pipeline.
+    pub(crate) fn debug_free_list(&self) -> &[u16] {
+        &self.free
     }
 
     /// `true` once the producing instruction has written the value.
@@ -187,6 +199,10 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert-based; compiles out in release"
+    )]
     fn double_release_panics_in_debug() {
         let mut f = PhysRegFile::new(66);
         let r = f.allocate().unwrap();

@@ -1,0 +1,591 @@
+//! Per-cycle micro-architectural sanitizer.
+//!
+//! [`Simulator::sanitize`] re-derives the machine's structural invariants
+//! from scratch — the ground truths the incrementally-maintained fast
+//! paths (the [`pp_ctx::TagIndex`], the issue-candidate bitmap, the
+//! completion ring, the wakeup lists, the store buffer's CTX filter, the
+//! register free list) must agree with — and reports every violation.
+//! With [`crate::SimConfig::with_sanitizer`] the check runs at the end of
+//! every simulated cycle and panics on the first bad cycle, turning a
+//! silent corruption that a golden snapshot would surface as an opaque
+//! byte diff into a cycle-stamped report naming the broken invariant.
+//!
+//! The invariants checked, by name:
+//!
+//! - `tag-index` — the path-tag reverse index equals a from-scratch
+//!   rebuild over the live path table (Fig. 5 comparator ground truth).
+//! - `path-tag-liveness` — live (eager) path tags hold only
+//!   allocator-live history positions.
+//! - `position-ownership` — every allocator-live CTX position is owned by
+//!   exactly one live, uncommitted branch (window or front-end), and no
+//!   dead position has owners.
+//! - `orphan-tag-bit` — after scrubbing, live window/front-end entries
+//!   reference only allocator-live positions (no orphan descendants
+//!   survive a kill).
+//! - `issue-candidate` — the window's candidate bitmap is exactly
+//!   {live ∧ waiting ∧ all sources ready}.
+//! - `wakeup-list` — every live waiting entry with a not-ready source is
+//!   registered on that register's waiter list, and every registration
+//!   that maps to a live waiting entry names one of its not-ready sources.
+//! - `completion-ring` — live issued entries appear exactly once in the
+//!   ring, in the bucket for their (future, non-aliasing) writeback
+//!   cycle; no live non-issued entry appears at all.
+//! - `store-buffer` — entries are seq-ordered, the live count matches,
+//!   live entries correspond one-to-one with live window stores, and
+//!   their (eager) tags hold only live positions.
+//! - `regfile-conservation` — every physical register is on the free list
+//!   exactly-or referenced (path register maps, live checkpoints, live
+//!   entries' new/old destinations): no leaks, no double-frees.
+//! - `epoch-bounds` — dispatch/fetch timestamps never run ahead of the
+//!   allocator's free-epoch clock or the cycle counter.
+//! - `divergence-count` — the cached live-divergence counter equals the
+//!   count over live unresolved diverged branches.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use pp_isa::Op;
+
+use super::Simulator;
+use crate::regfile::PhysReg;
+use crate::window::{EntryState, Seq, WinEntry};
+
+/// One violated structural invariant, cycle-stamped.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Cycle at whose end the violation was observed.
+    pub cycle: u64,
+    /// Name of the broken invariant (see the module docs for the list).
+    pub invariant: &'static str,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: [{}] {}",
+            self.cycle, self.invariant, self.detail
+        )
+    }
+}
+
+impl Simulator {
+    /// Re-derive every structural invariant from scratch and return all
+    /// violations (empty = the machine state is sane). Read-only and
+    /// callable at any cycle boundary; [`SimConfig::with_sanitizer`]
+    /// (`cfg.sanitize`) runs it automatically at the end of every cycle
+    /// via [`assert_sane`](Self::assert_sane).
+    ///
+    /// [`SimConfig::with_sanitizer`]: crate::SimConfig::with_sanitizer
+    pub fn sanitize(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.sanitize_ctx(&mut out);
+        self.sanitize_window(&mut out);
+        self.sanitize_storebuf(&mut out);
+        self.sanitize_registers(&mut out);
+        self.sanitize_counters(&mut out);
+        out
+    }
+
+    /// [`sanitize`](Self::sanitize), panicking with the full list if any
+    /// invariant is violated.
+    ///
+    /// # Panics
+    /// Panics listing every violation when the state is not sane.
+    pub fn assert_sane(&self) {
+        let violations = self.sanitize();
+        if !violations.is_empty() {
+            let list: Vec<String> = violations.iter().map(ToString::to_string).collect();
+            panic!(
+                "sanitizer: {} invariant violation(s) at cycle {}:\n{}",
+                violations.len(),
+                self.now,
+                list.join("\n")
+            );
+        }
+    }
+
+    fn report(&self, out: &mut Vec<Violation>, invariant: &'static str, detail: String) {
+        out.push(Violation {
+            cycle: self.now,
+            invariant,
+            detail,
+        });
+    }
+
+    /// CTX-tag hierarchy consistency: the reverse index against a rebuild,
+    /// eager path tags against the allocator, position ownership, and
+    /// orphan detection on scrubbed lazy tags.
+    fn sanitize_ctx(&self, out: &mut Vec<Violation>) {
+        if let Some(msg) = self
+            .path_tags
+            .verify_against(self.paths.iter().map(|(id, p)| (id.index(), &p.tag)))
+        {
+            self.report(out, "tag-index", msg);
+        }
+
+        for (id, p) in self.paths.iter() {
+            let mut mask = p.tag.valid_mask();
+            while mask != 0 {
+                let pos = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if !self.positions.is_live(pos) {
+                    self.report(
+                        out,
+                        "path-tag-liveness",
+                        format!("{id} tag {} holds freed position {pos}", p.tag),
+                    );
+                }
+            }
+        }
+
+        // Each live position is held by exactly one live, uncommitted
+        // branch (it keeps the position through resolution, releasing it
+        // only at commit or kill).
+        let mut owners = vec![0u32; self.positions.capacity()];
+        for (e, _) in self.window.debug_iter() {
+            if !e.killed {
+                if let Some(b) = &e.binfo {
+                    owners[b.position] += 1;
+                }
+            }
+        }
+        for inst in self.frontend.debug_iter() {
+            if !inst.killed {
+                if let Some(b) = &inst.binfo {
+                    owners[b.position] += 1;
+                }
+            }
+        }
+        for (pos, &n) in owners.iter().enumerate() {
+            let live = self.positions.is_live(pos);
+            if live != (n == 1) || n > 1 {
+                self.report(
+                    out,
+                    "position-ownership",
+                    format!("position {pos}: allocator live={live} but {n} live branch owner(s)"),
+                );
+            }
+        }
+
+        // No orphan descendants: a live in-flight instruction's tag, once
+        // scrubbed of stale bits, references only live positions — a bit
+        // on a freed position would mean a kill missed a descendant.
+        let check_orphan = |ctx, born, what: &dyn fmt::Display, out: &mut Vec<Violation>| {
+            let scrubbed = self.positions.scrub(ctx, born);
+            let mut mask = scrubbed.valid_mask();
+            while mask != 0 {
+                let pos = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if !self.positions.is_live(pos) {
+                    self.report(
+                        out,
+                        "orphan-tag-bit",
+                        format!("{what}: scrubbed tag {scrubbed} holds dead position {pos}"),
+                    );
+                }
+            }
+        };
+        for (e, _) in self.window.debug_iter() {
+            if !e.killed {
+                check_orphan(e.ctx, e.born, &format_args!("window seq {}", e.seq), out);
+            }
+        }
+        for inst in self.frontend.debug_iter() {
+            if !inst.killed {
+                check_orphan(
+                    inst.ctx,
+                    inst.born,
+                    &format_args!("frontend fid {}", inst.fid.0),
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Window bookkeeping: the issue-candidate bitmap, the wakeup lists,
+    /// and the completion ring against the entries they mirror.
+    fn sanitize_window(&self, out: &mut Vec<Violation>) {
+        let mut live: HashMap<Seq, &WinEntry> = HashMap::new();
+
+        for (e, candidate) in self.window.debug_iter() {
+            if !e.killed {
+                live.insert(e.seq, e);
+            }
+            let expect = !e.killed
+                && e.state == EntryState::Waiting
+                && e.srcs.iter().flatten().all(|&p| self.regfile.is_ready(p));
+            if candidate != expect {
+                self.report(
+                    out,
+                    "issue-candidate",
+                    format!(
+                        "seq {} pc {} state {:?} killed {}: candidate bit {candidate}, derived {expect}",
+                        e.seq, e.pc, e.state, e.killed
+                    ),
+                );
+            }
+        }
+
+        // Forward: a waiting entry must be reachable from the waiter list
+        // of each of its outstanding sources, or no wakeup will ever
+        // promote it.
+        for e in live.values() {
+            if e.state != EntryState::Waiting {
+                continue;
+            }
+            for &src in e.srcs.iter().flatten() {
+                if !self.regfile.is_ready(src) && !self.waiters[src.0 as usize].contains(&e.seq) {
+                    self.report(
+                        out,
+                        "wakeup-list",
+                        format!(
+                            "seq {} waits on not-ready r{} but is missing from its waiter list",
+                            e.seq, src.0
+                        ),
+                    );
+                }
+            }
+        }
+        // Backward: registrations naming a live waiting entry must match
+        // one of its still-outstanding sources (stale registrations for
+        // killed/issued entries are legal leftovers).
+        for (r, list) in self.waiters.iter().enumerate() {
+            for &seq in list {
+                let Some(e) = live.get(&seq) else { continue };
+                if e.state != EntryState::Waiting {
+                    continue;
+                }
+                let r = PhysReg(r as u16);
+                if !e.srcs.iter().flatten().any(|&p| p == r) {
+                    self.report(
+                        out,
+                        "wakeup-list",
+                        format!(
+                            "r{} waiter list names seq {seq}, which does not read it",
+                            r.0
+                        ),
+                    );
+                } else if self.regfile.is_ready(r) {
+                    self.report(
+                        out,
+                        "wakeup-list",
+                        format!(
+                            "r{} is ready but seq {seq} still waits registered on it",
+                            r.0
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Completion ring: every live issued entry is scheduled exactly
+        // once, in its own (future, non-aliasing) bucket.
+        let len = self.completions.len() as u64;
+        let mut ring_count: HashMap<Seq, u32> = HashMap::new();
+        for (bucket_idx, bucket) in self.completions.iter().enumerate() {
+            for &seq in bucket {
+                *ring_count.entry(seq).or_insert(0) += 1;
+                let Some(e) = live.get(&seq) else { continue };
+                match e.state {
+                    EntryState::Issued => {
+                        if e.complete_at % len != bucket_idx as u64 {
+                            self.report(
+                                out,
+                                "completion-ring",
+                                format!(
+                                    "seq {seq} completing at {} found in bucket {bucket_idx}",
+                                    e.complete_at
+                                ),
+                            );
+                        }
+                    }
+                    s => self.report(
+                        out,
+                        "completion-ring",
+                        format!("live {s:?} entry seq {seq} present in the ring"),
+                    ),
+                }
+            }
+        }
+        for e in live.values() {
+            if e.state != EntryState::Issued {
+                continue;
+            }
+            if e.complete_at <= self.now || e.complete_at - self.now >= len {
+                self.report(
+                    out,
+                    "completion-ring",
+                    format!(
+                        "issued seq {} completes at {} (now {}, ring length {len}) — \
+                         stale or aliasing",
+                        e.seq, e.complete_at, self.now
+                    ),
+                );
+            }
+            let n = ring_count.get(&e.seq).copied().unwrap_or(0);
+            if n != 1 {
+                self.report(
+                    out,
+                    "completion-ring",
+                    format!("issued seq {} enqueued {n} times in the ring", e.seq),
+                );
+            }
+        }
+    }
+
+    /// Store buffer: program ordering, live accounting, one-to-one
+    /// correspondence with live window stores, and eager-tag liveness.
+    fn sanitize_storebuf(&self, out: &mut Vec<Violation>) {
+        let mut prev: Option<Seq> = None;
+        let mut live_count = 0usize;
+        let mut sb_live: BTreeSet<Seq> = BTreeSet::new();
+        for e in self.sb.debug_iter() {
+            if let Some(p) = prev {
+                if e.seq <= p {
+                    self.report(
+                        out,
+                        "store-buffer",
+                        format!("entries out of order: seq {} after {p}", e.seq),
+                    );
+                }
+            }
+            prev = Some(e.seq);
+            if e.is_killed() {
+                continue;
+            }
+            live_count += 1;
+            sb_live.insert(e.seq);
+            let mut mask = e.ctx.valid_mask();
+            while mask != 0 {
+                let pos = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if !self.positions.is_live(pos) {
+                    self.report(
+                        out,
+                        "store-buffer",
+                        format!(
+                            "live store seq {} eager tag {} holds dead position {pos}",
+                            e.seq, e.ctx
+                        ),
+                    );
+                }
+            }
+        }
+        if live_count != self.sb.len() {
+            self.report(
+                out,
+                "store-buffer",
+                format!(
+                    "live counter {} but {live_count} un-killed entries",
+                    self.sb.len()
+                ),
+            );
+        }
+        let win_stores: BTreeSet<Seq> = self
+            .window
+            .debug_iter()
+            .filter(|(e, _)| !e.killed && matches!(e.op, Op::Store { .. }))
+            .map(|(e, _)| e.seq)
+            .collect();
+        if sb_live != win_stores {
+            self.report(
+                out,
+                "store-buffer",
+                format!("live entries {sb_live:?} disagree with live window stores {win_stores:?}"),
+            );
+        }
+    }
+
+    /// Physical-register conservation: free ⊎ referenced covers the file
+    /// with no overlap — the checkpoint/free-list discipline of §3.1/§3.2.5
+    /// neither leaks nor double-frees a register.
+    fn sanitize_registers(&self, out: &mut Vec<Violation>) {
+        let size = self.regfile.size();
+        let mut referenced = vec![false; size];
+        for (_, p) in self.paths.iter() {
+            if let Some(m) = &p.regmap {
+                for &r in m.raw() {
+                    referenced[r as usize] = true;
+                }
+            }
+        }
+        for (e, _) in self.window.debug_iter() {
+            if e.killed {
+                continue;
+            }
+            if let Some(d) = e.dest {
+                referenced[d.new.0 as usize] = true;
+                referenced[d.old.0 as usize] = true;
+            }
+            if let Some(cp) = e.binfo.as_ref().and_then(|b| b.checkpoint.as_ref()) {
+                for &r in cp.regmap.raw() {
+                    referenced[r as usize] = true;
+                }
+            }
+        }
+        let mut on_free = vec![false; size];
+        for &r in self.regfile.debug_free_list() {
+            if on_free[r as usize] {
+                self.report(
+                    out,
+                    "regfile-conservation",
+                    format!("r{r} appears twice on the free list"),
+                );
+            }
+            on_free[r as usize] = true;
+        }
+        for r in 0..size {
+            match (on_free[r], referenced[r]) {
+                (true, true) => self.report(
+                    out,
+                    "regfile-conservation",
+                    format!("r{r} is on the free list but still referenced"),
+                ),
+                (false, false) => self.report(
+                    out,
+                    "regfile-conservation",
+                    format!("r{r} leaked: neither free nor referenced"),
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    /// Cached counters and epoch clocks against their ground truths.
+    fn sanitize_counters(&self, out: &mut Vec<Violation>) {
+        let tick = self.positions.current_tick();
+        let mut divergences = 0usize;
+        for (e, _) in self.window.debug_iter() {
+            if e.killed {
+                continue;
+            }
+            if let Some(b) = &e.binfo {
+                if b.diverged && !b.resolved {
+                    divergences += 1;
+                }
+            }
+            if e.born > tick {
+                self.report(
+                    out,
+                    "epoch-bounds",
+                    format!(
+                        "window seq {} born {} after allocator tick {tick}",
+                        e.seq, e.born
+                    ),
+                );
+            }
+        }
+        for inst in self.frontend.debug_iter() {
+            if inst.killed {
+                continue;
+            }
+            if let Some(b) = &inst.binfo {
+                if b.diverged {
+                    divergences += 1;
+                }
+            }
+            if inst.born > tick {
+                self.report(
+                    out,
+                    "epoch-bounds",
+                    format!(
+                        "frontend fid {} born {} after allocator tick {tick}",
+                        inst.fid.0, inst.born
+                    ),
+                );
+            }
+            if inst.fetch_cycle > self.now {
+                self.report(
+                    out,
+                    "epoch-bounds",
+                    format!(
+                        "frontend fid {} fetched at {} but now is {}",
+                        inst.fid.0, inst.fetch_cycle, self.now
+                    ),
+                );
+            }
+        }
+        if divergences != self.live_divergences {
+            self.report(
+                out,
+                "divergence-count",
+                format!(
+                    "cached live_divergences {} but {divergences} live unresolved diverged branches",
+                    self.live_divergences
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use pp_isa::{reg, Asm};
+
+    fn loopy_program() -> pp_isa::Program {
+        let mut a = Asm::new();
+        let buf = a.alloc_zeroed(8);
+        a.li(reg::T0, 5);
+        a.li(reg::T1, 0);
+        let top = a.here();
+        a.add(reg::T1, reg::T1, reg::T0);
+        a.st(reg::T1, reg::ZERO, buf as i64);
+        a.ld(reg::T2, reg::ZERO, buf as i64);
+        a.addi(reg::T0, reg::T0, -1);
+        a.bgt(reg::T0, 0, top);
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn clean_run_stays_sane_every_cycle() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline().with_sanitizer());
+        let stats = sim.run();
+        assert!(sim.halted());
+        assert!(stats.committed_instructions > 0);
+        assert!(sim.sanitize().is_empty());
+    }
+
+    #[test]
+    fn leaked_register_is_reported() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        // Allocate a physical register behind the machine's back: it is now
+        // neither free nor referenced by any map, checkpoint, or entry.
+        let _ = sim.regfile.allocate().expect("registers available");
+        let violations = sim.sanitize();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "regfile-conservation" && v.detail.contains("leaked")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn divergence_counter_drift_is_reported() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        sim.live_divergences = 3;
+        let violations = sim.sanitize();
+        assert!(
+            violations.iter().any(|v| v.invariant == "divergence-count"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sanitizer:")]
+    fn assert_sane_panics_with_the_report() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        sim.live_divergences = 3;
+        sim.assert_sane();
+    }
+}

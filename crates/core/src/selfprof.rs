@@ -33,23 +33,29 @@ pub struct HostProfile {
 }
 
 impl HostProfile {
-    /// Simulated KIPS: thousands of committed instructions per host second.
-    pub fn kips(&self) -> f64 {
+    /// Simulated KIPS: thousands of committed instructions per host
+    /// second, or `None` when the run's wall time is below the host
+    /// timer's resolution. A sub-resolution sample carries no rate
+    /// information — reporting it as `0.0` (as an earlier version did)
+    /// poisons any min/mean aggregation downstream, so callers must skip
+    /// `None` samples instead.
+    pub fn kips(&self) -> Option<f64> {
         let secs = self.wall.as_secs_f64();
         if secs <= 0.0 {
-            0.0
+            None
         } else {
-            self.committed as f64 / secs / 1e3
+            Some(self.committed as f64 / secs / 1e3)
         }
     }
 
-    /// Simulated cycles per host second.
-    pub fn cycles_per_sec(&self) -> f64 {
+    /// Simulated cycles per host second; `None` under the same
+    /// sub-resolution condition as [`Self::kips`].
+    pub fn cycles_per_sec(&self) -> Option<f64> {
         let secs = self.wall.as_secs_f64();
         if secs <= 0.0 {
-            0.0
+            None
         } else {
-            self.cycles as f64 / secs
+            Some(self.cycles as f64 / secs)
         }
     }
 
@@ -78,12 +84,14 @@ impl HostProfile {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut o = String::new();
+        let rates = match (self.kips(), self.cycles_per_sec()) {
+            (Some(k), Some(c)) => format!("{k:.1} KIPS, {c:.0} cycles/s"),
+            _ => "rates n/a: wall time below timer resolution".to_string(),
+        };
         let _ = writeln!(
             o,
-            "host wall time      {:>10.3} s  ({:.1} KIPS, {:.0} cycles/s)",
+            "host wall time      {:>10.3} s  ({rates})",
             self.wall.as_secs_f64(),
-            self.kips(),
-            self.cycles_per_sec(),
         );
         for (name, d) in self.phases() {
             let _ = writeln!(
@@ -109,16 +117,23 @@ mod tests {
             cycles: 1_000_000,
             ..Default::default()
         };
-        assert!((p.kips() - 250.0).abs() < 1e-9);
-        assert!((p.cycles_per_sec() - 500_000.0).abs() < 1e-9);
+        assert!((p.kips().unwrap() - 250.0).abs() < 1e-9);
+        assert!((p.cycles_per_sec().unwrap() - 500_000.0).abs() < 1e-9);
     }
 
     #[test]
-    fn zero_wall_is_zero_rates() {
-        let p = HostProfile::default();
-        assert_eq!(p.kips(), 0.0);
-        assert_eq!(p.cycles_per_sec(), 0.0);
+    fn sub_resolution_wall_has_no_rates() {
+        // A wall time of zero means the clock never ticked during the
+        // run; there is no rate to report, not a rate of zero.
+        let p = HostProfile {
+            committed: 1000,
+            cycles: 2000,
+            ..Default::default()
+        };
+        assert_eq!(p.kips(), None);
+        assert_eq!(p.cycles_per_sec(), None);
         assert_eq!(p.fraction(Duration::from_secs(1)), 0.0);
+        assert!(p.summary().contains("below timer resolution"));
     }
 
     #[test]

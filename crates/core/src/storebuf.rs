@@ -26,6 +26,13 @@ pub struct SbEntry {
     killed: bool,
 }
 
+impl SbEntry {
+    /// Squashed by a resolution kill; awaiting lazy reclamation at the head.
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+}
+
 /// Outcome of a load's store-buffer lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadCheck {
@@ -152,6 +159,49 @@ impl StoreBuffer {
             Some(v) => LoadCheck::Forward(v),
             None => LoadCheck::Memory,
         }
+    }
+
+    /// Every occupied slot — corpses included — oldest first. For the
+    /// sanitizer; not part of the pipeline.
+    pub(crate) fn debug_iter(&self) -> impl Iterator<Item = &SbEntry> {
+        self.entries.iter()
+    }
+
+    /// Reference model for [`check_load`](Self::check_load): no reliance on
+    /// buffer ordering (entries are collected and sorted by seq) and the
+    /// CTX filter applied per entry from first principles. The fast path
+    /// must agree with this on every lookup; the per-cycle sanitizer
+    /// cross-checks them. The caller passes the load's *scrubbed* tag, so
+    /// the comparison also exercises the lazy-vs-eager tag equivalence the
+    /// fast path's direct comparison depends on.
+    pub fn check_load_naive(
+        &self,
+        load_seq: Seq,
+        load_ctx: &CtxTag,
+        addr: u64,
+        width: Width,
+    ) -> LoadCheck {
+        let mut older: Vec<&SbEntry> = self
+            .entries
+            .iter()
+            .filter(|e| !e.killed && e.seq < load_seq && load_ctx.is_descendant_or_equal(&e.ctx))
+            .collect();
+        older.sort_by_key(|e| e.seq);
+        let mut forward: Option<i64> = None;
+        for e in older {
+            let Some(saddr) = e.addr else {
+                return LoadCheck::Block;
+            };
+            if saddr == addr && e.width == width {
+                match e.data {
+                    Some(d) => forward = Some(d),
+                    None => return LoadCheck::Block,
+                }
+            } else if ranges_overlap(saddr, e.width, addr, width) {
+                return LoadCheck::Block;
+            }
+        }
+        forward.map_or(LoadCheck::Memory, LoadCheck::Forward)
     }
 
     /// Remove and return the entry for the committing store `seq`.
@@ -347,6 +397,32 @@ mod tests {
             sb.check_load(2, &CtxTag::root(), 0x10, W),
             LoadCheck::Forward(1)
         );
+    }
+
+    #[test]
+    fn naive_model_agrees_with_fast_path() {
+        let mut sb = StoreBuffer::new();
+        let t = CtxTag::root().with_position(0, true);
+        let n = CtxTag::root().with_position(0, false);
+        sb.insert(1, CtxTag::root(), W);
+        sb.set_addr_data(1, 0x100, 11);
+        sb.insert(2, t, W);
+        sb.set_addr_data(2, 0x100, 22);
+        sb.insert(3, n, Width::Byte);
+        sb.set_addr_data(3, 0x104, 0x7f);
+        sb.insert(4, CtxTag::root(), W);
+        sb.kill_matching(&kill_at(0, false));
+        for load_ctx in [&CtxTag::root(), &t, &n] {
+            for (addr, w) in [(0x100, W), (0x104, Width::Byte), (0x200, W), (0x102, W)] {
+                for seq in [0, 2, 3, 5] {
+                    assert_eq!(
+                        sb.check_load(seq, load_ctx, addr, w),
+                        sb.check_load_naive(seq, load_ctx, addr, w),
+                        "seq={seq} ctx={load_ctx} addr={addr:#x} {w:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

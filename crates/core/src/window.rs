@@ -305,6 +305,16 @@ impl Window {
         self.entries.iter().filter(|e| !e.killed)
     }
 
+    /// Every occupied slot — corpses included — paired with its issue-
+    /// candidate bit, oldest first. For the sanitizer's from-scratch
+    /// re-derivation of the candidate bitmap; not part of the pipeline.
+    pub(crate) fn debug_iter(&self) -> impl Iterator<Item = (&WinEntry, bool)> {
+        self.entries.iter().enumerate().map(move |(i, e)| {
+            let g = i + self.bit_off;
+            (e, self.ready_bits[g / 64] & (1u64 << (g % 64)) != 0)
+        })
+    }
+
     /// The branch resolution bus (paper §3.2.3 "resolution"): kill every
     /// live entry on the wrong path of the resolving branch, invoking
     /// `on_kill` on each so the caller can release registers, CTX

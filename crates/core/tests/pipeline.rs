@@ -847,3 +847,29 @@ fn all_extensions_together_cosimulate() {
     let reference = run_checked(&p, SimConfig::monopath_baseline());
     assert_eq!(s.committed_instructions, reference.committed_instructions);
 }
+
+#[test]
+fn byte_store_forwarded_to_byte_load_is_narrowed() {
+    // Regression (fuzz_check seed 1293): a byte store's buffered word was
+    // forwarded un-narrowed to a byte load. The forwarded value must look
+    // exactly like a memory round-trip — truncated on store, zero-extended
+    // on load — so `stb` of 141488 followed by `ldb` must read 176.
+    let p = assemble(|a| {
+        a.li(reg::T0, 141_488);
+        a.stb(reg::T0, reg::ZERO, 0x2000);
+        a.ldb(reg::T1, reg::ZERO, 0x2000);
+        a.st(reg::T1, reg::ZERO, 0x2008);
+        a.halt();
+    });
+    for (name, cfg) in all_modes() {
+        let mut sim = Simulator::new(&p, cfg.with_commit_checking().with_sanitizer());
+        let stats = sim.run();
+        sim.finish_commit_check();
+        assert!(!stats.hit_cycle_limit, "{name}");
+        assert_eq!(
+            sim.memory().read(0x2008, pp_isa::Width::Word),
+            176,
+            "{name}: forwarded byte load committed the wrong value"
+        );
+    }
+}

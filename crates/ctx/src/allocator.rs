@@ -232,6 +232,10 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert-based; compiles out in release"
+    )]
     fn double_free_panics_in_debug() {
         let mut a = PositionAllocator::new(2);
         let p = a.allocate().unwrap();

@@ -138,6 +138,53 @@ impl TagIndex {
         acc
     }
 
+    /// Rebuild an index from scratch over the given `(slot, tag)` pairs —
+    /// the ground truth the incremental maintenance must agree with.
+    pub fn rebuild<'a>(
+        positions: usize,
+        slots: usize,
+        live: impl IntoIterator<Item = (usize, &'a CtxTag)>,
+    ) -> Self {
+        let mut idx = TagIndex::new(positions, slots);
+        for (slot, tag) in live {
+            idx.insert(slot, tag);
+        }
+        idx
+    }
+
+    /// Check this incrementally-maintained index against a from-scratch
+    /// rebuild over the live `(slot, tag)` pairs. Returns a description of
+    /// the first mismatch, or `None` if the two agree exactly.
+    ///
+    /// This is the invariant the per-cycle sanitizer re-derives: every
+    /// `masks[pos][dir]` word and the live mask must equal what
+    /// [`rebuild`](TagIndex::rebuild) produces from the path table alone.
+    pub fn verify_against<'a>(
+        &self,
+        live: impl IntoIterator<Item = (usize, &'a CtxTag)>,
+    ) -> Option<String> {
+        let fresh = TagIndex::rebuild(self.masks.len(), 64, live);
+        if self.live != fresh.live {
+            return Some(format!(
+                "live mask mismatch: index {:#018x} vs rebuilt {:#018x}",
+                self.live, fresh.live
+            ));
+        }
+        for (pos, (have, want)) in self.masks.iter().zip(fresh.masks.iter()).enumerate() {
+            for dir in 0..2 {
+                if have[dir] != want[dir] {
+                    return Some(format!(
+                        "position {pos} dir {} mask mismatch: index {:#018x} vs rebuilt {:#018x}",
+                        if dir == 1 { 'T' } else { 'N' },
+                        have[dir],
+                        want[dir]
+                    ));
+                }
+            }
+        }
+        None
+    }
+
     fn slot_bit(&self, slot: usize) -> u64 {
         assert!(slot < 64, "slot index out of range");
         1u64 << slot
@@ -221,5 +268,37 @@ mod tests {
     #[should_panic(expected = "at most 64")]
     fn too_many_slots_rejected() {
         let _ = TagIndex::new(4, 65);
+    }
+
+    #[test]
+    fn verify_against_accepts_maintained_index() {
+        let mut idx = TagIndex::new(8, 8);
+        let a = CtxTag::root().with_position(0, true);
+        let b = a.with_position(3, false);
+        idx.insert(0, &a);
+        idx.insert(2, &b);
+        idx.extend(0, 5, true);
+        let a2 = a.with_position(5, true);
+        assert_eq!(idx.verify_against([(0, &a2), (2, &b)]), None);
+    }
+
+    #[test]
+    fn verify_against_reports_live_mismatch() {
+        let mut idx = TagIndex::new(8, 8);
+        let a = CtxTag::root().with_position(0, true);
+        idx.insert(0, &a);
+        let msg = idx.verify_against([]).expect("must diverge");
+        assert!(msg.contains("live mask"), "{msg}");
+    }
+
+    #[test]
+    fn verify_against_reports_mask_mismatch() {
+        let mut idx = TagIndex::new(8, 8);
+        let a = CtxTag::root().with_position(0, true);
+        idx.insert(0, &a);
+        // Ground truth says the tag holds (0, N) instead.
+        let wrong = CtxTag::root().with_position(0, false);
+        let msg = idx.verify_against([(0, &wrong)]).expect("must diverge");
+        assert!(msg.contains("position 0"), "{msg}");
     }
 }

@@ -29,13 +29,17 @@
 //! **minimum** wall time. Host-side noise (frequency scaling, other
 //! tenants) only ever adds time, so min-of-N estimates the undisturbed
 //! cost; on shared machines use `--repeat 3` for both the baseline
-//! capture and the comparison run, back to back.
+//! capture and the comparison run, back to back. Samples at or below
+//! the host timer's resolution (zero elapsed seconds) carry no rate
+//! information and are skipped rather than allowed to win the min; a
+//! pair with no valid sample reports `null` for `wall_s`/`kips`.
 //!
 //! Honours `PP_SCALE` like every other binary; the scale in use is
 //! recorded in the report so baselines are only compared at like scale.
 
 use std::fmt::Write as _;
 
+use pp_experiments::cli;
 use pp_experiments::experiments::BASELINE_HISTORY_BITS;
 use pp_experiments::{named_config, scale_factor, scaled, Config};
 use pp_workloads::Workload;
@@ -52,8 +56,11 @@ struct RunReport {
     config: Config,
     committed: u64,
     cycles: u64,
-    wall_s: f64,
-    kips: f64,
+    /// Minimum wall time over the repeat runs, counting only samples
+    /// above the host timer's resolution; `None` if no run registered.
+    wall_s: Option<f64>,
+    /// Simulated KIPS from the minimum valid wall time.
+    kips: Option<f64>,
     phases: Vec<(&'static str, f64)>,
 }
 
@@ -66,14 +73,20 @@ fn run_one(w: Workload, c: Config, repeat: usize) -> RunReport {
     let program = w.build(scaled(w));
 
     // Timing runs: nothing attached, wall clock measured from outside,
-    // minimum over `repeat` identical runs.
-    let mut wall = std::time::Duration::MAX;
+    // minimum over `repeat` identical runs. A sample at or below the
+    // timer's resolution reads as zero seconds — it carries no rate
+    // information, and letting it win the min would turn KIPS into
+    // infinity/garbage — so sub-resolution samples are skipped.
+    let mut wall: Option<std::time::Duration> = None;
     let mut stats = None;
     for _ in 0..repeat {
         let mut sim = Simulator::new(&program, cfg.clone());
         let start = std::time::Instant::now();
         let s = sim.run();
-        wall = wall.min(start.elapsed());
+        let elapsed = start.elapsed();
+        if elapsed > std::time::Duration::ZERO {
+            wall = Some(wall.map_or(elapsed, |w| w.min(elapsed)));
+        }
         assert!(!s.hit_cycle_limit, "{w} hit the cycle limit");
         if let Some(prev) = &stats {
             assert_eq!(&s, prev, "{w} repeat run diverged");
@@ -97,8 +110,8 @@ fn run_one(w: Workload, c: Config, repeat: usize) -> RunReport {
         config: c,
         committed: stats.committed_instructions,
         cycles: stats.cycles,
-        wall_s: wall.as_secs_f64(),
-        kips: stats.committed_instructions as f64 / wall.as_secs_f64() / 1e3,
+        wall_s: wall.map(|w| w.as_secs_f64()),
+        kips: wall.map(|w| stats.committed_instructions as f64 / w.as_secs_f64() / 1e3),
         phases: host
             .phases()
             .iter()
@@ -114,44 +127,57 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--out" => out = args.next().expect("--out needs a path"),
-            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--out" => out = cli::require_value(&mut args, "--out", "a path"),
+            "--baseline" => baseline = Some(cli::require_value(&mut args, "--baseline", "a path")),
             "--repeat" => {
-                repeat = args
-                    .next()
-                    .expect("--repeat needs a count")
-                    .parse()
-                    .expect("--repeat count must be a positive integer");
-                assert!(repeat > 0, "--repeat count must be a positive integer");
+                repeat = cli::parse_next(&mut args, "--repeat", "a positive integer");
+                if repeat == 0 {
+                    cli::usage_error("--repeat count must be a positive integer");
+                }
             }
-            other => panic!("unknown argument {other:?}"),
+            other => cli::usage_error(format_args!(
+                "unknown argument {other:?} (expected --out, --baseline, or --repeat)"
+            )),
         }
     }
 
     let mut runs = Vec::new();
+    // Aggregate over runs that registered a valid (above-resolution)
+    // wall time; untimeable runs are excluded from the rate, not
+    // averaged in as zero.
     let mut total_committed = 0u64;
     let mut total_wall = 0.0f64;
     for w in Workload::ALL {
         for c in BENCH_CONFIGS {
             let r = run_one(w, c, repeat);
-            println!(
-                "{:>9} × {:<24} {:>8.1} KIPS  ({} committed in {:.2}s)",
-                w.name(),
-                c.label(),
-                r.kips,
-                r.committed,
-                r.wall_s
-            );
-            total_committed += r.committed;
-            total_wall += r.wall_s;
+            match (r.kips, r.wall_s) {
+                (Some(kips), Some(wall_s)) => {
+                    println!(
+                        "{:>9} × {:<24} {:>8.1} KIPS  ({} committed in {:.2}s)",
+                        w.name(),
+                        c.label(),
+                        kips,
+                        r.committed,
+                        wall_s
+                    );
+                    total_committed += r.committed;
+                    total_wall += wall_s;
+                }
+                _ => println!(
+                    "{:>9} × {:<24}      n/a  ({} committed; wall time below timer resolution)",
+                    w.name(),
+                    c.label(),
+                    r.committed
+                ),
+            }
             runs.push(r);
         }
     }
-    let aggregate_kips = total_committed as f64 / total_wall / 1e3;
-    println!(
-        "aggregate: {aggregate_kips:.1} simulated KIPS over {} runs",
-        runs.len()
-    );
+    let aggregate_kips = (total_wall > 0.0).then(|| total_committed as f64 / total_wall / 1e3);
+    match aggregate_kips {
+        Some(k) => println!("aggregate: {k:.1} simulated KIPS over {} runs", runs.len()),
+        None => println!("aggregate: n/a (no run registered a wall time)"),
+    }
 
     let mut j = String::new();
     let _ = writeln!(j, "{{");
@@ -170,43 +196,47 @@ fn main() {
             .iter()
             .map(|(n, s)| format!("\"{n}\": {s:.6}"))
             .collect();
+        // Untimeable runs carry JSON null for wall_s/kips; consumers
+        // skip those samples.
+        let wall_s = r.wall_s.map_or("null".to_string(), |v| format!("{v:.6}"));
+        let kips = r.kips.map_or("null".to_string(), |v| format!("{v:.1}"));
         let _ = writeln!(
             j,
-            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"committed\": {}, \"cycles\": {}, \"wall_s\": {:.6}, \"kips\": {:.1}, \"phases_s\": {{{}}}}}{}",
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"committed\": {}, \"cycles\": {}, \"wall_s\": {}, \"kips\": {}, \"phases_s\": {{{}}}}}{}",
             r.workload.name(),
             json_escape(r.config.label()),
             r.committed,
             r.cycles,
-            r.wall_s,
-            r.kips,
+            wall_s,
+            kips,
             phases.join(", "),
             if i + 1 < runs.len() { "," } else { "" }
         );
     }
     let _ = writeln!(j, "  ],");
+    let agg = aggregate_kips.map_or("null".to_string(), |v| format!("{v:.1}"));
     let _ = writeln!(
         j,
-        "  \"aggregate\": {{\"committed\": {total_committed}, \"wall_s\": {total_wall:.6}, \"kips\": {aggregate_kips:.1}}}{}",
+        "  \"aggregate\": {{\"committed\": {total_committed}, \"wall_s\": {total_wall:.6}, \"kips\": {agg}}}{}",
         if baseline.is_some() { "," } else { "" }
     );
     if let Some(bpath) = &baseline {
         let old = std::fs::read_to_string(bpath)
-            .unwrap_or_else(|e| panic!("reading baseline {bpath}: {e}"));
-        let old_kips =
-            extract_aggregate_kips(&old).unwrap_or_else(|| panic!("no aggregate kips in {bpath}"));
+            .unwrap_or_else(|e| cli::fail(format_args!("reading baseline {bpath}: {e}")));
+        let old_kips = extract_aggregate_kips(&old)
+            .unwrap_or_else(|| cli::fail(format_args!("no aggregate kips in {bpath}")));
+        let new_kips = aggregate_kips.unwrap_or_else(|| {
+            cli::fail("cannot compare against a baseline: no run registered a wall time")
+        });
         let _ = writeln!(j, "  \"baseline_kips\": {old_kips:.1},");
-        let _ = writeln!(
-            j,
-            "  \"speedup_vs_baseline\": {:.3}",
-            aggregate_kips / old_kips
-        );
+        let _ = writeln!(j, "  \"speedup_vs_baseline\": {:.3}", new_kips / old_kips);
         println!(
             "speedup vs baseline ({old_kips:.1} KIPS): {:.2}x",
-            aggregate_kips / old_kips
+            new_kips / old_kips
         );
     }
     let _ = writeln!(j, "}}");
-    std::fs::write(&out, j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    std::fs::write(&out, j).unwrap_or_else(|e| cli::fail(format_args!("writing {out}: {e}")));
     println!("wrote {out}");
 }
 

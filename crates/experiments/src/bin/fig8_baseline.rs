@@ -73,7 +73,9 @@ fn main() {
             pp_experiments::experiments::BASELINE_HISTORY_BITS,
         );
         for w in Workload::ALL {
-            run_workload_telemetered(w, &cfg, &telemetry, "fig8_see_jrs");
+            if let Err(e) = run_workload_telemetered(w, &cfg, &telemetry, "fig8_see_jrs") {
+                pp_experiments::cli::fail(e);
+            }
         }
     }
 }

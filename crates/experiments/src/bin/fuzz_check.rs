@@ -1,0 +1,89 @@
+//! Differential fuzzing driver: random ISA programs through the
+//! simulator with the lock-step oracle and the per-cycle sanitizer
+//! armed, under monopath, SEE/JRS, and dual-path/JRS.
+//!
+//! ```sh
+//! cargo run --release -p pp-experiments --bin fuzz_check -- \
+//!     [--count N] [--seed S]
+//! ```
+//!
+//! Runs `N` seeded random programs (default 1000, seeds `S..S+N`).
+//! Every program is first validated to halt on the architectural
+//! emulator, then simulated under all three configurations; any oracle
+//! divergence, sanitizer violation, starvation, or deadlock fails the
+//! run. The first failing case is minimized with delta debugging and
+//! printed as a plan + disassembly listing that reproduces the failure,
+//! and the process exits 1. CI runs a 1k-seed smoke; the acceptance bar
+//! for simulator changes is a clean 10k run:
+//!
+//! ```sh
+//! cargo run --release -p pp-experiments --bin fuzz_check -- --count 10000
+//! ```
+
+use pp_check::{fuzz, listing, FUZZ_CONFIGS};
+use pp_experiments::cli;
+
+fn main() {
+    let mut count: u64 = 1000;
+    let mut seed: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--count" => {
+                count = cli::parse_next(&mut args, "--count", "a number of programs");
+                if count == 0 {
+                    cli::usage_error("--count must be at least 1");
+                }
+            }
+            "--seed" => seed = cli::parse_next(&mut args, "--seed", "a 64-bit seed"),
+            other => cli::usage_error(format_args!(
+                "unknown argument {other:?} (expected --count or --seed)"
+            )),
+        }
+    }
+
+    println!(
+        "fuzz_check: {count} programs from seed {seed}, configs {}, oracle + sanitizer armed",
+        FUZZ_CONFIGS.join("/")
+    );
+
+    // Failing cases are *expected* to panic inside the checkers (that is
+    // how the oracle and sanitizer report); silence the default hook's
+    // per-panic backtrace spew while the driver catches and shrinks, and
+    // restore it afterwards so driver bugs still print normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = fuzz(seed, count, |done| {
+        eprintln!("  {done}/{count} clean");
+    });
+    std::panic::set_hook(default_hook);
+
+    match outcome.failure {
+        None => {
+            println!(
+                "fuzz_check: all {} programs clean (zero divergences, zero violations)",
+                outcome.cases_run
+            );
+        }
+        Some(f) => {
+            eprintln!(
+                "fuzz_check: seed {} FAILED after {} clean cases",
+                f.seed,
+                outcome.cases_run - 1
+            );
+            eprintln!("{}", f.report);
+            eprintln!(
+                "\nminimized plan ({} of {} ops) — reproduce with --seed {} --count 1:",
+                f.minimized.len(),
+                f.ops.len(),
+                f.seed
+            );
+            for op in &f.minimized {
+                eprintln!("  {op:?}");
+            }
+            eprintln!("\nassembled listing of the minimized program:");
+            eprintln!("{}", listing(&f.minimized));
+            std::process::exit(1);
+        }
+    }
+}

@@ -18,7 +18,7 @@ use pp_experiments::experiments::{
     self, config_index, fig10, fig11, fig12, fig9, BASELINE_HISTORY_BITS, SWEEP_SERIES,
 };
 use pp_experiments::{
-    named_config, run_workload_telemetered, Config, Table, TelemetryOpts, CONFIG_ORDER,
+    cli, named_config, run_workload_telemetered, Config, Table, TelemetryOpts, CONFIG_ORDER,
 };
 use pp_workloads::Workload;
 
@@ -45,7 +45,8 @@ fn main() {
     let (telemetry, rest) = TelemetryOpts::from_env();
     let dir = rest.into_iter().next().unwrap_or_else(|| "results".into());
     let dir = Path::new(&dir);
-    std::fs::create_dir_all(dir).expect("create output directory");
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| cli::fail(format_args!("creating output directory {dir:?}: {e}")));
 
     // Table 1.
     let rows = experiments::table1();
@@ -158,7 +159,9 @@ fn main() {
         println!("telemetry pass (SEE/JRS, instrumented re-run):");
         let cfg = named_config(Config::SeeJrs, BASELINE_HISTORY_BITS);
         for w in Workload::ALL {
-            run_workload_telemetered(w, &cfg, &telemetry, "see_jrs");
+            if let Err(e) = run_workload_telemetered(w, &cfg, &telemetry, "see_jrs") {
+                cli::fail(e);
+            }
         }
     }
 

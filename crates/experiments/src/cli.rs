@@ -1,0 +1,91 @@
+//! Command-line parsing helpers shared by the experiment binaries.
+//!
+//! The binaries are plain `std::env::args` loops (no external argument
+//! parser in this offline workspace). These helpers make the failure
+//! paths uniform: a *usage* error (bad flag, missing or malformed value)
+//! prints one actionable line to stderr and exits with status 2; a
+//! *runtime* failure (can't write an artifact, missing baseline file)
+//! exits with status 1. Neither produces a panic backtrace — those are
+//! reserved for bugs.
+//!
+//! The `try_*` variants return `Result` so the message text is unit
+//! testable; the panic-free process-exit behaviour itself is covered by
+//! the negative-path integration tests in `tests/cli_negative.rs`,
+//! which spawn the real binaries.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Print an actionable usage message and exit with status 2 (the
+/// conventional bad-usage code; status 1 is for runtime failures).
+pub fn usage_error(msg: impl Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Print a runtime failure and exit with status 1.
+pub fn fail(msg: impl Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// The value following `flag`, or a usage error naming the flag and what
+/// it expects (e.g. `--out needs a path`).
+pub fn require_value(args: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    match args.next() {
+        Some(v) => v,
+        None => usage_error(format_args!("{flag} needs {what}")),
+    }
+}
+
+/// Parse `raw` as a `T`, with a message naming the flag and the value.
+pub fn try_parse_value<T: FromStr>(flag: &str, raw: &str, what: &str) -> Result<T, String>
+where
+    T::Err: Display,
+{
+    raw.parse()
+        .map_err(|e| format!("{flag}: {raw:?} is not {what} ({e})"))
+}
+
+/// [`try_parse_value`], exiting with a usage error on failure.
+pub fn parse_value<T: FromStr>(flag: &str, raw: &str, what: &str) -> T
+where
+    T::Err: Display,
+{
+    try_parse_value(flag, raw, what).unwrap_or_else(|m| usage_error(m))
+}
+
+/// Consume and parse the value following `flag` in one step.
+pub fn parse_next<T: FromStr>(args: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> T
+where
+    T::Err: Display,
+{
+    let raw = require_value(args, flag, what);
+    parse_value(flag, &raw, what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_parse_value_accepts_good_input() {
+        assert_eq!(
+            try_parse_value::<u64>("--repeat", "3", "a positive integer"),
+            Ok(3)
+        );
+    }
+
+    #[test]
+    fn try_parse_value_message_names_flag_and_value() {
+        let err = try_parse_value::<u64>("--repeat", "lots", "a positive integer").unwrap_err();
+        assert!(err.contains("--repeat"), "{err}");
+        assert!(err.contains("\"lots\""), "{err}");
+        assert!(err.contains("a positive integer"), "{err}");
+    }
+
+    #[test]
+    fn try_parse_value_rejects_negative_for_unsigned() {
+        assert!(try_parse_value::<u64>("--count", "-1", "a count").is_err());
+    }
+}

@@ -177,10 +177,11 @@ impl TelemetryOpts {
     /// Accepted forms: `--telemetry-out DIR`, `--telemetry-out=DIR`,
     /// `--telemetry-sample-every N`, `--telemetry-sample-every=N`.
     ///
-    /// # Panics
-    /// Panics on a flag missing its value or a non-numeric interval —
-    /// a usage error worth failing loudly on.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
+    /// `Err` carries an actionable usage message (flag missing its value
+    /// or a non-numeric interval).
+    pub fn try_parse(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(Self, Vec<String>), String> {
         let mut opts = TelemetryOpts::default();
         let mut rest = Vec::new();
         let mut it = args.into_iter();
@@ -188,18 +189,30 @@ impl TelemetryOpts {
             if let Some(v) = a.strip_prefix("--telemetry-out=") {
                 opts.out_dir = Some(PathBuf::from(v));
             } else if a == "--telemetry-out" {
-                let v = it.next().expect("--telemetry-out needs a directory");
+                let v = it
+                    .next()
+                    .ok_or("--telemetry-out needs a directory".to_string())?;
                 opts.out_dir = Some(PathBuf::from(v));
             } else if let Some(v) = a.strip_prefix("--telemetry-sample-every=") {
-                opts.sample_every = v.parse().expect("--telemetry-sample-every needs a number");
+                opts.sample_every =
+                    crate::cli::try_parse_value("--telemetry-sample-every", v, "a cycle count")?;
             } else if a == "--telemetry-sample-every" {
-                let v = it.next().expect("--telemetry-sample-every needs a number");
-                opts.sample_every = v.parse().expect("--telemetry-sample-every needs a number");
+                let v = it
+                    .next()
+                    .ok_or("--telemetry-sample-every needs a cycle count".to_string())?;
+                opts.sample_every =
+                    crate::cli::try_parse_value("--telemetry-sample-every", &v, "a cycle count")?;
             } else {
                 rest.push(a);
             }
         }
-        (opts, rest)
+        Ok((opts, rest))
+    }
+
+    /// [`Self::try_parse`], exiting with a usage error (status 2) on
+    /// malformed input instead of returning it.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
+        Self::try_parse(args).unwrap_or_else(|m| crate::cli::usage_error(m))
     }
 
     /// Parse from the process arguments (skipping `argv[0]`).
@@ -213,20 +226,53 @@ impl TelemetryOpts {
     }
 }
 
+/// Failure to write a workload's telemetry artifacts: the workload, the
+/// target directory, and the underlying I/O error. The experiment
+/// binaries report this and exit nonzero — losing an artifact silently
+/// (or as a bare panic backtrace) buries the actual filesystem problem.
+#[derive(Debug)]
+pub struct TelemetryWriteError {
+    /// The workload whose artifacts were being written.
+    pub workload: Workload,
+    /// The output directory that rejected the write.
+    pub dir: PathBuf,
+    /// The underlying filesystem error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for TelemetryWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "writing telemetry artifacts for {} into {}: {}",
+            self.workload,
+            self.dir.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for TelemetryWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Simulate one workload with a [`TelemetryObserver`] and host
 /// self-profiling attached, writing the three artifacts
 /// (`{prefix}_{workload}.metrics.jsonl` / `.timeseries.csv` /
-/// `.trace.json`) into `opts.out_dir`.
+/// `.trace.json`) into `opts.out_dir`. A failed write is returned as
+/// [`TelemetryWriteError`] naming the workload, not panicked on.
 ///
 /// # Panics
-/// Panics if telemetry is not enabled in `opts`, if the run hits the
-/// cycle limit, or if the artifacts cannot be written.
+/// Panics if telemetry is not enabled in `opts` or the run hits the
+/// cycle limit (both are caller bugs, not environment failures).
 pub fn run_workload_telemetered(
     workload: Workload,
     cfg: &SimConfig,
     opts: &TelemetryOpts,
     prefix: &str,
-) -> (SimStats, TelemetryArtifacts) {
+) -> Result<(SimStats, TelemetryArtifacts), TelemetryWriteError> {
     let dir = opts.out_dir.as_deref().expect("telemetry enabled");
     let program = workload.build(scaled(workload));
     let mut sim = Simulator::new(&program, cfg.clone());
@@ -246,16 +292,23 @@ pub fn run_workload_telemetered(
     let name = format!("{prefix}_{}", workload.name());
     let arts = tel
         .write_artifacts(dir, &name, &stats, host.as_ref())
-        .unwrap_or_else(|e| panic!("writing telemetry artifacts for {name}: {e}"));
+        .map_err(|source| TelemetryWriteError {
+            workload,
+            dir: dir.to_path_buf(),
+            source,
+        })?;
     if let Some(h) = &host {
         println!(
-            "  {workload}: {:.1} KIPS host-side, {} divergence sites, artifacts in {}",
-            h.kips(),
+            "  {workload}: {} host-side, {} divergence sites, artifacts in {}",
+            match h.kips() {
+                Some(k) => format!("{k:.1} KIPS"),
+                None => "KIPS n/a (wall time below timer resolution)".to_string(),
+            },
             tel.branches().len(),
             dir.display(),
         );
     }
-    (stats, arts)
+    Ok((stats, arts))
 }
 
 #[cfg(test)]
@@ -354,9 +407,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--telemetry-out needs a directory")]
     fn telemetry_opts_reject_dangling_flag() {
-        TelemetryOpts::parse(["--telemetry-out".to_string()]);
+        let err = TelemetryOpts::try_parse(["--telemetry-out".to_string()]).unwrap_err();
+        assert!(err.contains("--telemetry-out needs a directory"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_opts_reject_bad_interval() {
+        let err =
+            TelemetryOpts::try_parse(["--telemetry-sample-every=never".to_string()]).unwrap_err();
+        assert!(err.contains("--telemetry-sample-every"), "{err}");
+        assert!(err.contains("\"never\""), "{err}");
     }
 
     #[test]
@@ -368,12 +429,36 @@ mod tests {
             sample_every: 8,
         };
         let cfg = named_config(Config::SeeJrs, 10);
-        let (stats, arts) = run_workload_telemetered(Workload::Compress, &cfg, &opts, "test");
+        let (stats, arts) = run_workload_telemetered(Workload::Compress, &cfg, &opts, "test")
+            .expect("writable out-dir");
         assert!(stats.committed_instructions > 0);
         for p in [&arts.metrics, &arts.timeseries, &arts.trace] {
             let meta = std::fs::metadata(p).unwrap_or_else(|e| panic!("{p:?}: {e}"));
             assert!(meta.len() > 0, "{p:?} is empty");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_out_dir_is_an_error_naming_the_workload() {
+        std::env::set_var("PP_SCALE", "0.01");
+        // An out-dir nested *under a regular file* cannot be created on
+        // any platform (and regardless of privilege — root ignores
+        // permission bits, so a read-only directory wouldn't do).
+        let blocker =
+            std::env::temp_dir().join(format!("pp-telemetry-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").expect("create blocker file");
+        let opts = TelemetryOpts {
+            out_dir: Some(blocker.join("sub")),
+            sample_every: 8,
+        };
+        let cfg = named_config(Config::SeeJrs, 10);
+        let err = run_workload_telemetered(Workload::Compress, &cfg, &opts, "test")
+            .expect_err("write into a file's child must fail");
+        assert_eq!(err.workload, Workload::Compress);
+        let msg = err.to_string();
+        assert!(msg.contains("compress"), "{msg}");
+        assert!(msg.contains("telemetry artifacts"), "{msg}");
+        std::fs::remove_file(&blocker).ok();
     }
 }

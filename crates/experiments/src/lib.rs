@@ -31,13 +31,14 @@ mod harness;
 mod plot;
 mod table;
 
+pub mod cli;
 pub mod experiments;
 
 pub use configs::{named_config, Config, CONFIG_ORDER};
 pub use harness::{
     geometric_mean, harmonic_mean, parallelism, run_matrix, run_matrix_with_workers, run_workload,
     run_workload_telemetered, scale_factor, scaled, speedup_frac, speedup_pct, MatrixResult,
-    TelemetryOpts,
+    TelemetryOpts, TelemetryWriteError,
 };
 pub use plot::Chart;
 pub use table::Table;

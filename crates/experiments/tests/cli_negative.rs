@@ -1,0 +1,90 @@
+//! Negative-path tests for the experiment binaries' command-line
+//! handling: malformed user input must produce one actionable stderr
+//! line and exit status 2 — never a panic backtrace.
+//!
+//! These spawn the real binaries (via the `CARGO_BIN_EXE_*` paths cargo
+//! provides to integration tests), so they cover the actual `main`
+//! wiring, not just the parsing helpers.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"))
+}
+
+fn assert_usage_error(out: &Output, needles: &[&str]) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected usage-error exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    for n in needles {
+        assert!(stderr.contains(n), "stderr missing {n:?}: {stderr}");
+    }
+    assert!(
+        !stderr.contains("panicked"),
+        "usage error must not be a panic: {stderr}"
+    );
+}
+
+#[test]
+fn bench_kernel_rejects_zero_repeat() {
+    let out = run(env!("CARGO_BIN_EXE_bench_kernel"), &["--repeat", "0"]);
+    assert_usage_error(&out, &["--repeat", "positive integer"]);
+}
+
+#[test]
+fn bench_kernel_rejects_non_numeric_repeat() {
+    let out = run(env!("CARGO_BIN_EXE_bench_kernel"), &["--repeat", "lots"]);
+    assert_usage_error(&out, &["--repeat", "\"lots\""]);
+}
+
+#[test]
+fn bench_kernel_rejects_dangling_flag() {
+    let out = run(env!("CARGO_BIN_EXE_bench_kernel"), &["--out"]);
+    assert_usage_error(&out, &["--out needs a path"]);
+}
+
+#[test]
+fn bench_kernel_rejects_unknown_argument() {
+    let out = run(env!("CARGO_BIN_EXE_bench_kernel"), &["--frobnicate"]);
+    assert_usage_error(&out, &["unknown argument", "--frobnicate"]);
+}
+
+#[test]
+fn fuzz_check_rejects_bad_count() {
+    let out = run(env!("CARGO_BIN_EXE_fuzz_check"), &["--count", "many"]);
+    assert_usage_error(&out, &["--count", "\"many\""]);
+}
+
+#[test]
+fn fuzz_check_rejects_zero_count() {
+    let out = run(env!("CARGO_BIN_EXE_fuzz_check"), &["--count", "0"]);
+    assert_usage_error(&out, &["--count must be at least 1"]);
+}
+
+#[test]
+fn fuzz_check_rejects_negative_seed() {
+    let out = run(env!("CARGO_BIN_EXE_fuzz_check"), &["--seed", "-3"]);
+    assert_usage_error(&out, &["--seed", "\"-3\""]);
+}
+
+#[test]
+fn run_all_rejects_dangling_telemetry_flag() {
+    let out = run(env!("CARGO_BIN_EXE_run_all"), &["--telemetry-out"]);
+    assert_usage_error(&out, &["--telemetry-out needs a directory"]);
+}
+
+#[test]
+fn run_all_rejects_bad_sample_interval() {
+    let out = run(
+        env!("CARGO_BIN_EXE_run_all"),
+        &["--telemetry-sample-every=sometimes"],
+    );
+    assert_usage_error(&out, &["--telemetry-sample-every", "\"sometimes\""]);
+}

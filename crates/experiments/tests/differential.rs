@@ -1,0 +1,62 @@
+//! Differential suite: the golden 8×3 workload × configuration matrix,
+//! re-run with the lock-step oracle and the per-cycle sanitizer armed.
+//!
+//! Where the golden suite pins *what* the simulator computes (byte-exact
+//! `SimStats`), this suite checks *that it computes it correctly*: every
+//! committed instruction is compared against the architectural emulator
+//! in lock step, and the machine's internal invariants (CTX tag
+//! hierarchy, wakeup/completion bookkeeping, store-buffer filtering,
+//! register conservation) are validated after every cycle. Any
+//! divergence or violation panics with a cycle-stamped report.
+//!
+//! Tier-2 like the golden suite: the sanitizer multiplies run time, so
+//! the full matrix only runs under `--release` (CI's `check` job);
+//! in debug builds each test is a fast no-op with a notice.
+
+use pp_core::Simulator;
+use pp_experiments::experiments::BASELINE_HISTORY_BITS;
+use pp_experiments::{named_config, Config};
+use pp_workloads::Workload;
+
+/// Same scale the golden snapshots use, so this suite vouches for
+/// exactly the runs the golden suite pins.
+fn golden_scale(w: Workload) -> u64 {
+    (w.default_scale() / 64).max(2000)
+}
+
+fn check_config(c: Config) {
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "differential[{c:?}]: tier-2 suite, skipped in debug builds — run with --release"
+        );
+        return;
+    }
+    let cfg = named_config(c, BASELINE_HISTORY_BITS)
+        .with_commit_checking()
+        .with_sanitizer();
+    for w in Workload::ALL {
+        let program = w.build(golden_scale(w));
+        let mut sim = Simulator::new(&program, cfg.clone());
+        let stats = sim.run();
+        // The oracle/sanitizer panic on any divergence or violation, so
+        // reaching here means the run was clean; classify truncation too.
+        sim.finish_commit_check();
+        assert!(!stats.hit_cycle_limit, "{w} hit the cycle limit");
+        assert!(stats.committed_instructions > 0, "{w} committed nothing");
+    }
+}
+
+#[test]
+fn differential_monopath() {
+    check_config(Config::Monopath);
+}
+
+#[test]
+fn differential_see_jrs() {
+    check_config(Config::SeeJrs);
+}
+
+#[test]
+fn differential_dual_jrs() {
+    check_config(Config::DualJrs);
+}

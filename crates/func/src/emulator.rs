@@ -349,7 +349,7 @@ impl Emulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_isa::{Asm, FpOp, Operand};
+    use pp_isa::{Asm, Cond, FpOp, Operand};
 
     fn assemble(f: impl FnOnce(&mut Asm)) -> Program {
         let mut a = Asm::new();
@@ -512,6 +512,42 @@ mod tests {
         let mut e = Emulator::new(&p);
         e.step().unwrap();
         assert_eq!(e.step(), Err(EmuError::PcOutOfRange { pc: 1 }));
+    }
+
+    #[test]
+    fn pc_out_of_range_error_through_run() {
+        // A program that runs off the end of its text (no halt) surfaces
+        // PcOutOfRange from `run`, not a bogus summary — the same
+        // classification the differential oracle relies on to call this
+        // a workload bug rather than a pipeline divergence.
+        let p = assemble(|a| {
+            a.li(reg::T0, 1);
+            a.addi(reg::T0, reg::T0, 2);
+        });
+        let mut e = Emulator::new(&p);
+        assert_eq!(e.run(100), Err(EmuError::PcOutOfRange { pc: 2 }));
+        // Architectural state up to the fault is intact.
+        assert_eq!(e.reg(reg::T0), 3);
+    }
+
+    #[test]
+    fn step_limit_error_leaves_machine_resumable() {
+        // StepLimitExceeded through `run` is a budget decision, not a
+        // machine fault: raising the budget resumes and finishes.
+        let p = assemble(|a| {
+            a.li(reg::T0, 0);
+            let top = a.here();
+            a.addi(reg::T0, reg::T0, 1);
+            a.br(Cond::Lt, reg::T0, Operand::imm(50), top);
+            a.halt();
+        });
+        let mut e = Emulator::new(&p);
+        assert_eq!(e.run(10), Err(EmuError::StepLimitExceeded { limit: 10 }));
+        assert!(!e.halted());
+        let summary = e.run(10_000).expect("resumes to completion");
+        assert!(summary.instructions > 0);
+        assert!(e.halted());
+        assert_eq!(e.reg(reg::T0), 50);
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod memory;
 mod profile;
 mod trace;
 
-pub use emulator::{EmuError, Emulator, RunSummary};
+pub use emulator::{EmuError, Emulator, RunSummary, StepEvent};
 pub use memory::Memory;
 pub use profile::Profile;
 pub use trace::{BranchRecord, BranchTrace};

@@ -162,11 +162,15 @@ pub fn write_metrics_jsonl<W: Write>(
     }
 
     if let Some(p) = host {
-        writeln!(
-            w,
-            "{{\"kind\":\"host\",\"name\":\"kips\",\"value\":{}}}",
-            json_f64(p.kips())
-        )?;
+        // A sub-resolution wall time has no KIPS figure; omit the row
+        // rather than emit a poisoned 0.0 into downstream aggregation.
+        if let Some(kips) = p.kips() {
+            writeln!(
+                w,
+                "{{\"kind\":\"host\",\"name\":\"kips\",\"value\":{}}}",
+                json_f64(kips)
+            )?;
+        }
         writeln!(
             w,
             "{{\"kind\":\"host\",\"name\":\"wall_seconds\",\"value\":{}}}",

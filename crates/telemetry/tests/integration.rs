@@ -86,7 +86,9 @@ fn attribution_ties_out_against_stats() {
     // Self-profiling rode along.
     let host = host.as_ref().expect("self-profiling enabled");
     assert_eq!(host.cycles, stats.cycles);
-    assert!(host.kips() > 0.0);
+    // kips() is None only when the wall clock never ticked; a real run
+    // of thousands of cycles always registers.
+    assert!(host.kips().is_some_and(|k| k > 0.0));
 }
 
 /// The time series is downsampled on the configured interval and its

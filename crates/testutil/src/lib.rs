@@ -9,10 +9,10 @@
 //! * [`Rng`] — a seedable splitmix64/xorshift generator with the usual
 //!   integer-range, boolean, and choice helpers,
 //! * [`cases`] — runs a closure across `n` seeds and reports the failing
-//!   seed on panic, so a red run is reproducible with [`cases_from`].
-//!
-//! Unlike proptest there is no shrinking: generators are kept small
-//! enough that the failing seed itself is a readable counterexample.
+//!   seed on panic, so a red run is reproducible with [`cases_from`],
+//! * [`shrink`] — delta-debugging (ddmin-style) list minimization for
+//!   fuzz harnesses whose inputs are element lists (e.g. instruction
+//!   sequences), reducing a failing case to a locally minimal one.
 //!
 //! The crate also hosts the workspace's golden-file layer (module
 //! [`golden`]): snapshot comparison with a `PP_UPDATE_GOLDEN=1`
@@ -152,6 +152,47 @@ pub fn cases_from(first: u64, n: u64, body: impl Fn(&mut Rng)) {
     }
 }
 
+/// Delta-debugging list minimization (Zeller's ddmin, simplified): given
+/// `items` for which `fails` returns `true`, find a subsequence that still
+/// fails but from which no single contiguous chunk (down to single
+/// elements) can be removed. Deterministic; calls `fails` O(n²) times in
+/// the worst case, so keep the predicate cheap or the input modest.
+///
+/// Returns `items` unchanged if it does not fail in the first place.
+pub fn shrink<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if !fails(&current) {
+        return current;
+    }
+    // Try removing chunks of decreasing size until nothing can go.
+    let mut chunk = current.len().div_ceil(2).max(1);
+    while chunk >= 1 && !current.is_empty() {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if (!candidate.is_empty() || chunk == current.len()) && fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Re-test from the same offset: the next chunk slid
+                // into this position.
+                continue;
+            }
+            start += chunk;
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+    current
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +256,46 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn shrink_finds_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let minimal = shrink(&items, |xs| xs.contains(&73));
+        assert_eq!(minimal, vec![73]);
+    }
+
+    #[test]
+    fn shrink_keeps_interacting_pair() {
+        // Failure needs both 10 and 90 — ddmin must keep exactly those.
+        let items: Vec<u32> = (0..100).collect();
+        let minimal = shrink(&items, |xs| xs.contains(&10) && xs.contains(&90));
+        assert_eq!(minimal, vec![10, 90]);
+    }
+
+    #[test]
+    fn shrink_returns_input_when_not_failing() {
+        let items = vec![1, 2, 3];
+        assert_eq!(shrink(&items, |_| false), items);
+    }
+
+    #[test]
+    fn shrink_reaches_empty_when_everything_fails() {
+        let items = vec![5, 6];
+        assert_eq!(shrink(&items, |_| true), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn shrink_result_is_locally_minimal() {
+        // Failure: sum of elements >= 50. Any locally minimal subsequence
+        // cannot lose a single element and still fail.
+        let items: Vec<u32> = vec![8; 20];
+        let minimal = shrink(&items, |xs| xs.iter().sum::<u32>() >= 50);
+        assert!(minimal.iter().sum::<u32>() >= 50);
+        for i in 0..minimal.len() {
+            let mut without: Vec<u32> = minimal.clone();
+            without.remove(i);
+            assert!(without.iter().sum::<u32>() < 50, "not minimal at {i}");
+        }
     }
 }
