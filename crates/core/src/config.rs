@@ -365,56 +365,322 @@ impl SimConfig {
         }
     }
 
+    /// Validate invariants, returning the first violation as a typed
+    /// [`ConfigError`] instead of panicking.
+    ///
+    /// This is the machine-checkable path; [`Self::validate`] wraps it
+    /// for call sites that treat a bad configuration as a caller bug.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.fetch_width == 0 {
+            return Err(ConfigError::ZeroWidth { stage: "fetch" });
+        }
+        if self.dispatch_width == 0 {
+            return Err(ConfigError::ZeroWidth { stage: "dispatch" });
+        }
+        if self.commit_width == 0 {
+            return Err(ConfigError::ZeroWidth { stage: "commit" });
+        }
+        if self.window_size < self.dispatch_width {
+            return Err(ConfigError::WindowTooSmall {
+                window: self.window_size,
+                dispatch_width: self.dispatch_width,
+            });
+        }
+        if !(4..=16).contains(&self.pipeline_depth) {
+            return Err(ConfigError::PipelineDepthOutOfRange {
+                depth: self.pipeline_depth,
+            });
+        }
+        if self.max_paths < 1 {
+            return Err(ConfigError::ZeroPaths);
+        }
+        if self.max_paths > 64 {
+            return Err(ConfigError::TooManyPaths {
+                max_paths: self.max_paths,
+            });
+        }
+        if !(1..=pp_ctx::MAX_POSITIONS).contains(&self.ctx_positions) {
+            return Err(ConfigError::CtxPositionsOutOfRange {
+                positions: self.ctx_positions,
+            });
+        }
+        if self.effective_phys_regs() < self.window_size + pp_isa::NUM_LOGICAL_REGS {
+            return Err(ConfigError::TooFewPhysRegs {
+                have: self.effective_phys_regs(),
+                need: self.window_size + pp_isa::NUM_LOGICAL_REGS,
+            });
+        }
+        if self.fus.int0 == 0 || self.fus.int1 == 0 || self.fus.mem_ports == 0 {
+            return Err(ConfigError::MissingFunctionalUnits);
+        }
+        if self.confidence == ConfidenceKind::Saturating
+            && !matches!(self.predictor, PredictorKind::Gshare { .. })
+        {
+            return Err(ConfigError::SaturatingNeedsGshare);
+        }
+        if self.mode != ExecMode::Monopath
+            && self.confidence != ConfidenceKind::AlwaysHigh
+            && self.max_paths < 3
+        {
+            return Err(ConfigError::TooFewPathsForEager {
+                max_paths: self.max_paths,
+            });
+        }
+        Ok(())
+    }
+
+    /// Consume the builder chain, returning the validated configuration
+    /// or the first [`ConfigError`]. The non-panicking finisher:
+    ///
+    /// ```
+    /// use pp_core::SimConfig;
+    /// let cfg = SimConfig::baseline().with_window_size(128).build().unwrap();
+    /// assert!(SimConfig::baseline().with_pipeline_depth(2).build().is_err());
+    /// ```
+    pub fn build(self) -> Result<Self, ConfigError> {
+        self.try_validate()?;
+        Ok(self)
+    }
+
     /// Validate invariants.
     ///
     /// # Panics
     /// Panics with a descriptive message on an inconsistent configuration
     /// (zero widths, window smaller than dispatch width, out-of-range
-    /// pipeline depth, too few physical registers, etc.).
+    /// pipeline depth, too few physical registers, etc.). Use
+    /// [`Self::try_validate`] or [`Self::build`] when the configuration
+    /// comes from user input rather than code.
     pub fn validate(&self) {
-        assert!(self.fetch_width > 0, "fetch width must be nonzero");
-        assert!(self.dispatch_width > 0, "dispatch width must be nonzero");
-        assert!(self.commit_width > 0, "commit width must be nonzero");
-        assert!(
-            self.window_size >= self.dispatch_width,
-            "window must hold at least one dispatch group"
-        );
-        assert!(
-            (4..=16).contains(&self.pipeline_depth),
-            "pipeline depth must be in 4..=16"
-        );
-        assert!(self.max_paths >= 1, "at least one path required");
-        assert!(
-            self.max_paths <= 64,
-            "at most 64 path slots (the CTX-table tag index uses one-word \
-             slot bitmasks)"
-        );
-        assert!(
-            (1..=pp_ctx::MAX_POSITIONS).contains(&self.ctx_positions),
-            "ctx positions out of range"
-        );
-        assert!(
-            self.effective_phys_regs() >= self.window_size + pp_isa::NUM_LOGICAL_REGS,
-            "need at least window_size + 64 physical registers"
-        );
-        assert!(
-            self.fus.int0 > 0 && self.fus.int1 > 0 && self.fus.mem_ports > 0,
-            "need at least one of each integer unit and one memory port"
-        );
-        if self.confidence == ConfidenceKind::Saturating {
-            assert!(
-                matches!(self.predictor, PredictorKind::Gshare { .. }),
-                "saturating confidence reads the gshare counters"
-            );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
-        if self.mode != ExecMode::Monopath && self.confidence != ConfidenceKind::AlwaysHigh {
-            assert!(
-                self.max_paths >= 3,
-                "eager execution needs at least 3 path slots"
-            );
+    }
+
+    /// Canonical JSON rendering of the complete configuration: every
+    /// field, in struct declaration order, integers/booleans/strings
+    /// only — byte-stable across platforms and build profiles.
+    ///
+    /// Two configurations render identically iff they simulate
+    /// identically, which makes this the configuration component of a
+    /// sweep cell's cache fingerprint (`pp-sweep`); it is also written
+    /// into each cache entry so a cached result remains auditable.
+    pub fn to_canonical_json(&self) -> String {
+        use std::fmt::Write as _;
+        let predictor = match self.predictor {
+            PredictorKind::Gshare { history_bits } => {
+                format!("{{\"kind\": \"gshare\", \"history_bits\": {history_bits}}}")
+            }
+            PredictorKind::Bimodal { index_bits } => {
+                format!("{{\"kind\": \"bimodal\", \"index_bits\": {index_bits}}}")
+            }
+            PredictorKind::TwoLevelLocal {
+                bht_bits,
+                history_bits,
+            } => format!(
+                "{{\"kind\": \"two_level_local\", \"bht_bits\": {bht_bits}, \
+                 \"history_bits\": {history_bits}}}"
+            ),
+            PredictorKind::Agree {
+                bias_bits,
+                history_bits,
+            } => format!(
+                "{{\"kind\": \"agree\", \"bias_bits\": {bias_bits}, \
+                 \"history_bits\": {history_bits}}}"
+            ),
+            PredictorKind::Oracle => "{\"kind\": \"oracle\"}".to_string(),
+            PredictorKind::StaticTaken => "{\"kind\": \"static_taken\"}".to_string(),
+            PredictorKind::StaticNotTaken => "{\"kind\": \"static_not_taken\"}".to_string(),
+        };
+        let jrs = |j: &pp_predictor::JrsConfig| {
+            format!(
+                "\"counter_bits\": {}, \"threshold\": {}, \"index_bits\": {}, \
+                 \"enhanced_index\": {}",
+                j.counter_bits, j.threshold, j.index_bits, j.enhanced_index
+            )
+        };
+        let confidence = match &self.confidence {
+            ConfidenceKind::AlwaysHigh => "{\"kind\": \"always_high\"}".to_string(),
+            ConfidenceKind::Jrs(j) => format!("{{\"kind\": \"jrs\", {}}}", jrs(j)),
+            ConfidenceKind::AdaptiveJrs(a) => format!(
+                "{{\"kind\": \"adaptive_jrs\", {}, \"window\": {}, \"min_pvn_percent\": {}}}",
+                jrs(&a.inner),
+                a.window,
+                a.min_pvn_percent
+            ),
+            ConfidenceKind::Saturating => "{\"kind\": \"saturating\"}".to_string(),
+            ConfidenceKind::Oracle => "{\"kind\": \"oracle\"}".to_string(),
+        };
+        let dcache = match &self.dcache {
+            None => "null".to_string(),
+            Some(d) => format!(
+                "{{\"sets_log2\": {}, \"ways\": {}, \"line_log2\": {}, \"miss_latency\": {}}}",
+                d.sets_log2, d.ways, d.line_log2, d.miss_latency
+            ),
+        };
+        let mut o = String::new();
+        let _ = writeln!(o, "{{");
+        let _ = writeln!(
+            o,
+            "  \"mode\": \"{}\",",
+            match self.mode {
+                ExecMode::Monopath => "monopath",
+                ExecMode::See => "see",
+                ExecMode::DualPath => "dual_path",
+            }
+        );
+        let _ = writeln!(o, "  \"fetch_width\": {},", self.fetch_width);
+        let _ = writeln!(o, "  \"dispatch_width\": {},", self.dispatch_width);
+        let _ = writeln!(o, "  \"commit_width\": {},", self.commit_width);
+        let _ = writeln!(o, "  \"window_size\": {},", self.window_size);
+        let _ = writeln!(o, "  \"pipeline_depth\": {},", self.pipeline_depth);
+        let _ = writeln!(o, "  \"predictor\": {predictor},");
+        let _ = writeln!(o, "  \"confidence\": {confidence},");
+        let _ = writeln!(
+            o,
+            "  \"fus\": {{\"int0\": {}, \"int1\": {}, \"fp_add\": {}, \"fp_mul\": {}, \
+             \"mem_ports\": {}}},",
+            self.fus.int0, self.fus.int1, self.fus.fp_add, self.fus.fp_mul, self.fus.mem_ports
+        );
+        let _ = writeln!(
+            o,
+            "  \"latency\": {{\"int_alu\": {}, \"int_mul\": {}, \"int_div\": {}, \"load\": {}, \
+             \"fp_add\": {}, \"fp_mul\": {}, \"fp_div\": {}}},",
+            self.latency.int_alu,
+            self.latency.int_mul,
+            self.latency.int_div,
+            self.latency.load,
+            self.latency.fp_add,
+            self.latency.fp_mul,
+            self.latency.fp_div
+        );
+        let _ = writeln!(
+            o,
+            "  \"fetch_policy\": \"{}\",",
+            match self.fetch_policy {
+                FetchPolicy::ExponentialByAge => "exponential_by_age",
+                FetchPolicy::OldestFirst => "oldest_first",
+                FetchPolicy::RoundRobin => "round_robin",
+            }
+        );
+        let _ = writeln!(o, "  \"resolve_at_commit\": {},", self.resolve_at_commit);
+        let _ = writeln!(o, "  \"max_paths\": {},", self.max_paths);
+        let _ = writeln!(o, "  \"ctx_positions\": {},", self.ctx_positions);
+        let _ = writeln!(o, "  \"phys_regs\": {},", self.phys_regs);
+        let _ = writeln!(o, "  \"max_cycles\": {},", self.max_cycles);
+        let _ = writeln!(o, "  \"dcache\": {dcache},");
+        let _ = writeln!(o, "  \"check_commits\": {},", self.check_commits);
+        let _ = writeln!(o, "  \"sanitize\": {}", self.sanitize);
+        let _ = writeln!(o, "}}");
+        o
+    }
+}
+
+/// A structural inconsistency in a [`SimConfig`], as found by
+/// [`SimConfig::try_validate`].
+///
+/// The `Display` text of each variant is the message the panicking
+/// [`SimConfig::validate`] path has always produced, so existing
+/// `should_panic` expectations and log greps keep matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A per-cycle width (`fetch_width`, `dispatch_width`,
+    /// `commit_width`) is zero.
+    ZeroWidth {
+        /// Which stage's width is zero.
+        stage: &'static str,
+    },
+    /// The window cannot hold one dispatch group.
+    WindowTooSmall {
+        /// Configured window entries.
+        window: usize,
+        /// Configured dispatch width.
+        dispatch_width: usize,
+    },
+    /// `pipeline_depth` outside the modeled 4..=16 range.
+    PipelineDepthOutOfRange {
+        /// The rejected depth.
+        depth: usize,
+    },
+    /// `max_paths` is zero.
+    ZeroPaths,
+    /// `max_paths` exceeds the 64 slots the CTX tag index can mask in
+    /// one word.
+    TooManyPaths {
+        /// The rejected path count.
+        max_paths: usize,
+    },
+    /// `ctx_positions` outside `1..=pp_ctx::MAX_POSITIONS`.
+    CtxPositionsOutOfRange {
+        /// The rejected position count.
+        positions: usize,
+    },
+    /// Not enough physical registers for the window plus the committed
+    /// map.
+    TooFewPhysRegs {
+        /// Effective physical registers configured.
+        have: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A required functional-unit class (`int0`, `int1`, `mem_ports`)
+    /// has zero units.
+    MissingFunctionalUnits,
+    /// `Saturating` confidence selected without a gshare predictor to
+    /// read counters from.
+    SaturatingNeedsGshare,
+    /// An eager mode with a real estimator but fewer than 3 path slots.
+    TooFewPathsForEager {
+        /// The rejected path count.
+        max_paths: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWidth { stage } => write!(f, "{stage} width must be nonzero"),
+            ConfigError::WindowTooSmall {
+                window,
+                dispatch_width,
+            } => write!(
+                f,
+                "window must hold at least one dispatch group \
+                 ({window} entries < dispatch width {dispatch_width})"
+            ),
+            ConfigError::PipelineDepthOutOfRange { depth } => {
+                write!(f, "pipeline depth must be in 4..=16 (got {depth})")
+            }
+            ConfigError::ZeroPaths => write!(f, "at least one path required"),
+            ConfigError::TooManyPaths { max_paths } => write!(
+                f,
+                "at most 64 path slots (the CTX-table tag index uses one-word \
+                 slot bitmasks; got {max_paths})"
+            ),
+            ConfigError::CtxPositionsOutOfRange { positions } => {
+                write!(f, "ctx positions out of range (got {positions})")
+            }
+            ConfigError::TooFewPhysRegs { have, need } => write!(
+                f,
+                "need at least window_size + {} physical registers \
+                 (have {have}, need {need})",
+                pp_isa::NUM_LOGICAL_REGS
+            ),
+            ConfigError::MissingFunctionalUnits => write!(
+                f,
+                "need at least one of each integer unit and one memory port"
+            ),
+            ConfigError::SaturatingNeedsGshare => {
+                write!(f, "saturating confidence reads the gshare counters")
+            }
+            ConfigError::TooFewPathsForEager { max_paths } => write!(
+                f,
+                "eager execution needs at least 3 path slots (got {max_paths})"
+            ),
         }
     }
 }
+
+impl std::error::Error for ConfigError {}
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -500,6 +766,129 @@ mod tests {
             ..SimConfig::baseline()
         };
         c.validate();
+    }
+
+    #[test]
+    fn build_accepts_valid_and_types_errors() {
+        assert!(SimConfig::baseline().build().is_ok());
+        assert_eq!(
+            SimConfig::baseline().with_pipeline_depth(2).build(),
+            Err(ConfigError::PipelineDepthOutOfRange { depth: 2 })
+        );
+        assert_eq!(
+            SimConfig {
+                max_paths: 0,
+                ..SimConfig::baseline()
+            }
+            .try_validate(),
+            Err(ConfigError::ZeroPaths)
+        );
+        assert_eq!(
+            SimConfig {
+                max_paths: 65,
+                ..SimConfig::baseline()
+            }
+            .try_validate(),
+            Err(ConfigError::TooManyPaths { max_paths: 65 })
+        );
+        assert_eq!(
+            SimConfig {
+                fetch_width: 0,
+                ..SimConfig::baseline()
+            }
+            .try_validate(),
+            Err(ConfigError::ZeroWidth { stage: "fetch" })
+        );
+        assert_eq!(
+            SimConfig {
+                window_size: 4,
+                ..SimConfig::baseline()
+            }
+            .try_validate(),
+            Err(ConfigError::WindowTooSmall {
+                window: 4,
+                dispatch_width: 8
+            })
+        );
+        assert_eq!(
+            SimConfig::baseline()
+                .with_confidence(ConfidenceKind::Saturating)
+                .with_predictor(PredictorKind::Oracle)
+                .build(),
+            Err(ConfigError::SaturatingNeedsGshare)
+        );
+    }
+
+    #[test]
+    fn config_error_display_matches_historic_panics() {
+        // The panicking validate() path produces these exact substrings;
+        // downstream should_panic expectations depend on them.
+        for (err, needle) in [
+            (
+                ConfigError::PipelineDepthOutOfRange { depth: 2 },
+                "pipeline depth must be in 4..=16",
+            ),
+            (ConfigError::TooManyPaths { max_paths: 65 }, "path slots"),
+            (
+                ConfigError::TooFewPathsForEager { max_paths: 2 },
+                "at least 3 path slots",
+            ),
+            (
+                ConfigError::ZeroWidth { stage: "fetch" },
+                "fetch width must be nonzero",
+            ),
+            (ConfigError::ZeroPaths, "at least one path required"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_distinguishes_configs() {
+        let a = SimConfig::baseline();
+        assert_eq!(a.to_canonical_json(), a.clone().to_canonical_json());
+        // Every named field appears.
+        let j = a.to_canonical_json();
+        for key in [
+            "mode",
+            "fetch_width",
+            "dispatch_width",
+            "commit_width",
+            "window_size",
+            "pipeline_depth",
+            "predictor",
+            "confidence",
+            "fus",
+            "latency",
+            "fetch_policy",
+            "resolve_at_commit",
+            "max_paths",
+            "ctx_positions",
+            "phys_regs",
+            "max_cycles",
+            "dcache",
+            "check_commits",
+            "sanitize",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        // Any field change must change the rendering (the sweep cache
+        // fingerprints hang off this).
+        let variants = [
+            a.clone().with_window_size(128),
+            a.clone().with_mode(ExecMode::Monopath),
+            a.clone().with_pipeline_depth(10),
+            a.clone()
+                .with_predictor(PredictorKind::Bimodal { index_bits: 12 }),
+            a.clone().with_confidence(ConfidenceKind::Oracle),
+            a.clone().with_fetch_policy(FetchPolicy::RoundRobin),
+            a.clone().with_commit_time_resolution(),
+            a.clone().with_dcache(crate::cache::CacheConfig::l1_8k()),
+            a.clone().with_fus(FuConfig::uniform(2)),
+        ];
+        for v in &variants {
+            assert_ne!(v.to_canonical_json(), j, "{v:?} rendered like baseline");
+        }
     }
 
     #[test]

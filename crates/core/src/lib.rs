@@ -95,8 +95,21 @@ mod window;
 pub use cache::{CacheConfig, DCache};
 pub use check::{compare, CheckFailure, DiffOracle, Divergence, DivergenceKind};
 pub use config::{
-    ConfidenceKind, ExecMode, FetchPolicy, FuConfig, LatencyConfig, PredictorKind, SimConfig,
+    ConfidenceKind, ConfigError, ExecMode, FetchPolicy, FuConfig, LatencyConfig, PredictorKind,
+    SimConfig,
 };
+
+/// Revision number of the simulator's *observable behavior*: the mapping
+/// from `(program, SimConfig)` to `SimStats`.
+///
+/// Cached sweep results (`pp-sweep`) embed this in their fingerprints,
+/// so bumping it invalidates every cached cell at once. Bump it in the
+/// same commit that regenerates the golden `SimStats` snapshots
+/// (`PP_UPDATE_GOLDEN=1`, see `crates/testutil/golden/`) — the two move
+/// together by definition: goldens pin the behavior, this names its
+/// version. Pure-performance changes that leave goldens byte-identical
+/// must NOT bump it (cache reuse across such commits is the point).
+pub const BEHAVIOR_REV: u32 = 1;
 pub use frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
 pub use fus::{eligible_units, is_unpipelined, latency, FuClass, FuPool};
 pub use observer::{

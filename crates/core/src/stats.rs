@@ -367,6 +367,71 @@ impl SimStats {
         o
     }
 
+    /// Parse the [`Self::to_json`] rendering back into a `SimStats`.
+    ///
+    /// The exact inverse of `to_json` — `from_json(&s.to_json()) == s` —
+    /// which is what lets the sweep result cache (`pp-sweep`) hand back
+    /// *byte-identical* merged outputs from cached cells. The parser is
+    /// deliberately strict: an unknown or missing key is an error, so a
+    /// cache entry written by a different stats schema fails to load
+    /// (and the cell reruns) instead of resurrecting half a result.
+    pub fn from_json(text: &str) -> Result<SimStats, String> {
+        let mut p = JsonCursor::new(text);
+        let mut s = SimStats::default();
+        let mut seen: Vec<String> = Vec::new();
+        p.expect('{')?;
+        loop {
+            let key = p.key()?;
+            if seen.contains(&key) {
+                return Err(format!("duplicate SimStats field {key:?}"));
+            }
+            match key.as_str() {
+                "cycles" => s.cycles = p.u64()?,
+                "hit_cycle_limit" => s.hit_cycle_limit = p.bool()?,
+                "fetched_instructions" => s.fetched_instructions = p.u64()?,
+                "dispatched_instructions" => s.dispatched_instructions = p.u64()?,
+                "committed_instructions" => s.committed_instructions = p.u64()?,
+                "killed_instructions" => s.killed_instructions = p.u64()?,
+                "committed_branches" => s.committed_branches = p.u64()?,
+                "mispredicted_branches" => s.mispredicted_branches = p.u64()?,
+                "mispredicted_returns" => s.mispredicted_returns = p.u64()?,
+                "recoveries" => s.recoveries = p.u64()?,
+                "divergences" => s.divergences = p.u64()?,
+                "low_conf_incorrect" => s.low_conf_incorrect = p.u64()?,
+                "low_conf_correct" => s.low_conf_correct = p.u64()?,
+                "high_conf_incorrect" => s.high_conf_incorrect = p.u64()?,
+                "high_conf_correct" => s.high_conf_correct = p.u64()?,
+                "path_cycles" => s.path_cycles = p.u64_array()?,
+                "max_live_paths" => s.max_live_paths = p.u64()? as usize,
+                "window_occupancy_sum" => s.window_occupancy_sum = p.u64()?,
+                "fu_int0" => s.fu_int0 = p.fu_busy()?,
+                "fu_int1" => s.fu_int1 = p.fu_busy()?,
+                "fu_fp_add" => s.fu_fp_add = p.fu_busy()?,
+                "fu_fp_mul" => s.fu_fp_mul = p.fu_busy()?,
+                "fu_mem" => s.fu_mem = p.fu_busy()?,
+                "fetch_stall_no_path" => s.fetch_stall_no_path = p.u64()?,
+                "fetch_stall_no_ctx" => s.fetch_stall_no_ctx = p.u64()?,
+                "dispatch_stall_window_full" => s.dispatch_stall_window_full = p.u64()?,
+                "dcache_hits" => s.dcache_hits = p.u64()?,
+                "dcache_misses" => s.dcache_misses = p.u64()?,
+                other => return Err(format!("unknown SimStats field {other:?}")),
+            }
+            seen.push(key);
+            if !p.more_pairs()? {
+                break;
+            }
+        }
+        p.end()?;
+        if seen.len() != 28 {
+            return Err(format!(
+                "expected 28 SimStats fields, found {} ({:?})",
+                seen.len(),
+                seen
+            ));
+        }
+        Ok(s)
+    }
+
     /// Record a cycle with `live` paths.
     pub fn record_path_count(&mut self, live: usize) {
         if self.path_cycles.len() <= live {
@@ -374,6 +439,185 @@ impl SimStats {
         }
         self.path_cycles[live] += 1;
         self.max_live_paths = self.max_live_paths.max(live);
+    }
+}
+
+/// Minimal strict cursor over the JSON subset [`SimStats::to_json`]
+/// emits: objects, `u64` numbers, booleans, and flat `u64` arrays.
+/// Whitespace-insensitive, otherwise unforgiving — parse errors carry
+/// the byte offset.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonCursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == c as u8 => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {c:?} at byte {}, found {:?}",
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    /// A `"key":` pair opener; returns the key.
+    fn key(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+            self.pos += 1;
+        }
+        let key = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.expect('"')?;
+        self.expect(':')?;
+        Ok(key)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected a boolean at byte {}", self.pos))
+        }
+    }
+
+    fn u64_array(&mut self) -> Result<Vec<u64>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.u64()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn fu_busy(&mut self) -> Result<FuBusy, String> {
+        self.expect('{')?;
+        let mut busy = None;
+        let mut capacity = None;
+        loop {
+            let key = self.key()?;
+            match key.as_str() {
+                "busy_cycles" => busy = Some(self.u64()?),
+                "capacity_cycles" => capacity = Some(self.u64()?),
+                other => return Err(format!("unknown FuBusy field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+        match (busy, capacity) {
+            (Some(busy_cycles), Some(capacity_cycles)) => Ok(FuBusy {
+                busy_cycles,
+                capacity_cycles,
+            }),
+            _ => Err("FuBusy missing busy_cycles or capacity_cycles".to_string()),
+        }
+    }
+
+    /// After a value: `,` means another pair follows, `}` closes the
+    /// object.
+    fn more_pairs(&mut self) -> Result<bool, String> {
+        match self.peek() {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(b'}') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            other => Err(format!(
+                "expected ',' or '}}' at byte {}, found {:?}",
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    /// Nothing but whitespace may remain.
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing content at byte {}", self.pos))
+        }
     }
 }
 
@@ -520,6 +764,81 @@ mod tests {
         );
         // Identical stats render identically (byte-stable snapshots).
         assert_eq!(j, s.clone().to_json());
+    }
+
+    #[test]
+    fn from_json_is_the_exact_inverse_of_to_json() {
+        let mut s = SimStats {
+            cycles: 123_456,
+            hit_cycle_limit: true,
+            fetched_instructions: 99,
+            dispatched_instructions: 88,
+            committed_instructions: 77,
+            killed_instructions: 11,
+            committed_branches: 10,
+            mispredicted_branches: 3,
+            mispredicted_returns: 1,
+            recoveries: 2,
+            divergences: 5,
+            low_conf_incorrect: 4,
+            low_conf_correct: 6,
+            high_conf_incorrect: 1,
+            high_conf_correct: 9,
+            window_occupancy_sum: 1000,
+            fu_int0: FuBusy {
+                busy_cycles: 1,
+                capacity_cycles: 2,
+            },
+            fu_mem: FuBusy {
+                busy_cycles: 3,
+                capacity_cycles: 4,
+            },
+            fetch_stall_no_path: 7,
+            fetch_stall_no_ctx: 8,
+            dispatch_stall_window_full: 9,
+            dcache_hits: 20,
+            dcache_misses: 21,
+            ..Default::default()
+        };
+        s.record_path_count(3);
+        s.record_path_count(1);
+        let parsed = SimStats::from_json(&s.to_json()).expect("round trip");
+        assert_eq!(parsed, s);
+        // And re-rendering the parse is byte-identical — the cache's
+        // byte-stability contract.
+        assert_eq!(parsed.to_json(), s.to_json());
+        // Default (empty path_cycles) round-trips too.
+        let d = SimStats::default();
+        assert_eq!(SimStats::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        let good = SimStats::default().to_json();
+        // Truncation.
+        assert!(SimStats::from_json(&good[..good.len() / 2]).is_err());
+        // Unknown field.
+        let unknown = good.replace("\"cycles\"", "\"cylces\"");
+        let err = SimStats::from_json(&unknown).unwrap_err();
+        assert!(err.contains("cylces"), "{err}");
+        // Missing field (drop one line).
+        let missing: String = good
+            .lines()
+            .filter(|l| !l.contains("dcache_misses"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"dcache_hits\": 0,", "\"dcache_hits\": 0");
+        let err = SimStats::from_json(&missing).unwrap_err();
+        assert!(err.contains("27"), "{err}");
+        // Duplicated field.
+        let dup = good.replace(
+            "\"recoveries\": 0,",
+            "\"recoveries\": 0, \"recoveries\": 0,",
+        );
+        let err = SimStats::from_json(&dup).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        // Trailing garbage.
+        assert!(SimStats::from_json(&format!("{good} x")).is_err());
     }
 
     #[test]

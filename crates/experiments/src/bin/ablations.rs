@@ -1,195 +1,9 @@
-//! Ablation studies of PolyPath design choices the paper leaves open.
+//! Thin shim over `sweep run ablations` — see `pp_experiments::suite`.
 //!
-//! Three studies, all harmonic-mean IPC across the workload suite:
-//!
-//! 1. **Fetch policy** (paper §6 future work): the paper's exponential
-//!    age-decay arbitration vs. strict oldest-first vs. round-robin.
-//! 2. **Branch resolution timing** (paper §3.1): out-of-order resolution
-//!    at execute (PolyPath's design point, enabled by the CTX comparator)
-//!    vs. in-order resolution at commit (the Pentium-Pro-style variant
-//!    whose simpler kill logic the paper mentions) — quantifies how much
-//!    the tag machinery actually buys.
-//! 3. **Adaptive confidence** (paper §5.1 "lesson learned"): plain JRS
-//!    vs. JRS gated by its own recent PVN.
-//! 4. **Direction predictor** (paper §2 related work): gshare vs. bimodal
-//!    vs. two-level local (Yeh–Patt) vs. agree (Sprangle et al.), each as
-//!    the base predictor under monopath and SEE.
-//! 5. **Cache realism** (extension): the paper's always-hit D-cache vs. a
-//!    modeled 8 KiB L1 — does SEE's extra wrong-path memory traffic
-//!    pollute the cache or prefetch for the correct path?
-
-use pp_core::{CacheConfig, ConfidenceKind, FetchPolicy, PredictorKind, SimConfig};
-use pp_experiments::{harmonic_mean, named_config, run_matrix, Config, Table};
-use pp_predictor::AdaptiveConfig;
-use pp_workloads::Workload;
-
-fn hmean_of(configs: &[SimConfig]) -> Vec<f64> {
-    let results = run_matrix(&Workload::ALL, configs);
-    (0..configs.len())
-        .map(|ci| {
-            let ipcs: Vec<f64> = (0..Workload::ALL.len())
-                .map(|wi| results[wi * configs.len() + ci].stats.ipc())
-                .collect();
-            harmonic_mean(&ipcs)
-        })
-        .collect()
-}
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let see = named_config(Config::SeeJrs, 14);
-    let mono = named_config(Config::Monopath, 14);
-
-    // --- 1. Fetch policy -------------------------------------------------
-    println!("Ablation 1 — fetch bandwidth arbitration (SEE/JRS):");
-    let configs: Vec<SimConfig> = [
-        FetchPolicy::ExponentialByAge,
-        FetchPolicy::OldestFirst,
-        FetchPolicy::RoundRobin,
-    ]
-    .into_iter()
-    .map(|p| see.clone().with_fetch_policy(p))
-    .collect();
-    let means = hmean_of(&configs);
-    let mut t = Table::new(["policy", "hmean IPC"]);
-    for (p, m) in ["exponential-by-age (paper)", "oldest-first", "round-robin"]
-        .iter()
-        .zip(&means)
-    {
-        t.row([p.to_string(), format!("{m:.3}")]);
-    }
-    println!("{t}");
-
-    // --- 2. Resolution timing --------------------------------------------
-    println!("Ablation 2 — branch resolution timing:");
-    let configs = vec![
-        mono.clone(),
-        mono.clone().with_commit_time_resolution(),
-        see.clone(),
-        see.clone().with_commit_time_resolution(),
-    ];
-    let means = hmean_of(&configs);
-    let mut t = Table::new(["configuration", "hmean IPC"]);
-    for (name, m) in [
-        "monopath, resolve at execute",
-        "monopath, resolve at commit",
-        "SEE/JRS, resolve at execute (PolyPath)",
-        "SEE/JRS, resolve at commit",
-    ]
-    .iter()
-    .zip(&means)
-    {
-        t.row([name.to_string(), format!("{m:.3}")]);
-    }
-    println!("{t}");
-    println!(
-        "out-of-order resolution is worth {:+.1}% to monopath and {:+.1}% to SEE\n",
-        100.0 * (means[0] / means[1] - 1.0),
-        100.0 * (means[2] / means[3] - 1.0),
-    );
-
-    // --- 3. Adaptive confidence ------------------------------------------
-    println!("Ablation 3 — self-monitoring confidence estimation (§5.1 lesson):");
-    let configs = vec![
-        mono.clone(),
-        see.clone(),
-        see.clone()
-            .with_confidence(ConfidenceKind::AdaptiveJrs(AdaptiveConfig::paper_baseline())),
-    ];
-    let results = run_matrix(&Workload::ALL, &configs);
-    let mut t = Table::new(["benchmark", "monopath", "SEE/JRS", "SEE/adaptive-JRS"]);
-    for (wi, w) in Workload::ALL.iter().enumerate() {
-        t.row([
-            w.name().to_string(),
-            format!("{:.3}", results[wi * 3].stats.ipc()),
-            format!("{:.3}", results[wi * 3 + 1].stats.ipc()),
-            format!("{:.3}", results[wi * 3 + 2].stats.ipc()),
-        ]);
-    }
-    let hm: Vec<f64> = (0..3)
-        .map(|ci| {
-            let ipcs: Vec<f64> = (0..Workload::ALL.len())
-                .map(|wi| results[wi * 3 + ci].stats.ipc())
-                .collect();
-            harmonic_mean(&ipcs)
-        })
-        .collect();
-    t.row([
-        "hmean".to_string(),
-        format!("{:.3}", hm[0]),
-        format!("{:.3}", hm[1]),
-        format!("{:.3}", hm[2]),
-    ]);
-    println!("{t}");
-    println!(
-        "adaptive gate vs plain JRS: {:+.1}% (it should recover the losses on\n\
-         low-PVN benchmarks while keeping the gains elsewhere)\n",
-        100.0 * (hm[2] / hm[1] - 1.0)
-    );
-
-    // --- 4. Direction predictors ------------------------------------------
-    println!("Ablation 4 — base direction predictor (~equal state budgets):");
-    let predictors: Vec<(&str, PredictorKind)> = vec![
-        (
-            "gshare-14 (paper)",
-            PredictorKind::Gshare { history_bits: 14 },
-        ),
-        ("bimodal-14", PredictorKind::Bimodal { index_bits: 14 }),
-        (
-            "two-level local 12/12",
-            PredictorKind::TwoLevelLocal {
-                bht_bits: 12,
-                history_bits: 12,
-            },
-        ),
-        (
-            "agree 13/13",
-            PredictorKind::Agree {
-                bias_bits: 13,
-                history_bits: 13,
-            },
-        ),
-    ];
-    let mut t = Table::new(["predictor", "monopath IPC", "SEE/JRS IPC", "SEE gain %"]);
-    for (name, pk) in predictors {
-        let configs = vec![
-            mono.clone().with_predictor(pk),
-            see.clone().with_predictor(pk),
-        ];
-        let m = hmean_of(&configs);
-        t.row([
-            name.to_string(),
-            format!("{:.3}", m[0]),
-            format!("{:.3}", m[1]),
-            format!("{:+.1}", 100.0 * (m[1] / m[0] - 1.0)),
-        ]);
-    }
-    println!("{t}");
-
-    // --- 5. Cache realism --------------------------------------------------
-    println!("Ablation 5 — always-hit D-cache (paper) vs modeled 8 KiB L1:");
-    let configs = vec![
-        mono.clone(),
-        mono.clone().with_dcache(CacheConfig::l1_8k()),
-        see.clone(),
-        see.clone().with_dcache(CacheConfig::l1_8k()),
-    ];
-    let m = hmean_of(&configs);
-    let mut t = Table::new(["configuration", "hmean IPC"]);
-    for (name, v) in [
-        "monopath, always-hit",
-        "monopath, 8 KiB L1",
-        "SEE/JRS, always-hit",
-        "SEE/JRS, 8 KiB L1",
-    ]
-    .iter()
-    .zip(&m)
-    {
-        t.row([name.to_string(), format!("{v:.3}")]);
-    }
-    println!("{t}");
-    println!(
-        "SEE gain: {:+.1}% always-hit vs {:+.1}% with a real L1",
-        100.0 * (m[2] / m[0] - 1.0),
-        100.0 * (m[3] / m[1] - 1.0),
-    );
+    pp_experiments::suite::shim_main("ablations");
 }

@@ -1,39 +1,9 @@
-//! Workload calibration tool: dynamic instructions per scale unit,
-//! branch density, and gshare-14 misprediction rate per workload.
+//! Thin shim over `sweep run calibrate` — see `pp_experiments::suite`.
 //!
-//! Used when tuning `Workload::default_scale` and the workload input
-//! parameters against the paper's Table 1.
-
-use pp_experiments::{named_config, Config, Table};
-use pp_workloads::Workload;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let cfg = named_config(Config::Monopath, 14);
-    let mut t = Table::new([
-        "workload",
-        "scale",
-        "dyn-instr",
-        "instr/unit",
-        "branch%",
-        "mispredict%",
-        "IPC",
-    ]);
-    for w in Workload::ALL {
-        let scale = pp_experiments::scaled(w);
-        let func = w.characterize(scale);
-        let stats = pp_experiments::run_workload(w, &cfg);
-        t.row([
-            w.name().to_string(),
-            scale.to_string(),
-            func.instructions.to_string(),
-            format!("{:.1}", func.instructions as f64 / scale as f64),
-            format!(
-                "{:.1}",
-                100.0 * func.cond_branches as f64 / func.instructions as f64
-            ),
-            format!("{:.2}", 100.0 * stats.mispredict_rate()),
-            format!("{:.3}", stats.ipc()),
-        ]);
-    }
-    println!("{t}");
+    pp_experiments::suite::shim_main("calibrate");
 }

@@ -1,58 +1,9 @@
-//! Regenerate Fig. 10: IPC vs. instruction window size.
+//! Thin shim over `sweep run fig10` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: gshare-based schemes saturate by ≈128–256
-//! entries (mean occupancy ≈145); oracle keeps improving slightly; SEE
-//! still beats monopath by ≈9% even with a 64-entry window.
-
-use pp_experiments::experiments::{fig10, BASELINE_HISTORY_BITS, SWEEP_SERIES};
-use pp_experiments::{named_config, run_matrix, Chart, Config, Table};
-use pp_workloads::Workload;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let sizes = vec![64, 128, 256, 512, 1024];
-    let points = fig10(&sizes);
-
-    let mut t = Table::new(
-        std::iter::once("window".to_string())
-            .chain(SWEEP_SERIES.iter().map(|c| c.label().to_string())),
-    );
-    for p in &points {
-        t.row(
-            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
-        );
-    }
-    println!("Fig. 10 — IPC vs. instruction window size (harmonic mean)");
-    println!("{t}");
-
-    let mut chart = Chart::new("harmonic-mean IPC (y) vs swept parameter (x)", "IPC");
-    for (si, cfg) in SWEEP_SERIES.iter().enumerate() {
-        chart.series(
-            cfg.label(),
-            points.iter().map(|p| (p.x as f64, p.hmean_ipc[si])),
-        );
-    }
-    println!("{chart}");
-    println!("SEE/JRS gain over monopath per point:");
-    for p in &points {
-        println!(
-            "  {:>4} entries: {:+.1}%",
-            p.x,
-            100.0 * (p.hmean_ipc[3] / p.hmean_ipc[1] - 1.0)
-        );
-    }
-
-    // §5.3.2's saturation argument: with gshare, mean occupancy of a huge
-    // window stops growing (the paper reports ≈145 entries).
-    let mut big = named_config(Config::Monopath, BASELINE_HISTORY_BITS).with_window_size(1024);
-    big.ctx_positions = pp_ctx::MAX_POSITIONS;
-    let results = run_matrix(&Workload::ALL, std::slice::from_ref(&big));
-    let occ: f64 = results
-        .iter()
-        .map(|r| r.stats.mean_window_occupancy())
-        .sum::<f64>()
-        / results.len() as f64;
-    println!(
-        "\nmean occupancy of a 1024-entry window under gshare/monopath: \
-         {occ:.0} entries (paper: ≈145 — the window saturates long before 1024)"
-    );
+    pp_experiments::suite::shim_main("fig10");
 }

@@ -1,43 +1,9 @@
-//! Regenerate Fig. 11: IPC vs. functional unit configuration.
+//! Thin shim over `sweep run fig11` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: SEE beats monopath at every FU count — ≈14%
-//! with 3+ units of each type, tapering to ≈6% with a single unit of
-//! each type, where SEE wins by harvesting spare capacity created by
-//! data-dependence stalls (monopath utilization ≈75–81%, SEE ≈80–85%).
-
-use pp_experiments::experiments::{fig11, SWEEP_SERIES};
-use pp_experiments::{Chart, Table};
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let counts = vec![1, 2, 3, 4];
-    let points = fig11(&counts);
-
-    let mut t = Table::new(
-        std::iter::once("FUs/type".to_string())
-            .chain(SWEEP_SERIES.iter().map(|c| c.label().to_string())),
-    );
-    for p in &points {
-        t.row(
-            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
-        );
-    }
-    println!("Fig. 11 — IPC vs. functional units of each type (harmonic mean)");
-    println!("{t}");
-
-    let mut chart = Chart::new("harmonic-mean IPC (y) vs swept parameter (x)", "IPC");
-    for (si, cfg) in SWEEP_SERIES.iter().enumerate() {
-        chart.series(
-            cfg.label(),
-            points.iter().map(|p| (p.x as f64, p.hmean_ipc[si])),
-        );
-    }
-    println!("{chart}");
-    println!("SEE/JRS gain over monopath per point:");
-    for p in &points {
-        println!(
-            "  {} of each type: {:+.1}%",
-            p.x,
-            100.0 * (p.hmean_ipc[3] / p.hmean_ipc[1] - 1.0)
-        );
-    }
+    pp_experiments::suite::shim_main("fig11");
 }

@@ -1,58 +1,9 @@
-//! Regenerate Fig. 12: IPC vs. pipeline depth.
+//! Thin shim over `sweep run fig12` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: IPC decreases slowly with depth; SEE's
-//! absolute gain grows with depth (0.49 IPC at 6 stages → 0.56 at 10;
-//! +11% → +16%) because the mispredictions SEE hides cost more in deeper
-//! pipelines. An 8→10-stage SEE machine still beats the 8-stage monopath.
-
-use pp_experiments::experiments::{fig12, SWEEP_SERIES};
-use pp_experiments::{Chart, Table};
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let depths = vec![6, 7, 8, 9, 10];
-    let points = fig12(&depths);
-
-    let mut t = Table::new(
-        std::iter::once("stages".to_string())
-            .chain(SWEEP_SERIES.iter().map(|c| c.label().to_string())),
-    );
-    for p in &points {
-        t.row(
-            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
-        );
-    }
-    println!("Fig. 12 — IPC vs. pipeline depth (harmonic mean)");
-    println!("{t}");
-
-    let mut chart = Chart::new("harmonic-mean IPC (y) vs swept parameter (x)", "IPC");
-    for (si, cfg) in SWEEP_SERIES.iter().enumerate() {
-        chart.series(
-            cfg.label(),
-            points.iter().map(|p| (p.x as f64, p.hmean_ipc[si])),
-        );
-    }
-    println!("{chart}");
-    println!("SEE/JRS gain over monopath per depth:");
-    for p in &points {
-        println!(
-            "  {:>2} stages: {:+.3} IPC ({:+.1}%)",
-            p.x,
-            p.hmean_ipc[3] - p.hmean_ipc[1],
-            100.0 * (p.hmean_ipc[3] / p.hmean_ipc[1] - 1.0)
-        );
-    }
-    // Cross-depth comparison: SEE at 8/9/10 stages vs monopath at 8.
-    let mono8 = points.iter().find(|p| p.x == 8).map(|p| p.hmean_ipc[1]);
-    if let Some(mono8) = mono8 {
-        println!("SEE at extended depths vs 8-stage monopath (paper: +14%/+11%/+7%):");
-        for d in [8, 9, 10] {
-            if let Some(p) = points.iter().find(|p| p.x == d) {
-                println!(
-                    "  SEE {}-stage vs monopath 8-stage: {:+.1}%",
-                    d,
-                    100.0 * (p.hmean_ipc[3] / mono8 - 1.0)
-                );
-            }
-        }
-    }
+    pp_experiments::suite::shim_main("fig12");
 }

@@ -1,81 +1,9 @@
-//! Regenerate Fig. 8: baseline performance of all six configurations.
+//! Thin shim over `sweep run fig8` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: oracle ≈ +94% over monopath; SEE/oracle-CE
-//! recovers about half of that; SEE/JRS ≈ +14% mean (max +36% on go,
-//! −8.5% on m88ksim); dual-path gets 58–66% of SEE's improvement.
-
-use pp_experiments::experiments::{config_index, fig8};
-use pp_experiments::{
-    named_config, run_workload_telemetered, speedup_pct, Config, Table, TelemetryOpts, CONFIG_ORDER,
-};
-use pp_workloads::Workload;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let (telemetry, _rest) = TelemetryOpts::from_env();
-    let data = fig8();
-
-    let mut t = Table::new(
-        std::iter::once("benchmark".to_string())
-            .chain(CONFIG_ORDER.iter().map(|c| c.label().to_string())),
-    );
-    for (wi, w) in Workload::ALL.iter().enumerate() {
-        t.row(
-            std::iter::once(w.name().to_string()).chain(
-                CONFIG_ORDER
-                    .iter()
-                    .map(|&c| format!("{:.3}", data.ipc(wi, c))),
-            ),
-        );
-    }
-    t.row(
-        std::iter::once("hmean".to_string()).chain(
-            CONFIG_ORDER
-                .iter()
-                .map(|&c| format!("{:.3}", data.hmean(c))),
-        ),
-    );
-    println!("Fig. 8 — baseline IPC (columns are the paper's legend)");
-    println!("{t}");
-
-    let pct = |a: Config, b: Config| speedup_pct(data.speedup(a, b), 1.0);
-    println!("derived (paper reference in parentheses):");
-    println!(
-        "  oracle over monopath:       {:+.1}%  (+94%)",
-        pct(Config::Oracle, Config::Monopath)
-    );
-    println!(
-        "  SEE/oracle over monopath:   {:+.1}%  (+48%)",
-        pct(Config::SeeOracle, Config::Monopath)
-    );
-    println!(
-        "  SEE/JRS over monopath:      {:+.1}%  (+14%)",
-        pct(Config::SeeJrs, Config::Monopath)
-    );
-    println!(
-        "  dual/JRS over monopath:     {:+.1}%",
-        pct(Config::DualJrs, Config::Monopath)
-    );
-    println!(
-        "  dual/oracle over monopath:  {:+.1}%",
-        pct(Config::DualOracle, Config::Monopath)
-    );
-    let see = config_index(Config::SeeJrs);
-    let mono = config_index(Config::Monopath);
-    for (wi, w) in Workload::ALL.iter().enumerate() {
-        let s = speedup_pct(data.cells[wi][see].ipc(), data.cells[wi][mono].ipc());
-        println!("  SEE/JRS on {:<9} {:+.1}%", format!("{w}:"), s);
-    }
-
-    if telemetry.enabled() {
-        println!("\ntelemetry pass (SEE/JRS, instrumented re-run):");
-        let cfg = named_config(
-            Config::SeeJrs,
-            pp_experiments::experiments::BASELINE_HISTORY_BITS,
-        );
-        for w in Workload::ALL {
-            if let Err(e) = run_workload_telemetered(w, &cfg, &telemetry, "fig8_see_jrs") {
-                pp_experiments::cli::fail(e);
-            }
-        }
-    }
+    pp_experiments::suite::shim_main("fig8");
 }

@@ -1,54 +1,9 @@
-//! Regenerate Fig. 9: IPC vs. branch predictor size (equal-area).
+//! Thin shim over `sweep run fig9` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: SEE holds a roughly constant ≈0.5 IPC gain
-//! over monopath across 1 k–64 k counters (+15% at the small end, +10%
-//! at the large end); on iso-performance lines monopath needs ≈5× the
-//! predictor state to match SEE.
-
-use pp_experiments::experiments::{fig9, SWEEP_SERIES};
-use pp_experiments::{Chart, Table};
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let bits: Vec<u32> = vec![10, 11, 12, 13, 14, 15, 16];
-    let points = fig9(&bits);
-
-    let mut t = Table::new(
-        ["hist bits", "state kB", "mono mispred %"]
-            .into_iter()
-            .map(String::from)
-            .chain(SWEEP_SERIES.iter().map(|c| c.label().to_string())),
-    );
-    for p in &points {
-        t.row(
-            [
-                p.x.to_string(),
-                format!("{:.2}", p.state_bytes as f64 / 1024.0),
-                format!("{:.1}", 100.0 * p.mispredict_rate),
-            ]
-            .into_iter()
-            .chain(p.hmean_ipc.iter().map(|v| format!("{v:.3}"))),
-        );
-    }
-    println!("Fig. 9 — IPC vs. predictor size (harmonic mean over all benchmarks)");
-    println!("{t}");
-
-    let mut chart = Chart::new("harmonic-mean IPC (y) vs swept parameter (x)", "IPC");
-    for (si, cfg) in SWEEP_SERIES.iter().enumerate() {
-        chart.series(
-            cfg.label(),
-            points.iter().map(|p| (p.x as f64, p.hmean_ipc[si])),
-        );
-    }
-    println!("{chart}");
-
-    // SEE's absolute IPC gain per size (paper: ~constant 0.5).
-    println!("SEE/JRS gain over monopath per point:");
-    for p in &points {
-        println!(
-            "  {:>2} bits: {:+.3} IPC ({:+.1}%)",
-            p.x,
-            p.hmean_ipc[3] - p.hmean_ipc[1],
-            100.0 * (p.hmean_ipc[3] / p.hmean_ipc[1] - 1.0)
-        );
-    }
+    pp_experiments::suite::shim_main("fig9");
 }

@@ -1,46 +1,9 @@
-//! Validate the paper's §5.1 floating-point remark.
+//! Thin shim over `sweep run fp_validation` — see `pp_experiments::suite`.
 //!
-//! "SEE can even improve performance for the vortex benchmark, which has
-//! a misprediction rate of only 1.85%. … We believe that this is also
-//! indicative for the potential to obtain performance improvements on
-//! other highly predictable programs, like floating point code."
-//!
-//! This runs a perfectly predictable FP dot-product kernel under
-//! monopath and SEE: the expected result is a *small, non-negative*
-//! effect — SEE must not hurt predictable FP code, and any divergence it
-//! does risk is absorbed by the otherwise-idle FP pipes.
-
-use pp_core::{SimConfig, Simulator};
-use pp_experiments::{named_config, speedup_pct, Config};
-use pp_workloads::extra::fp_kernel;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let scale = (300.0 * pp_experiments::scale_factor()) as u64;
-    let program = fp_kernel(scale.max(4));
-
-    let run = |cfg: SimConfig| {
-        let mut sim = Simulator::new(&program, cfg);
-        sim.run()
-    };
-    let mono = run(named_config(Config::Monopath, 14));
-    let see = run(named_config(Config::SeeJrs, 14));
-
-    println!("§5.1 FP validation — predictable dot-product kernel (scale {scale})");
-    println!(
-        "  monopath: IPC {:.3}  mispredict {:.2}%  FPAdd util {:.1}%  FPMult util {:.1}%",
-        mono.ipc(),
-        100.0 * mono.mispredict_rate(),
-        100.0 * mono.fu_fp_add.utilization(),
-        100.0 * mono.fu_fp_mul.utilization(),
-    );
-    println!(
-        "  SEE/JRS:  IPC {:.3}  divergences {}  ({:+.2}% vs monopath)",
-        see.ipc(),
-        see.divergences,
-        speedup_pct(see.ipc(), mono.ipc()),
-    );
-    println!(
-        "\npaper expectation: a small non-negative effect on highly\n\
-         predictable code (its vortex datapoint was +4%)."
-    );
+    pp_experiments::suite::shim_main("fp_validation");
 }

@@ -1,50 +1,9 @@
-//! Input-set sensitivity: do the paper's conclusions survive different
-//! workload inputs?
+//! Thin shim over `sweep run input_sensitivity` — see `pp_experiments::suite`.
 //!
-//! The paper scaled down SPEC input sets; this study re-runs the headline
-//! comparison (SEE/JRS vs. monopath) on three different pseudo-random
-//! input data sets per workload (`Workload::build_seeded`). The *sign*
-//! and rough magnitude of every SEE effect should be input-independent.
-
-use pp_core::Simulator;
-use pp_experiments::{harmonic_mean, named_config, scaled, speedup_frac, Config, Table};
-use pp_workloads::Workload;
-
-const SEEDS: [u64; 3] = [0, 0x5eed_0001, 0x5eed_0002];
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let mono = named_config(Config::Monopath, 14);
-    let see = named_config(Config::SeeJrs, 14);
-
-    let mut t = Table::new(
-        std::iter::once("benchmark".to_string())
-            .chain(SEEDS.iter().map(|s| format!("gain% seed {s:#x}"))),
-    );
-    let mut per_seed_gains: Vec<Vec<(f64, f64)>> = vec![Vec::new(); SEEDS.len()];
-
-    for w in Workload::ALL {
-        let mut cells = vec![w.name().to_string()];
-        for (si, &seed) in SEEDS.iter().enumerate() {
-            let program = w.build_seeded(scaled(w), seed);
-            let m = Simulator::new(&program, mono.clone()).run();
-            let s = Simulator::new(&program, see.clone()).run();
-            let gain = speedup_frac(s.ipc(), m.ipc());
-            per_seed_gains[si].push((s.ipc(), m.ipc()));
-            cells.push(format!("{:+.1}", 100.0 * gain));
-        }
-        t.row(cells);
-    }
-
-    println!("SEE/JRS gain over monopath, three input sets per workload");
-    println!("{t}");
-    for (si, &seed) in SEEDS.iter().enumerate() {
-        let sees: Vec<f64> = per_seed_gains[si].iter().map(|(s, _)| *s).collect();
-        let monos: Vec<f64> = per_seed_gains[si].iter().map(|(_, m)| *m).collect();
-        println!(
-            "seed {seed:#x}: hmean SEE {:.3} vs monopath {:.3} ({:+.1}%)",
-            harmonic_mean(&sees),
-            harmonic_mean(&monos),
-            100.0 * (harmonic_mean(&sees) / harmonic_mean(&monos) - 1.0),
-        );
-    }
+    pp_experiments::suite::shim_main("input_sensitivity");
 }

@@ -1,169 +1,38 @@
-//! Run the complete evaluation — every table, figure, and extension study
-//! — and write both text and CSV outputs under `results/`.
+//! Run the complete evaluation — every registered experiment — and
+//! write text + CSV artifacts. Thin shim over `sweep run all`.
 //!
 //! ```sh
 //! cargo run --release -p pp-experiments --bin run_all [output-dir] \
+//!     [--workers N] [--out-dir DIR] [--cache-dir DIR] [--no-cache] \
+//!     [--resume] [--max-cells N] [--quiet] \
 //!     [--telemetry-out DIR] [--telemetry-sample-every N]
 //! ```
 //!
 //! Honours `PP_SCALE` like every other binary. This is the one-command
-//! path from a fresh checkout to the full EXPERIMENTS.md data set. With
-//! `--telemetry-out`, an instrumented SEE/JRS pass additionally drops
-//! per-workload metrics / time-series / Chrome-trace artifacts there.
+//! path from a fresh checkout to the full EXPERIMENTS.md data set. The
+//! positional `output-dir` (default `results`) is the historical
+//! spelling of `--out-dir`.
 
-use std::fmt::Write as _;
-use std::path::Path;
-
-use pp_experiments::experiments::{
-    self, config_index, fig10, fig11, fig12, fig9, BASELINE_HISTORY_BITS, SWEEP_SERIES,
-};
-use pp_experiments::{
-    cli, named_config, run_workload_telemetered, Config, Table, TelemetryOpts, CONFIG_ORDER,
-};
-use pp_workloads::Workload;
-
-fn write(dir: &Path, name: &str, contents: &str) {
-    let path = dir.join(name);
-    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
-    println!("wrote {}", path.display());
-}
-
-fn sweep_tables(points: &[experiments::SweepPoint], x_name: &str) -> Table {
-    let mut t = Table::new(
-        std::iter::once(x_name.to_string())
-            .chain(SWEEP_SERIES.iter().map(|c| c.label().to_string())),
-    );
-    for p in points {
-        t.row(
-            std::iter::once(p.x.to_string()).chain(p.hmean_ipc.iter().map(|v| format!("{v:.4}"))),
-        );
-    }
-    t
-}
+use pp_experiments::cli::{self, SweepOpts};
+use pp_experiments::suite;
 
 fn main() {
-    let (telemetry, rest) = TelemetryOpts::from_env();
-    let dir = rest.into_iter().next().unwrap_or_else(|| "results".into());
-    let dir = Path::new(&dir);
-    std::fs::create_dir_all(dir)
-        .unwrap_or_else(|e| cli::fail(format_args!("creating output directory {dir:?}: {e}")));
-
-    // Table 1.
-    let rows = experiments::table1();
-    let mut t = Table::new([
-        "benchmark",
-        "instructions",
-        "cond_branches",
-        "taken",
-        "mispredict",
-    ]);
-    for r in &rows {
-        t.row([
-            r.workload.name().to_string(),
-            r.instructions.to_string(),
-            r.cond_branches.to_string(),
-            format!("{:.4}", r.taken_rate),
-            format!("{:.4}", r.mispredict_rate),
-        ]);
+    let (mut opts, positional) = SweepOpts::from_env();
+    if positional.len() > 1 {
+        cli::usage_error(format_args!("unexpected argument {:?}", positional[1]));
     }
-    write(dir, "table1.csv", &t.to_csv());
-    write(dir, "table1.txt", &t.render());
-
-    // Fig. 8 (+ §5.1 + §5.2, all derived from the same matrix).
-    let data = experiments::fig8();
-    let mut t = Table::new(
-        std::iter::once("benchmark".to_string())
-            .chain(CONFIG_ORDER.iter().map(|c| c.label().to_string())),
-    );
-    for (wi, w) in Workload::ALL.iter().enumerate() {
-        t.row(
-            std::iter::once(w.name().to_string()).chain(
-                CONFIG_ORDER
-                    .iter()
-                    .map(|&c| format!("{:.4}", data.ipc(wi, c))),
-            ),
+    if opts.out_dir.is_none() {
+        opts.out_dir = Some(
+            positional
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "results".to_string())
+                .into(),
         );
+    } else if !positional.is_empty() {
+        cli::usage_error("output directory given both positionally and via --out-dir");
     }
-    t.row(
-        std::iter::once("hmean".to_string()).chain(
-            CONFIG_ORDER
-                .iter()
-                .map(|&c| format!("{:.4}", data.hmean(c))),
-        ),
-    );
-    write(dir, "fig8.csv", &t.to_csv());
-    write(dir, "fig8.txt", &t.render());
-
-    let sec51 = experiments::sec51(&data);
-    let mut t = Table::new([
-        "benchmark",
-        "fetch_ratio",
-        "pvn",
-        "useless_delta",
-        "see_speedup",
-    ]);
-    for r in &sec51 {
-        t.row([
-            r.workload.name().to_string(),
-            format!("{:.4}", r.mono_fetch_ratio),
-            format!("{:.4}", r.pvn),
-            format!("{:.4}", r.useless_delta),
-            format!("{:.4}", r.see_speedup),
-        ]);
+    if let Err(msg) = suite::run_all(&opts) {
+        cli::fail(msg);
     }
-    write(dir, "sec51.csv", &t.to_csv());
-
-    let s52 = experiments::sec52(&data);
-    let mut txt = String::new();
-    let _ = writeln!(txt, "oracle_dual_fraction,{:.4}", s52.oracle_dual_fraction);
-    let _ = writeln!(txt, "jrs_dual_fraction,{:.4}", s52.jrs_dual_fraction);
-    let _ = writeln!(txt, "mean_paths_see,{:.4}", s52.mean_paths_see);
-    let _ = writeln!(txt, "paths_le3_see,{:.4}", s52.paths_le3_see);
-    write(dir, "sec52.csv", &txt);
-
-    // Path histogram of the SEE runs (per benchmark), a bonus artifact.
-    let see = config_index(Config::SeeJrs);
-    let mut t = Table::new(["benchmark", "paths", "cycles"]);
-    for (wi, w) in Workload::ALL.iter().enumerate() {
-        for (k, c) in data.cells[wi][see].path_cycles.iter().enumerate() {
-            if *c > 0 {
-                t.row([w.name().to_string(), k.to_string(), c.to_string()]);
-            }
-        }
-    }
-    write(dir, "path_histogram.csv", &t.to_csv());
-
-    // Sweeps.
-    write(
-        dir,
-        "fig9.csv",
-        &sweep_tables(&fig9(&[10, 11, 12, 13, 14, 15, 16]), "history_bits").to_csv(),
-    );
-    write(
-        dir,
-        "fig10.csv",
-        &sweep_tables(&fig10(&[64, 128, 256, 512, 1024]), "window").to_csv(),
-    );
-    write(
-        dir,
-        "fig11.csv",
-        &sweep_tables(&fig11(&[1, 2, 3, 4]), "fus_per_type").to_csv(),
-    );
-    write(
-        dir,
-        "fig12.csv",
-        &sweep_tables(&fig12(&[6, 7, 8, 9, 10]), "stages").to_csv(),
-    );
-
-    if telemetry.enabled() {
-        println!("telemetry pass (SEE/JRS, instrumented re-run):");
-        let cfg = named_config(Config::SeeJrs, BASELINE_HISTORY_BITS);
-        for w in Workload::ALL {
-            if let Err(e) = run_workload_telemetered(w, &cfg, &telemetry, "see_jrs") {
-                cli::fail(e);
-            }
-        }
-    }
-
-    println!("done.");
 }

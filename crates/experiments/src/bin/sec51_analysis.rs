@@ -1,35 +1,9 @@
-//! Regenerate the §5.1 analysis: fetched/committed ratios, JRS PVN per
-//! benchmark, useless-instruction deltas, and per-benchmark SEE speedups.
+//! Thin shim over `sweep run sec51` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: monopath fetches 1.86× what it commits; JRS
-//! PVN is ≈16% on m88ksim and >40% elsewhere; SEE cuts useless
-//! instructions by ~15% on average but *increases* them 29% on m88ksim.
-
-use pp_experiments::experiments::{fig8, sec51};
-use pp_experiments::Table;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let data = fig8();
-    let rows = sec51(&data);
-
-    let mut t = Table::new([
-        "benchmark",
-        "fetch/commit (mono)",
-        "JRS PVN %",
-        "useless Δ%",
-        "SEE speedup %",
-    ]);
-    for r in &rows {
-        t.row([
-            r.workload.name().to_string(),
-            format!("{:.2}", r.mono_fetch_ratio),
-            format!("{:.1}", 100.0 * r.pvn),
-            format!("{:+.1}", 100.0 * r.useless_delta),
-            format!("{:+.1}", 100.0 * r.see_speedup),
-        ]);
-    }
-    let mean_ratio: f64 = rows.iter().map(|r| r.mono_fetch_ratio).sum::<f64>() / rows.len() as f64;
-    println!("§5.1 analysis (paper: mean fetch/commit 1.86; PVN >40% except m88ksim ~16%)");
-    println!("{t}");
-    println!("mean monopath fetch/commit ratio: {mean_ratio:.2}  (paper: 1.86)");
+    pp_experiments::suite::shim_main("sec51");
 }

@@ -1,47 +1,9 @@
-//! Regenerate the §5.2 dual-path comparison.
+//! Thin shim over `sweep run sec52` — see `pp_experiments::suite`.
 //!
-//! Paper reference points: oracle dual-path achieves ≈58% of oracle SEE's
-//! improvement; real (JRS) dual-path ≈66% of real SEE's; SEE's mean
-//! active path count is ≈2.9 and it uses ≤3 paths ≈75% of the time.
-
-use pp_experiments::experiments::{config_index, fig8, sec52};
-use pp_experiments::{Config, Table};
-use pp_workloads::Workload;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let data = fig8();
-    let s = sec52(&data);
-
-    println!("§5.2 dual-path execution (paper references in parentheses)");
-    println!(
-        "  oracle dual-path fraction of oracle SEE gain: {:5.1}%  (58%)",
-        100.0 * s.oracle_dual_fraction
-    );
-    println!(
-        "  JRS dual-path fraction of JRS SEE gain:       {:5.1}%  (66%)",
-        100.0 * s.jrs_dual_fraction
-    );
-    println!(
-        "  mean active paths under SEE/JRS:              {:5.2}   (2.9)",
-        s.mean_paths_see
-    );
-    println!(
-        "  cycles with <= 3 live paths under SEE/JRS:    {:5.1}%  (75%)",
-        100.0 * s.paths_le3_see
-    );
-    println!();
-
-    let see = config_index(Config::SeeJrs);
-    let mut t = Table::new(["benchmark", "mean paths", "<=3 paths %", "max paths"]);
-    for (wi, w) in Workload::ALL.iter().enumerate() {
-        let st = &data.cells[wi][see];
-        t.row([
-            w.name().to_string(),
-            format!("{:.2}", st.mean_active_paths()),
-            format!("{:.1}", 100.0 * st.paths_at_most(3)),
-            st.max_live_paths.to_string(),
-        ]);
-    }
-    println!("per-benchmark path utilization under SEE/JRS:");
-    println!("{t}");
+    pp_experiments::suite::shim_main("sec52");
 }

@@ -1,33 +1,9 @@
-//! Regenerate Table 1: workload characteristics (dynamic instructions and
-//! gshare-14 branch misprediction rate per benchmark analog).
+//! Thin shim over `sweep run table1` — see `pp_experiments::suite`.
 //!
-//! Paper reference: misprediction rates range from 1.9% (vortex) to 24.8%
-//! (go), averaging 7.2%; instruction counts are 100–550 M (we run scaled
-//! inputs, as the paper itself did for some benchmarks).
-
-use pp_experiments::experiments::table1;
-use pp_experiments::Table;
+//! Accepts the unified sweep flags (`--workers`, `--out-dir`,
+//! `--cache-dir`, `--no-cache`, `--resume`, `--max-cells`,
+//! `--quiet`, `--telemetry-out`, `--telemetry-sample-every`).
 
 fn main() {
-    let rows = table1();
-    let mut t = Table::new([
-        "benchmark",
-        "instructions (K)",
-        "cond branches (K)",
-        "taken %",
-        "mispredict %",
-    ]);
-    for r in &rows {
-        t.row([
-            r.workload.name().to_string(),
-            format!("{:.1}", r.instructions as f64 / 1e3),
-            format!("{:.1}", r.cond_branches as f64 / 1e3),
-            format!("{:.1}", 100.0 * r.taken_rate),
-            format!("{:.2}", 100.0 * r.mispredict_rate),
-        ]);
-    }
-    let mean = rows.iter().map(|r| r.mispredict_rate).sum::<f64>() / rows.len() as f64;
-    println!("Table 1 — workload characteristics (paper: 1.9%…24.8%, mean 7.2%)");
-    println!("{t}");
-    println!("mean misprediction rate: {:.2}%", 100.0 * mean);
+    pp_experiments::suite::shim_main("table1");
 }

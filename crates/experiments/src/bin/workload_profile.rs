@@ -1,62 +1,31 @@
-//! Profile a workload: hot loops and per-branch bias, from the
-//! functional emulator.
+//! Thin shim over `sweep run workload_profile` — see
+//! `pp_experiments::suite`.
 //!
-//! ```sh
-//! cargo run --release -p pp-experiments --bin workload_profile [name]
-//! ```
-//!
-//! With no argument, prints a summary of all eight workloads; with a
-//! workload name (e.g. `go`), prints its annotated listing.
+//! Keeps the historical positional argument: with no argument, prints a
+//! summary of all eight workloads; with a workload name (e.g. `go`),
+//! prints its annotated listing. Also accepts the unified sweep flags.
 
-use pp_experiments::Table;
-use pp_func::Emulator;
+use pp_experiments::cli::{self, SweepOpts};
+use pp_experiments::suite::{self, WorkloadProfileExp};
 use pp_workloads::Workload;
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        Some(name) => {
-            let Some(w) = Workload::ALL.iter().find(|w| w.name() == name) else {
-                eprintln!(
+    let (opts, positional) = SweepOpts::from_env();
+    if positional.len() > 1 {
+        cli::usage_error(format_args!("unexpected argument {:?}", positional[1]));
+    }
+    let target = positional.first().map(|name| {
+        *Workload::ALL
+            .iter()
+            .find(|w| w.name() == name.as_str())
+            .unwrap_or_else(|| {
+                cli::fail(format_args!(
                     "unknown workload `{name}`; expected one of: {}",
                     Workload::ALL.map(|w| w.name()).join(", ")
-                );
-                std::process::exit(1);
-            };
-            let scale = (w.default_scale() / 10).max(4);
-            let program = w.build(scale);
-            let mut emu = Emulator::new(&program);
-            let (summary, profile) = emu.run_profiled(1_000_000_000).expect("workload halts");
-            println!(
-                "{w} at scale {scale}: {} instructions, {} branches\n",
-                summary.instructions, summary.cond_branches
-            );
-            println!("{}", profile.annotate(&program));
-        }
-        None => {
-            let mut t = Table::new([
-                "workload",
-                "static instrs",
-                "dynamic instrs",
-                "hottest pc",
-                "share %",
-            ]);
-            for w in Workload::ALL {
-                let scale = (w.default_scale() / 10).max(4);
-                let program = w.build(scale);
-                let mut emu = Emulator::new(&program);
-                let (_, profile) = emu.run_profiled(1_000_000_000).expect("halts");
-                let (hot_pc, hot_n) = profile.hottest(1)[0];
-                t.row([
-                    w.name().to_string(),
-                    program.len().to_string(),
-                    profile.total().to_string(),
-                    format!("{hot_pc} ({})", program.code[hot_pc]),
-                    format!("{:.1}", 100.0 * hot_n as f64 / profile.total() as f64),
-                ]);
-            }
-            println!("workload profiles (run with a name for the annotated listing)");
-            println!("{t}");
-        }
+                ))
+            })
+    });
+    if let Err(msg) = suite::run_one(&WorkloadProfileExp { target }, &opts) {
+        cli::fail(msg);
     }
 }

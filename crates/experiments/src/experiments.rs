@@ -131,6 +131,51 @@ pub const SWEEP_SERIES: [Config; 4] = [
     Config::SeeJrs,
 ];
 
+/// The history-bit points Fig. 9 sweeps.
+pub const FIG9_BITS: [u32; 7] = [10, 11, 12, 13, 14, 15, 16];
+/// The window sizes Fig. 10 sweeps.
+pub const FIG10_WINDOWS: [usize; 5] = [64, 128, 256, 512, 1024];
+/// The per-type FU counts Fig. 11 sweeps.
+pub const FIG11_FUS: [usize; 4] = [1, 2, 3, 4];
+/// The pipeline depths Fig. 12 sweeps.
+pub const FIG12_DEPTHS: [usize; 5] = [6, 7, 8, 9, 10];
+
+/// The machine configuration of one Fig. 9 point: `series` at
+/// `history_bits` of predictor history.
+pub fn fig9_config(series: Config, history_bits: u32) -> SimConfig {
+    named_config(series, history_bits)
+}
+
+/// Total predictor state (gshare PHT + JRS table) in bytes at one
+/// Fig. 9 point — the paper's equal-area x-axis.
+pub fn fig9_state_bytes(history_bits: u32) -> usize {
+    // gshare: 2 bits per counter; JRS (the SEE configs): +1 bit per
+    // counter. Report the SEE-system total, as the paper plots.
+    let counters = 1usize << history_bits;
+    counters * 2 / 8 + counters / 8
+}
+
+/// The machine configuration of one Fig. 10 point: `series` with a
+/// `window`-entry instruction window.
+pub fn fig10_config(series: Config, window: usize) -> SimConfig {
+    let mut cfg = named_config(series, BASELINE_HISTORY_BITS).with_window_size(window);
+    // Deep windows hold more in-flight branches.
+    cfg.ctx_positions = pp_ctx::MAX_POSITIONS.min((window / 3).max(16));
+    cfg
+}
+
+/// The machine configuration of one Fig. 11 point: `series` with `n`
+/// functional units of each type.
+pub fn fig11_config(series: Config, n: usize) -> SimConfig {
+    named_config(series, BASELINE_HISTORY_BITS).with_fus(FuConfig::uniform(n))
+}
+
+/// The machine configuration of one Fig. 12 point: `series` at `depth`
+/// pipeline stages.
+pub fn fig12_config(series: Config, depth: usize) -> SimConfig {
+    named_config(series, BASELINE_HISTORY_BITS).with_pipeline_depth(depth)
+}
+
 /// One point of a scalability sweep.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
@@ -186,12 +231,9 @@ fn sweep(points: &[u64], make: impl Fn(Config, u64) -> SimConfig) -> Vec<SweepPo
 /// (gshare PHT + JRS table where present) for the equal-area comparison.
 pub fn fig9(history_bits: &[u32]) -> Vec<SweepPoint> {
     let points: Vec<u64> = history_bits.iter().map(|&b| b as u64).collect();
-    let mut out = sweep(&points, |c, bits| named_config(c, bits as u32));
+    let mut out = sweep(&points, |c, bits| fig9_config(c, bits as u32));
     for p in &mut out {
-        // gshare: 2 bits per counter; JRS (the SEE configs): +1 bit per
-        // counter. Report the SEE-system total, as the paper plots.
-        let counters = 1usize << p.x;
-        p.state_bytes = counters * 2 / 8 + counters / 8;
+        p.state_bytes = fig9_state_bytes(p.x as u32);
     }
     out
 }
@@ -199,28 +241,19 @@ pub fn fig9(history_bits: &[u32]) -> Vec<SweepPoint> {
 /// Fig. 10: instruction window size sweep.
 pub fn fig10(window_sizes: &[usize]) -> Vec<SweepPoint> {
     let points: Vec<u64> = window_sizes.iter().map(|&w| w as u64).collect();
-    sweep(&points, |c, w| {
-        let mut cfg = named_config(c, BASELINE_HISTORY_BITS).with_window_size(w as usize);
-        // Deep windows hold more in-flight branches.
-        cfg.ctx_positions = pp_ctx::MAX_POSITIONS.min((w as usize / 3).max(16));
-        cfg
-    })
+    sweep(&points, |c, w| fig10_config(c, w as usize))
 }
 
 /// Fig. 11: functional unit configuration sweep (`n` units of each type).
 pub fn fig11(fu_counts: &[usize]) -> Vec<SweepPoint> {
     let points: Vec<u64> = fu_counts.iter().map(|&n| n as u64).collect();
-    sweep(&points, |c, n| {
-        named_config(c, BASELINE_HISTORY_BITS).with_fus(FuConfig::uniform(n as usize))
-    })
+    sweep(&points, |c, n| fig11_config(c, n as usize))
 }
 
 /// Fig. 12: pipeline depth sweep (total stages).
 pub fn fig12(depths: &[usize]) -> Vec<SweepPoint> {
     let points: Vec<u64> = depths.iter().map(|&d| d as u64).collect();
-    sweep(&points, |c, d| {
-        named_config(c, BASELINE_HISTORY_BITS).with_pipeline_depth(d as usize)
-    })
+    sweep(&points, |c, d| fig12_config(c, d as usize))
 }
 
 // ---------------------------------------------------------------------

@@ -19,20 +19,9 @@ pub struct MatrixResult {
     pub stats: SimStats,
 }
 
-/// The workload-scale multiplier from the `PP_SCALE` environment variable
-/// (default 1.0). Benches set e.g. `PP_SCALE=0.05` for quick runs.
-pub fn scale_factor() -> f64 {
-    std::env::var("PP_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|v: &f64| *v > 0.0)
-        .unwrap_or(1.0)
-}
-
-/// The scale for `workload` under the current `PP_SCALE`.
-pub fn scaled(workload: Workload) -> u64 {
-    ((workload.default_scale() as f64 * scale_factor()) as u64).max(1)
-}
+// The scale plumbing lives in pp-sweep now (the cache fingerprints need
+// it); re-exported here so existing callers keep compiling.
+pub use pp_sweep::{scale_factor, scaled};
 
 /// Worker thread count: one per available core, capped at the job count.
 pub fn parallelism(jobs: usize) -> usize {
@@ -66,43 +55,42 @@ pub fn run_matrix(workloads: &[Workload], configs: &[SimConfig]) -> Vec<MatrixRe
 /// is self-contained, so the results — including their order — are
 /// identical for every `workers >= 1`; the determinism suite locks this
 /// in.
+///
+/// Jobs fan out through [`pp_sweep::run_stealing`], which isolates
+/// per-cell panics and retries each failing cell once. A cell that
+/// still fails panics here with a message naming the (workload, config)
+/// pair — not whatever bare message the worker thread died with.
+///
+/// # Panics
+/// Panics if any (workload, config) cell fails after a retry, naming
+/// that cell.
 pub fn run_matrix_with_workers(
     workloads: &[Workload],
     configs: &[SimConfig],
     workers: usize,
 ) -> Vec<MatrixResult> {
-    let jobs: Vec<(usize, Workload, usize)> = workloads
+    let jobs: Vec<(Workload, usize)> = workloads
         .iter()
-        .enumerate()
-        .flat_map(|(wi, &w)| configs.iter().enumerate().map(move |(ci, _)| (wi, w, ci)))
+        .flat_map(|&w| (0..configs.len()).map(move |ci| (w, ci)))
         .collect();
 
-    let n_workers = workers.clamp(1, jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<MatrixResult>> = (0..jobs.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<MatrixResult>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(_, w, ci)) = jobs.get(i) else {
-                    break;
-                };
-                let stats = run_workload(w, &configs[ci]);
-                **slots[i].lock().expect("slot lock") = Some(MatrixResult {
-                    workload: w,
-                    config_index: ci,
-                    stats,
-                });
-            });
-        }
+    let outcomes = pp_sweep::run_stealing(jobs.len(), workers, |i| {
+        let (w, ci) = jobs[i];
+        run_workload(w, &configs[ci])
     });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
+    jobs.iter()
+        .zip(outcomes)
+        .map(|(&(w, ci), outcome)| match outcome {
+            Ok(stats) => MatrixResult {
+                workload: w,
+                config_index: ci,
+                stats,
+            },
+            Err(failure) => panic!(
+                "sweep cell (workload {w}, config {ci}) failed after {} attempts: {}",
+                failure.attempts, failure.message
+            ),
+        })
         .collect()
 }
 
@@ -347,6 +335,25 @@ mod tests {
         for cell in &r {
             assert!(cell.stats.committed_instructions > 0);
         }
+    }
+
+    #[test]
+    fn failing_matrix_cell_is_named_in_the_panic() {
+        std::env::set_var("PP_SCALE", "0.01");
+        let good = named_config(Config::Monopath, 10);
+        let mut bad = named_config(Config::Monopath, 10);
+        bad.max_cycles = 10; // guarantees hit_cycle_limit
+        let payload = std::panic::catch_unwind(|| {
+            run_matrix_with_workers(&[Workload::Compress], &[good, bad], 2)
+        })
+        .expect_err("the strangled cell must fail the matrix");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String")
+            .clone();
+        assert!(msg.contains("workload compress"), "{msg}");
+        assert!(msg.contains("config 1"), "{msg}");
+        assert!(msg.contains("2 attempts"), "{msg}");
     }
 
     #[test]

@@ -1,9 +1,18 @@
 //! # pp-experiments — the paper's evaluation, regenerated
 //!
-//! One function per table/figure of the evaluation section of *Selective
-//! Eager Execution on the PolyPath Architecture* (ISCA 1998), plus the
-//! shared machinery: the six named machine configurations of Fig. 8, a
-//! parallel sweep runner, harmonic means, and text-table formatting.
+//! One [`suite::Experiment`] per table/figure of the evaluation section
+//! of *Selective Eager Execution on the PolyPath Architecture* (ISCA
+//! 1998), plus the shared machinery: the six named machine
+//! configurations of Fig. 8, the `pp-sweep`-backed experiment registry
+//! (cached, work-stealing, typed per-cell failures — see DESIGN.md
+//! §3e), harmonic means, and text-table formatting.
+//!
+//! The front door is the `sweep` binary (`sweep list`, `sweep run
+//! fig9`, `sweep run all`). The historical per-figure binaries below
+//! remain as thin shims over the same registry and accept the same
+//! unified flags (`--workers`, `--out-dir`, `--cache-dir`, `--no-cache`,
+//! `--resume`, `--max-cells`, `--quiet`, `--telemetry-out`,
+//! `--telemetry-sample-every`).
 //!
 //! Binaries (`cargo run --release -p pp-experiments --bin <name>`):
 //!
@@ -33,6 +42,7 @@ mod table;
 
 pub mod cli;
 pub mod experiments;
+pub mod suite;
 
 pub use configs::{named_config, Config, CONFIG_ORDER};
 pub use harness::{

@@ -88,3 +88,89 @@ fn run_all_rejects_bad_sample_interval() {
     );
     assert_usage_error(&out, &["--telemetry-sample-every", "\"sometimes\""]);
 }
+
+// --- the unified sweep flag set -------------------------------------
+
+#[test]
+fn sweep_without_subcommand_prints_usage() {
+    let out = run(env!("CARGO_BIN_EXE_sweep"), &[]);
+    assert_usage_error(&out, &["usage: sweep"]);
+}
+
+#[test]
+fn sweep_rejects_unknown_subcommand() {
+    let out = run(env!("CARGO_BIN_EXE_sweep"), &["frobnicate"]);
+    assert_usage_error(&out, &["unknown subcommand", "frobnicate"]);
+}
+
+#[test]
+fn sweep_run_rejects_unknown_experiment() {
+    let out = run(env!("CARGO_BIN_EXE_sweep"), &["run", "fig99"]);
+    assert_usage_error(&out, &["unknown experiment", "fig99", "fig9"]);
+}
+
+#[test]
+fn sweep_run_without_names_is_a_usage_error() {
+    let out = run(env!("CARGO_BIN_EXE_sweep"), &["run"]);
+    assert_usage_error(&out, &["at least one experiment name"]);
+}
+
+#[test]
+fn sweep_rejects_unknown_flag() {
+    let out = run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &["run", "fig9", "--frobnicate"],
+    );
+    assert_usage_error(&out, &["unknown argument", "--frobnicate"]);
+}
+
+#[test]
+fn sweep_rejects_dangling_workers() {
+    let out = run(env!("CARGO_BIN_EXE_sweep"), &["run", "fig9", "--workers"]);
+    assert_usage_error(&out, &["--workers needs a thread count"]);
+}
+
+#[test]
+fn sweep_rejects_bad_max_cells() {
+    let out = run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &["run", "fig9", "--max-cells=-1"],
+    );
+    assert_usage_error(&out, &["--max-cells", "\"-1\""]);
+}
+
+#[test]
+fn sweep_rejects_dangling_telemetry_out() {
+    let out = run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &["run", "fig9", "--telemetry-out"],
+    );
+    assert_usage_error(&out, &["--telemetry-out needs a directory"]);
+}
+
+#[test]
+fn fig_shims_reject_unknown_flags_and_positionals() {
+    // Every migrated figure binary shares SweepOpts; spot-check two.
+    let out = run(env!("CARGO_BIN_EXE_fig9_predictor_size"), &["--frobnicate"]);
+    assert_usage_error(&out, &["unknown argument", "--frobnicate"]);
+    let out = run(env!("CARGO_BIN_EXE_table1"), &["extra"]);
+    assert_usage_error(&out, &["unexpected argument", "extra"]);
+}
+
+#[test]
+fn workload_profile_rejects_unknown_workload() {
+    let out = run(env!("CARGO_BIN_EXE_workload_profile"), &["pascal"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("unknown workload `pascal`"), "{stderr}");
+    assert!(stderr.contains("compress"), "{stderr}");
+}
+
+#[test]
+fn run_all_rejects_conflicting_out_dirs() {
+    let out = run(
+        env!("CARGO_BIN_EXE_run_all"),
+        &["somewhere", "--out-dir", "elsewhere"],
+    );
+    assert_usage_error(&out, &["both positionally and via --out-dir"]);
+}

@@ -1,0 +1,63 @@
+//! Content addressing for sweep cells.
+//!
+//! Dependency-free 128-bit fingerprints built from two independently
+//! seeded FNV-1a-64 passes. FNV is not cryptographic — the store guards
+//! against the (astronomically unlikely) collision by storing the full
+//! key material in each entry and comparing it on load, so a collision
+//! degrades to a cache miss, never to a wrong result.
+
+/// 64-bit FNV-1a over `data`, folded into a caller-chosen starting
+/// state (`offset`), so independent streams can be derived from the
+/// same bytes.
+pub fn fnv1a64(offset: u64, data: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = offset;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The canonical FNV-1a-64 offset basis.
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, unrelated offset for the independent half of the
+/// fingerprint (digits of π).
+const OFFSET_B: u64 = 0x3141_5926_5358_9793;
+
+/// 32-hex-character content address of `data`.
+pub fn fingerprint_hex(data: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(OFFSET_A, data),
+        fnv1a64(OFFSET_B, data)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a-64 reference values.
+        assert_eq!(fnv1a64(OFFSET_A, b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(OFFSET_A, b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(OFFSET_A, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_shape_and_sensitivity() {
+        let h = fingerprint_hex(b"hello");
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(h, fingerprint_hex(b"hellp"));
+        assert_eq!(h, fingerprint_hex(b"hello"));
+    }
+
+    #[test]
+    fn halves_are_independent() {
+        let h = fingerprint_hex(b"abc");
+        assert_ne!(&h[..16], &h[16..]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Content-addressed on-disk store for completed cell results.
+//!
+//! Layout: `<root>/<first 2 hex>/<fingerprint>.cell`, one file per
+//! completed cell. Each file carries the cell's full key material
+//! (workload, seed, scale, behavior revision, canonical config JSON)
+//! followed by the `SimStats` JSON:
+//!
+//! ```text
+//! # pp-sweep cell v1
+//! <key material…>
+//! ---stats---
+//! { …SimStats::to_json… }
+//! ```
+//!
+//! Loads re-verify the stored key material against the requesting
+//! cell's, so a fingerprint collision or a schema change degrades to a
+//! cache miss — never a wrong result. Writes go through a same-
+//! directory temp file and an atomic rename, so a sweep killed
+//! mid-write leaves either a complete entry or no entry (the resume
+//! protocol depends on this).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pp_core::SimStats;
+
+use crate::cell::SweepCell;
+
+/// File-format magic of a cell entry.
+const MAGIC: &str = "# pp-sweep cell v1";
+/// Separator between key material and stats JSON.
+const SEPARATOR: &str = "\n---stats---\n";
+
+/// A content-addressed store of completed cell results under one root
+/// directory.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// A store rooted at `root` (created lazily on first save).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ResultStore { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry path for a cell.
+    pub fn path_for(&self, cell: &SweepCell) -> PathBuf {
+        let fp = cell.fingerprint();
+        self.root.join(&fp[..2]).join(format!("{fp}.cell"))
+    }
+
+    /// Load the cached stats for `cell`, or `None` on any miss:
+    /// no entry, unreadable entry, magic/schema mismatch, key-material
+    /// mismatch (fingerprint collision), or unparsable stats. A
+    /// corrupt entry is deleted so the rerun can overwrite it cleanly.
+    pub fn load(&self, cell: &SweepCell) -> Option<SimStats> {
+        let path = self.path_for(cell);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match Self::parse_entry(&text, cell) {
+            Some(stats) => Some(stats),
+            None => {
+                // Truncated write (pre-atomic-rename crash cannot cause
+                // this, but disk corruption can) or stale schema:
+                // clear it so the store self-heals.
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn parse_entry(text: &str, cell: &SweepCell) -> Option<SimStats> {
+        let body = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+        let (key, stats_json) = body.split_once(SEPARATOR)?;
+        if key != cell.key_material() {
+            return None;
+        }
+        SimStats::from_json(stats_json).ok()
+    }
+
+    /// Persist a completed cell. Atomic: readers (including concurrent
+    /// sweeps sharing the cache) see either the complete entry or
+    /// nothing.
+    pub fn save(&self, cell: &SweepCell, stats: &SimStats) -> io::Result<()> {
+        let path = self.path_for(cell);
+        let dir = path.parent().expect("entry path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let entry = format!(
+            "{MAGIC}\n{}{SEPARATOR}{}",
+            cell.key_material(),
+            stats.to_json()
+        );
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}",
+            path.file_name()
+                .expect("entry path has a file name")
+                .to_string_lossy(),
+            std::process::id(),
+        ));
+        std::fs::write(&tmp, &entry)?;
+        let renamed = std::fs::rename(&tmp, &path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
+    }
+
+    /// Number of entries currently in the store (a maintenance/debug
+    /// helper; O(entries)).
+    pub fn len(&self) -> usize {
+        let Ok(shards) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        shards
+            .filter_map(|d| d.ok())
+            .filter_map(|d| std::fs::read_dir(d.path()).ok())
+            .flatten()
+            .filter_map(|f| f.ok())
+            .filter(|f| f.path().extension().is_some_and(|e| e == "cell"))
+            .count()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::SimConfig;
+    use pp_workloads::Workload;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pp-sweep-store-{}-{name}", std::process::id()))
+    }
+
+    fn cell() -> SweepCell {
+        SweepCell {
+            workload: Workload::Compress,
+            seed: None,
+            scale: 50,
+            config: SimConfig::baseline(),
+        }
+    }
+
+    fn stats() -> SimStats {
+        SimStats {
+            cycles: 42,
+            committed_instructions: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let root = tmp_root("roundtrip");
+        let store = ResultStore::new(&root);
+        let c = cell();
+        assert!(store.load(&c).is_none());
+        store.save(&c, &stats()).unwrap();
+        let loaded = store.load(&c).expect("hit after save");
+        assert_eq!(loaded, stats());
+        assert_eq!(loaded.to_json(), stats().to_json());
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn key_material_mismatch_is_a_miss() {
+        let root = tmp_root("mismatch");
+        let store = ResultStore::new(&root);
+        let c = cell();
+        store.save(&c, &stats()).unwrap();
+        // Forge a different cell's content into this cell's address —
+        // the key-material comparison must reject it.
+        let path = store.path_for(&c);
+        let forged = std::fs::read_to_string(store.path_for(&c))
+            .unwrap()
+            .replace("scale: 50", "scale: 51");
+        std::fs::write(&path, forged).unwrap();
+        assert!(store.load(&c).is_none(), "forged entry must not load");
+        // And the corrupt entry was cleared for self-healing.
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss_and_self_heals() {
+        let root = tmp_root("truncated");
+        let store = ResultStore::new(&root);
+        let c = cell();
+        store.save(&c, &stats()).unwrap();
+        let path = store.path_for(&c);
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(store.load(&c).is_none());
+        assert!(!path.exists(), "corrupt entry should be removed");
+        // A fresh save works again.
+        store.save(&c, &stats()).unwrap();
+        assert!(store.load(&c).is_some());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn entries_are_sharded_by_fingerprint_prefix() {
+        let store = ResultStore::new(tmp_root("shard"));
+        let c = cell();
+        let p = store.path_for(&c);
+        let fp = c.fingerprint();
+        assert!(p.ends_with(format!("{}/{fp}.cell", &fp[..2])));
+    }
+}

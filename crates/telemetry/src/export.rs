@@ -56,6 +56,37 @@ fn hist_json(h: &Histogram) -> String {
     )
 }
 
+/// Write just a [`Registry`]'s instruments as JSON Lines: one
+/// `counter` / `gauge` / `histogram` object per line. This is the
+/// export path for registries that live outside a simulation — e.g. the
+/// sweep engine's progress metrics — where no [`SimStats`] exists.
+pub fn write_registry_jsonl<W: Write>(w: &mut W, registry: &Registry) -> io::Result<()> {
+    for (name, v) in registry.counters() {
+        writeln!(
+            w,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name)
+        )?;
+    }
+    for (name, v) in registry.gauges() {
+        writeln!(
+            w,
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            json_f64(v)
+        )?;
+    }
+    for (name, h) in registry.hists() {
+        writeln!(
+            w,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            hist_json(h)
+        )?;
+    }
+    Ok(())
+}
+
 /// Write the metrics artifact: one self-describing JSON object per line.
 ///
 /// Line kinds: `counter`, `gauge`, `histogram` (registry instruments),
@@ -107,29 +138,7 @@ pub fn write_metrics_jsonl<W: Write>(
         )?;
     }
 
-    for (name, v) in registry.counters() {
-        writeln!(
-            w,
-            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
-            json_escape(name)
-        )?;
-    }
-    for (name, v) in registry.gauges() {
-        writeln!(
-            w,
-            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
-            json_escape(name),
-            json_f64(v)
-        )?;
-    }
-    for (name, h) in registry.hists() {
-        writeln!(
-            w,
-            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"value\":{}}}",
-            json_escape(name),
-            hist_json(h)
-        )?;
-    }
+    write_registry_jsonl(w, registry)?;
 
     writeln!(
         w,
