@@ -1,0 +1,185 @@
+//! Bounded exhaustive exploration of the CTX-protocol model.
+//!
+//! Plain breadth-first search over [`Model`] states with a visited set
+//! keyed by [`Model::canonical_key`]. BFS order means the first
+//! violation found is at minimal action depth; the reported trace is
+//! additionally ddmin-shrunk (reusing `pp_testutil::shrink`, the same
+//! minimizer the fuzzer uses) with skip-inapplicable replay semantics,
+//! and is therefore 1-minimal: deleting any single action makes the
+//! violation disappear.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::model::{Action, Breakage, Model, Mutation, Scope};
+
+/// Outcome of an exhaustive run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct canonical states reached (including the initial state).
+    pub states: u64,
+    /// Applied transitions (edges, including those into already-visited
+    /// states).
+    pub transitions: u64,
+    /// Deepest trace length expanded.
+    pub max_depth: usize,
+    /// First violation found, if any. `None` means the configured scope
+    /// was enumerated exhaustively and every state satisfied every
+    /// invariant.
+    pub violation: Option<Violation>,
+}
+
+/// A protocol violation with its minimized action trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable invariant identifier (see `Model::check_invariants`).
+    pub invariant: &'static str,
+    /// Mismatch description from the state that broke.
+    pub message: String,
+    /// 1-minimal action trace reproducing the violation from the
+    /// initial state.
+    pub trace: Vec<Action>,
+}
+
+impl Report {
+    /// Human-readable summary (the CLI prints this; CI greps it).
+    pub fn summary(&self, scope: Scope, mutation: Mutation) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::new();
+        let _ = writeln!(
+            o,
+            "scope: positions={} path_slots={} max_lazy={} max_eager={} depth={}",
+            scope.positions, scope.path_slots, scope.max_lazy, scope.max_eager, scope.depth
+        );
+        let _ = writeln!(o, "mutation: {}", mutation.name());
+        let _ = writeln!(
+            o,
+            "explored: {} states, {} transitions, max depth {}",
+            self.states, self.transitions, self.max_depth
+        );
+        match &self.violation {
+            None => {
+                let _ = writeln!(o, "result: exhaustive, no invariant violations");
+            }
+            Some(v) => {
+                let _ = writeln!(o, "result: VIOLATION of `{}`", v.invariant);
+                let _ = writeln!(o, "  {}", v.message);
+                let _ = writeln!(o, "  minimal trace ({} actions):", v.trace.len());
+                for (i, a) in v.trace.iter().enumerate() {
+                    let _ = writeln!(o, "    {:>2}. {a}", i + 1);
+                }
+            }
+        }
+        o
+    }
+}
+
+/// Replay `trace` from the initial state with skip-inapplicable
+/// semantics, returning the first breakage (from a kill-exactness check
+/// or a state invariant), if any. This is both the shrinker's oracle and
+/// the tests' independent reproduction check.
+pub fn replay(scope: Scope, mutation: Mutation, trace: &[Action]) -> Option<Breakage> {
+    let mut model = Model::new(scope, mutation);
+    if let Some(b) = model.check_invariants() {
+        return Some(b);
+    }
+    for action in trace {
+        // Apply on a clone: an inapplicable action may leave a
+        // partially-advanced state behind (resolve discovers recovery
+        // stalls mid-way).
+        let mut next = model.clone();
+        match next.apply(action) {
+            Err(b) => return Some(b),
+            Ok(false) => {}
+            Ok(true) => {
+                if let Some(b) = next.check_invariants() {
+                    return Some(b);
+                }
+                model = next;
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustively enumerate every state reachable within `scope`, checking
+/// all invariants in each, and report the result. On violation, the
+/// trace is BFS-minimal in length and then ddmin-shrunk to 1-minimality.
+pub fn check(scope: Scope, mutation: Mutation) -> Report {
+    let init = Model::new(scope, mutation);
+    let mut report = Report {
+        states: 1,
+        transitions: 0,
+        max_depth: 0,
+        violation: None,
+    };
+    if let Some(b) = init.check_invariants() {
+        report.violation = Some(Violation {
+            invariant: b.invariant,
+            message: b.message,
+            trace: Vec::new(),
+        });
+        return report;
+    }
+    // Parent-pointer arena: (parent arena index, action), one entry per
+    // *visited* state, so traces are reconstructed without storing one
+    // per frontier node.
+    let mut arena: Vec<(usize, Action)> = Vec::new();
+    let mut visited: HashSet<Vec<u8>> = HashSet::new();
+    visited.insert(init.canonical_key());
+    // (state, arena index + 1 with 0 = initial, depth)
+    let mut frontier: VecDeque<(Model, usize, usize)> = VecDeque::new();
+    frontier.push_back((init, 0, 0));
+
+    while let Some((state, node, depth)) = frontier.pop_front() {
+        if depth >= scope.depth {
+            continue;
+        }
+        for action in state.enumerate() {
+            let mut next = state.clone();
+            let outcome = next.apply(&action);
+            let breakage = match outcome {
+                Ok(false) => continue,
+                Err(b) => Some(b),
+                Ok(true) => {
+                    report.transitions += 1;
+                    next.check_invariants()
+                }
+            };
+            if breakage.is_some() {
+                let mut trace = reconstruct(&arena, node);
+                trace.push(action);
+                let minimal = pp_testutil::shrink(&trace, |t| replay(scope, mutation, t).is_some());
+                // Re-derive the breakage from the minimal trace: ddmin may
+                // have converged on a different (smaller) failure.
+                let b = replay(scope, mutation, &minimal)
+                    .expect("the shrunk trace still reproduces a violation");
+                report.violation = Some(Violation {
+                    invariant: b.invariant,
+                    message: b.message,
+                    trace: minimal,
+                });
+                return report;
+            }
+            if visited.insert(next.canonical_key()) {
+                report.states += 1;
+                report.max_depth = report.max_depth.max(depth + 1);
+                arena.push((node, action));
+                frontier.push_back((next, arena.len(), depth + 1));
+            }
+        }
+    }
+    report
+}
+
+/// Walk parent pointers back to the initial state. `node` is an arena
+/// index + 1, with 0 denoting the initial state.
+fn reconstruct(arena: &[(usize, Action)], mut node: usize) -> Vec<Action> {
+    let mut trace = Vec::new();
+    while node != 0 {
+        let (parent, action) = arena[node - 1];
+        trace.push(action);
+        node = parent;
+    }
+    trace.reverse();
+    trace
+}

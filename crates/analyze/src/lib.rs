@@ -1,0 +1,39 @@
+//! # pp-analyze — static analysis for the PolyPath workspace
+//!
+//! Two halves, both wired into CI (see DESIGN.md §3f):
+//!
+//! 1. **Bounded exhaustive model checker** ([`model`], [`explore`]) for
+//!    the CTX protocol of paper §3.2.1–§3.2.3 as optimized in PR 2:
+//!    every state reachable within a small scope (positions, path
+//!    slots, entries, trace depth) is enumerated by BFS, and in each
+//!    state the real `pp-ctx` structures — `CtxTag`, `TagIndex`,
+//!    `PositionAllocator`, `ResolutionKill`, free-epoch `scrub` — are
+//!    compared against a reference semantics of explicit path-ancestry
+//!    sets. Dynamic testing (golden traces, fuzzing, the sanitizer)
+//!    samples interleavings; the checker proves the equivalences for
+//!    *all* of them at small scope, including out-of-order resolution
+//!    and wrap-around position reuse. Violations come with a 1-minimal
+//!    action trace (ddmin via `pp_testutil::shrink`).
+//!
+//! 2. **Workspace lint pass** ([`lint`], [`rustsrc`]): repo-specific
+//!    rules — no panics in the simulator's hot loop, `SimStats`
+//!    mutations stay visible to the observer hook, no host time or
+//!    environment reads outside the profiling/bench/sweep layers, and
+//!    the `SimConfig` canonical JSON covers every field. Each rule has
+//!    a named diagnostic and an allowlist with mandatory justifications
+//!    (`crates/analyze/lint.allow`).
+//!
+//! Run both from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p pp-analyze -- check
+//! cargo run -p pp-analyze -- lint
+//! ```
+
+pub mod explore;
+pub mod lint;
+pub mod model;
+pub mod rustsrc;
+
+pub use explore::{check, replay, Report, Violation};
+pub use model::{Action, Breakage, Model, Mutation, Scope};

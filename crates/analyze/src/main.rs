@@ -1,0 +1,132 @@
+//! `pp-analyze` CLI: `check` (exhaustive CTX-protocol model checking)
+//! and `lint` (workspace lint pass). Both exit nonzero on violation so
+//! CI can gate on them.
+
+use std::process::ExitCode;
+
+use pp_analyze::{lint, Mutation, Scope};
+
+const USAGE: &str = "\
+usage: pp-analyze <command> [options]
+
+commands:
+  check    exhaustively model-check the CTX protocol at small scope
+             --positions N    history positions        (default 3)
+             --path-slots N   live path slots          (default 3)
+             --max-lazy N     lazy (window) entries    (default 2)
+             --max-eager N    eager (store-buf) entries(default 1)
+             --depth N        max trace length         (default 9)
+             --mutation M     none | ignore-epoch-staleness |
+                              skip-commit-broadcast | kill-ignores-direction
+  lint     run the workspace lint rules (L1..L4)
+             --root PATH      workspace root (default: this repo)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("lint") => run_lint(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut scope = Scope::default();
+    let mut mutation = Mutation::None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let (flag, inline) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let mut value = || -> Result<String, ExitCode> {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| usage_error(&format!("{flag} needs a value")))
+        };
+        let parsed = match flag {
+            "--positions" | "--path-slots" | "--max-lazy" | "--max-eager" | "--depth" => {
+                match value() {
+                    Ok(v) => match v.parse::<usize>() {
+                        Ok(n) => Some(n),
+                        Err(_) => return usage_error(&format!("{flag} wants a number, got {v}")),
+                    },
+                    Err(code) => return code,
+                }
+            }
+            "--mutation" => {
+                match value() {
+                    Ok(v) => match Mutation::parse(&v) {
+                        Some(m) => mutation = m,
+                        None => return usage_error(&format!("unknown mutation `{v}`")),
+                    },
+                    Err(code) => return code,
+                }
+                None
+            }
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        };
+        if let Some(n) = parsed {
+            match flag {
+                "--positions" => scope.positions = n,
+                "--path-slots" => scope.path_slots = n,
+                "--max-lazy" => scope.max_lazy = n,
+                "--max-eager" => scope.max_eager = n,
+                "--depth" => scope.depth = n,
+                _ => unreachable!("matched above"),
+            }
+        }
+    }
+    let report = pp_analyze::check(scope, mutation);
+    print!("{}", report.summary(scope, mutation));
+    if report.violation.is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = std::path::PathBuf::from(p),
+                None => return usage_error("--root needs a value"),
+            },
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    match lint::run(&root) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!("pp-analyze lint: no findings");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("pp-analyze lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}

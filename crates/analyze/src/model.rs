@@ -1,0 +1,987 @@
+//! The abstract CTX-protocol model: real `pp-ctx` structures driven by
+//! abstract actions, checked against an explicit-ancestry reference
+//! semantics.
+//!
+//! # The two semantics
+//!
+//! The *system under test* is the optimized machinery from `pp-ctx`
+//! exactly as the simulator uses it: eager per-path [`CtxTag`]s indexed
+//! by a [`TagIndex`], lazy tag snapshots stamped with the
+//! [`PositionAllocator`]'s free-epoch clock, [`ResolutionKill`] selectors
+//! for the wrong-path broadcast, and wrap-around position reuse.
+//!
+//! The *reference semantics* ignores tags entirely. Every live entity
+//! (path, window-like lazy entry, store-buffer-like eager entry, and
+//! in-flight branch record) carries an explicit **ancestry set**: the set
+//! of `(branch, direction)` decisions of still-in-flight branches that
+//! the entity's existence depends on. Sets shrink when a branch commits
+//! (its decision stops distinguishing anything live) and entities vanish
+//! when a resolution decides against a decision they carry. Against this
+//! ground truth:
+//!
+//! * `is_descendant_or_equal` must equal ancestry-set containment,
+//! * `TagIndex::descendants_of` / `killed_by` must equal the naive
+//!   sweep over ancestry sets,
+//! * `ResolutionKill::matches` (epoch-filtered) and `matches_eager`
+//!   must kill *exactly* the entities whose ancestry carries the
+//!   wrong decision — never a stale alias left by position reuse,
+//! * `scrub` / `effectively_root` must reduce a lazy snapshot to the
+//!   tag its live ancestry implies.
+//!
+//! Every invariant is checked in every reachable state by
+//! [`Model::check_invariants`]; the kill-exactness comparisons happen
+//! inside [`Model::apply`] at the moment a resolution fires.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use pp_ctx::{CtxTag, PositionAllocator, ResolutionKill, TagIndex};
+
+/// Entity identifier, unique along one action trace. Uids are embedded in
+/// [`Action`]s at enumeration time so a trace stays replayable after
+/// ddmin deletes a prefix action (a deleted fetch never renumbers later
+/// ones — its uid simply never comes alive and dependent actions are
+/// skipped as inapplicable).
+pub type Uid = u32;
+
+/// One branch decision in the reference semantics: "(this in-flight
+/// branch) went (this direction)".
+pub type Decision = (Uid, bool);
+
+/// Exploration bounds. Small-scope hypothesis: protocol bugs in this
+/// family (aliasing after reuse, a dropped broadcast, an inverted
+/// direction) already manifest with a handful of positions and paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// History positions managed by the allocator (wrap-around makes
+    /// reuse reachable with as few as 3).
+    pub positions: usize,
+    /// Path-table slots (live paths).
+    pub path_slots: usize,
+    /// Maximum live lazy (window-like) entries.
+    pub max_lazy: usize,
+    /// Maximum live eager (store-buffer-like) entries.
+    pub max_eager: usize,
+    /// Maximum actions along any trace.
+    pub depth: usize,
+}
+
+impl Default for Scope {
+    /// The CI scope: exhaustive in well under two minutes in release
+    /// builds, yet deep enough to reach every protocol phenomenon the
+    /// invariants speak about (fork, out-of-order resolution,
+    /// wrap-around reuse with a live stale snapshot, recovery-path
+    /// creation from a scrubbed parent).
+    fn default() -> Self {
+        Scope {
+            positions: 3,
+            path_slots: 3,
+            max_lazy: 2,
+            max_eager: 1,
+            depth: 9,
+        }
+    }
+}
+
+/// Deliberately seeded protocol mutations (test-only hooks). The checker
+/// must catch each with a minimal counterexample — this is the evidence
+/// that the reference semantics actually constrains the optimized code,
+/// not just agrees with it vacuously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Faithful protocol (the shipped code paths).
+    #[default]
+    None,
+    /// Lazy snapshots are matched with `matches_eager` — the free-epoch
+    /// staleness filter is dropped, so a kill can hit a stale alias left
+    /// by wrap-around position reuse.
+    IgnoreEpochStaleness,
+    /// Branch commit skips the invalidation broadcast (tags and the
+    /// index keep the freed position's bits).
+    SkipCommitBroadcast,
+    /// The kill broadcast matches on position alone, ignoring the
+    /// direction bit — it kills the surviving side too.
+    KillIgnoresDirection,
+}
+
+impl Mutation {
+    /// All seeded mutations (for tests that demand each is caught).
+    pub const ALL: [Mutation; 3] = [
+        Mutation::IgnoreEpochStaleness,
+        Mutation::SkipCommitBroadcast,
+        Mutation::KillIgnoresDirection,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::IgnoreEpochStaleness => "ignore-epoch-staleness",
+            Mutation::SkipCommitBroadcast => "skip-commit-broadcast",
+            Mutation::KillIgnoresDirection => "kill-ignores-direction",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Mutation> {
+        match name {
+            "none" => Some(Mutation::None),
+            "ignore-epoch-staleness" => Some(Mutation::IgnoreEpochStaleness),
+            "skip-commit-broadcast" => Some(Mutation::SkipCommitBroadcast),
+            "kill-ignores-direction" => Some(Mutation::KillIgnoresDirection),
+            _ => None,
+        }
+    }
+}
+
+/// An abstract protocol action. Uids of entities the action *creates*
+/// are embedded so replay after shrinking is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Path `path` fetches a conditional branch `branch`, predicting
+    /// `taken`; with `fork`, an alternate path `alt` is spawned down the
+    /// other direction (selective eager execution at a divergent branch).
+    Fetch {
+        path: Uid,
+        branch: Uid,
+        taken: bool,
+        fork: Option<Uid>,
+    },
+    /// Path `path` births lazy (window-like) entry `entry`: a tag
+    /// snapshot stamped with the allocator's current free epoch, never
+    /// updated by commit broadcasts.
+    Birth { path: Uid, entry: Uid },
+    /// Lazy entry `entry` is promoted into eager (store-buffer-like)
+    /// entry `eager`: its snapshot is `scrub`bed on insert and from then
+    /// on receives every commit-time invalidation broadcast.
+    Promote { entry: Uid, eager: Uid },
+    /// Branch `branch` resolves with actual direction `actual` — in any
+    /// order, including before older branches (out-of-order resolution).
+    /// On a mispredict with no live alternate, recovery path `recovery`
+    /// is created from the scrubbed parent snapshot.
+    Resolve {
+        branch: Uid,
+        actual: bool,
+        recovery: Uid,
+    },
+    /// The oldest in-flight branch (`branch`, which must be resolved)
+    /// commits: its history position is invalidated everywhere eager,
+    /// freed for wrap-around reuse, and its decision leaves the
+    /// reference ancestry sets.
+    Commit { branch: Uid },
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn d(taken: bool) -> char {
+            if taken {
+                'T'
+            } else {
+                'N'
+            }
+        }
+        match *self {
+            Action::Fetch {
+                path,
+                branch,
+                taken,
+                fork,
+            } => match fork {
+                Some(alt) => write!(
+                    f,
+                    "fetch b{branch} on p{path} predict {} (fork alt p{alt})",
+                    d(taken)
+                ),
+                None => write!(f, "fetch b{branch} on p{path} predict {}", d(taken)),
+            },
+            Action::Birth { path, entry } => write!(f, "birth lazy e{entry} on p{path}"),
+            Action::Promote { entry, eager } => {
+                write!(f, "promote lazy e{entry} to eager g{eager}")
+            }
+            Action::Resolve {
+                branch,
+                actual,
+                recovery,
+            } => write!(
+                f,
+                "resolve b{branch} actual {} (recovery p{recovery} if needed)",
+                d(actual)
+            ),
+            Action::Commit { branch } => write!(f, "commit b{branch}"),
+        }
+    }
+}
+
+/// A live execution path: eager tag (registered in the [`TagIndex`])
+/// plus its reference ancestry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Path {
+    uid: Uid,
+    slot: usize,
+    tag: CtxTag,
+    ancestry: BTreeSet<Decision>,
+}
+
+/// An in-flight branch record. Its own tag is the *parent* snapshot (the
+/// branch instruction executes whichever way it goes; only younger
+/// instructions carry its position), held lazily like a window entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Branch {
+    uid: Uid,
+    pos: usize,
+    predicted: bool,
+    resolved: Option<bool>,
+    /// Owner path's tag at fetch, before extension.
+    snapshot: CtxTag,
+    /// Free-epoch stamp of `snapshot`.
+    born: u64,
+    /// Owner path's ancestry at fetch, before extension.
+    ancestry: BTreeSet<Decision>,
+    /// Alternate path spawned by a fork at this branch, if any.
+    forked_alt: Option<Uid>,
+}
+
+/// A window-like entry: lazy snapshot + birth epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LazyEntry {
+    uid: Uid,
+    tag: CtxTag,
+    born: u64,
+    ancestry: BTreeSet<Decision>,
+}
+
+/// A store-buffer-like entry: scrubbed on insert, eagerly invalidated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EagerEntry {
+    uid: Uid,
+    tag: CtxTag,
+    ancestry: BTreeSet<Decision>,
+}
+
+/// Why an [`Action`] could not be applied (the explorer simply prunes
+/// the transition; replay-after-shrink skips it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inapplicable;
+
+/// A detected protocol violation: which invariant broke and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breakage {
+    /// Invariant identifier (stable, test-assertable).
+    pub invariant: &'static str,
+    /// Human-readable mismatch description.
+    pub message: String,
+}
+
+/// The model state: SUT structures + reference ancestry, advanced in
+/// lock-step by [`Model::apply`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    scope: Scope,
+    mutation: Mutation,
+    alloc: PositionAllocator,
+    index: TagIndex,
+    paths: Vec<Path>,
+    /// Fetch order (front = oldest). Commit is in-order.
+    branches: VecDeque<Branch>,
+    lazy: Vec<LazyEntry>,
+    eager: Vec<EagerEntry>,
+    next_uid: Uid,
+}
+
+impl Model {
+    /// Initial state: one root path, nothing in flight.
+    pub fn new(scope: Scope, mutation: Mutation) -> Model {
+        let mut index = TagIndex::new(scope.positions, scope.path_slots);
+        let root = Path {
+            uid: 0,
+            slot: 0,
+            tag: CtxTag::root(),
+            ancestry: BTreeSet::new(),
+        };
+        index.insert(root.slot, &root.tag);
+        Model {
+            scope,
+            mutation,
+            alloc: PositionAllocator::new(scope.positions),
+            index,
+            paths: vec![root],
+            branches: VecDeque::new(),
+            lazy: Vec::new(),
+            eager: Vec::new(),
+            next_uid: 1,
+        }
+    }
+
+    /// The scope this model was built with.
+    pub fn scope(&self) -> Scope {
+        self.scope
+    }
+
+    fn path(&self, uid: Uid) -> Option<usize> {
+        self.paths.iter().position(|p| p.uid == uid)
+    }
+
+    fn free_slot(&self) -> Option<usize> {
+        (0..self.scope.path_slots).find(|s| self.paths.iter().all(|p| p.slot != *s))
+    }
+
+    /// Map of live branch uid → history position (for rebuilding tags
+    /// from ancestry sets).
+    fn pos_of(&self) -> BTreeMap<Uid, usize> {
+        self.branches.iter().map(|b| (b.uid, b.pos)).collect()
+    }
+
+    /// The tag a live-only ancestry set implies, or `None` if the set
+    /// references a dead branch or two decisions collide on a position
+    /// (either is itself a bookkeeping violation).
+    fn tag_from(&self, ancestry: &BTreeSet<Decision>) -> Option<CtxTag> {
+        let pos_of = self.pos_of();
+        let mut tag = CtxTag::root();
+        for (b, dir) in ancestry {
+            let pos = *pos_of.get(b)?;
+            if tag.position(pos).is_some() {
+                return None;
+            }
+            tag = tag.with_position(pos, *dir);
+        }
+        Some(tag)
+    }
+
+    /// Every action applicable (or plausibly applicable — resolve's
+    /// recovery-slot requirement is only discoverable mid-apply) in this
+    /// state, with fresh uids embedded.
+    pub fn enumerate(&self) -> Vec<Action> {
+        let mut out = Vec::new();
+        let can_fetch = !self.alloc.is_full();
+        let can_fork = self.free_slot().is_some();
+        for p in &self.paths {
+            if can_fetch {
+                for taken in [false, true] {
+                    out.push(Action::Fetch {
+                        path: p.uid,
+                        branch: self.next_uid,
+                        taken,
+                        fork: None,
+                    });
+                    if can_fork {
+                        out.push(Action::Fetch {
+                            path: p.uid,
+                            branch: self.next_uid,
+                            taken,
+                            fork: Some(self.next_uid + 1),
+                        });
+                    }
+                }
+            }
+            if self.lazy.len() < self.scope.max_lazy {
+                out.push(Action::Birth {
+                    path: p.uid,
+                    entry: self.next_uid,
+                });
+            }
+        }
+        if self.eager.len() < self.scope.max_eager {
+            for e in &self.lazy {
+                out.push(Action::Promote {
+                    entry: e.uid,
+                    eager: self.next_uid,
+                });
+            }
+        }
+        for b in &self.branches {
+            if b.resolved.is_none() {
+                for actual in [false, true] {
+                    out.push(Action::Resolve {
+                        branch: b.uid,
+                        actual,
+                        recovery: self.next_uid,
+                    });
+                }
+            }
+        }
+        if let Some(front) = self.branches.front() {
+            if front.resolved.is_some() {
+                out.push(Action::Commit { branch: front.uid });
+            }
+        }
+        out
+    }
+
+    /// Apply `action`, advancing SUT and reference in lock-step.
+    ///
+    /// Returns `Ok(true)` if applied, `Ok(false)` if inapplicable in
+    /// this state (the state may be partially advanced — callers apply
+    /// on a clone), and `Err` if the SUT's kill broadcast diverged from
+    /// the reference kill set.
+    pub fn apply(&mut self, action: &Action) -> Result<bool, Breakage> {
+        match *action {
+            Action::Fetch {
+                path,
+                branch,
+                taken,
+                fork,
+            } => Ok(self.apply_fetch(path, branch, taken, fork)),
+            Action::Birth { path, entry } => Ok(self.apply_birth(path, entry)),
+            Action::Promote { entry, eager } => Ok(self.apply_promote(entry, eager)),
+            Action::Resolve {
+                branch,
+                actual,
+                recovery,
+            } => self.apply_resolve(branch, actual, recovery),
+            Action::Commit { branch } => Ok(self.apply_commit(branch)),
+        }
+    }
+
+    fn bump_uid(&mut self, used: Uid) {
+        self.next_uid = self.next_uid.max(used + 1);
+    }
+
+    fn apply_fetch(&mut self, path: Uid, branch: Uid, taken: bool, fork: Option<Uid>) -> bool {
+        let Some(pi) = self.path(path) else {
+            return false;
+        };
+        if fork.is_some() && self.free_slot().is_none() {
+            return false;
+        }
+        let Some(pos) = self.alloc.allocate() else {
+            return false;
+        };
+        let snapshot = self.paths[pi].tag;
+        let born = self.alloc.current_tick();
+        let pre_ancestry = self.paths[pi].ancestry.clone();
+        // The fetching path's eager tag extends in place.
+        self.paths[pi].tag = snapshot.with_position(pos, taken);
+        self.index.extend(self.paths[pi].slot, pos, taken);
+        self.paths[pi].ancestry.insert((branch, taken));
+        self.branches.push_back(Branch {
+            uid: branch,
+            pos,
+            predicted: taken,
+            resolved: None,
+            snapshot,
+            born,
+            ancestry: pre_ancestry.clone(),
+            forked_alt: fork,
+        });
+        self.bump_uid(branch);
+        if let Some(alt_uid) = fork {
+            let slot = self.free_slot().expect("checked before allocating");
+            let tag = snapshot.with_position(pos, !taken);
+            self.index.insert(slot, &tag);
+            let mut ancestry = pre_ancestry;
+            ancestry.insert((branch, !taken));
+            self.paths.push(Path {
+                uid: alt_uid,
+                slot,
+                tag,
+                ancestry,
+            });
+            self.bump_uid(alt_uid);
+        }
+        true
+    }
+
+    fn apply_birth(&mut self, path: Uid, entry: Uid) -> bool {
+        if self.lazy.len() >= self.scope.max_lazy {
+            return false;
+        }
+        let Some(pi) = self.path(path) else {
+            return false;
+        };
+        self.lazy.push(LazyEntry {
+            uid: entry,
+            tag: self.paths[pi].tag,
+            born: self.alloc.current_tick(),
+            ancestry: self.paths[pi].ancestry.clone(),
+        });
+        self.bump_uid(entry);
+        true
+    }
+
+    fn apply_promote(&mut self, entry: Uid, eager: Uid) -> bool {
+        if self.eager.len() >= self.scope.max_eager {
+            return false;
+        }
+        let Some(e) = self.lazy.iter().find(|e| e.uid == entry) else {
+            return false;
+        };
+        // Store-buffer insert: scrub stale bits so the tag can be
+        // maintained eagerly from here on.
+        self.eager.push(EagerEntry {
+            uid: eager,
+            tag: self.alloc.scrub(e.tag, e.born),
+            ancestry: e.ancestry.clone(),
+        });
+        self.bump_uid(eager);
+        true
+    }
+
+    /// Does the SUT kill selector hit this lazy snapshot? (The mutation
+    /// hook drops the epoch filter.)
+    fn sut_lazy_match(&self, kill: &ResolutionKill, tag: &CtxTag, born: u64) -> bool {
+        match self.mutation {
+            Mutation::IgnoreEpochStaleness => kill.matches_eager(tag),
+            Mutation::KillIgnoresDirection => {
+                born >= kill.stale_before && tag.position(kill.pos).is_some()
+            }
+            _ => kill.matches(tag, born),
+        }
+    }
+
+    fn sut_eager_match(&self, kill: &ResolutionKill, tag: &CtxTag) -> bool {
+        match self.mutation {
+            Mutation::KillIgnoresDirection => tag.position(kill.pos).is_some(),
+            _ => kill.matches_eager(tag),
+        }
+    }
+
+    fn apply_resolve(
+        &mut self,
+        branch: Uid,
+        actual: bool,
+        recovery: Uid,
+    ) -> Result<bool, Breakage> {
+        let Some(bi) = self.branches.iter().position(|b| b.uid == branch) else {
+            return Ok(false);
+        };
+        if self.branches[bi].resolved.is_some() {
+            return Ok(false);
+        }
+        let b = self.branches[bi].clone();
+        let wrong_dir = !actual;
+        let kill = self.alloc.resolution_kill(b.pos, wrong_dir);
+        let wrong: Decision = (branch, wrong_dir);
+
+        // --- Kill exactness: SUT selector vs reference ancestry, for every
+        // structure, compared *before* anything is removed. ---
+
+        // Paths: the TagIndex mask is the SUT's wrong-path set.
+        let sut_path_mask = match self.mutation {
+            Mutation::KillIgnoresDirection => self.index.holding_position(kill.pos),
+            _ => self.index.killed_by(&kill),
+        };
+        let ref_path_mask = self
+            .paths
+            .iter()
+            .filter(|p| p.ancestry.contains(&wrong))
+            .fold(0u64, |m, p| m | 1 << p.slot);
+        if sut_path_mask != ref_path_mask {
+            return Err(Breakage {
+                invariant: "kill-paths",
+                message: format!(
+                    "resolving b{branch} actual {actual}: TagIndex kill mask {sut_path_mask:#x} \
+                     != reference wrong-path set {ref_path_mask:#x}"
+                ),
+            });
+        }
+
+        // Branch records (lazy snapshots, like window entries).
+        for other in &self.branches {
+            if other.uid == branch {
+                continue;
+            }
+            let sut = self.sut_lazy_match(&kill, &other.snapshot, other.born);
+            let reference = other.ancestry.contains(&wrong);
+            if sut != reference {
+                return Err(Breakage {
+                    invariant: "kill-branches",
+                    message: format!(
+                        "resolving b{branch} actual {actual}: branch b{} snapshot {} born {} \
+                         matched={sut} but reference wrong-path membership={reference}",
+                        other.uid, other.snapshot, other.born
+                    ),
+                });
+            }
+        }
+
+        // Lazy entries (free-epoch filtered): a stale alias from a reused
+        // position must never match.
+        for e in &self.lazy {
+            let sut = self.sut_lazy_match(&kill, &e.tag, e.born);
+            let reference = e.ancestry.contains(&wrong);
+            if sut != reference {
+                return Err(Breakage {
+                    invariant: "kill-lazy",
+                    message: format!(
+                        "resolving b{branch} actual {actual}: lazy e{} tag {} born {} \
+                         matched={sut} but reference wrong-path membership={reference}",
+                        e.uid, e.tag, e.born
+                    ),
+                });
+            }
+        }
+
+        // Eager entries (no epochs needed: they receive every broadcast).
+        for g in &self.eager {
+            let sut = self.sut_eager_match(&kill, &g.tag);
+            let reference = g.ancestry.contains(&wrong);
+            if sut != reference {
+                return Err(Breakage {
+                    invariant: "kill-eager",
+                    message: format!(
+                        "resolving b{branch} actual {actual}: eager g{} tag {} \
+                         matched={sut} but reference wrong-path membership={reference}",
+                        g.uid, g.tag
+                    ),
+                });
+            }
+        }
+
+        // --- Apply the (verified) kill. ---
+        let killed_paths: Vec<usize> = (0..self.paths.len())
+            .rev()
+            .filter(|i| ref_path_mask & (1 << self.paths[*i].slot) != 0)
+            .collect();
+        for i in killed_paths {
+            let p = self.paths.remove(i);
+            self.index.remove(p.slot, &p.tag);
+        }
+        let killed_branches: Vec<usize> = (0..self.branches.len())
+            .rev()
+            .filter(|i| self.branches[*i].ancestry.contains(&wrong))
+            .collect();
+        for i in killed_branches {
+            let dead = self.branches.remove(i).expect("index in range");
+            self.alloc.free(dead.pos);
+        }
+        self.lazy.retain(|e| !e.ancestry.contains(&wrong));
+        self.eager.retain(|g| !g.ancestry.contains(&wrong));
+
+        // --- Record the outcome; create the recovery path on a mispredict
+        // with no surviving alternate. ---
+        let bi = self
+            .branches
+            .iter()
+            .position(|x| x.uid == branch)
+            .expect("the resolving branch never matches its own kill");
+        self.branches[bi].resolved = Some(actual);
+        if actual != b.predicted {
+            let alt_alive = b
+                .forked_alt
+                .is_some_and(|alt| self.paths.iter().any(|p| p.uid == alt));
+            if !alt_alive {
+                let Some(slot) = self.free_slot() else {
+                    // The whole path table is occupied by paths that do not
+                    // carry this branch's position — recovery must stall.
+                    // (Partially-advanced state; callers applied on a clone.)
+                    return Ok(false);
+                };
+                // The simulator's recovery: scrub the parent snapshot (its
+                // stale bits date from before the branch) and extend with
+                // the actual direction.
+                let tag = self
+                    .alloc
+                    .scrub(b.snapshot, b.born)
+                    .with_position(b.pos, actual);
+                self.index.insert(slot, &tag);
+                let mut ancestry: BTreeSet<Decision> = b
+                    .ancestry
+                    .iter()
+                    .filter(|d| self.branches.iter().any(|x| x.uid == d.0))
+                    .copied()
+                    .collect();
+                ancestry.insert((branch, actual));
+                self.paths.push(Path {
+                    uid: recovery,
+                    slot,
+                    tag,
+                    ancestry,
+                });
+                self.bump_uid(recovery);
+            }
+        }
+        Ok(true)
+    }
+
+    fn apply_commit(&mut self, branch: Uid) -> bool {
+        let Some(front) = self.branches.front() else {
+            return false;
+        };
+        if front.uid != branch || front.resolved.is_none() {
+            return false;
+        }
+        let b = self.branches.pop_front().expect("front exists");
+        // The commit-time invalidation broadcast: every eager structure
+        // drops the position. (The mutation hook skips it.)
+        if self.mutation != Mutation::SkipCommitBroadcast {
+            for p in &mut self.paths {
+                p.tag.invalidate(b.pos);
+            }
+            self.index.invalidate_position(b.pos);
+            for g in &mut self.eager {
+                g.tag.invalidate(b.pos);
+            }
+        }
+        self.alloc.free(b.pos);
+        // Reference: a committed decision stops distinguishing anything
+        // live — every survivor is on the winning side.
+        for p in &mut self.paths {
+            p.ancestry.retain(|d| d.0 != b.uid);
+        }
+        for e in &mut self.lazy {
+            e.ancestry.retain(|d| d.0 != b.uid);
+        }
+        for g in &mut self.eager {
+            g.ancestry.retain(|d| d.0 != b.uid);
+        }
+        for x in &mut self.branches {
+            x.ancestry.retain(|d| d.0 != b.uid);
+        }
+        true
+    }
+
+    /// Check every state invariant, returning the first breakage.
+    ///
+    /// The names are stable so tests can assert *which* invariant a
+    /// seeded mutation breaks.
+    pub fn check_invariants(&self) -> Option<Breakage> {
+        // I5: the allocator's live set is exactly the in-flight branches'
+        // positions, all distinct.
+        let mut mask: u128 = 0;
+        for b in &self.branches {
+            let bit = 1u128 << b.pos;
+            if mask & bit != 0 {
+                return Some(Breakage {
+                    invariant: "allocator",
+                    message: format!("two live branches share position {}", b.pos),
+                });
+            }
+            mask |= bit;
+        }
+        if mask != self.alloc.live_mask() {
+            return Some(Breakage {
+                invariant: "allocator",
+                message: format!(
+                    "allocator live mask {:#x} != in-flight branch positions {mask:#x}",
+                    self.alloc.live_mask()
+                ),
+            });
+        }
+
+        // I1: each path's eager tag is exactly the tag its live ancestry
+        // implies, and the hierarchy comparator equals set containment
+        // for every ordered pair.
+        for p in &self.paths {
+            match self.tag_from(&p.ancestry) {
+                Some(want) if want == p.tag => {}
+                want => {
+                    return Some(Breakage {
+                        invariant: "path-tag",
+                        message: format!(
+                            "path p{} tag {} != ancestry-implied {:?}",
+                            p.uid, p.tag, want
+                        ),
+                    });
+                }
+            }
+        }
+        for p in &self.paths {
+            for q in &self.paths {
+                let sut = p.tag.is_descendant_or_equal(&q.tag);
+                let reference = p.ancestry.is_superset(&q.ancestry);
+                if sut != reference {
+                    return Some(Breakage {
+                        invariant: "path-hierarchy",
+                        message: format!(
+                            "p{} {} vs p{} {}: is_descendant_or_equal={sut} \
+                             but ancestry containment={reference}",
+                            p.uid, p.tag, q.uid, q.tag
+                        ),
+                    });
+                }
+            }
+        }
+
+        // I2: the incrementally-maintained TagIndex equals a rebuild, and
+        // descendants_of equals the naive ancestry sweep.
+        if let Some(msg) = self
+            .index
+            .verify_against(self.paths.iter().map(|p| (p.slot, &p.tag)))
+        {
+            return Some(Breakage {
+                invariant: "tag-index",
+                message: msg,
+            });
+        }
+        for p in &self.paths {
+            let sut = self.index.descendants_of(&p.tag);
+            let reference = self
+                .paths
+                .iter()
+                .filter(|q| q.ancestry.is_superset(&p.ancestry))
+                .fold(0u64, |m, q| m | 1 << q.slot);
+            if sut != reference {
+                return Some(Breakage {
+                    invariant: "descendants",
+                    message: format!(
+                        "descendants_of(p{} {}) = {sut:#x} != reference sweep {reference:#x}",
+                        p.uid, p.tag
+                    ),
+                });
+            }
+        }
+
+        // I4: scrub reduces every lazy snapshot to its live-ancestry tag;
+        // effectively_root agrees with ancestry emptiness.
+        let lazies = self
+            .lazy
+            .iter()
+            .map(|e| (e.uid, "lazy e", &e.tag, e.born, &e.ancestry))
+            .chain(
+                self.branches
+                    .iter()
+                    .map(|b| (b.uid, "branch b", &b.snapshot, b.born, &b.ancestry)),
+            );
+        for (uid, kind, tag, born, ancestry) in lazies {
+            let scrubbed = self.alloc.scrub(*tag, born);
+            match self.tag_from(ancestry) {
+                Some(want) if want == scrubbed => {}
+                want => {
+                    return Some(Breakage {
+                        invariant: "lazy-scrub",
+                        message: format!(
+                            "{kind}{uid} snapshot {tag} born {born}: scrub gave {scrubbed} \
+                             but live ancestry implies {want:?}"
+                        ),
+                    });
+                }
+            }
+            let sut_root = self.alloc.effectively_root(tag, born);
+            if sut_root != ancestry.is_empty() {
+                return Some(Breakage {
+                    invariant: "effectively-root",
+                    message: format!(
+                        "{kind}{uid} snapshot {tag} born {born}: effectively_root={sut_root} \
+                         but ancestry empty={}",
+                        ancestry.is_empty()
+                    ),
+                });
+            }
+        }
+
+        // I6: eager entries (scrubbed on insert, broadcast-maintained)
+        // hold exactly their live-ancestry tag.
+        for g in &self.eager {
+            match self.tag_from(&g.ancestry) {
+                Some(want) if want == g.tag => {}
+                want => {
+                    return Some(Breakage {
+                        invariant: "eager-tag",
+                        message: format!(
+                            "eager g{} tag {} != ancestry-implied {:?}",
+                            g.uid, g.tag, want
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// A canonical, uid- and tick-renamed serialization of the state for
+    /// the explorer's visited set. Two states with the same key behave
+    /// identically under all future actions:
+    ///
+    /// * epoch ticks only ever influence the protocol through order
+    ///   comparisons (`free_tick ⋚ born`), so the multiset of tick
+    ///   values is rank-compressed;
+    /// * branch uids are renamed to fetch order; entity uids beyond
+    ///   that never influence behaviour and are dropped.
+    pub fn canonical_key(&self) -> Vec<u8> {
+        let mut ticks: Vec<u64> = (0..self.scope.positions)
+            .map(|p| self.alloc.last_free_tick(p))
+            .chain(self.branches.iter().map(|b| b.born))
+            .chain(self.lazy.iter().map(|e| e.born))
+            .collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        let rank = |t: u64| ticks.binary_search(&t).expect("collected above") as u8;
+        let order: BTreeMap<Uid, u8> = self
+            .branches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.uid, i as u8))
+            .collect();
+        let enc_set = |out: &mut Vec<u8>, s: &BTreeSet<Decision>| {
+            out.push(s.len() as u8);
+            for (b, d) in s {
+                out.push(order[b]);
+                out.push(*d as u8);
+            }
+        };
+        let enc_tag = |out: &mut Vec<u8>, tag: &CtxTag| {
+            for pos in 0..self.scope.positions {
+                out.push(match tag.position(pos) {
+                    None => 0,
+                    Some(false) => 1,
+                    Some(true) => 2,
+                });
+            }
+        };
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&self.alloc.live_mask().to_le_bytes()[..2]);
+        out.push(self.alloc.cursor() as u8);
+        for p in 0..self.scope.positions {
+            out.push(rank(self.alloc.last_free_tick(p)));
+        }
+        out.push(self.branches.len() as u8);
+        for b in &self.branches {
+            out.push(b.pos as u8);
+            out.push(b.predicted as u8);
+            out.push(match b.resolved {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+            enc_tag(&mut out, &b.snapshot);
+            out.push(rank(b.born));
+            enc_set(&mut out, &b.ancestry);
+            // Only a *live* alternate influences future behaviour.
+            let alt_slot = b
+                .forked_alt
+                .and_then(|alt| self.paths.iter().find(|p| p.uid == alt))
+                .map(|p| p.slot as u8);
+            out.push(alt_slot.map_or(255, |s| s));
+        }
+        let mut path_enc: Vec<Vec<u8>> = self
+            .paths
+            .iter()
+            .map(|p| {
+                let mut e = vec![p.slot as u8];
+                enc_tag(&mut e, &p.tag);
+                enc_set(&mut e, &p.ancestry);
+                e
+            })
+            .collect();
+        path_enc.sort();
+        out.push(path_enc.len() as u8);
+        out.extend(path_enc.into_iter().flatten());
+        let mut lazy_enc: Vec<Vec<u8>> = self
+            .lazy
+            .iter()
+            .map(|e| {
+                let mut v = Vec::new();
+                enc_tag(&mut v, &e.tag);
+                v.push(rank(e.born));
+                enc_set(&mut v, &e.ancestry);
+                v
+            })
+            .collect();
+        lazy_enc.sort();
+        out.push(lazy_enc.len() as u8);
+        out.extend(lazy_enc.into_iter().flatten());
+        let mut eager_enc: Vec<Vec<u8>> = self
+            .eager
+            .iter()
+            .map(|g| {
+                let mut v = Vec::new();
+                enc_tag(&mut v, &g.tag);
+                enc_set(&mut v, &g.ancestry);
+                v
+            })
+            .collect();
+        eager_enc.sort();
+        out.push(eager_enc.len() as u8);
+        out.extend(eager_enc.into_iter().flatten());
+        out
+    }
+}

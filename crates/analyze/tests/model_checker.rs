@@ -1,0 +1,170 @@
+//! Acceptance tests for the CTX-protocol model checker (ISSUE 5): the
+//! configured small scope is enumerated exhaustively with zero
+//! violations, and every deliberately seeded protocol mutation is
+//! caught with a minimal counterexample trace.
+
+use pp_analyze::{check, replay, Mutation, Scope};
+
+/// The scope tests run at. Debug builds explore one level less deep so
+/// the tier-1 suite stays fast; CI's `analyze` job additionally runs
+/// the release binary at the full default scope (depth 9).
+fn test_scope() -> Scope {
+    Scope {
+        depth: if cfg!(debug_assertions) { 6 } else { 8 },
+        ..Scope::default()
+    }
+}
+
+/// Scope used for mutation hunts: deep enough (7 actions) for the
+/// wrap-around stale-alias scenario that `ignore-epoch-staleness`
+/// needs. BFS stops at the first violation, so these stay fast even in
+/// debug builds.
+fn mutation_scope() -> Scope {
+    Scope {
+        depth: 8,
+        ..Scope::default()
+    }
+}
+
+#[test]
+fn exhaustive_small_scope_is_clean_and_counts_states() {
+    let scope = test_scope();
+    let report = check(scope, Mutation::None);
+    println!("{}", report.summary(scope, Mutation::None));
+    assert!(
+        report.violation.is_none(),
+        "CTX protocol violated: {:#?}",
+        report.violation
+    );
+    // Exhaustiveness is only meaningful if the scope is non-trivial:
+    // tens of thousands of distinct protocol states even at the
+    // shallower debug depth.
+    let floor = if cfg!(debug_assertions) {
+        50_000
+    } else {
+        500_000
+    };
+    assert!(
+        report.states > floor,
+        "suspiciously small state space: {} states",
+        report.states
+    );
+    assert!(report.transitions > report.states, "BFS under-explored");
+    assert_eq!(report.max_depth, scope.depth, "depth bound never reached");
+}
+
+#[test]
+fn checker_is_deterministic() {
+    let scope = Scope {
+        depth: 5,
+        ..Scope::default()
+    };
+    let a = check(scope, Mutation::None);
+    let b = check(scope, Mutation::None);
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.transitions, b.transitions);
+    assert!(a.violation.is_none() && b.violation.is_none());
+}
+
+#[test]
+fn seeded_epoch_staleness_mutation_is_caught_with_minimal_trace() {
+    // The ISSUE's flagship mutation: dropping the free-epoch staleness
+    // filter lets a resolution kill match a *stale alias* — a lazy
+    // snapshot whose (position, direction) bits come from a previous
+    // allocation of a since-reused position. The checker must catch it
+    // and shrink the counterexample to a 1-minimal trace.
+    let scope = mutation_scope();
+    let report = check(scope, Mutation::IgnoreEpochStaleness);
+    let v = report
+        .violation
+        .expect("dropping the epoch filter must violate kill exactness");
+    assert!(
+        v.invariant.starts_with("kill-"),
+        "expected a kill-exactness violation, got {}: {}",
+        v.invariant,
+        v.message
+    );
+    assert!(
+        v.message.contains("matched=true") && v.message.contains("membership=false"),
+        "the violation must be a spurious kill (stale alias), got: {}",
+        v.message
+    );
+    // The scenario needs at least: fill the position space, commit to
+    // free a position, refetch to reuse it, resolve — 7 actions.
+    assert!(
+        (5..=8).contains(&v.trace.len()),
+        "trace not minimal: {} actions",
+        v.trace.len()
+    );
+    // Independent reproduction from the initial state.
+    let again = replay(scope, Mutation::IgnoreEpochStaleness, &v.trace)
+        .expect("minimal trace must reproduce the violation");
+    assert_eq!(again.invariant, v.invariant);
+    // 1-minimality: deleting any single action loses the violation.
+    for skip in 0..v.trace.len() {
+        let mut shorter = v.trace.clone();
+        shorter.remove(skip);
+        assert!(
+            replay(scope, Mutation::IgnoreEpochStaleness, &shorter).is_none(),
+            "trace not 1-minimal: still fails without action {}",
+            skip + 1
+        );
+    }
+    // The faithful protocol replays the same trace cleanly: the
+    // violation is the mutation's fault, not the trace's.
+    assert!(replay(scope, Mutation::None, &v.trace).is_none());
+}
+
+#[test]
+fn all_seeded_mutations_are_caught() {
+    for mutation in Mutation::ALL {
+        let scope = mutation_scope();
+        let report = check(scope, mutation);
+        let v = report
+            .violation
+            .unwrap_or_else(|| panic!("mutation {} escaped the checker", mutation.name()));
+        assert!(!v.trace.is_empty(), "{}: empty trace", mutation.name());
+        let again = replay(scope, mutation, &v.trace)
+            .unwrap_or_else(|| panic!("{}: minimal trace does not reproduce", mutation.name()));
+        assert_eq!(again.invariant, v.invariant, "{}", mutation.name());
+        assert!(
+            replay(scope, Mutation::None, &v.trace).is_none(),
+            "{}: trace fails even without the mutation",
+            mutation.name()
+        );
+    }
+}
+
+#[test]
+fn expected_minimal_traces_per_mutation() {
+    // Pin the *shape* of each counterexample so a checker regression
+    // that merely finds a longer or different bug is visible.
+    let scope = mutation_scope();
+    let cases = [
+        // Stale alias needs wrap-around reuse: 7 actions.
+        (Mutation::IgnoreEpochStaleness, 7, "kill-"),
+        // A skipped commit broadcast shows up as soon as one branch
+        // commits: fetch, resolve, commit.
+        (Mutation::SkipCommitBroadcast, 3, "path-tag"),
+        // Direction-blind kills hit the surviving side at the first
+        // resolution.
+        (Mutation::KillIgnoresDirection, 2, "kill-paths"),
+    ];
+    for (mutation, expect_len, invariant_prefix) in cases {
+        let v = check(scope, mutation).violation.expect("must be caught");
+        assert_eq!(
+            v.trace.len(),
+            expect_len,
+            "{}: trace {:#?}",
+            mutation.name(),
+            v.trace
+        );
+        assert!(
+            v.invariant.starts_with(invariant_prefix),
+            "{}: violated {} ({})",
+            mutation.name(),
+            v.invariant,
+            v.message
+        );
+    }
+}

@@ -393,7 +393,7 @@ mod tests {
         oracle.check(&s);
         match oracle.failure() {
             Some(CheckFailure::Divergence(d)) => {
-                assert_eq!(d.kind, DivergenceKind::StoreValue)
+                assert_eq!(d.kind, DivergenceKind::StoreValue);
             }
             other => panic!("expected divergence, got {other:?}"),
         }

@@ -191,7 +191,7 @@ impl FrontEnd {
     /// stale leftover bits, so there is no commit-time broadcast over the
     /// queue at all.
     pub fn kill_matching(&mut self, kill: &ResolutionKill, mut on_kill: impl FnMut(&FetchedInst)) {
-        for inst in self.queue.iter_mut() {
+        for inst in &mut self.queue {
             if !inst.killed && kill.matches(&inst.ctx, inst.born) {
                 inst.killed = true;
                 on_kill(inst);

@@ -297,7 +297,7 @@ impl PipeView {
             } else {
                 "  "
             };
-            let opstr = lane.op.map(|o| o.to_string()).unwrap_or_else(|| "?".into());
+            let opstr = lane.op.map_or_else(|| "?".into(), |o| o.to_string());
             let _ = writeln!(
                 out,
                 "{:>6} {:>5} {mark} |{}| {opstr}",

@@ -10,6 +10,38 @@
 
 use std::time::Duration;
 
+/// An opaque monotonic host timestamp.
+///
+/// This is the *only* way the simulator reads the host clock: every
+/// `Instant::now()` in `pp-core` lives in this module, behind
+/// [`stamp`], so the determinism lint (`pp-analyze lint`, rule L3) can
+/// statically guarantee that host time never leaks into simulation
+/// results — timestamps are taken only when self-profiling is enabled
+/// and flow only into [`HostProfile`], never into `SimStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp(std::time::Instant);
+
+/// Read the host's monotonic clock (see [`Stamp`]).
+pub(crate) fn stamp() -> Stamp {
+    Stamp(std::time::Instant::now())
+}
+
+impl Stamp {
+    /// Host time elapsed since this stamp was taken.
+    pub(crate) fn elapsed(self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+impl std::ops::Sub for Stamp {
+    type Output = Duration;
+
+    /// `later - earlier`: the host time between two stamps.
+    fn sub(self, earlier: Stamp) -> Duration {
+        self.0.duration_since(earlier.0)
+    }
+}
+
 /// Accumulated host-time breakdown of a simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HostProfile {

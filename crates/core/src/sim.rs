@@ -27,7 +27,7 @@ use crate::fus::{self, FuClass, FuPool};
 use crate::observer::{CommitRecord, CycleSample, FetchId, KillStage, PipeEvent, PipelineObserver};
 use crate::oracle::Oracle;
 use crate::regfile::{PhysReg, PhysRegFile, RegMap};
-use crate::selfprof::HostProfile;
+use crate::selfprof::{self, HostProfile};
 use crate::stats::SimStats;
 use crate::storebuf::{LoadCheck, StoreBuffer};
 use crate::window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};
@@ -298,7 +298,9 @@ impl Simulator {
     /// legal steady state — or if co-simulation checking is enabled and a
     /// committed instruction deviates from the functional emulator.
     pub fn run(&mut self) -> SimStats {
-        let run_start = std::time::Instant::now();
+        // Host time is read only when self-profiling asks for it; results
+        // never depend on it (pinned by `self_profiling_is_invisible_to_stats`).
+        let run_start = self.selfprof.as_ref().map(|_| selfprof::stamp());
         while !self.halted {
             if self.now >= self.cfg.max_cycles {
                 self.stats.hit_cycle_limit = true;
@@ -318,7 +320,9 @@ impl Simulator {
         }
         self.stats.cycles = self.now;
         if let Some(p) = &mut self.selfprof {
-            p.wall += run_start.elapsed();
+            p.wall += run_start
+                .expect("stamped at entry when profiling")
+                .elapsed();
             p.cycles = self.now;
             p.committed = self.stats.committed_instructions;
         }
@@ -339,20 +343,19 @@ impl Simulator {
                 self.do_fetch();
             }
         } else {
-            use std::time::Instant;
-            let t0 = Instant::now();
+            let t0 = selfprof::stamp();
             self.do_commit();
-            let t1 = Instant::now();
+            let t1 = selfprof::stamp();
             let (mut t2, mut t3, mut t4, mut t5) = (t1, t1, t1, t1);
             if !self.halted {
                 self.do_writeback_and_resolve();
-                t2 = Instant::now();
+                t2 = selfprof::stamp();
                 self.do_issue();
-                t3 = Instant::now();
+                t3 = selfprof::stamp();
                 self.do_dispatch();
-                t4 = Instant::now();
+                t4 = selfprof::stamp();
                 self.do_fetch();
-                t5 = Instant::now();
+                t5 = selfprof::stamp();
             }
             let p = self.selfprof.as_mut().expect("checked above");
             p.commit += t1 - t0;
@@ -855,7 +858,7 @@ impl Simulator {
                 e.srcs.iter().flatten().all(|&p| regfile.is_ready(p)),
                 "issue candidate with a not-ready operand"
             );
-            let read = |slot: Option<PhysReg>| slot.map(|p| regfile.read(p)).unwrap_or(0);
+            let read = |slot: Option<PhysReg>| slot.map_or(0, |p| regfile.read(p));
             let class = e.op.class();
             let mut extra_latency = 0u64;
 

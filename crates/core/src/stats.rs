@@ -463,7 +463,7 @@ impl<'a> JsonCursor<'a> {
         while self
             .bytes
             .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
+            .is_some_and(u8::is_ascii_whitespace)
         {
             self.pos += 1;
         }
@@ -504,7 +504,7 @@ impl<'a> JsonCursor<'a> {
     fn u64(&mut self) -> Result<u64, String> {
         self.skip_ws();
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.pos += 1;
         }
         if start == self.pos {

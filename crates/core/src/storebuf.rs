@@ -131,7 +131,7 @@ impl StoreBuffer {
         width: Width,
     ) -> LoadCheck {
         let mut forward: Option<i64> = None;
-        for e in self.entries.iter() {
+        for e in &self.entries {
             if e.seq >= load_seq {
                 // Entries are in program order (insert asserts it): nothing
                 // further back can be older than the load.
@@ -229,7 +229,7 @@ impl StoreBuffer {
     /// Resolution bus: kill stores on the wrong path. Tags here are eager,
     /// so the single `(position, direction)` pair test suffices.
     pub fn kill_matching(&mut self, kill: &ResolutionKill) {
-        for e in self.entries.iter_mut() {
+        for e in &mut self.entries {
             if !e.killed && kill.matches_eager(&e.ctx) {
                 e.killed = true;
                 self.live -= 1;
@@ -239,7 +239,7 @@ impl StoreBuffer {
 
     /// Commit bus: invalidate a history position in every live tag.
     pub fn invalidate_position(&mut self, pos: usize) {
-        for e in self.entries.iter_mut() {
+        for e in &mut self.entries {
             if !e.killed {
                 e.ctx.invalidate(pos);
             }

@@ -873,3 +873,29 @@ fn byte_store_forwarded_to_byte_load_is_narrowed() {
         );
     }
 }
+
+#[test]
+fn self_profiling_is_invisible_to_stats() {
+    // Determinism guarantee behind the pp-sweep result cache: host-clock
+    // reads exist in pp-core only for self-profiling (`selfprof::stamp`),
+    // and their values must never leak into simulation results. Run the
+    // same workload with and without profiling and demand bit-identical
+    // SimStats across every mode.
+    let p = random_branch_program(600);
+    for (name, cfg) in all_modes() {
+        let plain = Simulator::new(&p, cfg.clone()).run();
+        let mut profiled_sim = Simulator::new(&p, cfg);
+        profiled_sim.enable_self_profiling();
+        let profiled = profiled_sim.run();
+        assert_eq!(
+            plain, profiled,
+            "{name}: enabling self-profiling changed SimStats"
+        );
+        let host = profiled_sim.host_profile().expect("profiling was enabled");
+        assert_eq!(host.cycles, profiled.cycles, "{name}: profile cycle count");
+        assert_eq!(
+            host.committed, profiled.committed_instructions,
+            "{name}: profile commit count"
+        );
+    }
+}

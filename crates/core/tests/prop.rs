@@ -232,7 +232,7 @@ fn ras_matches_vec_model() {
 #[test]
 fn regfile_conserves_registers() {
     cases(256, |rng| {
-        let ops = rng.vec_of(0..300, |r| r.flip());
+        let ops = rng.vec_of(0..300, pp_testutil::Rng::flip);
         let mut f = PhysRegFile::new(128);
         let initial_free = f.free_count();
         let mut live = Vec::new();

@@ -11,9 +11,18 @@ use crate::tag::{CtxTag, MAX_POSITIONS};
 /// reuses history positions as they are vacated by committing branches."
 ///
 /// A position is allocated when a branch is fetched and freed when that
-/// branch commits (or is killed on a mis-speculated path). When all
-/// positions are live the front-end must stall — the paper notes the same
-/// limit for RegMap checkpoints.
+/// branch commits (or is killed on a mis-speculated path).
+///
+/// # Exhaustion behaviour
+///
+/// When every position is live, [`allocate`](Self::allocate) returns
+/// `None` — exhaustion is a *stall*, never an error. The front-end keeps
+/// the branch in the fetch latch and retries next cycle (the simulator
+/// counts these as `fetch_stall_no_ctx`); the paper notes the same limit
+/// for RegMap checkpoints. Forward progress is guaranteed because the
+/// oldest in-flight branch eventually resolves and commits (or is killed),
+/// which frees its position. The allocator never panics on exhaustion and
+/// repeated `allocate` calls while full are side-effect-free.
 ///
 /// ```
 /// use pp_ctx::PositionAllocator;
@@ -123,6 +132,24 @@ impl PositionAllocator {
     /// is genuine as long as `last_free_tick(pos) <= stamp`.
     pub fn current_tick(&self) -> u64 {
         self.tick
+    }
+
+    /// The position the next [`allocate`](Self::allocate) will try first.
+    ///
+    /// Introspection hook for exhaustive checking (`pp-analyze`): two
+    /// allocators with the same live set but different cursors assign
+    /// future positions differently, so the cursor is part of any faithful
+    /// canonical state.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Bitmask of live positions (bit `p` set iff `p` is allocated).
+    ///
+    /// Introspection hook for exhaustive checking and sanitizers; prefer
+    /// [`is_live`](Self::is_live) for single-position queries.
+    pub fn live_mask(&self) -> u128 {
+        self.in_use
     }
 
     /// Epoch at which `pos` was last freed (0 if never freed).
@@ -247,6 +274,33 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = PositionAllocator::new(0);
+    }
+
+    #[test]
+    fn position_exhaustion_stalls_and_recovers() {
+        // Exhaustion contract (see the type docs): when every history
+        // position is held by an uncommitted branch, `allocate` reports a
+        // stall with `None` — it must not panic, must not corrupt the
+        // live set, and must stay repeatable — and the very next free
+        // makes allocation succeed again at the freed position.
+        let mut a = PositionAllocator::new(4);
+        for i in 0..4 {
+            assert_eq!(a.allocate(), Some(i));
+        }
+        assert!(a.is_full());
+        let cursor_at_full = a.cursor();
+        for _ in 0..3 {
+            assert_eq!(a.allocate(), None, "exhaustion is a stall, not an error");
+        }
+        // Stalled allocations are side-effect-free.
+        assert_eq!(a.live(), 4);
+        assert_eq!(a.cursor(), cursor_at_full);
+        assert_eq!(a.live_mask(), 0b1111);
+        // One commit (free) un-stalls the front-end.
+        a.free(2);
+        assert!(!a.is_full());
+        assert_eq!(a.allocate(), Some(2));
+        assert_eq!(a.allocate(), None, "full again");
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl<T> PathTable<T> {
 
     /// Allocate a slot for a new path, or `None` when the table is full.
     pub fn allocate(&mut self, payload: T) -> Option<PathId> {
-        let idx = self.slots.iter().position(|s| s.is_none())?;
+        let idx = self.slots.iter().position(std::option::Option::is_none)?;
         self.slots[idx] = Some(payload);
         self.live += 1;
         let id = PathId(idx as u32);

@@ -108,7 +108,7 @@ fn invalidate_removes_position_only() {
 fn allocator_conservation() {
     cases(256, |rng| {
         let capacity = rng.in_range(1..MAX_POSITIONS + 1);
-        let ops = rng.vec_of(0..200, |r| r.flip());
+        let ops = rng.vec_of(0..200, pp_testutil::Rng::flip);
         let mut alloc = PositionAllocator::new(capacity);
         let mut live: Vec<usize> = Vec::new();
         for do_alloc in ops {

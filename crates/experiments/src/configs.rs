@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         let labels: std::collections::HashSet<&str> =
-            CONFIG_ORDER.iter().map(|c| c.label()).collect();
+            CONFIG_ORDER.iter().map(super::Config::label).collect();
         assert_eq!(labels.len(), CONFIG_ORDER.len());
     }
 

@@ -26,8 +26,7 @@ pub use pp_sweep::{scale_factor, scaled};
 /// Worker thread count: one per available core, capped at the job count.
 pub fn parallelism(jobs: usize) -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(jobs)
         .max(1)
 }
@@ -386,7 +385,11 @@ mod tests {
 
     #[test]
     fn telemetry_opts_parse_all_forms() {
-        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        };
 
         let (o, rest) = TelemetryOpts::parse(args(&["results"]));
         assert!(!o.enabled());

@@ -950,8 +950,8 @@ impl Experiment for InputSensitivityExp {
         let mono = named_config(Config::Monopath, 14);
         let see = named_config(Config::SeeJrs, 14);
         let mut cells = Vec::new();
-        for &w in Workload::ALL.iter() {
-            for &seed in SENSITIVITY_SEEDS.iter() {
+        for &w in &Workload::ALL {
+            for &seed in &SENSITIVITY_SEEDS {
                 cells.push(SweepCell::new(w, mono.clone()).with_seed(seed));
                 cells.push(SweepCell::new(w, see.clone()).with_seed(seed));
             }
@@ -1356,8 +1356,12 @@ mod tests {
         let a = Fig8Exp.grid();
         let b = Sec51Exp.grid();
         assert_eq!(
-            a.iter().map(|c| c.fingerprint()).collect::<Vec<_>>(),
-            b.iter().map(|c| c.fingerprint()).collect::<Vec<_>>()
+            a.iter()
+                .map(pp_sweep::SweepCell::fingerprint)
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(pp_sweep::SweepCell::fingerprint)
+                .collect::<Vec<_>>()
         );
         assert_eq!(
             Fig9Exp.grid().len(),

@@ -552,7 +552,7 @@ mod tests {
 
     #[test]
     fn step_after_halt_is_idempotent() {
-        let p = assemble(|a| a.halt());
+        let p = assemble(pp_isa::Asm::halt);
         let mut e = Emulator::new(&p);
         let ev1 = e.step().unwrap();
         assert!(ev1.halted);

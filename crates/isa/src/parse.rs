@@ -107,9 +107,8 @@ fn parse_mem(s: &str, line: usize) -> Result<(Reg, i64), ParseError> {
             None => return err(line, format!("bad offset in `{s}`")),
         }
     };
-    let base = match parse_reg(&s[open + 1..s.len() - 1]) {
-        Some(r) => r,
-        None => return err(line, format!("bad base register in `{s}`")),
+    let Some(base) = parse_reg(&s[open + 1..s.len() - 1]) else {
+        return err(line, format!("bad base register in `{s}`"));
     };
     Ok((base, offset))
 }
@@ -172,7 +171,7 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
         // Data directives.
         if let Some(rest) = text.strip_prefix(".word") {
             let mut parts = rest.split(',');
-            let name = parts.next().map(str::trim).unwrap_or("");
+            let name = parts.next().map_or("", str::trim);
             if name.is_empty() {
                 return err(line, ".word needs a name and values");
             }
@@ -189,7 +188,7 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
         }
         if let Some(rest) = text.strip_prefix(".zero") {
             let mut parts = rest.split(',');
-            let name = parts.next().map(str::trim).unwrap_or("");
+            let name = parts.next().map_or("", str::trim);
             let count = parts.next().and_then(parse_imm).unwrap_or(-1);
             if name.is_empty() || count < 0 {
                 return err(line, ".zero needs a name and a word count");

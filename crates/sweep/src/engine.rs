@@ -92,9 +92,7 @@ impl SweepEngine {
         if self.workers > 0 {
             return self.workers;
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 
     /// Run the grid. Never panics on a failing cell: each failure is a
@@ -185,8 +183,7 @@ impl SweepEngine {
                 let eta = elapsed / done as f64 * (total_to_run - done) as f64;
                 let kips = result
                     .kips()
-                    .map(|k| format!("{k:.0} KIPS"))
-                    .unwrap_or_else(|| "-".to_string());
+                    .map_or_else(|| "-".to_string(), |k| format!("{k:.0} KIPS"));
                 eprintln!(
                     "[sweep] {done}/{total_to_run} {} [{}] {:.2}s {kips} eta {eta:.0}s",
                     cell.label(),
@@ -288,7 +285,7 @@ impl SweepReport {
 
     /// `true` when every submitted cell completed.
     pub fn all_completed(&self) -> bool {
-        self.results.iter().all(|r| r.is_some())
+        self.results.iter().all(std::option::Option::is_some)
     }
 
     /// One-line human summary.

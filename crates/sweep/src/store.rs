@@ -117,10 +117,10 @@ impl ResultStore {
             return 0;
         };
         shards
-            .filter_map(|d| d.ok())
+            .filter_map(std::result::Result::ok)
             .filter_map(|d| std::fs::read_dir(d.path()).ok())
             .flatten()
-            .filter_map(|f| f.ok())
+            .filter_map(std::result::Result::ok)
             .filter(|f| f.path().extension().is_some_and(|e| e == "cell"))
             .count()
     }

@@ -227,7 +227,7 @@ mod tests {
     fn vec_of_respects_len_range() {
         let mut r = Rng::new(11);
         for _ in 0..100 {
-            let v = r.vec_of(2..7, |r| r.flip());
+            let v = r.vec_of(2..7, super::Rng::flip);
             assert!((2..7).contains(&v.len()));
         }
     }

@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn names_and_order_match_table1() {
-        let names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+        let names: Vec<&str> = Workload::ALL.iter().map(super::Workload::name).collect();
         assert_eq!(
             names,
             vec!["compress", "gcc", "perl", "go", "m88ksim", "xlisp", "vortex", "jpeg"]
