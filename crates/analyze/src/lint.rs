@@ -9,10 +9,11 @@
 //!   code. Documented invariant `expect`s are allowlisted individually,
 //!   with their message as the matching key, so a *new* panic site fails
 //!   the build until it is justified.
-//! * **L2-stats-encapsulation** — `SimStats` fields are mutated only
-//!   where the observer hook can see them: inside `sim.rs` (the
-//!   producer) and `stats.rs` (the type). Field names are parsed from
-//!   `stats.rs`, so the rule tracks the struct automatically.
+//! * **L2-stats-encapsulation** — counter structs the simulator owns
+//!   ([`ENCAPSULATED_COUNTERS`]: `SimStats`, `StallStack`) are mutated
+//!   only where the producer discipline can see them: inside `sim.rs`
+//!   and the defining file. Field names are parsed from the defining
+//!   file, so the rule tracks each struct automatically.
 //! * **L3-determinism** — no host-time or environment reads outside
 //!   `selfprof.rs`, `crates/bench`, `crates/sweep`, and this crate:
 //!   simulation results must be a pure function of (workload, seed,
@@ -310,49 +311,87 @@ fn struct_fields(src: &str, blanked: &str, name: &str) -> Result<Vec<String>, St
     Ok(fields)
 }
 
+/// One L2-protected counter struct: where it is defined, which files may
+/// mutate its fields, and the receiver substring a mutating line must
+/// contain (`""` disables the receiver filter — right for structs whose
+/// field names are already distinctive).
+pub struct CounterSpec {
+    /// Struct name, e.g. `SimStats`.
+    pub name: &'static str,
+    /// Defining file (fields are parsed from here).
+    pub file: &'static str,
+    /// Files allowed to mutate fields directly (the defining file is
+    /// always allowed).
+    pub allowed: &'static [&'static str],
+    /// Receiver hint: the mutating line must contain this substring for
+    /// the finding to count, filtering out same-named fields of other
+    /// types.
+    pub receiver: &'static str,
+}
+
+/// The counter structs L2 protects. Both live in pp-core and follow the
+/// same discipline: `sim.rs` is the sole producer, so every mutation is
+/// visible to the observer hook (`SimStats`) or the opt-in accessor
+/// (`StallStack`), and goldens stay byte-authoritative.
+pub const ENCAPSULATED_COUNTERS: &[CounterSpec] = &[
+    CounterSpec {
+        name: "SimStats",
+        file: "crates/core/src/stats.rs",
+        allowed: &["crates/core/src/sim.rs"],
+        receiver: "stats",
+    },
+    CounterSpec {
+        name: "StallStack",
+        file: "crates/core/src/stall.rs",
+        allowed: &["crates/core/src/sim.rs"],
+        // `commit_slots`, `fetch_starved`, … collide with nothing else
+        // in the workspace; no receiver filter needed.
+        receiver: "",
+    },
+];
+
 fn lint_stats_encapsulation(
     root: &Path,
     files: &[String],
     findings: &mut Vec<Finding>,
 ) -> Result<(), String> {
-    let stats_rel = "crates/core/src/stats.rs";
-    let stats_src =
-        std::fs::read_to_string(root.join(stats_rel)).map_err(|e| format!("{stats_rel}: {e}"))?;
-    let fields = struct_fields(&stats_src, &blank_noncode(&stats_src), "SimStats")?;
-    for rel in files {
-        // The producer and the type itself may touch fields directly:
-        // both are upstream of the observer hook (`Simulator::stats` /
-        // `sample` expose every mutation made there).
-        if rel == "crates/core/src/sim.rs" || rel == stats_rel {
-            continue;
-        }
-        let src = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
-        if !src.contains("stats") {
-            continue;
-        }
-        let blanked = scannable(&src);
-        for field in &fields {
-            let needle = format!(".{field}");
-            let mut from = 0;
-            while let Some(rel_at) = blanked[from..].find(&needle) {
-                let at = from + rel_at;
-                from = at + needle.len();
-                // Receiver must be a stats binding and the next token an
-                // assignment operator.
-                let line_so_far = &blanked[blanked[..at].rfind('\n').map_or(0, |i| i + 1)..at];
-                if !line_so_far.contains("stats") {
-                    continue;
-                }
-                if is_assignment_after(&blanked, at + needle.len()) {
-                    findings.push(Finding {
-                        rule: "L2-stats-encapsulation",
-                        path: rel.clone(),
-                        line: line_of(&src, at),
-                        message: format!(
-                            "SimStats field `{field}` mutated outside sim.rs/stats.rs: `{}`",
-                            line_text(&src, at)
-                        ),
-                    });
+    for spec in ENCAPSULATED_COUNTERS {
+        let def_src = std::fs::read_to_string(root.join(spec.file))
+            .map_err(|e| format!("{}: {e}", spec.file))?;
+        let fields = struct_fields(&def_src, &blank_noncode(&def_src), spec.name)?;
+        for rel in files {
+            // The producer(s) and the type itself may touch fields
+            // directly: both are upstream of the observation surface.
+            if rel == spec.file || spec.allowed.contains(&rel.as_str()) {
+                continue;
+            }
+            let src = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+            let blanked = scannable(&src);
+            for field in &fields {
+                let needle = format!(".{field}");
+                let mut from = 0;
+                while let Some(rel_at) = blanked[from..].find(&needle) {
+                    let at = from + rel_at;
+                    from = at + needle.len();
+                    // Receiver must match the spec's hint and the next
+                    // token must be an assignment operator.
+                    let line_so_far = &blanked[blanked[..at].rfind('\n').map_or(0, |i| i + 1)..at];
+                    if !line_so_far.contains(spec.receiver) {
+                        continue;
+                    }
+                    if is_assignment_after(&blanked, at + needle.len()) {
+                        findings.push(Finding {
+                            rule: "L2-stats-encapsulation",
+                            path: rel.clone(),
+                            line: line_of(&src, at),
+                            message: format!(
+                                "{} field `{field}` mutated outside {}: `{}`",
+                                spec.name,
+                                spec.allowed.join("/"),
+                                line_text(&src, at)
+                            ),
+                        });
+                    }
                 }
             }
         }

@@ -69,6 +69,11 @@ fn populate(root: &Path) {
     );
     write(
         root,
+        "crates/core/src/stall.rs",
+        "pub struct StallStack {\n    pub commit_slots: u64,\n}\n",
+    );
+    write(
+        root,
         "crates/core/src/config.rs",
         "pub struct SimConfig {\n    pub mode: u64,\n    pub forgotten: u64,\n}\n\
          impl SimConfig {\n    pub fn to_canonical_json(&self) -> String {\n        \
@@ -79,6 +84,8 @@ fn populate(root: &Path) {
         "crates/telemetry/src/lib.rs",
         "pub fn tamper(stats: &mut SimStats) {\n    stats.cycles += 1;\n}\n\
          pub fn observe(stats: &SimStats) -> bool {\n    stats.cycles == 0\n}\n\
+         pub fn tamper_stall(st: &mut StallStack) {\n    st.commit_slots += 1;\n}\n\
+         pub fn observe_stall(st: &StallStack) -> bool {\n    st.commit_slots == 0\n}\n\
          pub fn slow() {\n    let _ = std::time::Instant::now();\n}\n",
     );
 }
@@ -104,9 +111,14 @@ fn each_rule_fires_on_a_synthetic_violation() {
     );
 
     let l2 = with("L2-stats-encapsulation");
-    assert_eq!(l2.len(), 1, "L2 findings: {l2:?}");
-    assert_eq!(l2[0].path, "crates/telemetry/src/lib.rs");
-    assert!(l2[0].message.contains("`cycles` mutated"));
+    assert_eq!(l2.len(), 2, "L2 findings: {l2:?}");
+    assert!(l2.iter().all(|f| f.path == "crates/telemetry/src/lib.rs"));
+    assert!(l2
+        .iter()
+        .any(|f| f.message.contains("SimStats field `cycles` mutated")));
+    assert!(l2.iter().any(|f| f
+        .message
+        .contains("StallStack field `commit_slots` mutated")));
 
     let l3 = with("L3-determinism");
     assert_eq!(l3.len(), 1, "L3 findings: {l3:?}");
@@ -115,7 +127,7 @@ fn each_rule_fires_on_a_synthetic_violation() {
     let l4 = with("L4-config-canonical-json");
     assert_eq!(l4.len(), 1, "L4 findings: {l4:?}");
     assert!(l4[0].message.contains("`forgotten` missing"));
-    assert_eq!(findings.len(), 4, "unexpected extra findings: {findings:?}");
+    assert_eq!(findings.len(), 5, "unexpected extra findings: {findings:?}");
 
     let _ = fs::remove_dir_all(&root);
 }
@@ -145,7 +157,8 @@ fn allowlist_suppresses_only_with_justification() {
         &root,
         "crates/analyze/lint.allow",
         "L1-hot-loop-panic crates/core/src/sim.rs \"v.unwrap()\" — synthetic test entry\n\
-         L2-stats-encapsulation crates/telemetry/src/lib.rs \"cycles += 1\" — synthetic test entry\n\
+         L2-stats-encapsulation crates/telemetry/src/lib.rs \"stats.cycles += 1\" — synthetic test entry\n\
+         L2-stats-encapsulation crates/telemetry/src/lib.rs \"st.commit_slots += 1\" — synthetic test entry\n\
          L3-determinism crates/telemetry/src/lib.rs \"Instant::now\" — synthetic test entry\n\
          L4-config-canonical-json crates/core/src/config.rs \"fn to_canonical_json\" — synthetic test entry\n",
     );

@@ -377,8 +377,13 @@ pub fn check_program(program: &Program) -> Result<(), CheckReport> {
     }
     for name in FUZZ_CONFIGS {
         let cfg = fuzz_config(name);
+        // The recorder is byte-invisible to the stats (pinned by the
+        // golden invisibility tests), so the checked run is still the
+        // same machine — but a failure report now ends with the last
+        // N cycles of history instead of just the panic line.
+        let mut sim = Simulator::new(program, cfg);
+        sim.enable_flight_recorder(pp_core::DEFAULT_FLIGHT_DEPTH);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let mut sim = Simulator::new(program, cfg);
             let stats = sim.run();
             sim.finish_commit_check();
             stats
@@ -388,14 +393,17 @@ pub fn check_program(program: &Program) -> Result<(), CheckReport> {
                 if stats.hit_cycle_limit {
                     return Err(CheckReport {
                         config: name,
-                        report: "pipeline hit the cycle limit on a halting program".into(),
+                        report: format!(
+                            "pipeline hit the cycle limit on a halting program\n{}",
+                            sim.flight_dump()
+                        ),
                     });
                 }
             }
             Err(payload) => {
                 return Err(CheckReport {
                     config: name,
-                    report: panic_message(payload),
+                    report: format!("{}\n{}", panic_message(payload), sim.flight_dump()),
                 })
             }
         }

@@ -80,6 +80,7 @@
 mod cache;
 mod check;
 mod config;
+mod flight;
 mod frontend;
 mod fus;
 mod observer;
@@ -88,6 +89,7 @@ mod ras;
 mod regfile;
 mod selfprof;
 mod sim;
+mod stall;
 mod stats;
 mod storebuf;
 mod window;
@@ -110,6 +112,7 @@ pub use config::{
 /// version. Pure-performance changes that leave goldens byte-identical
 /// must NOT bump it (cache reuse across such commits is the point).
 pub const BEHAVIOR_REV: u32 = 1;
+pub use flight::{CycleRec, FlightRecorder, HeadInfo, DEFAULT_FLIGHT_DEPTH};
 pub use frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
 pub use fus::{eligible_units, is_unpipelined, latency, FuClass, FuPool};
 pub use observer::{
@@ -121,6 +124,7 @@ pub use regfile::{PhysReg, PhysRegFile, RegMap};
 pub use selfprof::HostProfile;
 pub use sim::sanitize::Violation;
 pub use sim::Simulator;
+pub use stall::{StallCause, StallStack, STALL_CAUSES};
 pub use stats::{FuBusy, SimStats};
 pub use storebuf::{LoadCheck, SbEntry, StoreBuffer};
 pub use window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};

@@ -22,12 +22,14 @@ use pp_predictor::{
 use crate::cache::DCache;
 use crate::check::DiffOracle;
 use crate::config::{ConfidenceKind, ExecMode, FetchPolicy, PredictorKind, SimConfig};
+use crate::flight::{CycleRec, FlightRecorder, HeadInfo};
 use crate::frontend::{FetchBranchInfo, FetchedInst, FrontEnd, PathCtx};
 use crate::fus::{self, FuClass, FuPool};
 use crate::observer::{CommitRecord, CycleSample, FetchId, KillStage, PipeEvent, PipelineObserver};
 use crate::oracle::Oracle;
 use crate::regfile::{PhysReg, PhysRegFile, RegMap};
 use crate::selfprof::{self, HostProfile};
+use crate::stall::{StallCause, StallStack};
 use crate::stats::SimStats;
 use crate::storebuf::{LoadCheck, StoreBuffer};
 use crate::window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};
@@ -107,6 +109,25 @@ pub struct Simulator {
     observer: Option<Box<dyn PipelineObserver>>,
     selfprof: Option<HostProfile>,
 
+    // Opt-in observability state. Like `selfprof`, none of it feeds back
+    // into simulation: enabling it is byte-invisible to `SimStats`
+    // (pinned by `stall_and_flight_are_invisible_to_stats` and the golden
+    // invisibility test in pp-experiments).
+    stallstack: Option<StallStack>,
+    flight: Option<FlightRecorder>,
+    /// End of the refill shadow opened by the most recent misprediction
+    /// recovery; empty-window cycles before this are charged to
+    /// [`StallCause::SquashRecovery`] rather than fetch starvation.
+    squash_refill_until: u64,
+    /// Stall-classifier note from the issue stage: the oldest candidate a
+    /// structural resource refused this cycle, and which resource.
+    /// Consulted by the *next* cycle's commit triage (commit runs first).
+    issue_block: Option<(Seq, IssueBlock)>,
+    /// This cycle's commit outcome for the flight recorder: slots retired
+    /// and the classified cause for the rest (written by `do_commit` only
+    /// while the stall stack or recorder is enabled).
+    commit_note: (u32, Option<StallCause>),
+
     // Per-cycle scratch buffers, hoisted out of the stage functions so the
     // steady-state cycle loop performs no heap allocation.
     scratch_resolving: Vec<Seq>,
@@ -128,6 +149,16 @@ pub struct Simulator {
     /// not unregistered — the drain skips them — and a register's list is
     /// cleared of leftovers when it is reallocated.
     waiters: Vec<Vec<Seq>>,
+}
+
+/// Which structural resource turned an issue candidate away (stall-stack
+/// classification of a ready-but-waiting window head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueBlock {
+    /// Store-buffer ordering blocked a load.
+    StoreBuffer,
+    /// Functional-unit arbitration refused the candidate.
+    Fu,
 }
 
 /// Emit an event through an optional observer without constructing it
@@ -232,6 +263,11 @@ impl Simulator {
             fid_next: 0,
             observer: None,
             selfprof: None,
+            stallstack: None,
+            flight: None,
+            squash_refill_until: 0,
+            issue_block: None,
+            commit_note: (0, None),
             scratch_resolving: Vec::new(),
             scratch_fetch_order: Vec::new(),
             completions: {
@@ -267,6 +303,73 @@ impl Simulator {
     /// The host-side profile accumulated so far, if profiling is enabled.
     pub fn host_profile(&self) -> Option<&HostProfile> {
         self.selfprof.as_ref()
+    }
+
+    /// Start classifying every commit slot into the CPI stall stack
+    /// ([`StallStack`]): each cycle, slots that retire count as commits
+    /// and the rest are charged to one named cause. Opt-in and
+    /// byte-invisible to [`SimStats`] — the counters live outside the
+    /// golden surface, like self-profiling.
+    pub fn enable_stall_accounting(&mut self) {
+        self.stallstack = Some(StallStack::default());
+    }
+
+    /// The stall stack accumulated so far, if accounting is enabled.
+    pub fn stall_stack(&self) -> Option<&StallStack> {
+        self.stallstack.as_ref()
+    }
+
+    /// Start recording a bounded ring of per-cycle machine snapshots (the
+    /// last `depth` cycles), rendered by [`Self::flight_dump`] when a
+    /// checking harness hits a failure. Pushes are O(1) and allocation
+    /// happens only here, so checked runs leave it on; byte-invisible to
+    /// [`SimStats`] like the stall stack.
+    pub fn enable_flight_recorder(&mut self, depth: usize) {
+        self.flight = Some(FlightRecorder::new(depth));
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Render the flight-recorder history plus a synthesized line for the
+    /// current (possibly unfinished) cycle, so a dump taken from inside a
+    /// failing cycle — a differential-oracle mismatch at commit, a
+    /// sanitizer assert — still shows the failing cycle's state. Returns
+    /// a placeholder note when no recorder is enabled.
+    pub fn flight_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let Some(fr) = &self.flight else {
+            return "flight recorder: not enabled".to_string();
+        };
+        let mut out = fr.render();
+        let _ = write!(
+            out,
+            "  in-flight cycle {:>5}: committed_total={} paths={} div={} window={:>4} frontend={:>3}",
+            self.now,
+            self.stats.committed_instructions,
+            self.paths.live(),
+            self.live_divergences,
+            self.window.occupancy(),
+            self.frontend.len(),
+        );
+        match self.window.iter_live().next() {
+            None => {
+                let _ = writeln!(out, " head=-");
+            }
+            Some(h) => {
+                let _ = writeln!(
+                    out,
+                    " head=[seq {} pc {} op {} ctx {}]",
+                    h.seq,
+                    h.pc,
+                    h.op,
+                    h.ctx.annotate()
+                );
+            }
+        }
+        out
     }
 
     /// The configuration in use.
@@ -378,6 +481,24 @@ impl Simulator {
             };
             obs.sample(&sample);
         }
+        if let Some(fr) = &mut self.flight {
+            let (committed, stall) = self.commit_note;
+            let head = self.window.iter_live().next().map(|e| HeadInfo {
+                seq: e.seq,
+                pc: e.pc,
+                ctx: e.ctx,
+            });
+            fr.push(CycleRec {
+                cycle: self.now,
+                committed,
+                stall,
+                live_paths: self.paths.live() as u32,
+                live_divergences: self.live_divergences as u32,
+                window_occupancy: self.window.occupancy() as u32,
+                frontend_occupancy: self.frontend.len() as u32,
+                head,
+            });
+        }
         if self.cfg.sanitize {
             self.assert_sane();
         }
@@ -408,6 +529,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn do_commit(&mut self) {
+        let mut committed: u32 = 0;
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.window.head_mut() else {
                 break;
@@ -438,10 +560,94 @@ impl Simulator {
                 e.ctx
             );
             self.commit_entry(e);
+            committed += 1;
             self.last_commit_cycle = self.now;
             if self.halted {
                 break;
             }
+        }
+        if self.stallstack.is_some() || self.flight.is_some() {
+            self.note_commit_slots(committed);
+        }
+    }
+
+    /// Stall-stack epilogue (runs only while the stall stack or flight
+    /// recorder is enabled): charge every commit slot this cycle either
+    /// to a retirement or to one classified stall cause, so the account
+    /// always closes against `cycles × commit_width`.
+    fn note_commit_slots(&mut self, committed: u32) {
+        let width = self.cfg.commit_width as u32;
+        let stalled = u64::from(width.saturating_sub(committed));
+        let cause = if stalled == 0 {
+            None
+        } else if self.halted {
+            // The machine halted mid-cycle: nothing is left to retire in
+            // the remaining slots. Charge them as fetch-starved so the
+            // slot account still closes.
+            Some(StallCause::FetchStarved)
+        } else {
+            Some(self.stall_cause_now())
+        };
+        self.commit_note = (committed, cause);
+        if let Some(st) = &mut self.stallstack {
+            st.commit_slots += u64::from(committed);
+            if let Some(c) = cause {
+                st.charge(c, stalled);
+            }
+        }
+    }
+
+    /// Classify why the head failed to retire this cycle (taxonomy and
+    /// priority order: `stall` module docs / DESIGN.md §3g). Commit is
+    /// in order, so one cause covers every stalled slot of the cycle.
+    /// The issue-stage note (`issue_block`) was written by the *previous*
+    /// cycle's issue scan — exactly the attempt whose failure left the
+    /// head unissued now. Must never panic: it runs inside the hot loop's
+    /// commit stage.
+    fn stall_cause_now(&mut self) -> StallCause {
+        let in_squash_shadow = self.now < self.squash_refill_until;
+        let window_full = self.window.is_full();
+        let diverging = self.live_divergences > 0;
+        let issue_block = self.issue_block;
+        let Simulator {
+            window, regfile, ..
+        } = self;
+        let Some(h) = window.head_mut() else {
+            return if in_squash_shadow {
+                StallCause::SquashRecovery
+            } else {
+                StallCause::FetchStarved
+            };
+        };
+        match h.state {
+            EntryState::Waiting => {
+                if !h.srcs.iter().flatten().all(|&p| regfile.is_ready(p)) {
+                    StallCause::OperandWait
+                } else {
+                    match issue_block {
+                        Some((seq, IssueBlock::StoreBuffer)) if seq == h.seq => {
+                            StallCause::StoreBuffer
+                        }
+                        Some((seq, IssueBlock::Fu)) if seq == h.seq => StallCause::FuStructural,
+                        // Ready but never refused: it became a candidate
+                        // after the last issue scan (dispatch/wakeup
+                        // latency on the critical path).
+                        _ => StallCause::OperandWait,
+                    }
+                }
+            }
+            EntryState::Issued => {
+                if diverging {
+                    StallCause::WrongPath
+                } else if window_full {
+                    StallCause::WindowFull
+                } else {
+                    StallCause::OperandWait
+                }
+            }
+            // A Done head would have retired in the commit loop; keep the
+            // classifier total anyway.
+            EntryState::Done => StallCause::OperandWait,
         }
     }
 
@@ -692,6 +898,10 @@ impl Simulator {
             self.kill_subtree(pos, !outcome.expect("diverged branch outcome"));
         } else if mispredicted {
             self.stats.recoveries += 1;
+            // Stall classifier: the squash may drain the machine; charge
+            // empty-window cycles within one front-end refill of here to
+            // squash recovery rather than fetch starvation.
+            self.squash_refill_until = self.now + self.cfg.frontend_latency() + 2;
             let wrong_dir = if is_return { true } else { predicted_taken };
             self.kill_subtree(pos, wrong_dir);
 
@@ -849,9 +1059,14 @@ impl Simulator {
             stats,
             completions,
             positions,
+            issue_block,
             ..
         } = self;
         let now = *now;
+        // Candidates are visited oldest first, so the first refusal
+        // recorded is the oldest refused candidate — which is what the
+        // stall classifier matches against the window head next cycle.
+        *issue_block = None;
 
         window.for_each_issuable(|e| {
             debug_assert!(
@@ -881,9 +1096,15 @@ impl Simulator {
                         );
                     }
                     if check == LoadCheck::Block {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::StoreBuffer));
+                        }
                         return false;
                     }
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     let (value, forwarded) = match check {
@@ -922,6 +1143,9 @@ impl Simulator {
                 }
                 Op::Store { offset, width, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
@@ -935,6 +1159,9 @@ impl Simulator {
                 }
                 Op::Alu { op, src2, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     let a = read(e.srcs[0]);
@@ -946,18 +1173,27 @@ impl Simulator {
                 }
                 Op::Li { imm, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     e.result = Some(imm);
                 }
                 Op::Fp { op, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     e.result = Some(fp_eval(op, read(e.srcs[0]), read(e.srcs[1])));
                 }
                 Op::Branch { cond, src2, .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     let a = read(e.srcs[0]);
@@ -970,6 +1206,9 @@ impl Simulator {
                 }
                 Op::Ret | Op::Jr { .. } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     let target = read(e.srcs[0]);
@@ -978,6 +1217,9 @@ impl Simulator {
                 }
                 Op::Call { target } => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                     let _ = target;
@@ -985,6 +1227,9 @@ impl Simulator {
                 }
                 Op::Jump { .. } | Op::Halt | Op::Nop => {
                     if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
                         return false;
                     }
                 }

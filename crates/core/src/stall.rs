@@ -1,0 +1,192 @@
+//! CPI stall-stack accounting: per-cycle commit-slot classification.
+//!
+//! Every cycle offers `commit_width` retirement slots. A slot either
+//! retires an instruction or it doesn't; the stall stack charges every
+//! non-retiring slot to exactly one named cause, so the causes plus the
+//! commits always sum to `cycles × commit_width` — a conservation law the
+//! `stallstack` experiment (and the CI `trace` job) checks against
+//! `SimStats` totals.
+//!
+//! Classification is head-of-window triage in priority order (the window
+//! commits in order, so one cause per cycle covers all of its stalled
+//! slots — see DESIGN.md §3g for the taxonomy rationale):
+//!
+//! 1. window empty shortly after a misprediction recovery →
+//!    [`StallCause::SquashRecovery`] (the refill shadow);
+//! 2. window empty otherwise → [`StallCause::FetchStarved`];
+//! 3. head waiting with a not-ready source operand →
+//!    [`StallCause::OperandWait`];
+//! 4. head waiting, operands ready, blocked by an older ambiguous store →
+//!    [`StallCause::StoreBuffer`];
+//! 5. head waiting, operands ready, lost functional-unit arbitration →
+//!    [`StallCause::FuStructural`];
+//! 6. head executing while divergences are live →
+//!    [`StallCause::WrongPath`] (eager execution's occupancy tax);
+//! 7. head executing, window full → [`StallCause::WindowFull`];
+//! 8. head executing otherwise → [`StallCause::OperandWait`] (pure
+//!    execution latency on the critical path).
+//!
+//! The counters live *outside* [`crate::SimStats`] — enabling them is
+//! byte-invisible to the golden snapshots — and are opt-in via
+//! [`crate::Simulator::enable_stall_accounting`], mirroring the
+//! self-profiling discipline.
+
+/// Why a commit slot retired nothing this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StallCause {
+    /// The window was empty and no recent squash explains it: the
+    /// front-end could not supply instructions.
+    FetchStarved,
+    /// The head is executing and the window is full behind it: the
+    /// machine is limited by window capacity.
+    WindowFull,
+    /// The head waits for a source operand, or is executing on the
+    /// critical path (pure latency).
+    OperandWait,
+    /// The head's operands are ready but it lost functional-unit
+    /// arbitration.
+    FuStructural,
+    /// The head is a load blocked by an older store with an unresolved
+    /// address or an unrelated CTX tag.
+    StoreBuffer,
+    /// The head is executing while divergences are live: commit waits
+    /// behind work that may be wrong-path occupancy.
+    WrongPath,
+    /// The window is empty inside the refill shadow of a misprediction
+    /// recovery (the squash emptied the machine).
+    SquashRecovery,
+}
+
+/// All causes, in rendering order.
+pub const STALL_CAUSES: [StallCause; 7] = [
+    StallCause::FetchStarved,
+    StallCause::WindowFull,
+    StallCause::OperandWait,
+    StallCause::FuStructural,
+    StallCause::StoreBuffer,
+    StallCause::WrongPath,
+    StallCause::SquashRecovery,
+];
+
+impl StallCause {
+    /// Stable snake_case name (CSV column / artifact key).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::FetchStarved => "fetch_starved",
+            StallCause::WindowFull => "window_full",
+            StallCause::OperandWait => "operand_wait",
+            StallCause::FuStructural => "fu_structural",
+            StallCause::StoreBuffer => "store_buffer",
+            StallCause::WrongPath => "wrong_path",
+            StallCause::SquashRecovery => "squash_recovery",
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-run commit-slot account: one counter per [`StallCause`] plus the
+/// slots that actually retired. Maintained by the simulator when
+/// [`crate::Simulator::enable_stall_accounting`] was called; all fields
+/// are plain counters (mutated only by `sim.rs` — lint L2 enforces this
+/// encapsulation exactly as it does for `SimStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallStack {
+    /// Commit slots that retired an instruction (equals
+    /// `SimStats::committed_instructions` by construction).
+    pub commit_slots: u64,
+    /// Slots charged to [`StallCause::FetchStarved`].
+    pub fetch_starved: u64,
+    /// Slots charged to [`StallCause::WindowFull`].
+    pub window_full: u64,
+    /// Slots charged to [`StallCause::OperandWait`].
+    pub operand_wait: u64,
+    /// Slots charged to [`StallCause::FuStructural`].
+    pub fu_structural: u64,
+    /// Slots charged to [`StallCause::StoreBuffer`].
+    pub store_buffer: u64,
+    /// Slots charged to [`StallCause::WrongPath`].
+    pub wrong_path: u64,
+    /// Slots charged to [`StallCause::SquashRecovery`].
+    pub squash_recovery: u64,
+}
+
+impl StallStack {
+    /// Add `n` slots to `cause`'s counter.
+    pub fn charge(&mut self, cause: StallCause, n: u64) {
+        match cause {
+            StallCause::FetchStarved => self.fetch_starved += n,
+            StallCause::WindowFull => self.window_full += n,
+            StallCause::OperandWait => self.operand_wait += n,
+            StallCause::FuStructural => self.fu_structural += n,
+            StallCause::StoreBuffer => self.store_buffer += n,
+            StallCause::WrongPath => self.wrong_path += n,
+            StallCause::SquashRecovery => self.squash_recovery += n,
+        }
+    }
+
+    /// The counter for `cause`.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::FetchStarved => self.fetch_starved,
+            StallCause::WindowFull => self.window_full,
+            StallCause::OperandWait => self.operand_wait,
+            StallCause::FuStructural => self.fu_structural,
+            StallCause::StoreBuffer => self.store_buffer,
+            StallCause::WrongPath => self.wrong_path,
+            StallCause::SquashRecovery => self.squash_recovery,
+        }
+    }
+
+    /// Total slots charged to stall causes.
+    pub fn stalled_slots(&self) -> u64 {
+        STALL_CAUSES.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Every slot accounted for: commits plus stalls. Conservation means
+    /// this equals `cycles × commit_width`.
+    pub fn total_slots(&self) -> u64 {
+        self.commit_slots + self.stalled_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_get_roundtrip() {
+        let mut st = StallStack::default();
+        for (i, &c) in STALL_CAUSES.iter().enumerate() {
+            st.charge(c, i as u64 + 1);
+        }
+        for (i, &c) in STALL_CAUSES.iter().enumerate() {
+            assert_eq!(st.get(c), i as u64 + 1, "{c}");
+        }
+        assert_eq!(st.stalled_slots(), (1..=7).sum::<u64>());
+    }
+
+    #[test]
+    fn total_includes_commits() {
+        let mut st = StallStack {
+            commit_slots: 10,
+            ..StallStack::default()
+        };
+        st.charge(StallCause::WindowFull, 5);
+        assert_eq!(st.total_slots(), 15);
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = STALL_CAUSES.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), STALL_CAUSES.len());
+        assert_eq!(StallCause::WrongPath.to_string(), "wrong_path");
+    }
+}

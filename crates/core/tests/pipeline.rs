@@ -899,3 +899,93 @@ fn self_profiling_is_invisible_to_stats() {
         );
     }
 }
+
+#[test]
+fn stall_and_flight_are_invisible_to_stats() {
+    // Byte-invisibility guarantee behind the golden snapshots and the
+    // sweep cache (the same discipline `self_profiling_is_invisible_to_stats`
+    // pins for the host profiler): stall accounting and the flight
+    // recorder observe the machine but never steer it.
+    let p = random_branch_program(600);
+    for (name, cfg) in all_modes() {
+        let plain = Simulator::new(&p, cfg.clone()).run();
+        let mut instrumented = Simulator::new(&p, cfg);
+        instrumented.enable_stall_accounting();
+        instrumented.enable_flight_recorder(pp_core::DEFAULT_FLIGHT_DEPTH);
+        let traced = instrumented.run();
+        assert_eq!(
+            plain, traced,
+            "{name}: enabling stall accounting / flight recorder changed SimStats"
+        );
+        let fr = instrumented.flight_recorder().expect("recorder enabled");
+        assert_eq!(fr.pushed(), traced.cycles, "{name}: one record per cycle");
+    }
+}
+
+#[test]
+fn stall_stack_conserves_commit_slots() {
+    // The stall stack's defining invariant: every commit slot of every
+    // cycle is charged exactly once — to a retirement or to one named
+    // cause — so the account closes against SimStats totals.
+    let p = random_branch_program(400);
+    for (name, cfg) in all_modes() {
+        let width = cfg.commit_width as u64;
+        let mut sim = Simulator::new(&p, cfg);
+        sim.enable_stall_accounting();
+        let stats = sim.run();
+        let st = *sim.stall_stack().expect("accounting enabled");
+        assert_eq!(
+            st.commit_slots, stats.committed_instructions,
+            "{name}: commit slots must equal committed instructions"
+        );
+        assert_eq!(
+            st.total_slots(),
+            stats.cycles * width,
+            "{name}: slot account must close against cycles x commit_width"
+        );
+        assert!(st.stalled_slots() > 0, "{name}: a real run has stalls");
+    }
+}
+
+#[test]
+fn flight_dump_contains_the_failing_cycle() {
+    // A non-halting program truncated by a tiny cycle budget: with commit
+    // checking on, `finish_commit_check` classifies the truncation as
+    // pipeline starvation and panics — the failure shape the checking
+    // harnesses wrap. The dump must cover the failing point: the last
+    // recorded cycle plus the synthesized in-flight line.
+    let p = assemble(|a| {
+        a.li(reg::T0, 0);
+        let top = a.here();
+        a.addi(reg::T0, reg::T0, 1);
+        a.jmp(top);
+        a.halt();
+    });
+    let mut cfg = SimConfig::baseline().with_commit_checking();
+    cfg.max_cycles = 400;
+    let mut sim = Simulator::new(&p, cfg);
+    sim.enable_flight_recorder(32);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let stats = sim.run();
+        assert!(stats.hit_cycle_limit, "loop must hit the cycle budget");
+        sim.finish_commit_check();
+    }));
+    assert!(
+        outcome.is_err(),
+        "truncated checked run must fail the commit check"
+    );
+    let dump = sim.flight_dump();
+    let last_recorded = sim.stats().cycles - 1;
+    assert!(
+        dump.contains(&format!("cycle {last_recorded:>8}")),
+        "dump must contain the final recorded cycle {last_recorded}:\n{dump}"
+    );
+    assert!(
+        dump.contains(&format!("in-flight cycle {:>5}", sim.stats().cycles)),
+        "dump must synthesize the in-flight state:\n{dump}"
+    );
+    assert!(
+        dump.contains("ctx"),
+        "dump lines carry CTX annotations:\n{dump}"
+    );
+}

@@ -132,6 +132,34 @@ impl CtxTag {
     pub fn related(&self, other: &CtxTag) -> bool {
         self.is_descendant_or_equal(other) || other.is_descendant_or_equal(self)
     }
+
+    /// Compact human annotation of the valid positions, for crash dumps
+    /// and trace labels: `root` for the all-`X` tag, otherwise the valid
+    /// positions with their directions, e.g. `2T+5N` for a tag taken at
+    /// position 2 and not-taken at position 5. Unlike the [`fmt::Debug`]
+    /// rendering this skips the `X` runs, so deep tags stay one glance
+    /// wide.
+    pub fn annotate(&self) -> String {
+        if self.is_root() {
+            return "root".to_string();
+        }
+        let mut out = String::new();
+        let mut mask = self.valid;
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if !out.is_empty() {
+                out.push('+');
+            }
+            out.push_str(&pos.to_string());
+            out.push(if self.dir & (1u128 << pos) != 0 {
+                'T'
+            } else {
+                'N'
+            });
+        }
+        out
+    }
 }
 
 impl fmt::Debug for CtxTag {
@@ -303,6 +331,17 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn annotate_is_compact() {
+        assert_eq!(CtxTag::root().annotate(), "root");
+        let tag = CtxTag::root()
+            .with_position(2, true)
+            .with_position(5, false);
+        assert_eq!(tag.annotate(), "2T+5N");
+        let deep = CtxTag::root().with_position(MAX_POSITIONS - 1, true);
+        assert_eq!(deep.annotate(), "127T");
     }
 
     #[test]

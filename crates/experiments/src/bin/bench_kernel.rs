@@ -4,17 +4,26 @@
 //! ```sh
 //! cargo run --release -p pp-experiments --bin bench_kernel -- \
 //!     [--out BENCH_kernel.json] [--baseline OLD.json] [--repeat N]
+//! cargo run --release -p pp-experiments --bin bench_kernel -- \
+//!     --validate BENCH_kernel.json
 //! ```
 //!
 //! Runs every workload of the paper's evaluation under the named
 //! configurations sequentially (no worker threads, so wall-clock numbers
-//! are not distorted by core contention), and writes a JSON report:
-//! per-run KIPS plus the per-pipeline-phase host-time breakdown, and an
-//! aggregate over the whole set. With `--baseline`, the aggregate of a
-//! previously captured report is embedded and the speedup computed —
-//! this is how the perf trajectory in `BENCH_kernel.json` is maintained:
-//! capture once before an optimization, re-run with `--baseline` after
-//! it.
+//! are not distorted by core contention), and **appends** a timestamped
+//! JSON report to the `--out` file's `"trajectory"` array: per-run KIPS
+//! plus the per-pipeline-phase host-time breakdown, and an aggregate
+//! over the whole set. Earlier captures are preserved, so the file *is*
+//! the perf history of the kernel; a pre-trajectory single-report file
+//! is upgraded in place (the legacy report becomes the first, untimed,
+//! entry). With `--baseline`, the **latest** aggregate of a previously
+//! captured report is embedded and the speedup computed: capture once
+//! before an optimization, re-run with `--baseline` after it.
+//!
+//! `--validate PATH` runs no benchmark: it parses `PATH` with the
+//! built-in (dependency-free) JSON parser, checks the trajectory shape,
+//! and exits nonzero if the file is malformed — the CI smoke that an
+//! append never corrupts the committed history.
 //!
 //! Each (workload, config) pair is run **twice**: once clean — no
 //! observer, no self-profiling, wall time measured around `run()` — for
@@ -124,6 +133,7 @@ fn main() {
     let mut out = String::from("BENCH_kernel.json");
     let mut baseline: Option<String> = None;
     let mut repeat = 1usize;
+    let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -135,10 +145,21 @@ fn main() {
                     cli::usage_error("--repeat count must be a positive integer");
                 }
             }
+            "--validate" => validate = Some(cli::require_value(&mut args, "--validate", "a path")),
             other => cli::usage_error(format_args!(
-                "unknown argument {other:?} (expected --out, --baseline, or --repeat)"
+                "unknown argument {other:?} (expected --out, --baseline, --repeat, or --validate)"
             )),
         }
+    }
+
+    if let Some(path) = validate {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| cli::fail(format_args!("reading {path}: {e}")));
+        match validate_report(&text) {
+            Ok(summary) => println!("{path}: OK — {summary}"),
+            Err(e) => cli::fail(format_args!("{path}: INVALID — {e}")),
+        }
+        return;
     }
 
     let mut runs = Vec::new();
@@ -179,9 +200,16 @@ fn main() {
         None => println!("aggregate: n/a (no run registered a wall time)"),
     }
 
+    // Wall-clock capture time, so the trajectory orders and dates its
+    // entries (host clock; never a simulation input).
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"benchmark\": \"kernel\",");
+    let _ = writeln!(j, "  \"timestamp_unix_s\": {timestamp},");
     let _ = writeln!(
         j,
         "  \"unit\": \"simulated KIPS (committed kilo-instructions per host second)\","
@@ -236,15 +264,356 @@ fn main() {
         );
     }
     let _ = writeln!(j, "}}");
-    std::fs::write(&out, j).unwrap_or_else(|e| cli::fail(format_args!("writing {out}: {e}")));
-    println!("wrote {out}");
+
+    let existing = std::fs::read_to_string(&out).ok();
+    let appended = existing.is_some();
+    let text = append_trajectory(existing, &j);
+    if let Err(e) = validate_report(&text) {
+        cli::fail(format_args!(
+            "refusing to write {out}: appended report fails validation — {e}"
+        ));
+    }
+    std::fs::write(&out, text).unwrap_or_else(|e| cli::fail(format_args!("writing {out}: {e}")));
+    println!("{} {out}", if appended { "appended to" } else { "wrote" });
 }
 
-/// Pull `"kips": <x>` out of a previous report's `"aggregate"` object
-/// (dependency-free parsing; the format is our own).
+/// Opening of a trajectory file, up to (and including) the start of the
+/// entry array.
+const TRAJECTORY_HEADER: &str =
+    "{\n  \"benchmark\": \"kernel\",\n  \"schema\": \"trajectory-v1\",\n  \"trajectory\": [\n";
+
+/// Splice `entry` (one complete report object) into the trajectory in
+/// `existing`, preserving prior entries. A pre-trajectory file — the
+/// old schema, where the report object *was* the file — is upgraded in
+/// place: the legacy report becomes the first entry.
+fn append_trajectory(existing: Option<String>, entry: &str) -> String {
+    let entry = entry.trim_end();
+    match existing {
+        Some(text) if text.contains("\"trajectory\"") => {
+            let cut = text
+                .rfind("  ]")
+                .unwrap_or_else(|| cli::fail("existing trajectory file has no array close"));
+            format!(
+                "{},\n{entry}\n{}",
+                text[..cut].trim_end(),
+                &text[cut..].trim_start_matches(['\r', '\n'])
+            )
+        }
+        Some(text) if !text.trim().is_empty() => {
+            format!(
+                "{TRAJECTORY_HEADER}{},\n{entry}\n  ]\n}}\n",
+                text.trim_end()
+            )
+        }
+        _ => format!("{TRAJECTORY_HEADER}{entry}\n  ]\n}}\n"),
+    }
+}
+
+/// Check that `text` parses as JSON and has the shape consumers expect:
+/// either a `trajectory-v1` file (non-empty `"trajectory"` array of
+/// report objects, each with a `"runs"` array) or a legacy single
+/// report. Returns a one-line summary.
+fn validate_report(text: &str) -> Result<String, String> {
+    let root = json::parse(text)?;
+    let obj = root.as_object().ok_or("top level is not an object")?;
+    if let Some(traj) = json::get(obj, "trajectory") {
+        let entries = traj.as_array().ok_or("\"trajectory\" is not an array")?;
+        if entries.is_empty() {
+            return Err("\"trajectory\" is empty".into());
+        }
+        for (i, e) in entries.iter().enumerate() {
+            let eo = e
+                .as_object()
+                .ok_or_else(|| format!("trajectory[{i}] is not an object"))?;
+            let runs = json::get(eo, "runs")
+                .and_then(json::Value::as_array)
+                .ok_or_else(|| format!("trajectory[{i}] has no \"runs\" array"))?;
+            if runs.is_empty() {
+                return Err(format!("trajectory[{i}] has zero runs"));
+            }
+        }
+        Ok(format!(
+            "trajectory of {} report(s), latest with {} runs",
+            entries.len(),
+            json::get(
+                entries.last().and_then(json::Value::as_object).unwrap(),
+                "runs"
+            )
+            .and_then(json::Value::as_array)
+            .map_or(0, Vec::len),
+        ))
+    } else {
+        let runs = json::get(obj, "runs")
+            .and_then(json::Value::as_array)
+            .ok_or("neither \"trajectory\" nor \"runs\" present")?;
+        if runs.is_empty() {
+            return Err("legacy report has zero runs".into());
+        }
+        Ok(format!("legacy single report with {} runs", runs.len()))
+    }
+}
+
+/// Pull `"kips": <x>` out of the **last** `"aggregate"` object in a
+/// previous report — in a trajectory file that is the newest capture
+/// (dependency-free scan; the format is our own).
 fn extract_aggregate_kips(text: &str) -> Option<f64> {
-    let agg = text.split("\"aggregate\"").nth(1)?;
+    let agg = &text[text.rfind("\"aggregate\"")?..];
     let kips = agg.split("\"kips\":").nth(1)?;
     let end = kips.find(['}', ','])?;
     kips[..end].trim().parse().ok()
+}
+
+/// A minimal recursive-descent JSON parser — just enough to validate
+/// the benchmark trajectory without a serialization dependency. Accepts
+/// standard JSON; numbers are kept as `f64`.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    /// First value bound to `key` in an object's entry list.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parse `text` as a single JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = Vec::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "bad UTF-8 in string".into());
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'u') => {
+                            // Validate the four hex digits; decode as a
+                            // replacement-free escape (the trajectory
+                            // never emits non-BMP escapes).
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let cp = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.extend(
+                                char::from_u32(cp)
+                                    .unwrap_or('\u{fffd}')
+                                    .to_string()
+                                    .as_bytes(),
+                            );
+                            *pos += 5;
+                        }
+                        Some(&c) => {
+                            out.push(match c {
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'r' => b'\r',
+                                other => other,
+                            });
+                            *pos += 1;
+                        }
+                        None => return Err("truncated escape".into()),
+                    }
+                }
+                c => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut entries = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            skip_ws(b, pos);
+            let k = string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            entries.push((k, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENTRY: &str = "{\n  \"benchmark\": \"kernel\",\n  \"timestamp_unix_s\": 1,\n  \"runs\": [\n    {\"workload\": \"compress\", \"kips\": 5.0}\n  ],\n  \"aggregate\": {\"committed\": 10, \"wall_s\": 1.0, \"kips\": 5.0}\n}\n";
+
+    #[test]
+    fn fresh_file_becomes_a_one_entry_trajectory() {
+        let text = append_trajectory(None, ENTRY);
+        let summary = validate_report(&text).unwrap();
+        assert!(summary.contains("1 report(s)"), "{summary}");
+        assert_eq!(extract_aggregate_kips(&text), Some(5.0));
+    }
+
+    #[test]
+    fn appending_preserves_prior_entries() {
+        let one = append_trajectory(None, ENTRY);
+        let newer = ENTRY.replace("\"kips\": 5.0", "\"kips\": 7.5");
+        let two = append_trajectory(Some(one), &newer);
+        let summary = validate_report(&two).unwrap();
+        assert!(summary.contains("2 report(s)"), "{summary}");
+        // --baseline reads the *latest* capture's aggregate.
+        assert_eq!(extract_aggregate_kips(&two), Some(7.5));
+        let three = append_trajectory(Some(two), ENTRY);
+        assert!(validate_report(&three).unwrap().contains("3 report(s)"));
+    }
+
+    #[test]
+    fn legacy_single_report_is_upgraded_in_place() {
+        assert!(validate_report(ENTRY).unwrap().contains("legacy"));
+        let upgraded = append_trajectory(Some(ENTRY.to_string()), ENTRY);
+        let summary = validate_report(&upgraded).unwrap();
+        assert!(summary.contains("2 report(s)"), "{summary}");
+    }
+
+    #[test]
+    fn validation_rejects_corruption() {
+        let text = append_trajectory(None, ENTRY);
+        assert!(validate_report(&text[..text.len() - 4]).is_err());
+        assert!(validate_report("{\"trajectory\": []}").is_err());
+        assert!(validate_report("{\"benchmark\": \"kernel\"}").is_err());
+        assert!(validate_report("[1, 2").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        let v = json::parse(" {\"a\": [1, -2.5e1, \"x\\\"y\\u0041\", true, null], \"b\": {}} ")
+            .unwrap();
+        let o = v.as_object().unwrap();
+        let a = json::get(o, "a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[1], json::Value::Num(-25.0));
+        assert_eq!(a[2], json::Value::Str("x\"yA".into()));
+        assert!(json::get(o, "b").unwrap().as_object().unwrap().is_empty());
+        assert!(json::parse("{\"a\": 1,}").is_err());
+        assert!(json::parse("{} junk").is_err());
+    }
 }

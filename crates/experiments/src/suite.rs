@@ -1172,6 +1172,140 @@ impl Experiment for WorkloadProfileExp {
 }
 
 // ---------------------------------------------------------------------
+// CPI stall stacks (no sweep grid — needs the opt-in stall accountant)
+// ---------------------------------------------------------------------
+
+/// CPI stall stacks: every commit slot of every cycle charged to one
+/// named cause, across the workload suite × three execution models.
+pub struct StallStackExp;
+
+/// The three execution models the stall stacks compare (the fuzz
+/// configurations, minus checking).
+const STALL_CONFIGS: [(&str, Config); 3] = [
+    ("monopath", Config::Monopath),
+    ("see_jrs", Config::SeeJrs),
+    ("dual_jrs", Config::DualJrs),
+];
+
+impl Experiment for StallStackExp {
+    fn name(&self) -> &'static str {
+        "stallstack"
+    }
+    fn description(&self) -> &'static str {
+        "CPI stall stacks — per-cycle commit-slot cause accounting across workloads × modes (uncached)"
+    }
+    fn grid(&self) -> Vec<SweepCell> {
+        // The stall counters live outside SimStats (byte-invisible to
+        // the golden snapshots), so these runs cannot be cache-served as
+        // cells; the sweep happens in render with the accountant on.
+        Vec::new()
+    }
+    fn render(&self, _: &[CellResult]) -> Rendered {
+        let mut csv = pp_trace::stall_csv_header();
+        let mut t = Table::new([
+            "workload",
+            "config",
+            "cpi",
+            "commit%",
+            "fetch%",
+            "winfull%",
+            "operand%",
+            "fu%",
+            "sbuf%",
+            "wrongpath%",
+            "squash%",
+        ]);
+        let (mut ok, mut total) = (0usize, 0usize);
+        for &w in &Workload::ALL {
+            for (cname, c) in STALL_CONFIGS {
+                let cfg = named_config(c, BASELINE_HISTORY_BITS);
+                let width = cfg.commit_width as u64;
+                let program = w.build(scaled(w));
+                let mut sim = Simulator::new(&program, cfg);
+                sim.enable_stall_accounting();
+                let stats = sim.run();
+                let st = *sim.stall_stack().expect("accounting enabled");
+
+                // The conservation law the CI trace job greps for:
+                // commits + stall charges account for every slot of
+                // every cycle, and commits match SimStats exactly.
+                total += 1;
+                if st.total_slots() == stats.cycles * width
+                    && st.commit_slots == stats.committed_instructions
+                {
+                    ok += 1;
+                } else {
+                    eprintln!(
+                        "stallstack: CONSERVATION VIOLATED for {}/{cname}: \
+                         {} slots charged vs {} offered",
+                        w.name(),
+                        st.total_slots(),
+                        stats.cycles * width
+                    );
+                }
+
+                csv.push_str(&pp_trace::stall_csv_row(
+                    w.name(),
+                    cname,
+                    width,
+                    &stats,
+                    &st,
+                ));
+                let pct = |v: u64| format!("{:.1}", 100.0 * v as f64 / st.total_slots() as f64);
+                t.row([
+                    w.name().to_string(),
+                    cname.to_string(),
+                    format!(
+                        "{:.3}",
+                        stats.cycles as f64 / stats.committed_instructions as f64
+                    ),
+                    pct(st.commit_slots),
+                    pct(st.fetch_starved),
+                    pct(st.window_full),
+                    pct(st.operand_wait),
+                    pct(st.fu_structural),
+                    pct(st.store_buffer),
+                    pct(st.wrong_path),
+                    pct(st.squash_recovery),
+                ]);
+            }
+        }
+
+        // One representative causal timeline rides along: compress under
+        // SEE/JRS with the span collector attached (reduced scale; the
+        // event cap bounds the artifact anyway).
+        let w = Workload::Compress;
+        let program = w.build((scaled(w) / 10).max(4));
+        let mut sim = Simulator::new(
+            &program,
+            named_config(Config::SeeJrs, BASELINE_HISTORY_BITS),
+        );
+        sim.set_observer(Box::new(pp_trace::SpanCollector::new()));
+        sim.run();
+        let spans = pp_trace::SpanCollector::from_box(sim.take_observer().expect("attached"))
+            .expect("downcasts");
+        let trace = spans.to_chrome_trace(pp_telemetry::DEFAULT_MAX_TRACE_EVENTS);
+        let mut trace_json = Vec::new();
+        pp_telemetry::write_chrome_trace(&mut trace_json, &trace)
+            .expect("a simulated run always produces trace events");
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "CPI stall stacks — % of cycles×commit_width slots by cause"
+        );
+        let _ = writeln!(out, "{t}");
+        let _ = writeln!(out, "stall-cause conservation: {ok}/{total} cells OK");
+        Rendered::text(out)
+            .with_artifact("stallstack.csv", csv)
+            .with_artifact(
+                "stallstack.trace.json",
+                String::from_utf8(trace_json).expect("exporter emits UTF-8"),
+            )
+    }
+}
+
+// ---------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------
 
@@ -1190,6 +1324,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(InputSensitivityExp),
         Box::new(CalibrateExp),
         Box::new(FpValidationExp),
+        Box::new(StallStackExp),
         Box::new(WorkloadProfileExp { target: None }),
     ]
 }
@@ -1265,7 +1400,7 @@ pub fn run_one(exp: &dyn Experiment, opts: &SweepOpts) -> Result<(), String> {
                 std::fs::create_dir_all(dir)
                     .and_then(|()| {
                         let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
-                        pp_telemetry::write_registry_jsonl(&mut f, &report.registry)
+                        pp_telemetry::write_registry_jsonl(&mut f, &report.registry).map(|_| ())
                     })
                     .map_err(|e| format!("writing {}: {e}", path.display()))?;
                 println!("wrote {}", path.display());
@@ -1379,6 +1514,7 @@ mod tests {
             W * SENSITIVITY_SEEDS.len() * 2
         );
         assert!(FpValidationExp.grid().is_empty());
+        assert!(StallStackExp.grid().is_empty());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Observability must be byte-invisible: enabling the stall accountant,
+//! the flight recorder, and a span-collecting observer must leave every
+//! committed golden `SimStats` snapshot untouched — the instrumented
+//! machine is the *same* machine.
+//!
+//! This mirrors `self_profiling_is_invisible_to_stats` (pp-core), but at
+//! the golden suite's scale and against the committed snapshots
+//! themselves: all 8 workloads × 3 configurations. Tier-2 like the
+//! golden suite (skipped in debug builds; CI runs `--release`). In
+//! `PP_UPDATE_GOLDEN=1` runs the suite also skips — regeneration is
+//! `tests/golden.rs`'s job, and two tests writing the same snapshot
+//! concurrently would race.
+
+use pp_core::{Simulator, DEFAULT_FLIGHT_DEPTH};
+use pp_experiments::experiments::BASELINE_HISTORY_BITS;
+use pp_experiments::{named_config, Config};
+use pp_testutil::golden::{check_golden, golden_dir};
+use pp_trace::SpanCollector;
+use pp_workloads::Workload;
+
+/// Same fixed scale as `tests/golden.rs` (snapshots are committed
+/// files, so their inputs never vary with `PP_SCALE`).
+fn golden_scale(w: Workload) -> u64 {
+    (w.default_scale() / 64).max(2000)
+}
+
+fn check_config(c: Config, key: &'static str) {
+    if cfg!(debug_assertions) || pp_testutil::golden::update_mode() {
+        eprintln!(
+            "trace_invisibility[{key}]: tier-2 suite, skipped in debug \
+             builds and golden-update runs — run with --release"
+        );
+        return;
+    }
+    let cfg = named_config(c, BASELINE_HISTORY_BITS);
+    for w in Workload::ALL {
+        let program = w.build(golden_scale(w));
+        let mut sim = Simulator::new(&program, cfg.clone());
+        sim.enable_stall_accounting();
+        sim.enable_flight_recorder(DEFAULT_FLIGHT_DEPTH);
+        sim.set_observer(Box::new(SpanCollector::new()));
+        let stats = sim.run();
+
+        // The full instrumentation stack ran...
+        let st = sim.stall_stack().expect("accounting enabled");
+        assert_eq!(
+            st.total_slots(),
+            stats.cycles * cfg.commit_width as u64,
+            "{w}/{key}: stall conservation"
+        );
+        assert_eq!(
+            sim.flight_recorder().expect("recorder enabled").pushed(),
+            stats.cycles,
+            "{w}/{key}: recorder saw every cycle"
+        );
+        let spans =
+            SpanCollector::from_box(sim.take_observer().expect("attached")).expect("downcasts");
+        assert_eq!(spans.len() as u64, stats.fetched_instructions);
+
+        // ...and the stats are still byte-identical to the committed
+        // golden snapshot produced by an uninstrumented run.
+        let path = golden_dir().join(format!("{}_{}.json", w.name(), key));
+        check_golden(&path, &stats.to_json());
+    }
+}
+
+#[test]
+fn instrumented_monopath_matches_golden() {
+    check_config(Config::Monopath, "monopath");
+}
+
+#[test]
+fn instrumented_see_jrs_matches_golden() {
+    check_config(Config::SeeJrs, "see_jrs");
+}
+
+#[test]
+fn instrumented_dual_jrs_matches_golden() {
+    check_config(Config::DualJrs, "dual_jrs");
+}

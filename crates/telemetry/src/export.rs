@@ -2,8 +2,48 @@
 //! JSON. All JSON is emitted by hand (the workspace carries no
 //! serialization dependency); everything writes through `io::Write` so
 //! tests can target byte buffers and the harness can target files.
+//!
+//! Every writer returns the number of *records* it wrote (metric lines,
+//! CSV data rows, trace events — headers and metadata don't count) and
+//! fails a zero-record export with [`EmptyExportError`]: an artifact
+//! that parses but carries no data means the instrument was never
+//! populated, and silently shipping it hides the wiring bug.
 
 use std::io::{self, Write};
+
+/// A writer produced a structurally valid artifact containing zero
+/// records. Surfaced as the inner error of an
+/// [`io::ErrorKind::InvalidData`] error so it threads through the
+/// existing `io::Result` plumbing; callers that care which artifact came
+/// up empty can `get_ref().downcast_ref::<EmptyExportError>()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmptyExportError {
+    /// Which artifact came up empty (`"metrics.jsonl"`, …).
+    pub artifact: &'static str,
+}
+
+impl std::fmt::Display for EmptyExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} export wrote zero records (instrument never populated?)",
+            self.artifact
+        )
+    }
+}
+
+impl std::error::Error for EmptyExportError {}
+
+/// `Ok(records)` unless the export was empty.
+fn nonempty(artifact: &'static str, records: usize) -> io::Result<usize> {
+    if records == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            EmptyExportError { artifact },
+        ));
+    }
+    Ok(records)
+}
 
 use pp_core::{HostProfile, SimStats};
 
@@ -60,13 +100,26 @@ fn hist_json(h: &Histogram) -> String {
 /// `counter` / `gauge` / `histogram` object per line. This is the
 /// export path for registries that live outside a simulation — e.g. the
 /// sweep engine's progress metrics — where no [`SimStats`] exists.
-pub fn write_registry_jsonl<W: Write>(w: &mut W, registry: &Registry) -> io::Result<()> {
+/// Returns the number of lines written; an empty registry is an error
+/// (there was nothing to export, so the artifact would be a lie).
+pub fn write_registry_jsonl<W: Write>(w: &mut W, registry: &Registry) -> io::Result<usize> {
+    let n = registry_lines(w, registry)?;
+    nonempty("registry.jsonl", n)
+}
+
+/// The registry body shared by [`write_registry_jsonl`] and
+/// [`write_metrics_jsonl`]. No empty guard here: embedded in the
+/// metrics artifact an empty registry is fine (the derived lines carry
+/// the export).
+fn registry_lines<W: Write>(w: &mut W, registry: &Registry) -> io::Result<usize> {
+    let mut n = 0;
     for (name, v) in registry.counters() {
         writeln!(
             w,
             "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
             json_escape(name)
         )?;
+        n += 1;
     }
     for (name, v) in registry.gauges() {
         writeln!(
@@ -75,6 +128,7 @@ pub fn write_registry_jsonl<W: Write>(w: &mut W, registry: &Registry) -> io::Res
             json_escape(name),
             json_f64(v)
         )?;
+        n += 1;
     }
     for (name, h) in registry.hists() {
         writeln!(
@@ -83,8 +137,9 @@ pub fn write_registry_jsonl<W: Write>(w: &mut W, registry: &Registry) -> io::Res
             json_escape(name),
             hist_json(h)
         )?;
+        n += 1;
     }
-    Ok(())
+    Ok(n)
 }
 
 /// Write the metrics artifact: one self-describing JSON object per line.
@@ -92,7 +147,7 @@ pub fn write_registry_jsonl<W: Write>(w: &mut W, registry: &Registry) -> io::Res
 /// Line kinds: `counter`, `gauge`, `histogram` (registry instruments),
 /// `derived` (the [`SimStats`] metric methods), `branch_pc` (one line per
 /// static branch site), `path_hist` (lifetime / kill-depth), and `host`
-/// (self-profiling) when available.
+/// (self-profiling) when available. Returns the number of lines written.
 pub fn write_metrics_jsonl<W: Write>(
     w: &mut W,
     stats: &SimStats,
@@ -100,7 +155,8 @@ pub fn write_metrics_jsonl<W: Write>(
     registry: &Registry,
     branches: &BranchTable,
     paths: &PathTable,
-) -> io::Result<()> {
+) -> io::Result<usize> {
+    let mut n = 0;
     // Derived metrics: the paper's evaluation numbers, computed by the
     // shared SimStats helpers so every consumer agrees on the formulas.
     let derived: [(&str, f64); 9] = [
@@ -120,6 +176,7 @@ pub fn write_metrics_jsonl<W: Write>(
             "{{\"kind\":\"derived\",\"name\":\"{name}\",\"value\":{}}}",
             json_f64(v)
         )?;
+        n += 1;
     }
     let raw: [(&str, u64); 8] = [
         ("cycles", stats.cycles),
@@ -136,9 +193,10 @@ pub fn write_metrics_jsonl<W: Write>(
             w,
             "{{\"kind\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}"
         )?;
+        n += 1;
     }
 
-    write_registry_jsonl(w, registry)?;
+    n += registry_lines(w, registry)?;
 
     writeln!(
         w,
@@ -150,6 +208,7 @@ pub fn write_metrics_jsonl<W: Write>(
         "{{\"kind\":\"path_hist\",\"name\":\"path_kill_depth\",\"value\":{}}}",
         hist_json(&paths.kill_depth)
     )?;
+    n += 2;
 
     for (pc, s) in branches.sorted() {
         writeln!(
@@ -168,6 +227,7 @@ pub fn write_metrics_jsonl<W: Write>(
             json_f64(s.mispredict_rate()),
             json_f64(s.pvn()),
         )?;
+        n += 1;
     }
 
     if let Some(p) = host {
@@ -179,42 +239,52 @@ pub fn write_metrics_jsonl<W: Write>(
                 "{{\"kind\":\"host\",\"name\":\"kips\",\"value\":{}}}",
                 json_f64(kips)
             )?;
+            n += 1;
         }
         writeln!(
             w,
             "{{\"kind\":\"host\",\"name\":\"wall_seconds\",\"value\":{}}}",
             json_f64(p.wall.as_secs_f64())
         )?;
+        n += 1;
         for (name, d) in p.phases() {
             writeln!(
                 w,
                 "{{\"kind\":\"host\",\"name\":\"phase_{name}_seconds\",\"value\":{}}}",
                 json_f64(d.as_secs_f64())
             )?;
+            n += 1;
         }
     }
-    Ok(())
+    nonempty("metrics.jsonl", n)
 }
 
-/// Write the cycle-sampled machine-state time series as CSV.
-pub fn write_timeseries_csv<W: Write>(w: &mut W, ts: &TimeSeries) -> io::Result<()> {
+/// Write the cycle-sampled machine-state time series as CSV. Returns
+/// the number of data rows (the header doesn't count — a header-only
+/// CSV is an empty export and errors).
+pub fn write_timeseries_csv<W: Write>(w: &mut W, ts: &TimeSeries) -> io::Result<usize> {
     writeln!(
         w,
         "cycle,live_paths,fetching_paths,window_occupancy,frontend_occupancy"
     )?;
+    let mut n = 0;
     for r in ts.rows() {
         writeln!(
             w,
             "{},{},{},{},{}",
             r.cycle, r.live_paths, r.fetching_paths, r.window_occupancy, r.frontend_occupancy
         )?;
+        n += 1;
     }
-    Ok(())
+    nonempty("timeseries.csv", n)
 }
 
 /// Write the Chrome trace-event artifact
-/// (`chrome://tracing` / Perfetto "load trace file" format).
-pub fn write_chrome_trace<W: Write>(w: &mut W, trace: &ChromeTrace) -> io::Result<()> {
+/// (`chrome://tracing` / Perfetto "load trace file" format). Returns
+/// the number of trace events written (process/thread metadata doesn't
+/// count, so an event-free trace is an empty export and errors).
+pub fn write_chrome_trace<W: Write>(w: &mut W, trace: &ChromeTrace) -> io::Result<usize> {
+    nonempty("trace.json", trace.events().len())?;
     write!(w, "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")?;
     let mut first = true;
     let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
@@ -272,7 +342,7 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, trace: &ChromeTrace) -> io::Resul
         write!(w, "}}")?;
     }
     writeln!(w, "]}}")?;
-    Ok(())
+    Ok(trace.events().len())
 }
 
 #[cfg(test)]
@@ -304,9 +374,10 @@ mod tests {
         };
 
         let mut buf = Vec::new();
-        write_metrics_jsonl(&mut buf, &stats, None, &reg, &branches, &paths).unwrap();
+        let n = write_metrics_jsonl(&mut buf, &stats, None, &reg, &branches, &paths).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(!text.is_empty());
+        assert_eq!(n, text.lines().count(), "returned count = lines written");
         for line in text.lines() {
             assert!(
                 line.starts_with('{') && line.ends_with('}'),
@@ -339,7 +410,7 @@ mod tests {
             frontend_occupancy: 4,
         });
         let mut buf = Vec::new();
-        write_timeseries_csv(&mut buf, &ts).unwrap();
+        assert_eq!(write_timeseries_csv(&mut buf, &ts).unwrap(), 1);
         let text = String::from_utf8(buf).unwrap();
         let mut lines = text.lines();
         assert_eq!(
@@ -350,12 +421,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_record_exports_are_named_errors() {
+        let cases: [(&str, io::Result<usize>); 3] = [
+            (
+                "registry.jsonl",
+                write_registry_jsonl(&mut Vec::new(), &Registry::new()),
+            ),
+            (
+                "timeseries.csv",
+                write_timeseries_csv(&mut Vec::new(), &TimeSeries::new(1)),
+            ),
+            (
+                "trace.json",
+                write_chrome_trace(&mut Vec::new(), &ChromeTrace::new()),
+            ),
+        ];
+        for (artifact, res) in cases {
+            let err = res.expect_err(artifact);
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{artifact}");
+            let inner = err
+                .get_ref()
+                .and_then(|e| e.downcast_ref::<EmptyExportError>())
+                .unwrap_or_else(|| panic!("{artifact}: not an EmptyExportError: {err}"));
+            assert_eq!(inner.artifact, artifact);
+            assert!(err.to_string().contains("zero records"), "{err}");
+        }
+        // But an empty registry embedded in the metrics artifact is fine:
+        // the derived lines carry the export.
+        let mut buf = Vec::new();
+        let n = write_metrics_jsonl(
+            &mut buf,
+            &SimStats::default(),
+            None,
+            &Registry::new(),
+            &BranchTable::new(),
+            &PathTable::new(),
+        )
+        .expect("metrics always has derived lines");
+        assert!(n >= 17, "derived + raw + path_hist lines, got {n}");
+    }
+
+    #[test]
     fn chrome_trace_is_wellformed() {
         let mut t = ChromeTrace::new();
         t.span("add @12".into(), "exec", 0, 3, 6, vec![("fid", "9".into())]);
         t.instant("kill".into(), "kill", 2, 8);
         let mut buf = Vec::new();
-        write_chrome_trace(&mut buf, &t).unwrap();
+        assert_eq!(write_chrome_trace(&mut buf, &t).unwrap(), 2);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("{\"displayTimeUnit\""));
         assert!(text.trim_end().ends_with("]}"));

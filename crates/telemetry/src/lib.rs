@@ -66,7 +66,7 @@ mod trace;
 pub use attribution::{BranchTable, PathTable, PcStats, TimeSeries};
 pub use export::{
     json_escape, json_f64, write_chrome_trace, write_metrics_jsonl, write_registry_jsonl,
-    write_timeseries_csv,
+    write_timeseries_csv, EmptyExportError,
 };
 pub use observer::{TelemetryArtifacts, TelemetryConfig, TelemetryObserver};
 pub use registry::{CounterId, GaugeId, HistId, Histogram, Registry};

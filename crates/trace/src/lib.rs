@@ -1,0 +1,469 @@
+//! # pp-trace — causal per-instruction pipeline tracing
+//!
+//! [`pp_telemetry`] aggregates (counters, histograms, attribution
+//! tables); this crate keeps the *individual* story: one [`InstSpan`]
+//! per fetched instruction, carrying its full lifecycle — fetch →
+//! dispatch → issue → writeback → commit or kill — with CTX path/tag
+//! attribution, built from the same [`pp_core::PipelineObserver`] hook
+//! everything else uses. Strictly opt-in: with no collector attached the
+//! simulator constructs nothing, and attaching one is byte-invisible to
+//! `SimStats` (pinned by the golden invisibility tests).
+//!
+//! What you can do with the spans:
+//!
+//! * [`SpanCollector::to_chrome_trace`] — a Perfetto-loadable timeline
+//!   (one trace thread per CTX path slot, one span per pipeline stage),
+//!   via [`pp_telemetry::ChromeTrace`];
+//! * [`SpanCollector::spans_csv`] — flat CSV for offline analysis;
+//! * [`stall_csv_header`] / [`stall_csv_row`] — render a
+//!   [`pp_core::StallStack`] (the CPI stall stack the `stallstack`
+//!   experiment sweeps) next to its `SimStats` totals.
+//!
+//! ```
+//! use pp_core::{SimConfig, Simulator};
+//! use pp_isa::{reg, Asm};
+//! use pp_trace::SpanCollector;
+//!
+//! # fn main() -> Result<(), pp_isa::AsmError> {
+//! let mut a = Asm::new();
+//! a.li(reg::T0, 5);
+//! a.halt();
+//! let program = a.assemble()?;
+//!
+//! let mut sim = Simulator::new(&program, SimConfig::baseline());
+//! sim.set_observer(Box::new(SpanCollector::new()));
+//! sim.run();
+//! let spans = SpanCollector::from_box(sim.take_observer().unwrap()).unwrap();
+//! assert_eq!(spans.iter().filter(|s| s.committed.is_some()).count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use pp_core::{
+    CommitRecord, FetchId, PipeEvent, PipelineObserver, SimStats, StallStack, STALL_CAUSES,
+};
+use pp_ctx::CtxTag;
+use pp_isa::Op;
+use pp_telemetry::ChromeTrace;
+
+/// One instruction's lifecycle, cycle-stamped per stage. `None` means
+/// the instruction never reached that stage (killed early, or still in
+/// flight when the run ended).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstSpan {
+    /// Fetch identity (dense, monotone — the collector indexes by it).
+    pub fid: u64,
+    /// Static PC.
+    pub pc: usize,
+    /// The instruction.
+    pub op: Option<Op>,
+    /// CTX path slot the instruction was fetched on.
+    pub path: u32,
+    /// Cycle it entered the front-end.
+    pub fetched: u64,
+    /// Cycle it renamed into the window.
+    pub dispatched: Option<u64>,
+    /// Cycle it began execution.
+    pub issued: Option<u64>,
+    /// Cycle its result wrote back.
+    pub completed: Option<u64>,
+    /// Cycle it resolved (branches and returns only).
+    pub resolved: Option<u64>,
+    /// Cycle it retired architecturally.
+    pub committed: Option<u64>,
+    /// Cycle it was squashed as wrong-path work.
+    pub killed: Option<u64>,
+    /// SEE diverged at this branch.
+    pub diverged: bool,
+    /// Resolution found this branch mispredicted.
+    pub mispredicted: bool,
+    /// Fetch-time CTX tag, recorded at commit (see
+    /// [`pp_core::CommitRecord::ctx`]); `None` for killed or in-flight
+    /// instructions, whose tags the observer stream does not carry.
+    pub ctx: Option<CtxTag>,
+}
+
+impl InstSpan {
+    fn new(fid: u64) -> Self {
+        InstSpan {
+            fid,
+            pc: 0,
+            op: None,
+            path: 0,
+            fetched: 0,
+            dispatched: None,
+            issued: None,
+            completed: None,
+            resolved: None,
+            committed: None,
+            killed: None,
+            diverged: false,
+            mispredicted: false,
+            ctx: None,
+        }
+    }
+
+    /// Cycle the span ends: commit, kill, or (still in flight) `None`.
+    pub fn retired(&self) -> Option<u64> {
+        self.committed.or(self.killed)
+    }
+
+    /// `"commit"`, `"kill"`, or `"in-flight"`.
+    pub fn outcome(&self) -> &'static str {
+        if self.committed.is_some() {
+            "commit"
+        } else if self.killed.is_some() {
+            "kill"
+        } else {
+            "in-flight"
+        }
+    }
+}
+
+/// A [`PipelineObserver`] that builds one [`InstSpan`] per fetched
+/// instruction. Fetch ids are assigned densely from zero, so storage is
+/// a flat `Vec` indexed by fid — O(1) per event, no map lookups.
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    spans: Vec<InstSpan>,
+    last_cycle: u64,
+}
+
+impl SpanCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recover the concrete collector from
+    /// [`pp_core::Simulator::take_observer`]'s boxed trait object.
+    pub fn from_box(b: Box<dyn PipelineObserver>) -> Option<Self> {
+        b.into_any().downcast::<SpanCollector>().ok().map(|b| *b)
+    }
+
+    /// Spans in fetch order.
+    pub fn iter(&self) -> impl Iterator<Item = &InstSpan> {
+        self.spans.iter()
+    }
+
+    /// Number of instructions observed.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` before any instruction was observed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Last cycle any event was seen on (closes in-flight spans).
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+
+    fn span_mut(&mut self, fid: FetchId) -> &mut InstSpan {
+        let idx = fid.0 as usize;
+        while self.spans.len() <= idx {
+            let next = self.spans.len() as u64;
+            self.spans.push(InstSpan::new(next));
+        }
+        &mut self.spans[idx]
+    }
+
+    /// Convert the spans into a Chrome trace: one trace thread per CTX
+    /// path slot, one complete-event span per stage an instruction
+    /// occupied (`fetch` → `window` → `exec` → `retire-wait`), an
+    /// instant per kill, and outcome/CTX annotations in the `args`.
+    /// Caps at `max_events` (see
+    /// [`pp_telemetry::DEFAULT_MAX_TRACE_EVENTS`]).
+    pub fn to_chrome_trace(&self, max_events: usize) -> ChromeTrace {
+        let mut t = ChromeTrace::with_capacity(max_events);
+        let end_of_run = self.last_cycle + 1;
+        for s in self.iter() {
+            let name = |stage: &str| {
+                let op = s.op.map_or_else(|| "?".to_string(), |o| o.to_string());
+                format!("{stage} {op} @{}", s.pc)
+            };
+            let args = || {
+                vec![
+                    ("outcome", format!("\"{}\"", s.outcome())),
+                    (
+                        "ctx",
+                        format!(
+                            "\"{}\"",
+                            s.ctx.map_or_else(|| "?".to_string(), |c| c.annotate())
+                        ),
+                    ),
+                ]
+            };
+            let end = s.retired().unwrap_or(end_of_run);
+            let dispatched = s.dispatched.unwrap_or(end);
+            t.span(
+                name("fetch"),
+                "fetch",
+                s.path,
+                s.fetched,
+                dispatched,
+                args(),
+            );
+            if let Some(d) = s.dispatched {
+                t.span(
+                    name("window"),
+                    "window",
+                    s.path,
+                    d,
+                    s.issued.unwrap_or(end),
+                    args(),
+                );
+            }
+            if let Some(i) = s.issued {
+                t.span(
+                    name("exec"),
+                    "exec",
+                    s.path,
+                    i,
+                    s.completed.unwrap_or(end),
+                    args(),
+                );
+            }
+            if let Some(c) = s.completed {
+                if end > c {
+                    t.span(name("retire-wait"), "retire", s.path, c, end, args());
+                }
+            }
+            if let Some(k) = s.killed {
+                t.instant(name("kill"), "kill", s.path, k);
+            }
+        }
+        t
+    }
+
+    /// Flat CSV of every span (header + one row per instruction).
+    pub fn spans_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "fid,pc,op,path,fetched,dispatched,issued,completed,resolved,retired,outcome,ctx\n",
+        );
+        let opt = |v: Option<u64>| v.map_or_else(String::new, |c| c.to_string());
+        for s in self.iter() {
+            // Op Display uses ", " between operands; keep the CSV
+            // splittable by rendering the separator as a space.
+            let op =
+                s.op.map_or_else(|| "?".to_string(), |o| o.to_string().replace(',', ""));
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.fid,
+                s.pc,
+                op,
+                s.path,
+                s.fetched,
+                opt(s.dispatched),
+                opt(s.issued),
+                opt(s.completed),
+                opt(s.resolved),
+                opt(s.retired()),
+                s.outcome(),
+                s.ctx.map_or_else(|| "?".to_string(), |c| c.annotate()),
+            );
+        }
+        out
+    }
+}
+
+impl PipelineObserver for SpanCollector {
+    fn event(&mut self, ev: &PipeEvent) {
+        self.last_cycle = self.last_cycle.max(ev.cycle());
+        match *ev {
+            PipeEvent::Fetched {
+                cycle,
+                fid,
+                pc,
+                path,
+                op,
+            } => {
+                let s = self.span_mut(fid);
+                s.fetched = cycle;
+                s.pc = pc;
+                s.op = Some(op);
+                s.path = path.index() as u32;
+            }
+            PipeEvent::Diverged { branch, .. } => self.span_mut(branch).diverged = true,
+            PipeEvent::Dispatched { cycle, fid, .. } => {
+                self.span_mut(fid).dispatched = Some(cycle);
+            }
+            PipeEvent::Issued { cycle, fid } => self.span_mut(fid).issued = Some(cycle),
+            PipeEvent::Completed { cycle, fid } => self.span_mut(fid).completed = Some(cycle),
+            PipeEvent::Resolved {
+                cycle,
+                fid,
+                mispredicted,
+                ..
+            } => {
+                let s = self.span_mut(fid);
+                s.resolved = Some(cycle);
+                s.mispredicted = mispredicted;
+            }
+            PipeEvent::Redirected { .. } => {}
+            PipeEvent::Killed { cycle, fid, .. } => self.span_mut(fid).killed = Some(cycle),
+            PipeEvent::Committed { cycle, fid } => self.span_mut(fid).committed = Some(cycle),
+        }
+    }
+
+    fn commit(&mut self, r: &CommitRecord) {
+        self.span_mut(r.fid).ctx = Some(r.ctx);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Header for the CPI stall-stack CSV ([`stall_csv_row`]).
+pub fn stall_csv_header() -> String {
+    let mut out = String::from("workload,config,cycles,commit_width,committed,commit_slots");
+    for c in STALL_CAUSES {
+        out.push(',');
+        out.push_str(c.name());
+    }
+    out.push_str(",total_slots,cpi\n");
+    out
+}
+
+/// One CSV row of a run's stall stack next to its `SimStats` totals.
+/// Columns match [`stall_csv_header`]; the conservation invariant is
+/// `total_slots == cycles * commit_width`.
+pub fn stall_csv_row(
+    workload: &str,
+    config: &str,
+    commit_width: u64,
+    stats: &SimStats,
+    st: &StallStack,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{workload},{config},{},{commit_width},{},{}",
+        stats.cycles, stats.committed_instructions, st.commit_slots,
+    );
+    for c in STALL_CAUSES {
+        let _ = write!(out, ",{}", st.get(c));
+    }
+    let cpi = if stats.committed_instructions == 0 {
+        0.0
+    } else {
+        stats.cycles as f64 / stats.committed_instructions as f64
+    };
+    let _ = writeln!(out, ",{},{cpi:.4}", st.total_slots());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{SimConfig, Simulator};
+    use pp_isa::{reg, Asm, Operand, Program};
+
+    fn branchy_program() -> Program {
+        let mut a = Asm::new();
+        a.li(reg::T0, 0);
+        a.li(reg::T1, 0);
+        let top = a.here();
+        a.and(reg::T2, reg::T0, 3i64);
+        let skip = a.new_label();
+        a.bne(reg::T2, 0i64, skip);
+        a.addi(reg::T1, reg::T1, 1);
+        a.bind(skip).unwrap();
+        a.addi(reg::T0, reg::T0, 1);
+        a.blt(reg::T0, Operand::imm(60), top);
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    fn collect(cfg: SimConfig) -> (SpanCollector, pp_core::SimStats) {
+        let p = branchy_program();
+        let mut sim = Simulator::new(&p, cfg);
+        sim.set_observer(Box::new(SpanCollector::new()));
+        let stats = sim.run();
+        let spans =
+            SpanCollector::from_box(sim.take_observer().expect("attached")).expect("downcasts");
+        (spans, stats)
+    }
+
+    #[test]
+    fn spans_cover_every_fetched_instruction() {
+        let (spans, stats) = collect(SimConfig::baseline());
+        assert_eq!(spans.len() as u64, stats.fetched_instructions);
+        let committed = spans.iter().filter(|s| s.committed.is_some()).count() as u64;
+        assert_eq!(committed, stats.committed_instructions);
+        let killed = spans.iter().filter(|s| s.killed.is_some()).count() as u64;
+        assert_eq!(killed, stats.killed_instructions);
+    }
+
+    #[test]
+    fn stage_timestamps_are_monotone() {
+        let (spans, _) = collect(SimConfig::baseline());
+        for s in spans.iter() {
+            if let Some(d) = s.dispatched {
+                assert!(d >= s.fetched, "fid {}: dispatch before fetch", s.fid);
+                if let Some(i) = s.issued {
+                    assert!(i >= d, "fid {}: issue before dispatch", s.fid);
+                    if let Some(w) = s.completed {
+                        assert!(w > i, "fid {}: writeback not after issue", s.fid);
+                        if let Some(c) = s.committed {
+                            assert!(c >= w, "fid {}: commit before writeback", s.fid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn committed_spans_carry_ctx_and_outcome() {
+        let (spans, _) = collect(SimConfig::baseline());
+        for s in spans.iter().filter(|s| s.committed.is_some()) {
+            assert!(s.ctx.is_some(), "fid {}: committed without CTX", s.fid);
+            assert_eq!(s.outcome(), "commit");
+        }
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.killed.is_some() && s.outcome() == "kill"),
+            "SEE on a badly predicted branch produces wrong-path kills"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_and_csv_render() {
+        let (spans, _) = collect(SimConfig::baseline());
+        let t = spans.to_chrome_trace(pp_telemetry::DEFAULT_MAX_TRACE_EVENTS);
+        assert!(!t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events().iter().all(|e| e.ph != 'X' || e.dur >= 1));
+
+        let csv = spans.spans_csv();
+        let header_cols = csv.lines().next().expect("header").split(',').count();
+        assert_eq!(csv.lines().count(), spans.len() + 1);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn stall_csv_shape_matches_header() {
+        let p = branchy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        sim.enable_stall_accounting();
+        let stats = sim.run();
+        let st = *sim.stall_stack().expect("enabled");
+        let header = stall_csv_header();
+        let row = stall_csv_row("test", "see_jrs", 8, &stats, &st);
+        assert_eq!(
+            header.trim_end().split(',').count(),
+            row.trim_end().split(',').count()
+        );
+        assert!(row.starts_with("test,see_jrs,"));
+    }
+}
