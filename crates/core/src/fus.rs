@@ -42,6 +42,19 @@ pub fn eligible_units(class: InstClass) -> &'static [FuClass] {
     }
 }
 
+/// [`eligible_units`] as a bitmask of unit-class indices. With the mask
+/// of classes known saturated this cycle, the issue stage can refuse a
+/// candidate (`sat & bits == bits`) without re-probing the pool.
+pub fn eligibility_bits(class: InstClass) -> u8 {
+    eligible_units(class)
+        .iter()
+        .fold(0u8, |bits, &u| bits | 1 << class_index(u))
+}
+
+/// Every unit class saturated: nothing can issue for the rest of the
+/// cycle.
+pub const ALL_UNIT_CLASSES: u8 = 0b1_1111;
+
 /// Execution latency of an instruction class.
 pub fn latency(class: InstClass, lat: &LatencyConfig) -> u32 {
     match class {

@@ -127,4 +127,6 @@ pub use sim::Simulator;
 pub use stall::{StallCause, StallStack, STALL_CAUSES};
 pub use stats::{FuBusy, SimStats};
 pub use storebuf::{LoadCheck, SbEntry, StoreBuffer};
-pub use window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};
+pub use window::{
+    BranchInfo, Checkpoint, DestInfo, EntryState, IssueOutcome, MemInfo, Seq, WinEntry, Window,
+};

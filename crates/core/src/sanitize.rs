@@ -40,6 +40,12 @@
 //!   allocator's free-epoch clock or the cycle counter.
 //! - `divergence-count` — the cached live-divergence counter equals the
 //!   count over live unresolved diverged branches.
+//! - `soa-mask-coherence` — every window issue-candidate bit has a
+//!   matching live bit (candidacy is a refinement of liveness).
+//! - `soa-slot-conservation` — the live counters equal the popcounts of
+//!   the live bitmasks and the occupied span never exceeds the ring.
+//! - `soa-stale-bits` — no status bit survives on a slot outside the
+//!   occupied span (ring wrap-around leaves nothing behind).
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -48,7 +54,7 @@ use pp_isa::Op;
 
 use super::Simulator;
 use crate::regfile::PhysReg;
-use crate::window::{EntryState, Seq, WinEntry};
+use crate::window::{EntryRef, EntryState, Seq};
 
 /// One violated structural invariant, cycle-stamped.
 #[derive(Debug, Clone)]
@@ -83,6 +89,7 @@ impl Simulator {
         let mut out = Vec::new();
         self.sanitize_ctx(&mut out);
         self.sanitize_window(&mut out);
+        self.sanitize_soa(&mut out);
         self.sanitize_storebuf(&mut out);
         self.sanitize_registers(&mut out);
         self.sanitize_counters(&mut out);
@@ -147,14 +154,14 @@ impl Simulator {
         let mut owners = vec![0u32; self.positions.capacity()];
         for (e, _) in self.window.debug_iter() {
             if !e.killed {
-                if let Some(b) = &e.binfo {
+                if let Some(b) = e.binfo {
                     owners[b.position] += 1;
                 }
             }
         }
         for inst in self.frontend.debug_iter() {
             if !inst.killed {
-                if let Some(b) = &inst.binfo {
+                if let Some(b) = inst.binfo {
                     owners[b.position] += 1;
                 }
             }
@@ -208,12 +215,9 @@ impl Simulator {
     /// Window bookkeeping: the issue-candidate bitmap, the wakeup lists,
     /// and the completion ring against the entries they mirror.
     fn sanitize_window(&self, out: &mut Vec<Violation>) {
-        let mut live: HashMap<Seq, &WinEntry> = HashMap::new();
+        let mut live: HashMap<Seq, EntryRef<'_>> = HashMap::new();
 
         for (e, candidate) in self.window.debug_iter() {
-            if !e.killed {
-                live.insert(e.seq, e);
-            }
             let expect = !e.killed
                 && e.state == EntryState::Waiting
                 && e.srcs.iter().flatten().all(|&p| self.regfile.is_ready(p));
@@ -226,6 +230,9 @@ impl Simulator {
                         e.seq, e.pc, e.state, e.killed
                     ),
                 );
+            }
+            if !e.killed {
+                live.insert(e.seq, e);
             }
         }
 
@@ -336,6 +343,118 @@ impl Simulator {
         }
     }
 
+    /// SoA layout coherence: the slot ring and the status bitmasks of the
+    /// window and the front-end against each other and the occupied span.
+    fn sanitize_soa(&self, out: &mut Vec<Violation>) {
+        // ---- Window ----
+        let ring = self.window.ring_len();
+        let ring_mask = ring - 1;
+        let (front, back) = (self.window.front_seq(), self.window.back_seq());
+        let words = self.window.live_words.len();
+        let mut occupied = vec![0u64; words];
+        for seq in front..back {
+            let slot = seq as usize & ring_mask;
+            occupied[slot / 64] |= 1u64 << (slot % 64);
+        }
+
+        if (back - front) as usize > ring {
+            self.report(
+                out,
+                "soa-slot-conservation",
+                format!("window span [{front}, {back}) exceeds ring length {ring}"),
+            );
+        }
+        let live_pop: usize = self
+            .window
+            .live_words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        if live_pop != self.window.occupancy() {
+            self.report(
+                out,
+                "soa-slot-conservation",
+                format!(
+                    "window live counter {} but {live_pop} live mask bit(s)",
+                    self.window.occupancy()
+                ),
+            );
+        }
+
+        for (w, &occ) in occupied.iter().enumerate() {
+            let live = self.window.live_words.get(w).copied().unwrap_or(0);
+            let ready = self.window.ready_words.get(w).copied().unwrap_or(0);
+            let stray_candidate = ready & !live;
+            if stray_candidate != 0 {
+                self.report(
+                    out,
+                    "soa-mask-coherence",
+                    format!(
+                        "window candidate bits {stray_candidate:#018x} in word {w} \
+                         without matching live bits"
+                    ),
+                );
+            }
+            let stray_status = (live | ready) & !occ;
+            if stray_status != 0 {
+                self.report(
+                    out,
+                    "soa-stale-bits",
+                    format!(
+                        "window status bits {stray_status:#018x} in word {w} \
+                         outside the occupied span [{front}, {back})"
+                    ),
+                );
+            }
+        }
+        // ---- Front-end ----
+        let ring = self.frontend.ring_len();
+        let ring_mask = ring - 1;
+        let (head, tail) = (self.frontend.head(), self.frontend.tail());
+        let words = self.frontend.live_words.len();
+        let mut occupied = vec![0u64; words];
+        for idx in head..tail {
+            let slot = idx as usize & ring_mask;
+            occupied[slot / 64] |= 1u64 << (slot % 64);
+        }
+
+        if (tail - head) as usize > ring {
+            self.report(
+                out,
+                "soa-slot-conservation",
+                format!("front-end span [{head}, {tail}) exceeds ring length {ring}"),
+            );
+        }
+        let live_pop: usize = self
+            .frontend
+            .live_words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let live_latches = self.frontend.debug_iter().filter(|i| !i.killed).count();
+        if live_pop != live_latches {
+            self.report(
+                out,
+                "soa-slot-conservation",
+                format!("front-end has {live_latches} un-killed latch(es) but {live_pop} live mask bit(s)"),
+            );
+        }
+
+        for (w, &occ) in occupied.iter().enumerate() {
+            let stray = self.frontend.live_words.get(w).copied().unwrap_or(0) & !occ;
+            if stray != 0 {
+                self.report(
+                    out,
+                    "soa-stale-bits",
+                    format!(
+                        "front-end live bits {stray:#018x} in word {w} outside the \
+                         occupied span [{head}, {tail})"
+                    ),
+                );
+            }
+        }
+    }
+
     /// Store buffer: program ordering, live accounting, one-to-one
     /// correspondence with live window stores, and eager-tag liveness.
     fn sanitize_storebuf(&self, out: &mut Vec<Violation>) {
@@ -420,7 +539,7 @@ impl Simulator {
                 referenced[d.new.0 as usize] = true;
                 referenced[d.old.0 as usize] = true;
             }
-            if let Some(cp) = e.binfo.as_ref().and_then(|b| b.checkpoint.as_ref()) {
+            if let Some(cp) = e.binfo.and_then(|b| b.checkpoint.as_ref()) {
                 for &r in cp.regmap.raw() {
                     referenced[r as usize] = true;
                 }
@@ -462,7 +581,7 @@ impl Simulator {
             if e.killed {
                 continue;
             }
-            if let Some(b) = &e.binfo {
+            if let Some(b) = e.binfo {
                 if b.diverged && !b.resolved {
                     divergences += 1;
                 }
@@ -482,7 +601,7 @@ impl Simulator {
             if inst.killed {
                 continue;
             }
-            if let Some(b) = &inst.binfo {
+            if let Some(b) = inst.binfo {
                 if b.diverged {
                     divergences += 1;
                 }
@@ -576,6 +695,66 @@ mod tests {
         let violations = sim.sanitize();
         assert!(
             violations.iter().any(|v| v.invariant == "divergence-count"),
+            "{violations:?}"
+        );
+    }
+
+    /// Advance until the window holds at least one live entry, so tests
+    /// can corrupt an occupied slot.
+    fn run_until_window_occupied(sim: &mut Simulator) -> usize {
+        for _ in 0..1000 {
+            if sim.window.occupancy() > 0 {
+                let slot = sim.window.front_seq() as usize & (sim.window.ring_len() - 1);
+                return slot;
+            }
+            sim.cycle();
+        }
+        panic!("window never became occupied");
+    }
+
+    #[test]
+    fn candidate_bit_without_live_bit_is_reported() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        let slot = run_until_window_occupied(&mut sim);
+        // Turn the occupied head into a corpse that still carries an
+        // issue-candidate bit: candidacy must be a refinement of liveness.
+        sim.window.live_words[slot / 64] &= !(1u64 << (slot % 64));
+        sim.window.ready_words[slot / 64] |= 1u64 << (slot % 64);
+        let violations = sim.sanitize();
+        assert!(
+            violations.iter().any(|v| v.invariant == "soa-mask-coherence"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn live_counter_drift_is_reported() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        let slot = run_until_window_occupied(&mut sim);
+        // Clear the head's live bit behind the counter's back.
+        sim.window.live_words[slot / 64] &= !(1u64 << (slot % 64));
+        let violations = sim.sanitize();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "soa-slot-conservation" && v.detail.contains("window")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn stale_bit_outside_the_span_is_reported() {
+        let p = loopy_program();
+        let mut sim = Simulator::new(&p, SimConfig::baseline());
+        // The front-end is empty at reset, so any surviving live bit sits
+        // outside the occupied span — exactly the wrap-around residue the
+        // invariant exists to catch.
+        sim.frontend.live_words[0] |= 1;
+        let violations = sim.sanitize();
+        assert!(
+            violations.iter().any(|v| v.invariant == "soa-stale-bits"),
             "{violations:?}"
         );
     }

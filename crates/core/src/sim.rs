@@ -32,7 +32,9 @@ use crate::selfprof::{self, HostProfile};
 use crate::stall::{StallCause, StallStack};
 use crate::stats::SimStats;
 use crate::storebuf::{LoadCheck, StoreBuffer};
-use crate::window::{BranchInfo, Checkpoint, DestInfo, EntryState, MemInfo, Seq, WinEntry, Window};
+use crate::window::{
+    BranchInfo, Checkpoint, DestInfo, EntryState, IssueOutcome, MemInfo, Seq, WinEntry, Window,
+};
 
 /// Step budget for the functional pre-run that generates oracle traces and
 /// the co-simulation reference.
@@ -409,6 +411,9 @@ impl Simulator {
                 self.stats.hit_cycle_limit = true;
                 break;
             }
+            if self.cfg.fast_forward {
+                self.try_fast_forward();
+            }
             self.cycle();
             assert!(
                 self.now - self.last_commit_cycle < DEADLOCK_CYCLES,
@@ -430,6 +435,129 @@ impl Simulator {
             p.committed = self.stats.committed_instructions;
         }
         self.stats.clone()
+    }
+
+    /// Quiescent-cycle elision ([`SimConfig::fast_forward`]): when the
+    /// machine can prove that every stage is inert until a known future
+    /// cycle, jump the clock there in one step, bulk-charging exactly the
+    /// statistics the skipped cycles would have recorded.
+    ///
+    /// A cycle is inert when it mutates nothing but per-cycle accounting:
+    /// no commit (head not `Done`), no writeback (completion bucket
+    /// empty), no issue (candidate bitmap empty), no dispatch (front-end
+    /// empty, or its live head still immature, or structurally stalled on
+    /// a full window), and no fetch (the lone path parked, or the
+    /// front-end full). The jump target is the earliest cycle any of
+    /// that changes: the next scheduled completion, the front-end head's
+    /// maturation, the configured cycle limit, or the deadlock horizon —
+    /// whichever comes first — and the machine re-enters the exact
+    /// cycle-by-cycle loop there. Restricted to a single live path with
+    /// no live divergences and no instrumentation attached, so committed
+    /// statistics stay bit-identical to the full simulation (pinned by
+    /// the golden invisibility suite and the differential fuzzer).
+    fn try_fast_forward(&mut self) {
+        // Instrumented runs observe every cycle; never elide under them.
+        if self.observer.is_some()
+            || self.stallstack.is_some()
+            || self.flight.is_some()
+            || self.selfprof.is_some()
+        {
+            return;
+        }
+        if self.halted || self.paths.live() != 1 || self.live_divergences != 0 {
+            return;
+        }
+        // Commit inert: no completed head. (Corpses ahead of the first
+        // live entry are fine — reclaiming them is timing-invariant and
+        // the re-entry cycle does it.)
+        if self
+            .window
+            .iter_live()
+            .next()
+            .is_some_and(|e| e.state == EntryState::Done)
+        {
+            return;
+        }
+        // Issue inert: nothing on the candidate bitmap (an FU-blocked
+        // candidate would retry on a schedule of its own; do not elide).
+        if self.window.ready_words.iter().any(|&w| w != 0) {
+            return;
+        }
+
+        // The deadlock horizon and the cycle limit always bound the jump;
+        // landing one cycle short of the horizon lets the re-entry cycle
+        // trip the normal no-forward-progress check.
+        let mut next_event = self
+            .cfg
+            .max_cycles
+            .min(self.last_commit_cycle + DEADLOCK_CYCLES - 1);
+
+        // Writeback inert until the next non-empty completion bucket.
+        let ring = self.completions.len() as u64;
+        for d in 0..ring {
+            if !self.completions[((self.now + d) % ring) as usize].is_empty() {
+                if d == 0 {
+                    return; // a completion is due this very cycle
+                }
+                next_event = next_event.min(self.now + d);
+                break;
+            }
+        }
+
+        // Dispatch: an empty front-end is inert; a live immature head is
+        // inert until it matures; a mature head held back by a full
+        // window is a structural stall charged per skipped cycle;
+        // anything else would make progress.
+        let mut charge_dispatch_full = false;
+        match self.frontend.peek_head() {
+            None => {}
+            Some((false, _)) => return, // corpse reclaimed this cycle
+            Some((true, fetched)) => {
+                let mature_at = fetched + self.cfg.frontend_latency();
+                if mature_at > self.now {
+                    next_event = next_event.min(mature_at);
+                } else if self.window.is_full() {
+                    charge_dispatch_full = true;
+                } else {
+                    return; // would dispatch
+                }
+            }
+        }
+
+        // Fetch: inert when the lone path is parked (charged as a
+        // no-path stall every cycle) or when the front-end has no room.
+        let fetching = self
+            .paths
+            .iter()
+            .next()
+            .is_some_and(|(_, p)| p.fetching);
+        if fetching && !self.frontend.is_full() {
+            return; // would fetch
+        }
+
+        if next_event <= self.now {
+            return;
+        }
+        let skipped = next_event - self.now;
+
+        // Bulk-charge exactly what `cycle()` would have recorded over the
+        // skipped span.
+        let fus = &self.cfg.fus;
+        let s = &mut self.stats;
+        s.fu_int0.capacity_cycles += fus.int0 as u64 * skipped;
+        s.fu_int1.capacity_cycles += fus.int1 as u64 * skipped;
+        s.fu_fp_add.capacity_cycles += fus.fp_add as u64 * skipped;
+        s.fu_fp_mul.capacity_cycles += fus.fp_mul as u64 * skipped;
+        s.fu_mem.capacity_cycles += fus.mem_ports as u64 * skipped;
+        s.record_path_count_many(1, skipped);
+        s.window_occupancy_sum += self.window.occupancy() as u64 * skipped;
+        if !fetching {
+            s.fetch_stall_no_path += skipped;
+        }
+        if charge_dispatch_full {
+            s.dispatch_stall_window_full += skipped;
+        }
+        self.now = next_event;
     }
 
     /// Simulate a single cycle.
@@ -534,18 +662,17 @@ impl Simulator {
             let Some(head) = self.window.head_mut() else {
                 break;
             };
-            if head.state != EntryState::Done {
+            if *head.state != EntryState::Done {
                 break;
             }
             // In-order (commit-time) resolution: the kill/recovery bus
             // fires only when the branch reaches the head (§3.1's
             // Pentium-Pro variant).
             if self.cfg.resolve_at_commit {
-                if let Some(b) = &head.binfo {
-                    if !b.resolved {
-                        let seq = head.seq;
-                        self.resolve_branch(seq);
-                    }
+                let seq = head.seq;
+                let unresolved = head.binfo.as_ref().is_some_and(|b| !b.resolved);
+                if unresolved {
+                    self.resolve_branch(seq);
                 }
             }
             let e = self.window.pop_head();
@@ -619,7 +746,7 @@ impl Simulator {
                 StallCause::FetchStarved
             };
         };
-        match h.state {
+        match *h.state {
             EntryState::Waiting => {
                 if !h.srcs.iter().flatten().all(|&p| regfile.is_ready(p)) {
                     StallCause::OperandWait
@@ -753,9 +880,9 @@ impl Simulator {
 
     /// The branch commit bus (§3.2.2): invalidate the history position in
     /// every eager tag store in the machine, then reclaim it. The window
-    /// and front-end queue are exempt — their tags are lazy, and freeing
-    /// the position (which bumps its free epoch) is what retires the
-    /// stored bits there.
+    /// and front-end queue are exempt — their stored tags are lazy, and
+    /// freeing the position (which bumps its free epoch) is what retires
+    /// the stored bits there.
     fn release_branch_position(&mut self, pos: usize) {
         self.sb.invalidate_position(pos);
         let mut holding = self.path_tags.holding_position(pos);
@@ -815,10 +942,10 @@ impl Simulator {
             let Some(e) = window.get_live_by_seq(seq) else {
                 continue;
             };
-            debug_assert!(e.state == EntryState::Issued && e.complete_at == now);
-            e.state = EntryState::Done;
+            debug_assert!(*e.state == EntryState::Issued && *e.complete_at == now);
+            *e.state = EntryState::Done;
             let fid = e.fid;
-            let wrote = match (e.dest, e.result) {
+            let wrote = match (e.dest, *e.result) {
                 (Some(d), Some(v)) => Some((d.new, v)),
                 _ => None,
             };
@@ -862,7 +989,7 @@ impl Simulator {
         }
         b.resolved = true;
 
-        let parent_tag = e.ctx;
+        let parent_tag = *e.ctx;
         let born = e.born;
         let pos = b.position;
         let diverged = b.diverged;
@@ -992,7 +1119,7 @@ impl Simulator {
             if let Some(d) = k.dest {
                 regfile.release(d.new);
             }
-            if let Some(b) = &k.binfo {
+            if let Some(b) = k.binfo {
                 if !b.resolved && b.diverged {
                     *live_divergences -= 1;
                 }
@@ -1008,7 +1135,7 @@ impl Simulator {
                 fid: inst.fid,
                 stage: KillStage::FrontEnd,
             });
-            if let Some(b) = &inst.binfo {
+            if let Some(b) = inst.binfo {
                 positions.free(b.position);
                 if b.diverged {
                     *live_divergences -= 1;
@@ -1068,6 +1195,18 @@ impl Simulator {
         // stall classifier matches against the window head next cycle.
         *issue_block = None;
 
+        // Unit classes the pool has already refused this cycle. A later
+        // candidate whose whole eligibility set is saturated is refused
+        // without re-probing the pool (and once every class is saturated
+        // the scan stops outright) — with a full window and a handful of
+        // units, most of a busy cycle's candidates die here. The short
+        // cut is exact: it skips only pool probes that must fail and
+        // store-buffer checks whose sole observable effect (classifying
+        // the *first* refusal) has already happened. With the sanitizer
+        // armed every candidate still takes the full path, so the
+        // per-issue store-buffer cross-checks all run.
+        let mut sat = 0u8;
+
         window.for_each_issuable(|e| {
             debug_assert!(
                 e.srcs.iter().flatten().all(|&p| regfile.is_ready(p)),
@@ -1075,18 +1214,44 @@ impl Simulator {
             );
             let read = |slot: Option<PhysReg>| slot.map_or(0, |p| regfile.read(p));
             let class = e.op.class();
+            let elig = fus::eligibility_bits(class);
+            if !cfg.sanitize && sat & elig == elig && issue_block.is_some() {
+                return if sat == fus::ALL_UNIT_CLASSES {
+                    IssueOutcome::Stop
+                } else {
+                    IssueOutcome::Keep
+                };
+            }
+            // The pool refusal path shared by every arm below: classify
+            // the first refusal, remember the saturated classes, stop
+            // the scan once nothing can issue any more.
+            macro_rules! claim_fu_or_keep {
+                () => {
+                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
+                        if issue_block.is_none() {
+                            *issue_block = Some((e.seq, IssueBlock::Fu));
+                        }
+                        sat |= elig;
+                        return if sat == fus::ALL_UNIT_CLASSES && !cfg.sanitize {
+                            IssueOutcome::Stop
+                        } else {
+                            IssueOutcome::Keep
+                        };
+                    }
+                };
+            }
             let mut extra_latency = 0u64;
 
-            match e.op {
+            match *e.op {
                 Op::Load { offset, width, .. } => {
                     let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
-                    let check = sb.check_load(e.seq, &e.ctx, addr, width);
+                    let check = sb.check_load(e.seq, e.ctx, addr, width);
                     if cfg.sanitize {
                         // Cross-check the CTX-filtered fast path (which
                         // leans on lazy-tag/eager-tag equivalence and the
                         // buffer's seq ordering) against the naive model
                         // over the scrubbed load tag.
-                        let scrubbed = positions.scrub(e.ctx, e.born);
+                        let scrubbed = positions.scrub(*e.ctx, e.born);
                         let naive = sb.check_load_naive(e.seq, &scrubbed, addr, width);
                         assert_eq!(
                             check, naive,
@@ -1099,14 +1264,9 @@ impl Simulator {
                         if issue_block.is_none() {
                             *issue_block = Some((e.seq, IssueBlock::StoreBuffer));
                         }
-                        return false;
+                        return IssueOutcome::Keep;
                     }
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                     let (value, forwarded) = match check {
                         // Forwarded data must look exactly like a memory
                         // round-trip: a byte store truncates on write and
@@ -1124,12 +1284,12 @@ impl Simulator {
                         LoadCheck::Memory => (memory.read(addr, width), false),
                         LoadCheck::Block => unreachable!(),
                     };
-                    e.mem = Some(MemInfo {
+                    *e.mem = Some(MemInfo {
                         addr: Some(addr),
                         width,
                         forwarded,
                     });
-                    e.result = Some(value);
+                    *e.result = Some(value);
                     // D-cache model: cache-reading loads may miss
                     // (store-buffer forwards never touch the cache).
                     if let (Some(dc), false) = (dcache.as_mut(), forwarded) {
@@ -1142,60 +1302,35 @@ impl Simulator {
                     }
                 }
                 Op::Store { offset, width, .. } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                     let addr = (read(e.srcs[0]) as u64).wrapping_add(offset as u64);
                     let data = read(e.srcs[1]);
                     sb.set_addr_data(e.seq, addr, data);
-                    e.mem = Some(MemInfo {
+                    *e.mem = Some(MemInfo {
                         addr: Some(addr),
                         width,
                         forwarded: false,
                     });
                 }
                 Op::Alu { op, src2, .. } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                     let a = read(e.srcs[0]);
                     let bval = match src2 {
                         Operand::Imm(v) => v,
                         Operand::Reg(_) => read(e.srcs[1]),
                     };
-                    e.result = Some(alu_eval(op, a, bval));
+                    *e.result = Some(alu_eval(op, a, bval));
                 }
                 Op::Li { imm, .. } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
-                    e.result = Some(imm);
+                    claim_fu_or_keep!();
+                    *e.result = Some(imm);
                 }
                 Op::Fp { op, .. } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
-                    e.result = Some(fp_eval(op, read(e.srcs[0]), read(e.srcs[1])));
+                    claim_fu_or_keep!();
+                    *e.result = Some(fp_eval(op, read(e.srcs[0]), read(e.srcs[1])));
                 }
                 Op::Branch { cond, src2, .. } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                     let a = read(e.srcs[0]);
                     let bval = match src2 {
                         Operand::Imm(v) => v,
@@ -1205,45 +1340,30 @@ impl Simulator {
                     b.outcome = Some(cond_eval(cond, a, bval));
                 }
                 Op::Ret | Op::Jr { .. } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                     let target = read(e.srcs[0]);
                     let b = e.binfo.as_mut().expect("indirect jump without info");
                     b.actual_target = Some(target.max(0) as usize);
                 }
                 Op::Call { target } => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                     let _ = target;
-                    e.result = Some((e.pc + 1) as i64);
+                    *e.result = Some((e.pc + 1) as i64);
                 }
                 Op::Jump { .. } | Op::Halt | Op::Nop => {
-                    if fu_pool.try_issue(class, now, &cfg.latency).is_none() {
-                        if issue_block.is_none() {
-                            *issue_block = Some((e.seq, IssueBlock::Fu));
-                        }
-                        return false;
-                    }
+                    claim_fu_or_keep!();
                 }
             }
 
-            e.state = EntryState::Issued;
-            e.complete_at = now + fus::latency(class, &cfg.latency) as u64 + extra_latency;
-            let slot = (e.complete_at % completions.len() as u64) as usize;
+            *e.state = EntryState::Issued;
+            *e.complete_at = now + fus::latency(class, &cfg.latency) as u64 + extra_latency;
+            let slot = (*e.complete_at % completions.len() as u64) as usize;
             completions[slot].push(e.seq);
             emit(observer, || PipeEvent::Issued {
                 cycle: now,
                 fid: e.fid,
             });
-            true
+            IssueOutcome::Issued
         });
     }
 
@@ -1367,8 +1487,8 @@ impl Simulator {
         if let Op::Store { width, .. } = inst.op {
             // Store-buffer tags are eager (they receive the commit
             // broadcast), so scrub the lazy fetch snapshot on the way in.
-            let tag = self.positions.scrub(inst.ctx, inst.born);
-            self.sb.insert(seq, tag, width);
+            let scrubbed = self.positions.scrub(inst.ctx, inst.born);
+            self.sb.insert(seq, scrubbed, width);
         }
 
         emit(&mut self.observer, || PipeEvent::Dispatched {
@@ -1795,17 +1915,18 @@ impl Simulator {
     ) -> FetchId {
         let fid = FetchId(self.fid_next);
         self.fid_next += 1;
-        self.frontend.push(FetchedInst {
-            fid,
-            pc,
-            op,
-            ctx: tag,
-            born: self.positions.current_tick(),
-            path: pid,
-            fetch_cycle: self.now,
-            binfo,
-            killed: false,
-        });
+        self.frontend.push(
+            FetchedInst {
+                fid,
+                pc,
+                op,
+                ctx: tag,
+                born: self.positions.current_tick(),
+                path: pid,
+                fetch_cycle: self.now,
+                binfo,
+                killed: false,
+            });
         self.stats.fetched_instructions += 1;
         emit(&mut self.observer, || PipeEvent::Fetched {
             cycle: self.now,
@@ -1815,5 +1936,103 @@ impl Simulator {
             op,
         });
         fid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_isa::{reg, Asm};
+
+    /// A long serial multiply chain: after the front of the chain
+    /// dispatches, the machine spends most of its time waiting out the
+    /// multiplier latency with an empty candidate bitmap — exactly the
+    /// quiescent spans fast-forward exists to elide.
+    fn mul_chain_program() -> pp_isa::Program {
+        let mut a = Asm::new();
+        a.li(reg::T0, 3);
+        for _ in 0..64 {
+            a.mul(reg::T0, reg::T0, reg::T0);
+        }
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    /// A branchy reduction loop, to differentially cover kill/commit
+    /// interleavings around re-entry boundaries.
+    fn branchy_program() -> pp_isa::Program {
+        let mut a = Asm::new();
+        let buf = a.alloc_zeroed(8);
+        a.li(reg::T0, 200);
+        a.li(reg::T1, 0);
+        let top = a.here();
+        a.add(reg::T1, reg::T1, reg::T0);
+        a.st(reg::T1, reg::ZERO, buf as i64);
+        a.ld(reg::T2, reg::ZERO, buf as i64);
+        a.mul(reg::T2, reg::T2, reg::T2);
+        a.addi(reg::T0, reg::T0, -1);
+        a.bgt(reg::T0, 0, top);
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn fast_forward_actually_elides_cycles() {
+        let p = mul_chain_program();
+        let reference = Simulator::new(&p, SimConfig::baseline()).run();
+
+        let mut sim = Simulator::new(&p, SimConfig::baseline().with_fast_forward());
+        let mut elided = 0u64;
+        let mut executed = 0u64;
+        // Mirror of `run()`'s loop, instrumented to observe the jumps.
+        while !sim.halted {
+            assert!(sim.now < sim.cfg.max_cycles, "unexpected cycle-limit hit");
+            let before = sim.now;
+            sim.try_fast_forward();
+            elided += sim.now - before;
+            sim.cycle();
+            executed += 1;
+        }
+        sim.stats.cycles = sim.now;
+
+        assert_eq!(elided + executed, sim.now, "every cycle elided or executed");
+        assert!(
+            elided > executed,
+            "a serial multiply chain should be mostly quiescent \
+             (elided {elided}, executed {executed})"
+        );
+        assert_eq!(
+            sim.stats.to_json(),
+            reference.to_json(),
+            "fast-forward must be byte-invisible"
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_invisible_on_branchy_code() {
+        for cfg in [
+            SimConfig::baseline(),
+            SimConfig::monopath_baseline(),
+            SimConfig::baseline().with_commit_time_resolution(),
+        ] {
+            let p = branchy_program();
+            let reference = Simulator::new(&p, cfg.clone()).run();
+            let ff = Simulator::new(&p, cfg.clone().with_fast_forward()).run();
+            assert_eq!(ff.to_json(), reference.to_json(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_respects_the_cycle_limit() {
+        // Park the machine in an infinite quiescent wait (a load that
+        // never resolves is impossible here, so use a cycle limit tight
+        // enough to land inside a quiescent span instead).
+        let p = mul_chain_program();
+        let mut cfg = SimConfig::baseline();
+        cfg.max_cycles = 40;
+        let reference = Simulator::new(&p, cfg.clone()).run();
+        assert!(reference.hit_cycle_limit);
+        let ff = Simulator::new(&p, cfg.clone().with_fast_forward()).run();
+        assert_eq!(ff.to_json(), reference.to_json());
     }
 }

@@ -434,10 +434,21 @@ impl SimStats {
 
     /// Record a cycle with `live` paths.
     pub fn record_path_count(&mut self, live: usize) {
+        self.record_path_count_many(live, 1);
+    }
+
+    /// Record `cycles` consecutive cycles with `live` paths — the bulk
+    /// form the fast-forward path uses to charge a skipped quiescent span
+    /// in one step (identical totals to calling
+    /// [`record_path_count`](Self::record_path_count) `cycles` times).
+    pub fn record_path_count_many(&mut self, live: usize, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
         if self.path_cycles.len() <= live {
             self.path_cycles.resize(live + 1, 0);
         }
-        self.path_cycles[live] += 1;
+        self.path_cycles[live] += cycles;
         self.max_live_paths = self.max_live_paths.max(live);
     }
 }

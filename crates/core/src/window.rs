@@ -2,24 +2,53 @@
 //!
 //! A unified window in allocation order: instructions enter at rename
 //! (in fetch order, which is program order per path), issue out of order,
-//! and leave at the head in order. Each entry stores its CTX tag; the
-//! per-entry control-flow state machine of Fig. 6 is realized by
-//! [`Window::kill_matching`] (branch resolution bus) and the head entry's
-//! tag being cleared as it commits.
+//! and leave at the head in order. The per-entry control-flow state machine
+//! of Fig. 6 is realized by [`Window::kill_matching`] (branch resolution
+//! bus) and the head entry's tag being cleared as it commits.
+//!
+//! # Structure-of-arrays layout
+//!
+//! Entries live in dense arrays keyed by *slot index* — a power-of-two
+//! ring addressed by `seq & (ring_len - 1)`, which works because
+//! dispatch sequence numbers in the window are contiguous (each dispatch
+//! pushes exactly one entry; entries, corpses included, leave only from
+//! the front). The per-entry payload is one contiguous record per slot
+//! (every access wants most fields at once, so splitting it into
+//! per-field columns just multiplies cache misses — see [`Slot`]);
+//! alongside the payload ring, three bitmask families track the
+//! broadcast-queried status column-wise:
+//!
+//! * `live_words` — occupied-and-not-killed slots,
+//! * `ready_words` — issue candidates (live, `Waiting`, operands ready).
+//!
+//! With those, the broadcast-shaped operations are mask walks: the issue
+//! select scan visits only `ready_words` set bits, commit/drain clears
+//! single bits, and the resolution kill prunes its scan with `live_words`
+//! (dead words are skipped 64 slots at a time) before applying the
+//! per-slot tag test.
+//!
+//! There is deliberately **no** per-`(position, direction)` registration
+//! index on the hot path: maintaining one costs a loop over every genuine
+//! tag bit (dozens, with a full window of unresolved branches) at each
+//! push *and* pop — a per-instruction tax — whereas resolution kills are
+//! per-mispredict events for which a live-masked scan of ≤ ring slots is
+//! already cheap. (Measured: per-bit registration cost ~3x aggregate
+//! simulator throughput; the scan is invisible.)
+//!
+//! # Lazy entry tags
 //!
 //! Entry tags are **lazy**: the branch-commit invalidation broadcast does
-//! not touch the window (rewriting every entry's tag on every branch
-//! commit was the hottest loop in the simulator). Instead each entry
-//! records the position allocator's free-epoch clock at dispatch
-//! ([`WinEntry::born`]); a stored tag bit is genuine iff its position has
-//! not been freed since, which is exactly what
-//! [`pp_ctx::ResolutionKill::matches`] tests. Code that needs the
-//! broadcast-equivalent tag asks the allocator to
-//! [`scrub`](pp_ctx::PositionAllocator::scrub) the stored snapshot.
+//! not rewrite the stored `ctx` field (that rewrite was once the hottest
+//! loop in the simulator). Each entry records the position allocator's
+//! free-epoch clock at dispatch ([`WinEntry::born`]); a stored tag bit is
+//! genuine iff its position has not been freed since, which is what
+//! [`pp_ctx::ResolutionKill::matches`] tests slot by slot during the kill
+//! scan — no commit-time broadcast over the window at all.
 
 use pp_ctx::{CtxTag, PathId, ResolutionKill};
 use pp_isa::{Op, Reg, Width};
 
+use crate::observer::FetchId;
 use crate::ras::Ras;
 use crate::regfile::{PhysReg, RegMap};
 
@@ -112,11 +141,17 @@ pub struct MemInfo {
     pub forwarded: bool,
 }
 
-/// One instruction window entry.
+/// One instruction window entry, as a materialized record.
+///
+/// The window itself stores these fields column-wise (see the module
+/// docs); this struct is the transfer format at the boundaries — the
+/// dispatcher builds one for [`Window::push`] (which scatters it into the
+/// columns) and commit receives one from [`Window::pop_head`] (which
+/// gathers it back out).
 #[derive(Debug, Clone)]
 pub struct WinEntry {
     /// Fetch identity (observer correlation across stages).
-    pub fid: crate::observer::FetchId,
+    pub fid: FetchId,
     /// Program-order sequence number.
     pub seq: Seq,
     /// Static PC.
@@ -142,9 +177,8 @@ pub struct WinEntry {
     /// Computed result (valid once issued, for register-writing ops).
     pub result: Option<i64>,
     /// Branch bookkeeping (conditional branches and returns). Boxed: it is
-    /// by far the largest field and most entries are not branches, so
-    /// keeping it out of line roughly halves the entry size the per-cycle
-    /// window scans walk over.
+    /// by far the largest field and most entries are not branches, so the
+    /// column stays one pointer wide.
     pub binfo: Option<Box<BranchInfo>>,
     /// Memory bookkeeping (loads and stores).
     pub mem: Option<MemInfo>,
@@ -152,67 +186,290 @@ pub struct WinEntry {
     pub killed: bool,
 }
 
-/// The instruction window: a bounded queue in allocation (program) order.
+/// What the issue stage did with a candidate the select scan offered it
+/// (see [`Window::for_each_issuable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOutcome {
+    /// The entry issued; drop its candidate bit.
+    Issued,
+    /// The entry lost on a structural resource; keep its bit for next
+    /// cycle's scan.
+    Keep,
+    /// As [`Keep`](Self::Keep), and abandon the scan: no later candidate
+    /// can issue this cycle either.
+    Stop,
+}
+
+/// Mutable view of one live window entry, lent out by the select scan,
+/// the wakeup path, and [`Window::get_live_by_seq`].
 ///
-/// Entries carry contiguous dispatch sequence numbers (each dispatch pushes
-/// exactly one entry and entries leave only from the front, corpses
-/// included), so `seq → index` is a subtraction — see
-/// [`get_live_by_seq`](Self::get_live_by_seq).
+/// Identity and rename fields are plain copies (the pipeline never
+/// rewrites them after dispatch); execution state is borrowed mutably.
+/// Liveness and issue candidacy are *not* exposed — those are mirrored in
+/// the window's bitmasks and change only through [`Window::push`],
+/// [`Window::kill_matching`], [`Window::for_each_issuable`], and
+/// [`Window::wake`].
+pub struct EntryMut<'a> {
+    /// Fetch identity.
+    pub fid: FetchId,
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// Static PC.
+    pub pc: usize,
+    /// Decoded instruction. Borrowed, not copied: the select scan visits
+    /// every candidate each cycle, and `Op`/`CtxTag` are the two wide
+    /// fields of the record.
+    pub op: &'a Op,
+    /// Lazy CTX tag snapshot (see [`WinEntry::ctx`]).
+    pub ctx: &'a CtxTag,
+    /// Free-epoch stamp for the snapshot (see [`WinEntry::born`]).
+    pub born: u64,
+    /// Fetch path.
+    pub path: PathId,
+    /// Renamed sources.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Renamed destination.
+    pub dest: Option<DestInfo>,
+    /// Execution status.
+    pub state: &'a mut EntryState,
+    /// Writeback cycle.
+    pub complete_at: &'a mut u64,
+    /// Computed result.
+    pub result: &'a mut Option<i64>,
+    /// Branch bookkeeping.
+    pub binfo: &'a mut Option<Box<BranchInfo>>,
+    /// Memory bookkeeping.
+    pub mem: &'a mut Option<MemInfo>,
+}
+
+/// Read-only view of one occupied window slot (live or corpse), yielded
+/// by [`Window::iter_live`], the kill callback, and the sanitizer's
+/// [`Window::debug_iter`].
+pub struct EntryRef<'a> {
+    /// Fetch identity.
+    pub fid: FetchId,
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// Static PC.
+    pub pc: usize,
+    /// Decoded instruction.
+    pub op: Op,
+    /// Lazy CTX tag snapshot (see [`WinEntry::ctx`]).
+    pub ctx: CtxTag,
+    /// Free-epoch stamp for the snapshot (see [`WinEntry::born`]).
+    pub born: u64,
+    /// Fetch path.
+    pub path: PathId,
+    /// Renamed sources.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Renamed destination.
+    pub dest: Option<DestInfo>,
+    /// Execution status.
+    pub state: EntryState,
+    /// Writeback cycle.
+    pub complete_at: u64,
+    /// Computed result.
+    pub result: Option<i64>,
+    /// Branch bookkeeping.
+    pub binfo: Option<&'a BranchInfo>,
+    /// Memory bookkeeping.
+    pub mem: Option<MemInfo>,
+    /// Squashed by a resolution kill.
+    pub killed: bool,
+}
+
+/// One slot's field bundle, stored contiguously in the ring.
 ///
-/// The issue stage does not scan entries at all: a bitmap
-/// ([`ready_bits`](Self::ready_bits)) marks the *issue candidates* — live,
-/// waiting entries whose source operands are all ready. Candidacy is set at
-/// dispatch (operands already ready) or by the writeback stage's
-/// [`wake`](Self::wake) (the dataflow wakeup bus), and cleared on issue or
-/// kill, so [`for_each_issuable`](Self::for_each_issuable) touches only
-/// entries that can actually issue this cycle.
+/// The payload is deliberately *not* split into per-field columns: every
+/// pipeline access that reaches a slot (dispatch scatter, commit gather,
+/// wakeup, issue select, writeback) wants most of the fields at once, so
+/// a record per slot costs one or two cache lines where thirteen parallel
+/// columns cost a potential miss each. The structure-of-arrays split is
+/// reserved for the *broadcast* state — the status and registration
+/// bitmasks beside the ring — where whole-window queries really are
+/// word-parallel.
+#[derive(Debug)]
+struct Slot {
+    fid: FetchId,
+    pc: usize,
+    op: Op,
+    ctx: CtxTag,
+    born: u64,
+    path: PathId,
+    srcs: [Option<PhysReg>; 2],
+    dest: Option<DestInfo>,
+    state: EntryState,
+    complete_at: u64,
+    result: Option<i64>,
+    binfo: Option<Box<BranchInfo>>,
+    mem: Option<MemInfo>,
+}
+
+impl Slot {
+    fn vacant() -> Slot {
+        Slot {
+            fid: FetchId(0),
+            pc: 0,
+            op: Op::Nop,
+            ctx: CtxTag::root(),
+            born: 0,
+            path: PathId::from_index(0),
+            srcs: [None, None],
+            dest: None,
+            state: EntryState::Waiting,
+            complete_at: 0,
+            result: None,
+            binfo: None,
+            mem: None,
+        }
+    }
+}
+
+/// The instruction window in SoA form (see the module docs).
 #[derive(Debug)]
 pub struct Window {
-    entries: std::collections::VecDeque<WinEntry>,
-    /// Issue-candidate bitmap: global bit `index + bit_off` of the word
-    /// sequence is set iff `entries[index]` is live, `Waiting`, and all its
-    /// sources are ready (it may still lose on functional units or memory
-    /// ordering — the bit stays set and it retries next cycle).
-    ready_bits: std::collections::VecDeque<u64>,
-    /// Offset of `entries[0]`'s bit within the first `ready_bits` word;
-    /// always `< 64`. Popping an entry advances it; at 64 the exhausted
-    /// word itself is popped.
-    bit_off: usize,
+    /// Seq of the oldest occupied slot; equals `back_seq` when empty.
+    front_seq: Seq,
+    /// One past the newest occupied slot's seq.
+    back_seq: Seq,
+    /// Live (not killed) occupied slots.
     live: usize,
+    /// Live-entry capacity (the architected window size). The ring can be
+    /// longer: corpses occupy slots until they reach the front.
     capacity: usize,
+    /// `ring_len - 1`; `slot(seq) = seq & ring_mask`.
+    ring_mask: usize,
+
+    /// Slot payload records, `ring_mask + 1` long.
+    slots: Vec<Slot>,
+
+    /// Bit per slot: occupied and not killed.
+    pub(crate) live_words: Vec<u64>,
+    /// Bit per slot: issue candidate (live, `Waiting`, operands ready; it
+    /// may still lose on functional units or memory ordering — the bit
+    /// stays set and it retries next cycle).
+    pub(crate) ready_words: Vec<u64>,
+    /// Snapshot scratch for the kill and issue scans (the walked bitmap
+    /// must not alias the masks the callbacks mutate).
+    kill_scratch: Vec<u64>,
+}
+
+/// Bits `lo..hi` of one 64-bit word (`0 <= lo < hi <= 64`).
+#[inline]
+fn range_mask(lo: usize, hi: usize) -> u64 {
+    let upper = if hi == 64 { !0 } else { (1u64 << hi) - 1 };
+    upper & !((1u64 << lo) - 1)
+}
+
+/// Visit the set bits of `words` restricted to the ring span
+/// `[front, back)` (monotone indices; `slot = index & ring_mask`), in
+/// *span order* — oldest occupant first, even when the span wraps around
+/// the ring — as `(slot, index)` pairs. Shared by the window and the
+/// front-end queue: this is what turns their age-ordered broadcasts into
+/// mask walks.
+pub(crate) fn for_each_masked_slot(
+    front: u64,
+    back: u64,
+    ring_mask: usize,
+    words: &[u64],
+    mut visit: impl FnMut(usize, u64),
+) {
+    for_each_masked_slot_while(front, back, ring_mask, words, |slot, seq| {
+        visit(slot, seq);
+        true
+    });
+}
+
+/// [`for_each_masked_slot`] with early termination: the visitor returns
+/// `false` to abandon the walk (used by the issue select scan once the
+/// functional-unit pool is exhausted for the cycle).
+pub(crate) fn for_each_masked_slot_while(
+    front: u64,
+    back: u64,
+    ring_mask: usize,
+    words: &[u64],
+    mut visit: impl FnMut(usize, u64) -> bool,
+) {
+    let len = ring_mask + 1;
+    let front_slot = front as usize & ring_mask;
+    let span = (back - front) as usize;
+    if span == 0 {
+        return;
+    }
+    debug_assert!(span <= len);
+    let segments = if front_slot + span <= len {
+        [(front_slot, front_slot + span), (0, 0)]
+    } else {
+        [(front_slot, len), (0, front_slot + span - len)]
+    };
+    for (s, e) in segments {
+        if s >= e {
+            continue;
+        }
+        for w in s / 64..=(e - 1) / 64 {
+            let lo = s.max(w * 64) - w * 64;
+            let hi = e.min(w * 64 + 64) - w * 64;
+            let mut word = words[w] & range_mask(lo, hi);
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let slot = w * 64 + b;
+                let off = slot.wrapping_sub(front_slot) & ring_mask;
+                if !visit(slot, front + off as u64) {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 impl Window {
-    /// A window with `capacity` entries.
+    /// A window with `capacity` live entries.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be nonzero");
+        let ring_len = capacity.next_power_of_two();
+        let words = ring_len.div_ceil(64).max(1);
         Window {
-            entries: std::collections::VecDeque::with_capacity(capacity),
-            ready_bits: std::collections::VecDeque::with_capacity(capacity / 64 + 2),
-            bit_off: 0,
+            front_seq: 0,
+            back_seq: 0,
             live: 0,
             capacity,
+            ring_mask: ring_len - 1,
+            slots: (0..ring_len).map(|_| Slot::vacant()).collect(),
+            live_words: vec![0; words],
+            ready_words: vec![0; words],
+            kill_scratch: vec![0; words],
         }
     }
 
-    fn set_bit(&mut self, index: usize) {
-        let g = index + self.bit_off;
-        self.ready_bits[g / 64] |= 1u64 << (g % 64);
+    #[inline]
+    fn slot_of(&self, seq: Seq) -> usize {
+        seq as usize & self.ring_mask
     }
 
-    /// Index of the entry with sequence number `seq`, dead or alive — a
-    /// subtraction, since the queue's seqs are contiguous.
+    /// Slot of the entry with sequence number `seq`, dead or alive.
     fn index_of(&self, seq: Seq) -> Option<usize> {
-        let front = self.entries.front()?.seq;
-        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
-        if idx >= self.entries.len() {
-            return None;
-        }
-        debug_assert_eq!(self.entries[idx].seq, seq, "window seqs not contiguous");
-        Some(idx)
+        (self.front_seq..self.back_seq)
+            .contains(&seq)
+            .then(|| self.slot_of(seq))
+    }
+
+    #[inline]
+    fn live_bit(&self, slot: usize) -> bool {
+        self.live_words[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn set_ready_bit(&mut self, slot: usize) {
+        self.ready_words[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Occupied slots (live + corpses).
+    fn span(&self) -> usize {
+        (self.back_seq - self.front_seq) as usize
     }
 
     /// Live (not killed) entries currently occupying window slots.
@@ -230,6 +487,22 @@ impl Window {
         self.live == 0
     }
 
+    /// Oldest occupied seq (sanitizer introspection; meaningless when the
+    /// span is empty).
+    pub(crate) fn front_seq(&self) -> Seq {
+        self.front_seq
+    }
+
+    /// One past the newest occupied seq (sanitizer introspection).
+    pub(crate) fn back_seq(&self) -> Seq {
+        self.back_seq
+    }
+
+    /// Ring length (sanitizer introspection).
+    pub(crate) fn ring_len(&self) -> usize {
+        self.ring_mask + 1
+    }
+
     /// Insert a renamed instruction at the tail. `ops_ready` is whether all
     /// its source operands are already ready — if so it is an immediate
     /// issue candidate; otherwise the dispatcher must have registered it
@@ -241,26 +514,139 @@ impl Window {
         assert!(!self.is_full(), "window overflow");
         debug_assert!(!entry.killed);
         debug_assert!(
-            self.entries.back().is_none_or(|b| b.seq + 1 == entry.seq),
+            self.span() == 0 || entry.seq == self.back_seq,
             "window seqs must be contiguous"
         );
-        let g = self.entries.len() + self.bit_off;
-        while self.ready_bits.len() <= g / 64 {
-            self.ready_bits.push_back(0);
+        if self.span() == self.ring_mask + 1 {
+            self.grow();
         }
+        if self.span() == 0 {
+            self.front_seq = entry.seq;
+        }
+        self.back_seq = entry.seq + 1;
+        let slot = self.slot_of(entry.seq);
+        debug_assert!(!self.live_bit(slot), "slot collision");
         let candidate = ops_ready && entry.state == EntryState::Waiting;
-        self.entries.push_back(entry);
+        self.slots[slot] = Slot {
+            fid: entry.fid,
+            pc: entry.pc,
+            op: entry.op,
+            ctx: entry.ctx,
+            born: entry.born,
+            path: entry.path,
+            srcs: entry.srcs,
+            dest: entry.dest,
+            state: entry.state,
+            complete_at: entry.complete_at,
+            result: entry.result,
+            binfo: entry.binfo,
+            mem: entry.mem,
+        };
+        self.live_words[slot / 64] |= 1u64 << (slot % 64);
         self.live += 1;
         if candidate {
-            self.set_bit(self.entries.len() - 1);
+            self.set_ready_bit(slot);
         }
+    }
+
+    /// Double the ring and re-scatter the occupied span to the new slot
+    /// modulus. Rare: only reached when corpses pile up behind a stalled
+    /// head beyond the initial ring length.
+    fn grow(&mut self) {
+        let old_len = self.ring_mask + 1;
+        let old_mask = self.ring_mask;
+        let new_len = old_len * 2;
+        let new_mask = new_len - 1;
+        let words = new_len.div_ceil(64);
+
+        self.slots.resize_with(new_len, Slot::vacant);
+
+        let mut new_live = vec![0u64; words];
+        let mut new_ready = vec![0u64; words];
+        for seq in self.front_seq..self.back_seq {
+            let old_slot = seq as usize & old_mask;
+            let new_slot = seq as usize & new_mask;
+            if new_slot != old_slot {
+                // A moved slot lands in the freshly added upper half
+                // (`old_slot + old_len`), which no remaining span seq can
+                // map *from*, so swaps never clobber an occupied record.
+                self.slots.swap(old_slot, new_slot);
+            }
+            if self.live_words[old_slot / 64] & (1u64 << (old_slot % 64)) != 0 {
+                new_live[new_slot / 64] |= 1u64 << (new_slot % 64);
+            }
+            if self.ready_words[old_slot / 64] & (1u64 << (old_slot % 64)) != 0 {
+                new_ready[new_slot / 64] |= 1u64 << (new_slot % 64);
+            }
+        }
+        self.live_words = new_live;
+        self.ready_words = new_ready;
+        self.kill_scratch = vec![0; words];
+        self.ring_mask = new_mask;
+    }
+
+    fn entry_mut(&mut self, slot: usize) -> EntryMut<'_> {
+        let seq = self.seq_at(slot);
+        let s = &mut self.slots[slot];
+        EntryMut {
+            fid: s.fid,
+            seq,
+            pc: s.pc,
+            op: &s.op,
+            ctx: &s.ctx,
+            born: s.born,
+            path: s.path,
+            srcs: s.srcs,
+            dest: s.dest,
+            state: &mut s.state,
+            complete_at: &mut s.complete_at,
+            result: &mut s.result,
+            binfo: &mut s.binfo,
+            mem: &mut s.mem,
+        }
+    }
+
+    fn entry_ref(&self, slot: usize) -> EntryRef<'_> {
+        let s = &self.slots[slot];
+        EntryRef {
+            fid: s.fid,
+            seq: self.seq_at(slot),
+            pc: s.pc,
+            op: s.op,
+            ctx: s.ctx,
+            born: s.born,
+            path: s.path,
+            srcs: s.srcs,
+            dest: s.dest,
+            state: s.state,
+            complete_at: s.complete_at,
+            result: s.result,
+            binfo: s.binfo.as_deref(),
+            mem: s.mem,
+            killed: !self.live_bit(slot),
+        }
+    }
+
+    /// Seq of the entry occupying `slot` (unique while the slot is inside
+    /// the span, since the span never exceeds the ring length).
+    #[inline]
+    fn seq_at(&self, slot: usize) -> Seq {
+        let front_slot = self.slot_of(self.front_seq);
+        let off = slot.wrapping_sub(front_slot) & self.ring_mask;
+        let seq = self.front_seq + off as u64;
+        debug_assert!(seq < self.back_seq, "slot outside the span");
+        seq
     }
 
     /// The oldest live entry, if any (commit candidate). Killed entries at
     /// the head are reclaimed on the way.
-    pub fn head_mut(&mut self) -> Option<&mut WinEntry> {
+    pub fn head_mut(&mut self) -> Option<EntryMut<'_>> {
         self.drain_dead_head();
-        self.entries.front_mut()
+        if self.span() == 0 {
+            return None;
+        }
+        let slot = self.slot_of(self.front_seq);
+        Some(self.entry_mut(slot))
     }
 
     /// Remove the head entry (it committed). Returns it.
@@ -269,101 +655,152 @@ impl Window {
     /// Panics if there is no live head entry.
     pub fn pop_head(&mut self) -> WinEntry {
         self.drain_dead_head();
-        let e = self.entries.pop_front().expect("pop from empty window");
-        self.advance_bits();
-        debug_assert!(!e.killed);
+        assert!(self.span() > 0, "pop from empty window");
+        let e = self.evict_front(false);
         self.live -= 1;
         e
     }
 
-    fn drain_dead_head(&mut self) {
-        while matches!(self.entries.front(), Some(e) if e.killed) {
-            self.entries.pop_front();
-            self.advance_bits();
+    /// Gather the front slot into a `WinEntry` and release it (candidacy
+    /// and liveness bookkeeping).
+    fn evict_front(&mut self, expect_killed: bool) -> WinEntry {
+        let seq = self.front_seq;
+        let slot = self.slot_of(seq);
+        debug_assert_eq!(self.live_bit(slot), !expect_killed);
+        let bit = 1u64 << (slot % 64);
+        self.live_words[slot / 64] &= !bit;
+        self.ready_words[slot / 64] &= !bit;
+        self.front_seq = seq + 1;
+        let s = &mut self.slots[slot];
+        WinEntry {
+            fid: s.fid,
+            seq,
+            pc: s.pc,
+            op: s.op,
+            ctx: s.ctx,
+            born: s.born,
+            path: s.path,
+            srcs: s.srcs,
+            dest: s.dest,
+            state: s.state,
+            complete_at: s.complete_at,
+            result: s.result.take(),
+            binfo: s.binfo.take(),
+            mem: s.mem.take(),
+            killed: expect_killed,
         }
     }
 
-    /// Shift the candidate bitmap past the just-popped head entry.
-    fn advance_bits(&mut self) {
-        self.ready_bits[0] &= !(1u64 << self.bit_off);
-        self.bit_off += 1;
-        if self.bit_off == 64 {
-            self.ready_bits.pop_front();
-            self.bit_off = 0;
+    fn drain_dead_head(&mut self) {
+        while self.span() > 0 && !self.live_bit(self.slot_of(self.front_seq)) {
+            let _ = self.evict_front(true);
         }
     }
 
     /// Iterate over live entries, oldest first.
     ///
-    /// There is deliberately no mutable counterpart: issue candidacy is
-    /// mirrored in the ready bitmap, so mutations must go through
+    /// There is deliberately no mutable counterpart: issue candidacy and
+    /// liveness are mirrored in the bitmasks, so mutations must go through
     /// [`push`](Self::push), [`kill_matching`](Self::kill_matching),
     /// [`for_each_issuable`](Self::for_each_issuable), [`wake`](Self::wake),
     /// or [`get_live_by_seq`](Self::get_live_by_seq) (which permits mutating
     /// anything *except* a `Waiting` state, source readiness, or liveness).
-    pub fn iter_live(&self) -> impl Iterator<Item = &WinEntry> {
-        self.entries.iter().filter(|e| !e.killed)
+    pub fn iter_live(&self) -> impl Iterator<Item = EntryRef<'_>> {
+        (self.front_seq..self.back_seq)
+            .map(|seq| self.slot_of(seq))
+            .filter(|&slot| self.live_bit(slot))
+            .map(|slot| self.entry_ref(slot))
     }
 
     /// Every occupied slot — corpses included — paired with its issue-
     /// candidate bit, oldest first. For the sanitizer's from-scratch
-    /// re-derivation of the candidate bitmap; not part of the pipeline.
-    pub(crate) fn debug_iter(&self) -> impl Iterator<Item = (&WinEntry, bool)> {
-        self.entries.iter().enumerate().map(move |(i, e)| {
-            let g = i + self.bit_off;
-            (e, self.ready_bits[g / 64] & (1u64 << (g % 64)) != 0)
+    /// re-derivation of the status masks; not part of the pipeline.
+    pub(crate) fn debug_iter(&self) -> impl Iterator<Item = (EntryRef<'_>, bool)> {
+        (self.front_seq..self.back_seq).map(|seq| {
+            let slot = self.slot_of(seq);
+            (
+                self.entry_ref(slot),
+                self.ready_words[slot / 64] & (1u64 << (slot % 64)) != 0,
+            )
         })
     }
 
     /// The branch resolution bus (paper §3.2.3 "resolution"): kill every
     /// live entry on the wrong path of the resolving branch, invoking
     /// `on_kill` on each so the caller can release registers, CTX
-    /// positions, and store-buffer state without the old API's per-kill
-    /// entry clone.
+    /// positions, and store-buffer state.
     ///
-    /// The selector's epoch filter spares entries whose matching tag bit is
-    /// a stale leftover from a previous allocation of the position.
-    pub fn kill_matching(&mut self, kill: &ResolutionKill, mut on_kill: impl FnMut(&WinEntry)) {
+    /// The scan is pruned by the live bitmap (all-dead words are skipped
+    /// 64 slots at a time); each live slot is tested with the selector's
+    /// lazy-tag predicate, whose epoch filter spares entries whose
+    /// matching stored bit is a stale leftover from a previous allocation
+    /// of the position. Kills are per-resolution events, so the scan is
+    /// off the per-instruction hot path by construction.
+    pub fn kill_matching(&mut self, kill: &ResolutionKill, mut on_kill: impl FnMut(EntryRef<'_>)) {
         let mut killed = 0;
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if !e.killed && kill.matches(&e.ctx, e.born) {
-                e.killed = true;
+        let mut snapshot = std::mem::take(&mut self.kill_scratch);
+        snapshot.copy_from_slice(&self.live_words);
+        for_each_masked_slot(
+            self.front_seq,
+            self.back_seq,
+            self.ring_mask,
+            &snapshot,
+            |slot, seq| {
+                debug_assert_eq!(self.seq_at(slot), seq);
+                let s = &self.slots[slot];
+                if !kill.matches(&s.ctx, s.born) {
+                    return;
+                }
+                let bit = 1u64 << (slot % 64);
+                self.live_words[slot / 64] &= !bit;
+                self.ready_words[slot / 64] &= !bit;
                 killed += 1;
-                on_kill(e);
-                let g = i + self.bit_off;
-                self.ready_bits[g / 64] &= !(1u64 << (g % 64));
-            }
-        }
+                on_kill(self.entry_ref(slot));
+            },
+        );
+        self.kill_scratch = snapshot;
         self.live -= killed;
     }
 
     /// The issue stage's select scan: visit the issue candidates (live,
     /// waiting, operands ready — maintained by [`push`](Self::push),
     /// [`wake`](Self::wake), and [`kill_matching`](Self::kill_matching))
-    /// oldest first. `try_issue` returns `true` once the entry issued (it
-    /// must have set [`WinEntry::state`]); candidates that lost on a
-    /// structural resource keep their bit and are revisited next cycle.
+    /// oldest first. `try_issue` reports what happened: [`Issued`]
+    /// entries drop their candidate bit (the callback must have set the
+    /// entry's state), [`Keep`] entries lost on a structural resource and
+    /// are revisited next cycle, and [`Stop`] additionally abandons the
+    /// rest of the scan — the caller has determined no later candidate
+    /// can issue this cycle (every functional unit busy), so visiting
+    /// them would be pure overhead.
     ///
     /// The scan walks only the candidate bitmap — cycles with nothing
     /// ready cost a few word tests regardless of window occupancy.
-    pub fn for_each_issuable(&mut self, mut try_issue: impl FnMut(&mut WinEntry) -> bool) {
-        for w in 0..self.ready_bits.len() {
-            let mut word = self.ready_bits[w];
-            if w == 0 {
-                word &= !0u64 << self.bit_off;
-            }
-            while word != 0 {
-                let b = word.trailing_zeros() as usize;
-                word &= word - 1;
-                let idx = w * 64 + b - self.bit_off;
-                let e = &mut self.entries[idx];
-                debug_assert!(e.state == EntryState::Waiting && !e.killed);
-                if try_issue(e) {
-                    debug_assert!(self.entries[idx].state == EntryState::Issued);
-                    self.ready_bits[w] &= !(1u64 << b);
+    ///
+    /// [`Issued`]: IssueOutcome::Issued
+    /// [`Keep`]: IssueOutcome::Keep
+    /// [`Stop`]: IssueOutcome::Stop
+    pub fn for_each_issuable(&mut self, mut try_issue: impl FnMut(EntryMut<'_>) -> IssueOutcome) {
+        let mut snapshot = std::mem::take(&mut self.kill_scratch);
+        snapshot.copy_from_slice(&self.ready_words);
+        for_each_masked_slot_while(
+            self.front_seq,
+            self.back_seq,
+            self.ring_mask,
+            &snapshot,
+            |slot, _seq| {
+                debug_assert!(self.slots[slot].state == EntryState::Waiting && self.live_bit(slot));
+                match try_issue(self.entry_mut(slot)) {
+                    IssueOutcome::Issued => {
+                        debug_assert!(self.slots[slot].state == EntryState::Issued);
+                        self.ready_words[slot / 64] &= !(1u64 << (slot % 64));
+                        true
+                    }
+                    IssueOutcome::Keep => true,
+                    IssueOutcome::Stop => false,
                 }
-            }
-        }
+            },
+        );
+        self.kill_scratch = snapshot;
     }
 
     /// The writeback stage's wakeup bus: if the entry with sequence number
@@ -372,25 +809,25 @@ impl Window {
     /// (waiter registrations are not cleaned up on kill) and for entries
     /// still missing another operand.
     pub fn wake(&mut self, seq: Seq, ready: impl FnOnce(&[Option<PhysReg>; 2]) -> bool) {
-        let Some(idx) = self.index_of(seq) else {
+        let Some(slot) = self.index_of(seq) else {
             return;
         };
-        let e = &self.entries[idx];
-        if !e.killed && e.state == EntryState::Waiting && ready(&e.srcs) {
-            self.set_bit(idx);
+        if self.live_bit(slot)
+            && self.slots[slot].state == EntryState::Waiting
+            && ready(&self.slots[slot].srcs)
+        {
+            self.set_ready_bit(slot);
         }
     }
 
     /// The live entry with dispatch sequence number `seq`, located in O(1)
-    /// by exploiting seq contiguity (each dispatch pushes exactly one
-    /// entry; entries — corpses included — leave only from the front).
-    pub fn get_live_by_seq(&mut self, seq: Seq) -> Option<&mut WinEntry> {
-        let idx = self.index_of(seq)?;
-        let e = &mut self.entries[idx];
-        if e.killed {
-            None
+    /// by the slot ring's `seq & mask` addressing.
+    pub fn get_live_by_seq(&mut self, seq: Seq) -> Option<EntryMut<'_>> {
+        let slot = self.index_of(seq)?;
+        if self.live_bit(slot) {
+            Some(self.entry_mut(slot))
         } else {
-            Some(e)
+            None
         }
     }
 }
@@ -408,7 +845,7 @@ mod tests {
         let mut paths: PathTable<()> = PathTable::new(1);
         let path = paths.allocate(()).unwrap();
         WinEntry {
-            fid: crate::observer::FetchId(seq),
+            fid: FetchId(seq),
             seq,
             pc: seq as usize,
             op: Op::Nop,
@@ -424,6 +861,10 @@ mod tests {
             mem: None,
             killed: false,
         }
+    }
+
+    fn push(w: &mut Window, e: WinEntry, ops_ready: bool) {
+        w.push(e, ops_ready);
     }
 
     fn kill_at(pos: usize, dir: bool) -> ResolutionKill {
@@ -443,8 +884,8 @@ mod tests {
     #[test]
     fn push_pop_order() {
         let mut w = Window::new(4);
-        w.push(entry(0, CtxTag::root()), false);
-        w.push(entry(1, CtxTag::root()), false);
+        push(&mut w, entry(0, CtxTag::root()), false);
+        push(&mut w, entry(1, CtxTag::root()), false);
         assert_eq!(w.occupancy(), 2);
         assert_eq!(w.pop_head().seq, 0);
         assert_eq!(w.pop_head().seq, 1);
@@ -455,8 +896,8 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let mut w = Window::new(1);
-        w.push(entry(0, CtxTag::root()), false);
-        w.push(entry(1, CtxTag::root()), false);
+        push(&mut w, entry(0, CtxTag::root()), false);
+        push(&mut w, entry(1, CtxTag::root()), false);
     }
 
     #[test]
@@ -465,10 +906,10 @@ mod tests {
         let parent = CtxTag::root();
         let taken = parent.with_position(0, true);
         let not_taken = parent.with_position(0, false);
-        w.push(entry(0, parent), false); // the branch itself: survives
-        w.push(entry(1, taken), false);
-        w.push(entry(2, not_taken), false);
-        w.push(entry(3, taken.with_position(1, false)), false); // descendant of taken
+        push(&mut w, entry(0, parent), false); // the branch itself: survives
+        push(&mut w, entry(1, taken), false);
+        push(&mut w, entry(2, not_taken), false);
+        push(&mut w, entry(3, taken.with_position(1, false)), false); // descendant of taken
 
         assert_eq!(kill_seqs(&mut w, &kill_at(0, true)), vec![1, 3]);
         assert_eq!(w.occupancy(), 2);
@@ -480,13 +921,15 @@ mod tests {
 
     #[test]
     fn kill_matching_spares_stale_snapshots() {
+        // The selector's epoch filter: an entry whose stored bit predates
+        // the position's last free (born < stale_before) holds a leftover
+        // from a previous allocation and must be spared.
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        // Dispatched before position 0 was last freed (born 3 < 5): its
-        // stored bit is a leftover from the previous allocation.
-        w.push(entry_born(0, t, 3), false);
+        // Dispatched before position 0 was last freed (born 3 < 5).
+        push(&mut w, entry_born(0, t, 3), false);
         // Dispatched under the current allocation (born 7 >= 5).
-        w.push(entry_born(1, t, 7), false);
+        push(&mut w, entry_born(1, t, 7), false);
         let kill = ResolutionKill {
             pos: 0,
             dir: true,
@@ -494,14 +937,15 @@ mod tests {
         };
         assert_eq!(kill_seqs(&mut w, &kill), vec![1]);
         assert_eq!(w.occupancy(), 1);
+        assert_eq!(w.pop_head().seq, 0);
     }
 
     #[test]
     fn head_skips_killed() {
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(0, t), false);
-        w.push(entry(1, CtxTag::root()), false);
+        push(&mut w, entry(0, t), false);
+        push(&mut w, entry(1, CtxTag::root()), false);
         kill_seqs(&mut w, &kill_at(0, true));
         assert_eq!(w.head_mut().unwrap().seq, 1);
     }
@@ -510,9 +954,9 @@ mod tests {
     fn get_live_by_seq_finds_live_skips_killed_and_absent() {
         let mut w = Window::new(8);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(10, CtxTag::root()), false);
-        w.push(entry(11, t), false);
-        w.push(entry(12, CtxTag::root()), false);
+        push(&mut w, entry(10, CtxTag::root()), false);
+        push(&mut w, entry(11, t), false);
+        push(&mut w, entry(12, CtxTag::root()), false);
         assert_eq!(w.get_live_by_seq(12).unwrap().seq, 12);
         assert!(w.get_live_by_seq(13).is_none());
         kill_seqs(&mut w, &kill_at(0, true));
@@ -529,23 +973,23 @@ mod tests {
     fn occupancy_counts_only_live() {
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(0, t), false);
-        w.push(entry(1, CtxTag::root()), false);
+        push(&mut w, entry(0, t), false);
+        push(&mut w, entry(1, CtxTag::root()), false);
         assert!(!w.is_full());
         kill_seqs(&mut w, &kill_at(0, true));
         assert_eq!(w.occupancy(), 1);
         // The freed slot can be reused.
-        w.push(entry(2, CtxTag::root()), false);
-        w.push(entry(3, CtxTag::root()), false);
-        w.push(entry(4, CtxTag::root()), false);
+        push(&mut w, entry(2, CtxTag::root()), false);
+        push(&mut w, entry(3, CtxTag::root()), false);
+        push(&mut w, entry(4, CtxTag::root()), false);
         assert!(w.is_full());
     }
 
     #[test]
     fn iter_live_oldest_first() {
         let mut w = Window::new(4);
-        w.push(entry(5, CtxTag::root()), false);
-        w.push(entry(6, CtxTag::root()), false);
+        push(&mut w, entry(5, CtxTag::root()), false);
+        push(&mut w, entry(6, CtxTag::root()), false);
         let seqs: Vec<Seq> = w.iter_live().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![5, 6]);
     }
@@ -555,8 +999,8 @@ mod tests {
         let mut seqs = Vec::new();
         w.for_each_issuable(|e| {
             seqs.push(e.seq);
-            e.state = EntryState::Issued;
-            true
+            *e.state = EntryState::Issued;
+            IssueOutcome::Issued
         });
         seqs
     }
@@ -564,9 +1008,9 @@ mod tests {
     #[test]
     fn push_ready_entries_are_candidates_oldest_first() {
         let mut w = Window::new(4);
-        w.push(entry(0, CtxTag::root()), true);
-        w.push(entry(1, CtxTag::root()), false);
-        w.push(entry(2, CtxTag::root()), true);
+        push(&mut w, entry(0, CtxTag::root()), true);
+        push(&mut w, entry(1, CtxTag::root()), false);
+        push(&mut w, entry(2, CtxTag::root()), true);
         assert_eq!(issue_seqs(&mut w), vec![0, 2]);
         // Issued entries are not revisited.
         assert_eq!(issue_seqs(&mut w), Vec::<Seq>::new());
@@ -575,8 +1019,8 @@ mod tests {
     #[test]
     fn wake_promotes_only_when_all_operands_ready() {
         let mut w = Window::new(4);
-        w.push(entry(0, CtxTag::root()), false);
-        w.push(entry(1, CtxTag::root()), false);
+        push(&mut w, entry(0, CtxTag::root()), false);
+        push(&mut w, entry(1, CtxTag::root()), false);
         assert!(issue_seqs(&mut w).is_empty());
         // Still missing the other operand: not promoted.
         w.wake(1, |_| false);
@@ -589,7 +1033,7 @@ mod tests {
     fn wake_ignores_absent_and_killed_entries() {
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(0, t), false);
+        push(&mut w, entry(0, t), false);
         kill_seqs(&mut w, &kill_at(0, true));
         w.wake(0, |_| true); // killed
         w.wake(7, |_| true); // never dispatched
@@ -599,15 +1043,15 @@ mod tests {
     #[test]
     fn structural_loser_stays_a_candidate() {
         let mut w = Window::new(4);
-        w.push(entry(0, CtxTag::root()), true);
+        push(&mut w, entry(0, CtxTag::root()), true);
         let mut visits = 0;
         w.for_each_issuable(|_| {
             visits += 1;
-            false // lost on a functional unit
+            IssueOutcome::Keep // lost on a functional unit
         });
         w.for_each_issuable(|_| {
             visits += 1;
-            false
+            IssueOutcome::Keep
         });
         assert_eq!(visits, 2, "candidate must be revisited until it issues");
     }
@@ -616,27 +1060,80 @@ mod tests {
     fn kill_clears_candidacy() {
         let mut w = Window::new(4);
         let t = CtxTag::root().with_position(0, true);
-        w.push(entry(0, t), true);
-        w.push(entry(1, CtxTag::root()), true);
+        push(&mut w, entry(0, t), true);
+        push(&mut w, entry(1, CtxTag::root()), true);
         kill_seqs(&mut w, &kill_at(0, true));
         assert_eq!(issue_seqs(&mut w), vec![1]);
     }
 
     #[test]
     fn candidate_bitmap_survives_word_rollover() {
-        // Drive bit_off across the 64-bit word boundary (head pops shift
-        // the bitmap) and check candidacy still lands on the right entries.
+        // Drive the ring across slot-index wrap-around (seq & mask cycles
+        // through the whole ring) and check candidacy still lands on the
+        // right entries.
         let mut w = Window::new(8);
         for i in 0..70 {
-            w.push(entry(i, CtxTag::root()), false);
+            push(&mut w, entry(i, CtxTag::root()), false);
             let popped = w.pop_head();
             assert_eq!(popped.seq, i);
         }
-        w.push(entry(70, CtxTag::root()), false);
-        w.push(entry(71, CtxTag::root()), true);
-        w.push(entry(72, CtxTag::root()), false);
+        push(&mut w, entry(70, CtxTag::root()), false);
+        push(&mut w, entry(71, CtxTag::root()), true);
+        push(&mut w, entry(72, CtxTag::root()), false);
         w.wake(72, |_| true);
         assert_eq!(issue_seqs(&mut w), vec![71, 72]);
         assert_eq!(w.get_live_by_seq(70).unwrap().seq, 70);
+    }
+
+    #[test]
+    fn corpse_pileup_grows_the_ring() {
+        // A stalled head with repeated kills behind it drives the occupied
+        // span past the initial ring length; the ring must grow and keep
+        // every column and mask coherent.
+        let mut w = Window::new(4); // ring starts at 4 slots
+        let t = CtxTag::root().with_position(0, true);
+        push(&mut w, entry(0, CtxTag::root()), false); // stalled head
+        let mut seq = 1;
+        for _ in 0..5 {
+            // Fill behind the head with doomed entries, then kill them.
+            while w.occupancy() < 4 {
+                push(&mut w, entry(seq, t), false);
+                seq += 1;
+            }
+            kill_seqs(&mut w, &kill_at(0, true));
+            assert_eq!(w.occupancy(), 1, "only the head survives");
+        }
+        assert!(w.ring_len() > 4, "span exceeded the initial ring");
+        // Live survivors stay addressable and ordered.
+        push(&mut w, entry(seq, CtxTag::root()), true);
+        assert_eq!(w.get_live_by_seq(seq).unwrap().seq, seq);
+        assert_eq!(
+            w.iter_live().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, seq]
+        );
+        assert_eq!(issue_seqs(&mut w), vec![seq]);
+        assert_eq!(w.pop_head().seq, 0);
+        assert_eq!(w.pop_head().seq, seq);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_candidacy_and_kill_targets() {
+        let mut w = Window::new(4); // ring of 4
+        let head_tag = CtxTag::root().with_position(2, true);
+        let doomed = CtxTag::root().with_position(1, false);
+        push(&mut w, entry(0, head_tag), false); // stalled head
+        for seq in 1..4 {
+            push(&mut w, entry(seq, doomed), false);
+        }
+        assert_eq!(kill_seqs(&mut w, &kill_at(1, false)), vec![1, 2, 3]);
+        // Span is 4 == ring length with only the head live; the next push
+        // must grow the ring and remap every mask.
+        push(&mut w, entry(4, doomed), true);
+        assert_eq!(w.ring_len(), 8);
+        // The head's pre-grow payload moved with its slot…
+        assert_eq!(kill_seqs(&mut w, &kill_at(2, true)), vec![0]);
+        // …and the post-grow candidate bit is where issue expects it.
+        assert_eq!(issue_seqs(&mut w), vec![4]);
     }
 }

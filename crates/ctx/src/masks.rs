@@ -1,0 +1,324 @@
+//! Multi-word reverse index from history positions to arbitrary slot sets.
+//!
+//! [`TagIndex`] serves the CTX table, which is architecturally capped at 64
+//! path slots and therefore fits single-word masks. This variant keeps the
+//! same reverse mapping — "which slots hold a genuine
+//! `(position, direction)` pair" — over arbitrarily many slots with one
+//! *multi-word* bitmask per pair, so a kill broadcast reduces to fetching
+//! one mask slice and ANDing it with a live mask.
+//!
+//! Cost profile: registration is a loop over the tag's set bits at every
+//! insert *and* remove. That suits structures whose inserts are rare or
+//! whose tags are short; for per-instruction rings like the instruction
+//! window and fetch queue (dozens of genuine bits per tag under a full
+//! window of unresolved branches) the registration tax dominates, which is
+//! why those structures instead prune their kill scans with a live bitmap
+//! and apply [`ResolutionKill::matches`] per surviving slot.
+
+use crate::kill::ResolutionKill;
+use crate::tag::CtxTag;
+
+/// Per-`(position, direction)` slot bitmasks over a growable slot space.
+///
+/// Registration differs from [`TagIndex`] in one deliberate way: it
+/// serves owners that keep their tags *lazily* — they do not receive the
+/// commit-time invalidation broadcast, so a stored tag can carry stale
+/// bits. The owner therefore registers the
+/// *scrubbed* tag (stale bits dropped against the allocator's free-epoch
+/// clock at insert time) and must call [`invalidate_position`] whenever a
+/// history position is freed, which clears the position's column for every
+/// slot at once. After that discipline, a mask bit is set iff the slot's
+/// registered pair is genuine *right now*, so
+/// `matching(kill.pos, kill.dir)` is exactly the set of slots for which
+/// [`ResolutionKill::matches`] holds — the lazy epoch test made eager.
+///
+/// Because a column clear and a later [`remove`] of the same slot both
+/// touch the same bit, `remove` tolerates already-cleared bits (unlike
+/// [`TagIndex::remove`], which asserts exact bookkeeping).
+///
+/// [`invalidate_position`]: PosDirMaskSet::invalidate_position
+/// [`remove`]: PosDirMaskSet::remove
+#[derive(Debug, Clone)]
+pub struct PosDirMaskSet {
+    /// `masks[(pos * 2 + dir) * words ..][..words]`: slots whose registered
+    /// tag holds a genuine `(pos, dir)` pair.
+    masks: Vec<u64>,
+    positions: usize,
+    words: usize,
+}
+
+impl PosDirMaskSet {
+    /// Index over `positions` history positions and at least `slots` slots.
+    ///
+    /// # Panics
+    /// Panics if `positions` is 0.
+    pub fn new(positions: usize, slots: usize) -> Self {
+        assert!(positions > 0, "need at least one history position");
+        let words = slots.div_ceil(64).max(1);
+        PosDirMaskSet {
+            masks: vec![0; positions * 2 * words],
+            positions,
+            words,
+        }
+    }
+
+    /// Words per mask (the slot space is `64 * words` bits).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// History positions covered.
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Drop every registration and resize the slot space to hold at least
+    /// `slots` slots. Used when the owning ring grows: the owner re-registers
+    /// the surviving slots at their new indices afterwards.
+    pub fn reset(&mut self, slots: usize) {
+        self.words = slots.div_ceil(64).max(1);
+        self.masks.clear();
+        self.masks.resize(self.positions * 2 * self.words, 0);
+    }
+
+    #[inline]
+    fn row(&self, pos: usize, dir: bool) -> usize {
+        debug_assert!(pos < self.positions, "position {pos} out of range");
+        (pos * 2 + dir as usize) * self.words
+    }
+
+    /// Register `tag` (already scrubbed by the owner) for slot `slot`:
+    /// every valid `(pos, dir)` pair of the tag gains the slot's bit.
+    pub fn insert(&mut self, slot: usize, tag: &CtxTag) {
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        debug_assert!(word < self.words, "slot {slot} out of range");
+        let mut mask = tag.valid_mask();
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let dir = tag.position(pos) == Some(true);
+            let row = self.row(pos, dir);
+            self.masks[row + word] |= bit;
+        }
+    }
+
+    /// Unregister slot `slot`, whose registered tag was `tag`. Bits already
+    /// cleared by an intervening [`invalidate_position`] are skipped
+    /// silently — that is the expected lazy-tag lifecycle.
+    ///
+    /// [`invalidate_position`]: PosDirMaskSet::invalidate_position
+    pub fn remove(&mut self, slot: usize, tag: &CtxTag) {
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        debug_assert!(word < self.words, "slot {slot} out of range");
+        let mut mask = tag.valid_mask();
+        while mask != 0 {
+            let pos = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let dir = tag.position(pos) == Some(true);
+            let row = self.row(pos, dir);
+            self.masks[row + word] &= !bit;
+        }
+    }
+
+    /// The position-free broadcast: clear position `pos`'s column (both
+    /// directions) for every slot. Must be called whenever the allocator
+    /// frees `pos`, so no stale registration survives the position's reuse.
+    pub fn invalidate_position(&mut self, pos: usize) {
+        let row = self.row(pos, false);
+        self.masks[row..row + 2 * self.words].fill(0);
+    }
+
+    /// Rebuild every mask under a slot renumbering: each registered bit at
+    /// `old_slot` moves to `map(old_slot)`, or is dropped when the map
+    /// returns `None`. The slot space is resized to hold `new_slots`.
+    ///
+    /// This is the ring-growth path: moving the *columns* preserves the
+    /// effect of every [`invalidate_position`] issued since registration,
+    /// which re-inserting the owner's stored (insert-time) tags would
+    /// silently undo.
+    ///
+    /// [`invalidate_position`]: PosDirMaskSet::invalidate_position
+    pub fn remap_slots(&mut self, new_slots: usize, map: impl Fn(usize) -> Option<usize>) {
+        let new_words = new_slots.div_ceil(64).max(1);
+        let mut new_masks = vec![0u64; self.positions * 2 * new_words];
+        for row in 0..self.positions * 2 {
+            for w in 0..self.words {
+                let mut word = self.masks[row * self.words + w];
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if let Some(slot) = map(w * 64 + b) {
+                        debug_assert!(slot < new_slots, "remap target out of range");
+                        new_masks[row * new_words + slot / 64] |= 1u64 << (slot % 64);
+                    }
+                }
+            }
+        }
+        self.masks = new_masks;
+        self.words = new_words;
+    }
+
+    /// Slots whose registered tag holds a genuine `(pos, dir)` pair.
+    pub fn matching(&self, pos: usize, dir: bool) -> &[u64] {
+        let row = self.row(pos, dir);
+        &self.masks[row..row + self.words]
+    }
+
+    /// Slots matching a resolution-kill selector. Thanks to the
+    /// scrub-at-insert / invalidate-on-free discipline the epoch test is
+    /// already folded in, so this is a plain mask lookup.
+    pub fn killed_by(&self, kill: &ResolutionKill) -> &[u64] {
+        self.matching(kill.pos, kill.dir)
+    }
+
+    /// `true` if no slot is registered for any pair — the fully-reset
+    /// state (useful to assert wrap-around left nothing behind).
+    pub fn is_empty(&self) -> bool {
+        self.masks.iter().all(|&w| w == 0)
+    }
+
+    /// Check this incrementally-maintained index against a from-scratch
+    /// rebuild over `(slot, effective_tag)` pairs, where `effective_tag`
+    /// is the registered tag with stale positions already dropped (the
+    /// owner derives it from its stored tag and the allocator's free-epoch
+    /// clock). Returns the first mismatch, or `None` when they agree.
+    pub fn verify_against<'a>(
+        &self,
+        live: impl IntoIterator<Item = (usize, &'a CtxTag)>,
+    ) -> Option<String> {
+        let mut fresh = PosDirMaskSet::new(self.positions, self.words * 64);
+        for (slot, tag) in live {
+            fresh.insert(slot, tag);
+        }
+        for pos in 0..self.positions {
+            for dir in [false, true] {
+                let (have, want) = (self.matching(pos, dir), fresh.matching(pos, dir));
+                if let Some(w) = (0..self.words).find(|&w| have[w] != want[w]) {
+                    return Some(format!(
+                        "position {pos} dir {} word {w} mismatch: \
+                         index {:#018x} vs rebuilt {:#018x}",
+                        if dir { 'T' } else { 'N' },
+                        have[w],
+                        want[w]
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_matching_remove_roundtrip() {
+        let mut m = PosDirMaskSet::new(8, 200);
+        assert_eq!(m.words(), 4);
+        let a = CtxTag::root().with_position(1, true).with_position(3, false);
+        let b = CtxTag::root().with_position(1, true);
+        m.insert(0, &a);
+        m.insert(130, &b);
+        assert_eq!(m.matching(1, true)[0], 1);
+        assert_eq!(m.matching(1, true)[2], 1 << 2);
+        assert_eq!(m.matching(3, false)[0], 1);
+        assert_eq!(m.matching(3, false)[2], 0);
+        assert_eq!(m.matching(1, false)[0], 0);
+        m.remove(0, &a);
+        assert_eq!(m.matching(1, true)[0], 0);
+        assert_eq!(m.matching(1, true)[2], 1 << 2);
+        m.remove(130, &b);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn killed_by_matches_lazy_selector_semantics() {
+        // After scrub-at-insert + invalidate-on-free, killed_by must agree
+        // with ResolutionKill::matches over genuinely registered pairs.
+        let mut m = PosDirMaskSet::new(4, 64);
+        let wrong = CtxTag::root().with_position(2, false);
+        let right = CtxTag::root().with_position(2, true);
+        m.insert(3, &wrong);
+        m.insert(5, &right);
+        let kill = ResolutionKill {
+            pos: 2,
+            dir: false,
+            stale_before: 0,
+        };
+        assert_eq!(m.killed_by(&kill)[0], 1 << 3);
+    }
+
+    #[test]
+    fn invalidate_position_clears_whole_column() {
+        let mut m = PosDirMaskSet::new(4, 128);
+        let a = CtxTag::root().with_position(0, true).with_position(2, true);
+        let b = CtxTag::root().with_position(2, false);
+        m.insert(7, &a);
+        m.insert(100, &b);
+        m.invalidate_position(2);
+        assert_eq!(m.matching(2, true), &[0, 0]);
+        assert_eq!(m.matching(2, false), &[0, 0]);
+        assert_eq!(m.matching(0, true)[0], 1 << 7, "other positions survive");
+        // The stale-tolerant remove: slot 7's tag still names position 2,
+        // whose bits are long gone — removal must not underflow or panic.
+        m.remove(7, &a);
+        m.remove(100, &b);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn reset_resizes_and_clears() {
+        let mut m = PosDirMaskSet::new(4, 64);
+        m.insert(1, &CtxTag::root().with_position(0, true));
+        m.reset(512);
+        assert_eq!(m.words(), 8);
+        assert!(m.is_empty());
+        m.insert(300, &CtxTag::root().with_position(3, false));
+        assert_eq!(m.matching(3, false)[300 / 64], 1 << (300 % 64));
+    }
+
+    #[test]
+    fn verify_against_accepts_and_rejects() {
+        let mut m = PosDirMaskSet::new(6, 64);
+        let a = CtxTag::root().with_position(4, true);
+        m.insert(9, &a);
+        assert_eq!(m.verify_against([(9, &a)]), None);
+        let msg = m.verify_against([]).expect("must diverge");
+        assert!(msg.contains("position 4"), "{msg}");
+        // Column clear + matching ground truth agree again.
+        m.invalidate_position(4);
+        assert_eq!(m.verify_against([]), None);
+    }
+
+    #[test]
+    fn remap_slots_moves_bits_and_preserves_invalidations() {
+        let mut m = PosDirMaskSet::new(4, 64);
+        let a = CtxTag::root().with_position(0, true).with_position(1, false);
+        let b = CtxTag::root().with_position(0, true);
+        m.insert(3, &a);
+        m.insert(10, &b);
+        m.invalidate_position(1); // must stay cleared across the remap
+        m.remap_slots(256, |slot| match slot {
+            3 => Some(100),
+            10 => None, // dropped
+            _ => Some(slot),
+        });
+        assert_eq!(m.words(), 4);
+        assert_eq!(m.matching(0, true)[100 / 64], 1 << (100 % 64));
+        assert_eq!(m.matching(0, true)[0], 0, "dropped slot left no bit");
+        assert!(
+            m.matching(1, false).iter().all(|&w| w == 0),
+            "invalidation survived the remap"
+        );
+    }
+
+    #[test]
+    fn root_tag_registers_nothing() {
+        let mut m = PosDirMaskSet::new(4, 64);
+        m.insert(0, &CtxTag::root());
+        assert!(m.is_empty());
+        m.remove(0, &CtxTag::root());
+        assert!(m.is_empty());
+    }
+}

@@ -604,6 +604,53 @@ mod tests {
     }
 
     #[test]
+    fn committed_trajectory_round_trips_an_append() {
+        // The writer self-validates before touching disk, but nothing
+        // else pins the read-back path against the *committed* history:
+        // append a capture to an in-memory copy of the real
+        // BENCH_kernel.json, re-validate, and check the entry count and
+        // timestamp monotonicity survive the round trip.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+        let committed = std::fs::read_to_string(path).expect("committed BENCH_kernel.json");
+        let before = trajectory_timestamps(&committed);
+        assert!(!before.is_empty(), "committed trajectory is empty");
+
+        let newest = ENTRY.replace("\"timestamp_unix_s\": 1", "\"timestamp_unix_s\": 99999999999");
+        let appended = append_trajectory(Some(committed), &newest);
+        let summary = validate_report(&appended).unwrap();
+        assert!(
+            summary.contains(&format!("{} report(s)", before.len() + 1)),
+            "append did not grow the trajectory by one: {summary}"
+        );
+
+        let after = trajectory_timestamps(&appended);
+        assert_eq!(&after[..before.len()], &before[..], "prior entries perturbed");
+        let stamped: Vec<f64> = after.iter().filter_map(|t| *t).collect();
+        assert!(
+            stamped.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps not monotone after append: {after:?}"
+        );
+    }
+
+    /// `timestamp_unix_s` of each trajectory entry, in file order.
+    /// `None` for the untimed legacy entry a pre-trajectory file
+    /// upgrades into.
+    fn trajectory_timestamps(text: &str) -> Vec<Option<f64>> {
+        let root = json::parse(text).unwrap();
+        let obj = root.as_object().unwrap();
+        json::get(obj, "trajectory")
+            .and_then(json::Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| match json::get(e.as_object().unwrap(), "timestamp_unix_s") {
+                Some(&json::Value::Num(t)) => Some(t),
+                None => None,
+                other => panic!("non-numeric timestamp: {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
     fn json_parser_handles_the_grammar() {
         let v = json::parse(" {\"a\": [1, -2.5e1, \"x\\\"y\\u0041\", true, null], \"b\": {}} ")
             .unwrap();

@@ -1,0 +1,61 @@
+//! Fast-forward must be byte-invisible: enabling quiescent-cycle elision
+//! (`SimConfig::fast_forward`) must leave every committed golden
+//! `SimStats` snapshot untouched — the fast-forwarded machine commits
+//! the *same* history, cycle counts, stall accounts, and occupancy sums
+//! as the cycle-by-cycle machine.
+//!
+//! Same shape and scale as `tests/trace_invisibility.rs`: all 8
+//! workloads × 3 configurations against the committed snapshots
+//! themselves. Tier-2 like the golden suite (skipped in debug builds;
+//! CI runs `--release`). In `PP_UPDATE_GOLDEN=1` runs the suite also
+//! skips — regeneration is `tests/golden.rs`'s job, and two tests
+//! writing the same snapshot concurrently would race.
+
+use pp_core::Simulator;
+use pp_experiments::experiments::BASELINE_HISTORY_BITS;
+use pp_experiments::{named_config, Config};
+use pp_testutil::golden::{check_golden, golden_dir};
+use pp_workloads::Workload;
+
+/// Same fixed scale as `tests/golden.rs` (snapshots are committed
+/// files, so their inputs never vary with `PP_SCALE`).
+fn golden_scale(w: Workload) -> u64 {
+    (w.default_scale() / 64).max(2000)
+}
+
+fn check_config(c: Config, key: &'static str) {
+    if cfg!(debug_assertions) || pp_testutil::golden::update_mode() {
+        eprintln!(
+            "fast_forward_invisibility[{key}]: tier-2 suite, skipped in \
+             debug builds and golden-update runs — run with --release"
+        );
+        return;
+    }
+    let cfg = named_config(c, BASELINE_HISTORY_BITS).with_fast_forward();
+    for w in Workload::ALL {
+        let program = w.build(golden_scale(w));
+        let mut sim = Simulator::new(&program, cfg.clone());
+        let stats = sim.run();
+        assert!(sim.halted(), "{w}/{key}: run completed");
+
+        // Byte-identical to the committed golden snapshot produced by a
+        // cycle-by-cycle run.
+        let path = golden_dir().join(format!("{}_{}.json", w.name(), key));
+        check_golden(&path, &stats.to_json());
+    }
+}
+
+#[test]
+fn fast_forwarded_monopath_matches_golden() {
+    check_config(Config::Monopath, "monopath");
+}
+
+#[test]
+fn fast_forwarded_see_jrs_matches_golden() {
+    check_config(Config::SeeJrs, "see_jrs");
+}
+
+#[test]
+fn fast_forwarded_dual_jrs_matches_golden() {
+    check_config(Config::DualJrs, "dual_jrs");
+}
