@@ -158,6 +158,7 @@ const DETERMINISM_EXEMPT: &[&str] = &[
     "crates/bench/",
     "crates/sweep/",
     "crates/analyze/",
+    "crates/serve/",
 ];
 
 /// Run every rule over the workspace rooted at `root` and return the

@@ -376,14 +376,20 @@ impl FrontEnd {
     pub fn kill_matching(&mut self, kill: &ResolutionKill, mut on_kill: impl FnMut(FrontRef<'_>)) {
         let mut snapshot = std::mem::take(&mut self.kill_scratch);
         snapshot.copy_from_slice(&self.live_words);
-        for_each_masked_slot(self.head, self.tail, self.ring_mask, &snapshot, |slot, _| {
-            let s = &self.slots[slot];
-            if !kill.matches(&s.ctx, s.born) {
-                return;
-            }
-            self.live_words[slot / 64] &= !(1u64 << (slot % 64));
-            on_kill(self.latch_ref(slot));
-        });
+        for_each_masked_slot(
+            self.head,
+            self.tail,
+            self.ring_mask,
+            &snapshot,
+            |slot, _| {
+                let s = &self.slots[slot];
+                if !kill.matches(&s.ctx, s.born) {
+                    return;
+                }
+                self.live_words[slot / 64] &= !(1u64 << (slot % 64));
+                on_kill(self.latch_ref(slot));
+            },
+        );
         self.kill_scratch = snapshot;
     }
 }

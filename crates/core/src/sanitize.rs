@@ -723,7 +723,9 @@ mod tests {
         sim.window.ready_words[slot / 64] |= 1u64 << (slot % 64);
         let violations = sim.sanitize();
         assert!(
-            violations.iter().any(|v| v.invariant == "soa-mask-coherence"),
+            violations
+                .iter()
+                .any(|v| v.invariant == "soa-mask-coherence"),
             "{violations:?}"
         );
     }

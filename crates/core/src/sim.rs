@@ -106,6 +106,14 @@ pub struct Simulator {
     live_divergences: usize,
     halted: bool,
     last_commit_cycle: u64,
+    /// Fast-forward probe arming ([`SimConfig::fast_forward`]): the
+    /// quiescence probe runs only on the transition into quiescence —
+    /// armed when the previous cycle did no work — instead of polling
+    /// every cycle. Purely a scheduling heuristic: the probe re-proves
+    /// quiescence from machine state before any skip, so a stale flag
+    /// costs a wasted probe or one fully-simulated inert cycle, never a
+    /// statistics deviation.
+    ff_armed: bool,
     stats: SimStats,
     fid_next: u64,
     observer: Option<Box<dyn PipelineObserver>>,
@@ -258,6 +266,7 @@ impl Simulator {
             live_divergences: 0,
             halted: false,
             last_commit_cycle: 0,
+            ff_armed: true,
             now: 0,
             seq_next: 0,
             birth_next: 1,
@@ -411,7 +420,7 @@ impl Simulator {
                 self.stats.hit_cycle_limit = true;
                 break;
             }
-            if self.cfg.fast_forward {
+            if self.cfg.fast_forward && self.ff_armed {
                 self.try_fast_forward();
             }
             self.cycle();
@@ -526,11 +535,7 @@ impl Simulator {
 
         // Fetch: inert when the lone path is parked (charged as a
         // no-path stall every cycle) or when the front-end has no room.
-        let fetching = self
-            .paths
-            .iter()
-            .next()
-            .is_some_and(|(_, p)| p.fetching);
+        let fetching = self.paths.iter().next().is_some_and(|(_, p)| p.fetching);
         if fetching && !self.frontend.is_full() {
             return; // would fetch
         }
@@ -558,10 +563,32 @@ impl Simulator {
             s.dispatch_stall_window_full += skipped;
         }
         self.now = next_event;
+        // The landing cycle has an event due by construction; the next
+        // quiescent-entry transition re-arms the probe.
+        self.ff_armed = false;
     }
 
     /// Simulate a single cycle.
     pub fn cycle(&mut self) {
+        // Probe-arming signals, read before the stages run: a non-empty
+        // completion bucket or issue candidate means this cycle works;
+        // the frontend length and commit count deltas catch the rest
+        // (fetch, dispatch, corpse reclaim, commit). Over-detecting
+        // work only delays the probe by one inert cycle; under-
+        // detecting only wastes a probe — the probe itself re-verifies.
+        let ff_enabled = self.cfg.fast_forward;
+        let (ff_work_due, ff_frontend_len, ff_committed) = if ff_enabled {
+            let ring = self.completions.len() as u64;
+            (
+                !self.completions[(self.now % ring) as usize].is_empty()
+                    || self.window.ready_words.iter().any(|&w| w != 0),
+                self.frontend.len(),
+                self.stats.committed_instructions,
+            )
+        } else {
+            (false, 0, 0)
+        };
+
         self.fu_pool.begin_cycle();
         self.account_fu_capacity();
 
@@ -629,6 +656,14 @@ impl Simulator {
         }
         if self.cfg.sanitize {
             self.assert_sane();
+        }
+        if ff_enabled {
+            // An inert cycle is the transition into quiescence: arm the
+            // probe for the next iteration.
+            let worked = ff_work_due
+                || self.frontend.len() != ff_frontend_len
+                || self.stats.committed_instructions != ff_committed;
+            self.ff_armed = !worked;
         }
         self.now += 1;
     }
@@ -1915,18 +1950,17 @@ impl Simulator {
     ) -> FetchId {
         let fid = FetchId(self.fid_next);
         self.fid_next += 1;
-        self.frontend.push(
-            FetchedInst {
-                fid,
-                pc,
-                op,
-                ctx: tag,
-                born: self.positions.current_tick(),
-                path: pid,
-                fetch_cycle: self.now,
-                binfo,
-                killed: false,
-            });
+        self.frontend.push(FetchedInst {
+            fid,
+            pc,
+            op,
+            ctx: tag,
+            born: self.positions.current_tick(),
+            path: pid,
+            fetch_cycle: self.now,
+            binfo,
+            killed: false,
+        });
         self.stats.fetched_instructions += 1;
         emit(&mut self.observer, || PipeEvent::Fetched {
             cycle: self.now,

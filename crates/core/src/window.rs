@@ -406,10 +406,11 @@ pub(crate) fn for_each_masked_slot_while(
         if s >= e {
             continue;
         }
-        for w in s / 64..=(e - 1) / 64 {
+        let (w_lo, w_hi) = (s / 64, (e - 1) / 64);
+        for (w, &bits) in words.iter().enumerate().take(w_hi + 1).skip(w_lo) {
             let lo = s.max(w * 64) - w * 64;
             let hi = e.min(w * 64 + 64) - w * 64;
-            let mut word = words[w] & range_mask(lo, hi);
+            let mut word = bits & range_mask(lo, hi);
             while word != 0 {
                 let b = word.trailing_zeros() as usize;
                 word &= word - 1;

@@ -169,7 +169,9 @@ fn soa_window_matches_boxed_shadow_model() {
                 }
                 // Wake a random entry (only live + waiting may promote).
                 50..=57 => {
-                    let Some(pick) = pick_seq(rng, &s) else { continue };
+                    let Some(pick) = pick_seq(rng, &s) else {
+                        continue;
+                    };
                     w.wake(pick, |_| true);
                     if let Some(e) = s.entries.iter_mut().find(|e| e.seq == pick) {
                         if !e.killed && e.state == EntryState::Waiting {
@@ -209,9 +211,8 @@ fn soa_window_matches_boxed_shadow_model() {
                     let mut killed = Vec::new();
                     w.kill_matching(&kill, |e| killed.push(e.seq));
                     let mut expect = Vec::new();
-                    for e in s.entries.iter_mut() {
-                        if !e.killed && e.tag.has(kill.pos, kill.dir) && e.born >= last_free[pos]
-                        {
+                    for e in &mut s.entries {
+                        if !e.killed && e.tag.has(kill.pos, kill.dir) && e.born >= last_free[pos] {
                             e.killed = true;
                             expect.push(e.seq);
                         }
@@ -361,7 +362,7 @@ fn soa_fetch_queue_matches_boxed_shadow_model() {
                     let mut killed = Vec::new();
                     fe.kill_matching(&kill, |i| killed.push(i.fid.0));
                     let mut expect = Vec::new();
-                    for i in shadow.iter_mut() {
+                    for i in &mut shadow {
                         if !i.killed && i.tag.has(kill.pos, kill.dir) && i.born >= last_free[pos] {
                             i.killed = true;
                             expect.push(i.fid);

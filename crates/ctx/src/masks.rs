@@ -216,7 +216,9 @@ mod tests {
     fn insert_matching_remove_roundtrip() {
         let mut m = PosDirMaskSet::new(8, 200);
         assert_eq!(m.words(), 4);
-        let a = CtxTag::root().with_position(1, true).with_position(3, false);
+        let a = CtxTag::root()
+            .with_position(1, true)
+            .with_position(3, false);
         let b = CtxTag::root().with_position(1, true);
         m.insert(0, &a);
         m.insert(130, &b);
@@ -294,7 +296,9 @@ mod tests {
     #[test]
     fn remap_slots_moves_bits_and_preserves_invalidations() {
         let mut m = PosDirMaskSet::new(4, 64);
-        let a = CtxTag::root().with_position(0, true).with_position(1, false);
+        let a = CtxTag::root()
+            .with_position(0, true)
+            .with_position(1, false);
         let b = CtxTag::root().with_position(0, true);
         m.insert(3, &a);
         m.insert(10, &b);

@@ -43,6 +43,11 @@
 //! information and are skipped rather than allowed to win the min; a
 //! pair with no valid sample reports `null` for `wall_s`/`kips`.
 //!
+//! `--fast-forward` enables quiescent-cycle elision in the timing runs
+//! (recorded as `"fast_forward"` in the entry, so captures are only
+//! compared like-for-like); the attribution run stays un-elided — the
+//! phase timers observe every cycle by design.
+//!
 //! Honours `PP_SCALE` like every other binary; the scale in use is
 //! recorded in the report so baselines are only compared at like scale.
 
@@ -77,8 +82,11 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn run_one(w: Workload, c: Config, repeat: usize) -> RunReport {
-    let cfg = named_config(c, BASELINE_HISTORY_BITS);
+fn run_one(w: Workload, c: Config, repeat: usize, fast_forward: bool) -> RunReport {
+    let mut cfg = named_config(c, BASELINE_HISTORY_BITS);
+    if fast_forward {
+        cfg = cfg.with_fast_forward();
+    }
     let program = w.build(scaled(w));
 
     // Timing runs: nothing attached, wall clock measured from outside,
@@ -134,6 +142,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut repeat = 1usize;
     let mut validate: Option<String> = None;
+    let mut fast_forward = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -146,8 +155,10 @@ fn main() {
                 }
             }
             "--validate" => validate = Some(cli::require_value(&mut args, "--validate", "a path")),
+            "--fast-forward" => fast_forward = true,
             other => cli::usage_error(format_args!(
-                "unknown argument {other:?} (expected --out, --baseline, --repeat, or --validate)"
+                "unknown argument {other:?} (expected --out, --baseline, --repeat, \
+                 --fast-forward, or --validate)"
             )),
         }
     }
@@ -170,7 +181,7 @@ fn main() {
     let mut total_wall = 0.0f64;
     for w in Workload::ALL {
         for c in BENCH_CONFIGS {
-            let r = run_one(w, c, repeat);
+            let r = run_one(w, c, repeat, fast_forward);
             match (r.kips, r.wall_s) {
                 (Some(kips), Some(wall_s)) => {
                     println!(
@@ -216,6 +227,7 @@ fn main() {
     );
     let _ = writeln!(j, "  \"scale_factor\": {},", scale_factor());
     let _ = writeln!(j, "  \"timing_runs_min_of\": {repeat},");
+    let _ = writeln!(j, "  \"fast_forward\": {fast_forward},");
     let _ = writeln!(j, "  \"history_bits\": {BASELINE_HISTORY_BITS},");
     let _ = writeln!(j, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {
@@ -615,7 +627,10 @@ mod tests {
         let before = trajectory_timestamps(&committed);
         assert!(!before.is_empty(), "committed trajectory is empty");
 
-        let newest = ENTRY.replace("\"timestamp_unix_s\": 1", "\"timestamp_unix_s\": 99999999999");
+        let newest = ENTRY.replace(
+            "\"timestamp_unix_s\": 1",
+            "\"timestamp_unix_s\": 99999999999",
+        );
         let appended = append_trajectory(Some(committed), &newest);
         let summary = validate_report(&appended).unwrap();
         assert!(
@@ -624,7 +639,11 @@ mod tests {
         );
 
         let after = trajectory_timestamps(&appended);
-        assert_eq!(&after[..before.len()], &before[..], "prior entries perturbed");
+        assert_eq!(
+            &after[..before.len()],
+            &before[..],
+            "prior entries perturbed"
+        );
         let stamped: Vec<f64> = after.iter().filter_map(|t| *t).collect();
         assert!(
             stamped.windows(2).all(|w| w[0] <= w[1]),
@@ -642,11 +661,13 @@ mod tests {
             .and_then(json::Value::as_array)
             .unwrap()
             .iter()
-            .map(|e| match json::get(e.as_object().unwrap(), "timestamp_unix_s") {
-                Some(&json::Value::Num(t)) => Some(t),
-                None => None,
-                other => panic!("non-numeric timestamp: {other:?}"),
-            })
+            .map(
+                |e| match json::get(e.as_object().unwrap(), "timestamp_unix_s") {
+                    Some(&json::Value::Num(t)) => Some(t),
+                    None => None,
+                    other => panic!("non-numeric timestamp: {other:?}"),
+                },
+            )
             .collect()
     }
 

@@ -1,0 +1,731 @@
+//! The pp-serve wire format: line-framed JSONL, one flat JSON object
+//! per `\n`-terminated line.
+//!
+//! This module is pure data — no sockets, no clocks — so every frame
+//! round-trips in unit tests without a connection. The grammar is
+//! deliberately flat: every value is a string, an unsigned integer, or
+//! a boolean, which keeps the hand-rolled parser small and makes
+//! truncation/garbage detection trivial (anything that does not parse
+//! is a protocol fault, never a partial success). List-valued fields
+//! (the experiment names in `welcome`) are comma-joined strings —
+//! registry names are identifiers and cannot contain commas.
+//!
+//! ```text
+//! client → server:  hello · lease · result · progress · bye
+//! server → client:  welcome · busy · cell · wait · ack · progress ·
+//!                   done · error
+//! ```
+//!
+//! Frames longer than [`MAX_LINE_BYTES`] are rejected before parsing so
+//! a hostile or broken peer cannot balloon the session's memory.
+
+use std::fmt::Write as _;
+
+/// Wire protocol revision. Bumped on any frame-grammar change; the
+/// `hello`/`welcome` handshake rejects a mismatch before any work is
+/// leased.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Hard cap on one frame's length, terminator included. Stats JSON for
+/// a cell is ~2 KiB; 1 MiB leaves two orders of magnitude of headroom.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A malformed frame: what broke and (best-effort) where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+/// Terminal status of one executed cell, as reported by a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkStatus {
+    /// The cell ran to completion; `stats` carries the result.
+    Ok,
+    /// The simulation panicked; `message` carries the payload (with
+    /// the flight-recorder dump appended by the worker harness).
+    Panic,
+    /// The run hit its configured cycle limit without halting.
+    CycleLimit,
+}
+
+impl WorkStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            WorkStatus::Ok => "ok",
+            WorkStatus::Panic => "panic",
+            WorkStatus::CycleLimit => "cycle_limit",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, WireError> {
+        match s {
+            "ok" => Ok(WorkStatus::Ok),
+            "panic" => Ok(WorkStatus::Panic),
+            "cycle_limit" => Ok(WorkStatus::CycleLimit),
+            other => err(format!("unknown status {other:?}")),
+        }
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: identify the client and its protocol revision.
+    Hello {
+        /// Client display name (worker host/pid label; informational).
+        client: String,
+        /// The client's [`PROTO_VERSION`].
+        proto: u64,
+    },
+    /// Ask for the next cell to simulate.
+    Lease,
+    /// Report a finished cell.
+    Result {
+        /// Grid index of the cell (echoed from the `cell` frame).
+        index: u64,
+        /// The cell's content-address (echoed; the server re-verifies).
+        fingerprint: String,
+        /// How the run ended.
+        status: WorkStatus,
+        /// `SimStats::to_json` for an `ok` run, empty otherwise.
+        stats: String,
+        /// Failure detail for `panic`/`cycle_limit`, empty for `ok`.
+        message: String,
+    },
+    /// Ask for a progress snapshot (also serves as a keepalive).
+    Progress,
+    /// Orderly goodbye; the server releases the client's slot.
+    Bye,
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Handshake accepted: the grid on offer.
+    Welcome {
+        /// The server's [`PROTO_VERSION`].
+        proto: u64,
+        /// Registry experiment names whose grids, concatenated in this
+        /// order, form the sweep (comma-joined on the wire).
+        experiments: Vec<String>,
+        /// Total cell count of the concatenated grid.
+        cells: u64,
+        /// Fingerprint over every cell's fingerprint, in grid order —
+        /// one equality check proves both sides built the same grid.
+        grid_sig: String,
+        /// Lease deadline the server will apply, in milliseconds.
+        lease_ms: u64,
+    },
+    /// Admission or lease refused; retry after `retry_ms`.
+    Busy {
+        /// Which limit refused: `clients`, `inflight`, or `quota`.
+        reason: String,
+        /// Suggested client back-off in milliseconds.
+        retry_ms: u64,
+    },
+    /// A leased cell: simulate it and send a `result`.
+    Cell {
+        /// Grid index of the cell.
+        index: u64,
+        /// The cell's content-address; the worker must verify its own
+        /// grid agrees before running (catches `PP_SCALE` or
+        /// behavior-revision skew).
+        fingerprint: String,
+        /// Human label for worker-side logs.
+        label: String,
+        /// Milliseconds until the lease expires and the cell is
+        /// requeued to another worker.
+        deadline_ms: u64,
+    },
+    /// Nothing leasable right now (all remaining cells are in flight);
+    /// poll again after `retry_ms`.
+    Wait {
+        /// Suggested client back-off in milliseconds.
+        retry_ms: u64,
+    },
+    /// A `result` was accepted. `cached` is true when the cell had
+    /// already been completed by someone else (late duplicate).
+    Ack {
+        /// Grid index being acknowledged.
+        index: u64,
+        /// Whether the result was redundant with an earlier completion.
+        cached: bool,
+    },
+    /// Progress snapshot.
+    Progress {
+        /// Total cells in the grid.
+        total: u64,
+        /// Cells complete (stored or already cached).
+        complete: u64,
+        /// Cells currently leased out.
+        leased: u64,
+        /// Lease expiries/worker deaths that requeued a cell so far.
+        requeued: u64,
+        /// Cells permanently failed (attempt budget exhausted).
+        failed: u64,
+    },
+    /// Every cell is complete or failed; the client should `bye`.
+    Done,
+    /// Protocol fault; the server closes the connection after this.
+    Error {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl Request {
+    /// Encode as one newline-terminated frame.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Hello { client, proto } => {
+                let mut o = obj("hello");
+                field_str(&mut o, "client", client);
+                field_u64(&mut o, "proto", *proto);
+                close(o)
+            }
+            Request::Lease => close(obj("lease")),
+            Request::Result {
+                index,
+                fingerprint,
+                status,
+                stats,
+                message,
+            } => {
+                let mut o = obj("result");
+                field_u64(&mut o, "index", *index);
+                field_str(&mut o, "fp", fingerprint);
+                field_str(&mut o, "status", status.as_str());
+                field_str(&mut o, "stats", stats);
+                field_str(&mut o, "message", message);
+                close(o)
+            }
+            Request::Progress => close(obj("progress")),
+            Request::Bye => close(obj("bye")),
+        }
+    }
+
+    /// Decode one frame (the line terminator may be present or not).
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let f = Flat::parse(line)?;
+        match f.str("type")? {
+            "hello" => Ok(Request::Hello {
+                client: f.str("client")?.to_string(),
+                proto: f.u64("proto")?,
+            }),
+            "lease" => Ok(Request::Lease),
+            "result" => Ok(Request::Result {
+                index: f.u64("index")?,
+                fingerprint: f.str("fp")?.to_string(),
+                status: WorkStatus::parse(f.str("status")?)?,
+                stats: f.str("stats")?.to_string(),
+                message: f.str("message")?.to_string(),
+            }),
+            "progress" => Ok(Request::Progress),
+            "bye" => Ok(Request::Bye),
+            other => err(format!("unknown request type {other:?}")),
+        }
+    }
+}
+
+impl Reply {
+    /// Encode as one newline-terminated frame.
+    pub fn to_line(&self) -> String {
+        match self {
+            Reply::Welcome {
+                proto,
+                experiments,
+                cells,
+                grid_sig,
+                lease_ms,
+            } => {
+                let mut o = obj("welcome");
+                field_u64(&mut o, "proto", *proto);
+                field_str(&mut o, "experiments", &experiments.join(","));
+                field_u64(&mut o, "cells", *cells);
+                field_str(&mut o, "grid_sig", grid_sig);
+                field_u64(&mut o, "lease_ms", *lease_ms);
+                close(o)
+            }
+            Reply::Busy { reason, retry_ms } => {
+                let mut o = obj("busy");
+                field_str(&mut o, "reason", reason);
+                field_u64(&mut o, "retry_ms", *retry_ms);
+                close(o)
+            }
+            Reply::Cell {
+                index,
+                fingerprint,
+                label,
+                deadline_ms,
+            } => {
+                let mut o = obj("cell");
+                field_u64(&mut o, "index", *index);
+                field_str(&mut o, "fp", fingerprint);
+                field_str(&mut o, "label", label);
+                field_u64(&mut o, "deadline_ms", *deadline_ms);
+                close(o)
+            }
+            Reply::Wait { retry_ms } => {
+                let mut o = obj("wait");
+                field_u64(&mut o, "retry_ms", *retry_ms);
+                close(o)
+            }
+            Reply::Ack { index, cached } => {
+                let mut o = obj("ack");
+                field_u64(&mut o, "index", *index);
+                field_bool(&mut o, "cached", *cached);
+                close(o)
+            }
+            Reply::Progress {
+                total,
+                complete,
+                leased,
+                requeued,
+                failed,
+            } => {
+                let mut o = obj("progress");
+                field_u64(&mut o, "total", *total);
+                field_u64(&mut o, "complete", *complete);
+                field_u64(&mut o, "leased", *leased);
+                field_u64(&mut o, "requeued", *requeued);
+                field_u64(&mut o, "failed", *failed);
+                close(o)
+            }
+            Reply::Done => close(obj("done")),
+            Reply::Error { reason } => {
+                let mut o = obj("error");
+                field_str(&mut o, "reason", reason);
+                close(o)
+            }
+        }
+    }
+
+    /// Decode one frame (the line terminator may be present or not).
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let f = Flat::parse(line)?;
+        match f.str("type")? {
+            "welcome" => Ok(Reply::Welcome {
+                proto: f.u64("proto")?,
+                experiments: {
+                    let joined = f.str("experiments")?;
+                    if joined.is_empty() {
+                        Vec::new()
+                    } else {
+                        joined.split(',').map(str::to_string).collect()
+                    }
+                },
+                cells: f.u64("cells")?,
+                grid_sig: f.str("grid_sig")?.to_string(),
+                lease_ms: f.u64("lease_ms")?,
+            }),
+            "busy" => Ok(Reply::Busy {
+                reason: f.str("reason")?.to_string(),
+                retry_ms: f.u64("retry_ms")?,
+            }),
+            "cell" => Ok(Reply::Cell {
+                index: f.u64("index")?,
+                fingerprint: f.str("fp")?.to_string(),
+                label: f.str("label")?.to_string(),
+                deadline_ms: f.u64("deadline_ms")?,
+            }),
+            "wait" => Ok(Reply::Wait {
+                retry_ms: f.u64("retry_ms")?,
+            }),
+            "ack" => Ok(Reply::Ack {
+                index: f.u64("index")?,
+                cached: f.bool("cached")?,
+            }),
+            "progress" => Ok(Reply::Progress {
+                total: f.u64("total")?,
+                complete: f.u64("complete")?,
+                leased: f.u64("leased")?,
+                requeued: f.u64("requeued")?,
+                failed: f.u64("failed")?,
+            }),
+            "done" => Ok(Reply::Done),
+            "error" => Ok(Reply::Error {
+                reason: f.str("reason")?.to_string(),
+            }),
+            other => err(format!("unknown reply type {other:?}")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Flat-JSON encoding helpers
+// ----------------------------------------------------------------------
+
+fn obj(ty: &str) -> String {
+    format!("{{\"type\":\"{ty}\"")
+}
+
+fn field_str(o: &mut String, key: &str, v: &str) {
+    let _ = write!(o, ",\"{key}\":\"{}\"", escape(v));
+}
+
+fn field_u64(o: &mut String, key: &str, v: u64) {
+    let _ = write!(o, ",\"{key}\":{v}");
+}
+
+fn field_bool(o: &mut String, key: &str, v: bool) {
+    let _ = write!(o, ",\"{key}\":{v}");
+}
+
+fn close(mut o: String) -> String {
+    o.push_str("}\n");
+    o
+}
+
+/// Escape a string for embedding in a JSON string literal. Control
+/// characters use `\u` escapes so a frame can carry multi-line panic
+/// messages and stats JSON without breaking the line framing.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Flat-JSON parsing
+// ----------------------------------------------------------------------
+
+/// One parsed flat object: string/u64/bool values only.
+struct Flat {
+    fields: Vec<(String, FlatValue)>,
+}
+
+enum FlatValue {
+    Str(String),
+    U64(u64),
+    Bool(bool),
+}
+
+impl Flat {
+    fn parse(line: &str) -> Result<Flat, WireError> {
+        if line.len() > MAX_LINE_BYTES {
+            return err(format!("frame exceeds {MAX_LINE_BYTES} bytes"));
+        }
+        let b = line.trim_end_matches(['\r', '\n']).as_bytes();
+        let mut pos = 0usize;
+        skip_ws(b, &mut pos);
+        expect(b, &mut pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, &mut pos);
+        if peek(b, pos) == Some(b'}') {
+            pos += 1;
+        } else {
+            loop {
+                skip_ws(b, &mut pos);
+                let key = parse_string(b, &mut pos)?;
+                skip_ws(b, &mut pos);
+                expect(b, &mut pos, b':')?;
+                skip_ws(b, &mut pos);
+                let value = match peek(b, pos) {
+                    Some(b'"') => FlatValue::Str(parse_string(b, &mut pos)?),
+                    Some(b't') => {
+                        expect_lit(b, &mut pos, "true")?;
+                        FlatValue::Bool(true)
+                    }
+                    Some(b'f') => {
+                        expect_lit(b, &mut pos, "false")?;
+                        FlatValue::Bool(false)
+                    }
+                    Some(c) if c.is_ascii_digit() => FlatValue::U64(parse_u64(b, &mut pos)?),
+                    _ => return err(format!("unsupported value at byte {pos}")),
+                };
+                fields.push((key, value));
+                skip_ws(b, &mut pos);
+                match peek(b, pos) {
+                    Some(b',') => pos += 1,
+                    Some(b'}') => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => return err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return err(format!("trailing bytes after frame at byte {pos}"));
+        }
+        Ok(Flat { fields })
+    }
+
+    fn get(&self, key: &str) -> Result<&FlatValue, WireError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .map_or_else(|| err(format!("missing field {key:?}")), Ok)
+    }
+
+    fn str(&self, key: &str) -> Result<&str, WireError> {
+        match self.get(key)? {
+            FlatValue::Str(s) => Ok(s),
+            _ => err(format!("field {key:?} is not a string")),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, WireError> {
+        match self.get(key)? {
+            FlatValue::U64(v) => Ok(*v),
+            _ => err(format!("field {key:?} is not an unsigned integer")),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, WireError> {
+        match self.get(key)? {
+            FlatValue::Bool(v) => Ok(*v),
+            _ => err(format!("field {key:?} is not a boolean")),
+        }
+    }
+}
+
+fn peek(b: &[u8], pos: usize) -> Option<u8> {
+    b.get(pos).copied()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while matches!(peek(b, *pos), Some(b' ' | b'\t')) {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), WireError> {
+    if peek(b, *pos) == Some(c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        err(format!("expected {:?} at byte {pos}", c as char))
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), WireError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_u64(b: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let start = *pos;
+    while matches!(peek(b, *pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map_or_else(|| err(format!("bad integer at byte {start}")), Ok)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match peek(b, *pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_or_else(|_| err("invalid UTF-8"), Ok);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match peek(b, *pos) {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .map_or_else(|| err("truncated \\u escape"), Ok)?;
+                        let cp = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .map_or_else(|| err("bad \\u escape"), Ok)?;
+                        out.extend(
+                            char::from_u32(cp)
+                                .unwrap_or('\u{fffd}')
+                                .to_string()
+                                .as_bytes(),
+                        );
+                        *pos += 4;
+                    }
+                    _ => return err("truncated escape"),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(c);
+                *pos += 1;
+            }
+            None => return err("unterminated string"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_round_trips() {
+        let reqs = [
+            Request::Hello {
+                client: "worker@host:1".to_string(),
+                proto: PROTO_VERSION,
+            },
+            Request::Lease,
+            Request::Result {
+                index: 7,
+                fingerprint: "ab12".to_string(),
+                status: WorkStatus::Ok,
+                stats: "{\n  \"cycles\": 42\n}".to_string(),
+                message: String::new(),
+            },
+            Request::Result {
+                index: 8,
+                fingerprint: "cd34".to_string(),
+                status: WorkStatus::Panic,
+                stats: String::new(),
+                message: "boom\nflight: \"quoted\"".to_string(),
+            },
+            Request::Result {
+                index: 9,
+                fingerprint: "ef56".to_string(),
+                status: WorkStatus::CycleLimit,
+                stats: String::new(),
+                message: "hit the limit".to_string(),
+            },
+            Request::Progress,
+            Request::Bye,
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(line.ends_with('\n'), "{line:?}");
+            assert!(!line.trim_end().contains('\n'), "one frame, one line");
+            assert_eq!(Request::from_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        let replies = [
+            Reply::Welcome {
+                proto: PROTO_VERSION,
+                experiments: vec!["table1".to_string(), "fig8".to_string()],
+                cells: 32,
+                grid_sig: "0011aabb".to_string(),
+                lease_ms: 60_000,
+            },
+            Reply::Busy {
+                reason: "clients".to_string(),
+                retry_ms: 500,
+            },
+            Reply::Cell {
+                index: 3,
+                fingerprint: "ab12".to_string(),
+                label: "compress".to_string(),
+                deadline_ms: 60_000,
+            },
+            Reply::Wait { retry_ms: 250 },
+            Reply::Ack {
+                index: 3,
+                cached: false,
+            },
+            Reply::Progress {
+                total: 32,
+                complete: 10,
+                leased: 4,
+                requeued: 1,
+                failed: 0,
+            },
+            Reply::Done,
+            Reply::Error {
+                reason: "fingerprint mismatch".to_string(),
+            },
+        ];
+        for r in replies {
+            let line = r.to_line();
+            assert!(line.ends_with('\n'), "{line:?}");
+            assert_eq!(Reply::from_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_experiment_list_round_trips() {
+        let w = Reply::Welcome {
+            proto: 1,
+            experiments: Vec::new(),
+            cells: 0,
+            grid_sig: String::new(),
+            lease_ms: 1,
+        };
+        assert_eq!(Reply::from_line(&w.to_line()).unwrap(), w);
+    }
+
+    #[test]
+    fn garbage_and_truncation_are_typed_faults() {
+        for bad in [
+            "",
+            "not json at all",
+            "{\"type\":\"lease\"",             // truncated frame
+            "{\"type\":\"lease\"} trailing",   // trailing bytes
+            "{\"type\":\"warp\"}",             // unknown type
+            "{\"type\":\"hello\",\"proto\":1}", // missing field
+            "{\"type\":\"hello\",\"client\":3,\"proto\":1}", // wrong field type
+            "{\"type\":\"result\",\"index\":1,\"fp\":\"x\",\"status\":\"maybe\",\"stats\":\"\",\"message\":\"\"}",
+        ] {
+            assert!(Request::from_line(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert!(Reply::from_line("{\"type\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let huge = format!(
+            "{{\"type\":\"hello\",\"client\":\"{}\",\"proto\":1}}",
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        assert!(Request::from_line(&huge).is_err());
+    }
+
+    #[test]
+    fn control_characters_survive_the_frame() {
+        let r = Request::Result {
+            index: 0,
+            fingerprint: "f".to_string(),
+            status: WorkStatus::Panic,
+            stats: String::new(),
+            message: "line1\nline2\ttabbed \u{1}ctl".to_string(),
+        };
+        let line = r.to_line();
+        assert!(!line.trim_end().contains('\n'));
+        assert_eq!(Request::from_line(&line).unwrap(), r);
+    }
+}

@@ -28,7 +28,7 @@ pub struct JobFailure {
 }
 
 /// Render a panic payload as the message it was raised with.
-pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

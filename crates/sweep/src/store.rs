@@ -21,6 +21,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pp_core::SimStats;
 
@@ -30,6 +31,17 @@ use crate::cell::SweepCell;
 const MAGIC: &str = "# pp-sweep cell v1";
 /// Separator between key material and stats JSON.
 const SEPARATOR: &str = "\n---stats---\n";
+/// Marker embedded in every in-flight temp-file name; the orphan sweep
+/// keys on it.
+const TMP_MARKER: &str = ".cell.tmp.";
+
+/// Monotonic write counter appended to temp-file names. The PID alone
+/// is not unique across hosts sharing one cache directory over a
+/// network filesystem (the pp-serve scenario), and host time or
+/// randomness would trip the determinism lint; a process-wide counter
+/// keeps concurrent writers — including two stores in one process —
+/// from clobbering each other's in-flight temp file.
+static WRITE_NONCE: AtomicU64 = AtomicU64::new(0);
 
 /// A content-addressed store of completed cell results under one root
 /// directory.
@@ -40,8 +52,40 @@ pub struct ResultStore {
 
 impl ResultStore {
     /// A store rooted at `root` (created lazily on first save).
+    ///
+    /// Opening a store sweeps temp-file orphans left by writers that
+    /// crashed between `write` and `rename` — without this they would
+    /// accumulate forever, since the normal path only cleans up on
+    /// rename *error*. Open stores before starting heavy concurrent
+    /// writes: the sweep cannot tell a stale orphan from another
+    /// process's in-flight write (a clobbered writer degrades to a
+    /// save error and a rerun, never a wrong result).
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        ResultStore { root: root.into() }
+        let store = ResultStore { root: root.into() };
+        store.sweep_orphans();
+        store
+    }
+
+    /// Delete stale in-flight temp files under the store root,
+    /// returning how many were removed. Best-effort: I/O errors are
+    /// ignored (an unremovable orphan is wasted disk, not a
+    /// correctness problem).
+    pub fn sweep_orphans(&self) -> usize {
+        let Ok(shards) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        shards
+            .filter_map(std::result::Result::ok)
+            .filter_map(|d| std::fs::read_dir(d.path()).ok())
+            .flatten()
+            .filter_map(std::result::Result::ok)
+            .filter(|f| {
+                let name = f.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with('.') && name.contains(TMP_MARKER)
+            })
+            .filter(|f| std::fs::remove_file(f.path()).is_ok())
+            .count()
     }
 
     /// The store's root directory.
@@ -96,11 +140,12 @@ impl ResultStore {
             stats.to_json()
         );
         let tmp = dir.join(format!(
-            ".{}.tmp.{}",
+            ".{}.tmp.{}.{}",
             path.file_name()
                 .expect("entry path has a file name")
                 .to_string_lossy(),
             std::process::id(),
+            WRITE_NONCE.fetch_add(1, Ordering::Relaxed),
         ));
         std::fs::write(&tmp, &entry)?;
         let renamed = std::fs::rename(&tmp, &path);
@@ -205,6 +250,75 @@ mod tests {
         // A fresh save works again.
         store.save(&c, &stats()).unwrap();
         assert!(store.load(&c).is_some());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_sweeps_orphans_and_load_heals_truncation() {
+        let root = tmp_root("crash");
+        // A prior sweep completed one entry, left two temp orphans
+        // (killed between write and rename), and a later fault
+        // truncated a second entry.
+        let setup = ResultStore::new(&root);
+        let c = cell();
+        setup.save(&c, &stats()).unwrap();
+        let shard = setup.path_for(&c).parent().unwrap().to_path_buf();
+        let orphan_a = shard.join(format!(".{}.cell.tmp.1234.0", c.fingerprint()));
+        let orphan_b = shard.join(".deadbeef.cell.tmp.1234.1");
+        std::fs::write(&orphan_a, "half-written").unwrap();
+        std::fs::write(&orphan_b, "half-written").unwrap();
+        let truncated = {
+            let mut other = cell();
+            other.scale = 51;
+            setup.save(&other, &stats()).unwrap();
+            let p = setup.path_for(&other);
+            let full = std::fs::read_to_string(&p).unwrap();
+            std::fs::write(&p, &full[..full.len() / 3]).unwrap();
+            (other, p)
+        };
+
+        // Reopening the store heals the orphans…
+        let store = ResultStore::new(&root);
+        assert!(!orphan_a.exists(), "stale orphan must be swept on open");
+        assert!(!orphan_b.exists(), "stale orphan must be swept on open");
+        // …without touching the intact entry…
+        assert_eq!(store.load(&c), Some(stats()));
+        // …and the truncated entry heals on load.
+        assert!(store.load(&truncated.0).is_none());
+        assert!(!truncated.1.exists(), "truncated entry must self-heal");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn two_stores_racing_on_one_directory_never_clobber() {
+        // Two stores over the same directory model two workers sharing
+        // one cache (pp-serve); with a PID-only temp suffix their
+        // in-flight temp files could collide, so one writer's rename
+        // would publish the other's (possibly interleaved) bytes. The
+        // write nonce keeps every in-flight temp file distinct.
+        let root = tmp_root("race");
+        let c = cell();
+        // Open both stores up front: the orphan sweep on open cannot
+        // distinguish a live writer's temp file from a stale one.
+        let stores = [ResultStore::new(&root), ResultStore::new(&root)];
+        let writers: Vec<_> = stores
+            .into_iter()
+            .map(|store| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        store.save(&c, &stats()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let store = ResultStore::new(&root);
+        assert_eq!(store.load(&c), Some(stats()));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.sweep_orphans(), 0, "no temp files may survive");
         std::fs::remove_dir_all(&root).ok();
     }
 
